@@ -1,0 +1,64 @@
+//! E11 — dispatch-model ablation (§10 problem 2).
+//!
+//! "Since Horus is thread-safe, multiple procedure calls into the same
+//! layer often have to be synchronized by a lock ... we are eliminating
+//! intra-stack threading, having discovered that concurrency within a
+//! stack does not lead to significant gains."
+//!
+//! Real threads, real time, in-process loopback transport: a 2-member
+//! group floods N casts through the `NAK:COM` stack under
+//! * `event_queue` — one scheduler thread per stack (the model the paper
+//!   adopts), and
+//! * `locked_threads` — four workers contending on a stack lock (the
+//!   model it abandons).
+
+use bench::ep;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use horus_core::prelude::*;
+use horus_layers::registry::build_stack;
+use horus_net::LoopbackNet;
+use horus_sim::threaded::{DispatchModel, ThreadedEndpoint};
+use std::time::Duration;
+
+const FLOOD: usize = 500;
+
+fn flood(model: DispatchModel) {
+    let net = LoopbackNet::new();
+    let g = GroupAddr::new(1);
+    let mut endpoints: Vec<ThreadedEndpoint> = (1..=2)
+        .map(|i| {
+            let s = build_stack(ep(i), "NAK:COM", StackConfig::default()).unwrap();
+            ThreadedEndpoint::spawn(s, net.clone(), model)
+        })
+        .collect();
+    for e in &endpoints {
+        e.down(Down::Join { group: g });
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    for k in 0..FLOOD {
+        endpoints[0].cast_bytes(vec![(k % 251) as u8; 32]);
+    }
+    let ok = endpoints[1].wait_until(Duration::from_secs(30), |e| e.cast_count() >= FLOOD);
+    assert!(ok, "receiver saw {}/{FLOOD}", endpoints[1].cast_count());
+    for e in &mut endpoints {
+        e.stop();
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch_model");
+    // Whole-scenario benches with threads: keep samples small.
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g.throughput(Throughput::Elements(FLOOD as u64));
+    g.bench_function(BenchmarkId::new("event_queue", FLOOD), |b| {
+        b.iter(|| flood(DispatchModel::EventQueue));
+    });
+    g.bench_function(BenchmarkId::new("locked_threads", FLOOD), |b| {
+        b.iter(|| flood(DispatchModel::LockedThreads(4)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

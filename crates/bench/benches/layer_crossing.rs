@@ -1,0 +1,67 @@
+//! E8 + E10 — the cost of a layer boundary (§10 problem 1).
+//!
+//! "There is an indirect procedure call each time a layer boundary is
+//! crossed" — and the proposed fix, "skipping layers that take no action
+//! on the way down or up".
+//!
+//! Series:
+//! * `opaque/N` — N pass-through layers that hide their passivity: every
+//!   boundary costs a dynamic dispatch (the 1995 baseline).
+//! * `passive_skip/N` — the same depth, but the layers declare passivity
+//!   and the runtime skips them (the §10 fix).
+//! * `passive_noskip/N` — skip optimization disabled, for the ablation.
+//!
+//! The per-layer increment of the `opaque` series is this system's "cost
+//! of a layer ... as low as just a few instructions" number.
+
+use bench::{lone_stack, nop_stack_desc, pump_one};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horus_core::prelude::*;
+
+fn bench_layer_crossing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("layer_crossing");
+    g.sample_size(60);
+    for &depth in &[0usize, 1, 2, 4, 8, 16] {
+        // Baseline: opaque layers, every boundary dispatched.
+        g.bench_with_input(BenchmarkId::new("opaque", depth), &depth, |b, &d| {
+            let mut tx = lone_stack(&nop_stack_desc(d, true), StackConfig::default());
+            let mut rx = lone_stack(&nop_stack_desc(d, true), StackConfig::default());
+            b.iter(|| {
+                let n = pump_one(&mut tx, &mut rx, b"x");
+                std::hint::black_box(n);
+            });
+        });
+        // Passive layers with the skip optimization on (default).
+        g.bench_with_input(BenchmarkId::new("passive_skip", depth), &depth, |b, &d| {
+            let mut tx = lone_stack(&nop_stack_desc(d, false), StackConfig::default());
+            let mut rx = lone_stack(&nop_stack_desc(d, false), StackConfig::default());
+            b.iter(|| {
+                let n = pump_one(&mut tx, &mut rx, b"x");
+                std::hint::black_box(n);
+            });
+        });
+        // Ablation: same passive layers, skip disabled.
+        g.bench_with_input(BenchmarkId::new("passive_noskip", depth), &depth, |b, &d| {
+            let cfg = StackConfig { skip_passive: false, ..StackConfig::default() };
+            let mut tx = lone_stack(&nop_stack_desc(d, false), cfg.clone());
+            let mut rx = lone_stack(&nop_stack_desc(d, false), cfg);
+            b.iter(|| {
+                let n = pump_one(&mut tx, &mut rx, b"x");
+                std::hint::black_box(n);
+            });
+        });
+    }
+    g.finish();
+
+    // Header bytes a real layer adds (the "few bytes (or none at all)"
+    // claim): print once for EXPERIMENTS.md.
+    eprintln!("\n[E8] header bytes per message by stack (compact mode):");
+    for desc in ["COM", "NAK:COM", "FRAG:NAK:COM", "MBRSHIP:FRAG:NAK:COM",
+                 "TOTAL:MBRSHIP:FRAG:NAK:COM"] {
+        let s = lone_stack(desc, StackConfig::default());
+        eprintln!("  {desc:<30} {:>3} B", s.layout().compact_bytes());
+    }
+}
+
+criterion_group!(benches, bench_layer_crossing);
+criterion_main!(benches);

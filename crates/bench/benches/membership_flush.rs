@@ -1,0 +1,92 @@
+//! E15 — the cost of the flush protocol (§5, Figure 2).
+//!
+//! For group sizes 2..16 and varying amounts of unstable traffic in
+//! flight, measure (a) the CPU cost of executing the crash→flush→view
+//! scenario and (b) the *virtual-time* latency from the crash to the new
+//! view at every survivor, plus the number of wire frames the flush cost
+//! — the protocol-level numbers print to stderr for EXPERIMENTS.md.
+
+use bench::{ep, joined_world};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horus_core::prelude::*;
+use horus_net::NetConfig;
+use horus_sim::Workload;
+use std::time::Duration;
+
+const STACK: &str = "MBRSHIP:FRAG:NAK:COM(promiscuous=true)";
+
+/// Runs the scenario; returns (virtual flush latency, flush wire frames).
+fn crash_and_flush(n: u64, unstable: u64, seed: u64) -> (Duration, u64) {
+    let mut w = joined_world(n, seed, NetConfig::reliable(), STACK, StackConfig::default());
+    let t0 = w.now();
+    // Build up in-flight traffic from the soon-to-die member.
+    let wl = Workload {
+        kind: horus_sim::WorkloadKind::SingleSender,
+        senders: vec![ep(n)],
+        slots: unstable,
+        interval: Duration::from_micros(50),
+        payload: 64,
+    };
+    wl.schedule(&mut w, t0 + Duration::from_micros(1));
+    let crash_at = t0 + Duration::from_millis(1);
+    w.crash_at(crash_at, ep(n));
+    let frames_before = w.net_stats().frames_sent;
+    w.run_for(Duration::from_secs(8));
+    let frames = w.net_stats().frames_sent - frames_before;
+    // Flush latency: crash to the last survivor installing the new view.
+    // Only views installed *after* the crash count (group formation also
+    // passes through an (n-1)-member view).
+    let mut worst = Duration::ZERO;
+    for i in 1..n {
+        let at = w
+            .upcalls(ep(i))
+            .iter()
+            .filter_map(|(t, up)| match up {
+                Up::View(v) if v.len() == (n - 1) as usize && *t >= crash_at => Some(*t),
+                _ => None,
+            })
+            .next()
+            .unwrap_or_else(|| panic!("ep{i} never installed the survivor view"));
+        worst = worst.max(at.saturating_since(crash_at));
+    }
+    (worst, frames)
+}
+
+fn bench_flush(c: &mut Criterion) {
+    let mut g = c.benchmark_group("membership_flush");
+    g.sample_size(10);
+    for &n in &[2u64, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::new("crash_flush_cpu", n), &n, |b, &n| {
+            b.iter(|| {
+                let out = crash_and_flush(n, 8, 11);
+                std::hint::black_box(out);
+            });
+        });
+    }
+    for &unstable in &[0u64, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("unstable_msgs_cpu", unstable),
+            &unstable,
+            |b, &u| {
+                b.iter(|| {
+                    let out = crash_and_flush(4, u, 12);
+                    std::hint::black_box(out);
+                });
+            },
+        );
+    }
+    g.finish();
+
+    eprintln!("\n[E15] flush latency (virtual time, crash -> last survivor view) and frames:");
+    for &n in &[2u64, 4, 8, 16] {
+        let (lat, frames) = crash_and_flush(n, 8, 11);
+        eprintln!("  n={n:<3} unstable=8   latency={:>8.2?}  frames={frames}", lat);
+    }
+    for &u in &[0u64, 16, 64] {
+        let (lat, frames) = crash_and_flush(4, u, 12);
+        eprintln!("  n=4   unstable={u:<3} latency={:>8.2?}  frames={frames}", lat);
+    }
+}
+
+criterion_group!(benches, bench_flush);
+criterion_main!(benches);

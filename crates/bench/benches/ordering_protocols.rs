@@ -1,0 +1,77 @@
+//! E13 — "applications pay only for properties they need" (§1, §10, §13).
+//!
+//! One fixed workload (a 3-member group exchanging 60 round-robin casts)
+//! runs over stacks of increasing strength, from bare best-effort to safe
+//! delivery.  Criterion measures the CPU cost of executing the protocol
+//! work; the per-stack wire-message amplification (frames on the network
+//! per payload delivered) prints to stderr — both should rise montonically
+//! with the strength of the guarantee, which *is* the paper's
+//! pay-for-what-you-use claim.
+
+use bench::{ep, joined_world};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horus_core::prelude::*;
+use horus_net::NetConfig;
+use horus_sim::Workload;
+use std::time::Duration;
+
+const SLOTS: u64 = 60;
+
+const STACKS: &[(&str, &str, bool)] = &[
+    // (label, description, needs group formation)
+    ("1_besteffort", "COM", false),
+    ("2_fifo", "NAK:COM", false),
+    ("3_frag", "FRAG:NAK:COM", false),
+    ("4_vsync", "MBRSHIP:FRAG:NAK:COM(promiscuous=true)", true),
+    ("5_total", "TOTAL:MBRSHIP:FRAG:NAK:COM(promiscuous=true)", true),
+    ("6_causal", "CAUSAL:MBRSHIP:FRAG:NAK:COM(promiscuous=true)", true),
+    ("7_safe", "SAFE:STABLE:MBRSHIP:FRAG:NAK:COM(promiscuous=true)", true),
+];
+
+fn run_workload(desc: &str, needs_group: bool, seed: u64) -> (u64, usize) {
+    let mut w = if needs_group {
+        joined_world(3, seed, NetConfig::reliable(), desc, StackConfig::default())
+    } else {
+        let mut w = horus_sim::SimWorld::new(seed, NetConfig::reliable());
+        for i in 1..=3 {
+            let s = horus_layers::registry::build_stack(ep(i), desc, StackConfig::default())
+                .unwrap();
+            w.add_endpoint(s);
+            w.join(ep(i), bench::group());
+        }
+        w
+    };
+    let t = w.now();
+    let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3)], SLOTS);
+    wl.schedule(&mut w, t + Duration::from_millis(1));
+    let frames_before = w.net_stats().frames_sent;
+    w.run_for(Duration::from_secs(2));
+    let frames = w.net_stats().frames_sent - frames_before;
+    let delivered = w.delivered_casts(ep(2)).len();
+    (frames, delivered)
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ordering_protocols");
+    g.sample_size(10);
+    for &(label, desc, needs_group) in STACKS {
+        g.bench_function(BenchmarkId::new("cpu", label), |b| {
+            b.iter(|| {
+                let out = run_workload(desc, needs_group, 42);
+                std::hint::black_box(out);
+            });
+        });
+    }
+    g.finish();
+
+    eprintln!("\n[E13] wire amplification (frames on the network per workload, {SLOTS} casts):");
+    for &(label, desc, needs_group) in STACKS {
+        let (frames, delivered) = run_workload(desc, needs_group, 42);
+        eprintln!(
+            "  {label:<14} {desc:<55} frames={frames:>5} delivered@ep2={delivered:>3}"
+        );
+    }
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E16 (performance half) — reference vs production layers (§8).
+//!
+//! "Demanding applications would normally use the more optimized layers."
+//! Same group, same workload, four stack flavours: production TOTAL/NAK,
+//! reference TOTAL_REF/NAK_REF, and the two mixtures.  CPU cost and (on
+//! stderr) wire amplification show what the reference simplicity costs.
+
+use bench::{ep, joined_world};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horus_core::prelude::*;
+use horus_net::NetConfig;
+use horus_sim::Workload;
+use std::time::Duration;
+
+fn flavour(ref_total: bool, ref_nak: bool) -> String {
+    format!(
+        "{}:MBRSHIP:FRAG:{}:COM(promiscuous=true)",
+        if ref_total { "TOTAL_REF" } else { "TOTAL" },
+        if ref_nak { "NAK_REF" } else { "NAK" },
+    )
+}
+
+fn run(desc: &str, seed: u64) -> (u64, usize) {
+    let mut w = joined_world(3, seed, NetConfig::lossy(0.05), desc, StackConfig::default());
+    let t = w.now();
+    let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3)], 30);
+    wl.schedule(&mut w, t + Duration::from_millis(1));
+    let before = w.net_stats().frames_sent;
+    w.run_for(Duration::from_secs(3));
+    (w.net_stats().frames_sent - before, w.delivered_casts(ep(2)).len())
+}
+
+fn bench_flavours(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ref_vs_prod");
+    g.sample_size(10);
+    for &(rt, rn) in &[(false, false), (true, false), (false, true), (true, true)] {
+        let label = format!(
+            "{}+{}",
+            if rt { "TOTAL_REF" } else { "TOTAL" },
+            if rn { "NAK_REF" } else { "NAK" }
+        );
+        let desc = flavour(rt, rn);
+        g.bench_function(BenchmarkId::new("cpu", &label), |b| {
+            b.iter(|| std::hint::black_box(run(&desc, 31)));
+        });
+    }
+    g.finish();
+
+    eprintln!("\n[E16] wire frames per 30-cast workload at 5% loss:");
+    for &(rt, rn) in &[(false, false), (true, false), (false, true), (true, true)] {
+        let desc = flavour(rt, rn);
+        let (frames, delivered) = run(&desc, 31);
+        eprintln!("  {desc:<62} frames={frames:>5} delivered={delivered}");
+    }
+}
+
+criterion_group!(benches, bench_flavours);
+criterion_main!(benches);

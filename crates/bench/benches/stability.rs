@@ -1,0 +1,104 @@
+//! E14 — "whether STABLE or PINWHEEL will be optimal" (§10).
+//!
+//! The two stability layers trade background bandwidth against
+//! stabilization latency: STABLE gossips every member's row eagerly,
+//! PINWHEEL rotates one matrix multicast per slot.  For group sizes
+//! 2..16, measure (stderr table) the virtual time from a cast to the
+//! sender *knowing* it is stable, and the stability-row traffic spent —
+//! the crossover the paper says applications should pick by.
+
+use bench::{ep, joined_world};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horus_core::prelude::*;
+use horus_net::NetConfig;
+use std::time::Duration;
+
+fn stack(layer: &str) -> String {
+    format!("{layer}:MBRSHIP:FRAG:NAK:COM(promiscuous=true)")
+}
+
+/// One cast; run until the *sender* observes stability.  Returns
+/// (virtual latency, stability frames sent group-wide).
+fn stabilize_once(layer: &str, n: u64, seed: u64) -> (Duration, u64) {
+    let mut w = joined_world(n, seed, NetConfig::reliable(), &stack(layer), StackConfig::default());
+    let t0 = w.now();
+    w.cast_bytes(ep(1), &b"probe"[..]);
+    w.run_for(Duration::from_secs(10));
+    let at = w
+        .upcalls(ep(1))
+        .iter()
+        .filter_map(|(t, up)| match up {
+            Up::Stable(m) if m.is_stable(ep(1), 1) => Some(*t),
+            _ => None,
+        })
+        .next()
+        .unwrap_or_else(|| panic!("{layer} n={n}: sender never saw stability"));
+    // Count stability-row traffic via the layers' own counters.
+    let mut rows = 0u64;
+    for i in 1..=n {
+        let stack = w.stack(ep(i)).unwrap();
+        if let Some(s) = stack.focus_as::<horus_layers::stable::Stable>("STABLE") {
+            rows += s.rows_sent;
+        }
+        if let Some(p) = stack.focus_as::<horus_layers::pinwheel::Pinwheel>("PINWHEEL") {
+            rows += p.rows_sent;
+        }
+    }
+    (at.saturating_since(t0), rows)
+}
+
+/// Sustained load: total stability rows multicast group-wide while the
+/// workload runs — the bandwidth side of the crossover.
+fn rows_under_load(layer: &str, n: u64, seed: u64) -> u64 {
+    let mut w = joined_world(n, seed, NetConfig::reliable(), &stack(layer), StackConfig::default());
+    let t0 = w.now();
+    for k in 0..100u64 {
+        w.cast_bytes_at(t0 + Duration::from_millis(10 * k), ep(1), vec![(k % 251) as u8; 32]);
+    }
+    w.run_for(Duration::from_millis(1100));
+    let mut rows = 0u64;
+    for i in 1..=n {
+        let stack = w.stack(ep(i)).unwrap();
+        if let Some(s) = stack.focus_as::<horus_layers::stable::Stable>("STABLE") {
+            rows += s.rows_sent;
+        }
+        if let Some(p) = stack.focus_as::<horus_layers::pinwheel::Pinwheel>("PINWHEEL") {
+            rows += p.rows_sent;
+        }
+    }
+    rows
+}
+
+fn bench_stability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stability");
+    g.sample_size(10);
+    for layer in ["STABLE", "PINWHEEL"] {
+        for &n in &[2u64, 4, 8] {
+            g.bench_with_input(BenchmarkId::new(layer, n), &n, |b, &n| {
+                b.iter(|| {
+                    let out = stabilize_once(layer, n, 21);
+                    std::hint::black_box(out);
+                });
+            });
+        }
+    }
+    g.finish();
+
+    eprintln!("\n[E14] single-cast stabilization latency (virtual) and rows by group size:");
+    for &n in &[2u64, 4, 8, 16] {
+        let (ls, rs) = stabilize_once("STABLE", n, 21);
+        let (lp, rp) = stabilize_once("PINWHEEL", n, 21);
+        eprintln!(
+            "  n={n:<3} STABLE latency={ls:>9.2?} rows={rs:<4}  PINWHEEL latency={lp:>9.2?} rows={rp}"
+        );
+    }
+    eprintln!("\n[E14] row traffic under sustained load (100 casts @10ms, whole group):");
+    for &n in &[2u64, 4, 8, 16] {
+        let rs = rows_under_load("STABLE", n, 22);
+        let rp = rows_under_load("PINWHEEL", n, 22);
+        eprintln!("  n={n:<3} STABLE rows={rs:<5} PINWHEEL rows={rp}");
+    }
+}
+
+criterion_group!(benches, bench_stability);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E4 — cost of the §6 property machinery itself: well-formedness
+//! checking is nanoseconds, planning a minimal stack over the 2¹⁶
+//! property-state graph is microseconds-to-milliseconds.  Cheap enough to
+//! run at every endpoint creation, which is the paper's premise for
+//! run-time composition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use horus_props::{derive_stack, plan_minimal_stack, Prop, PropSet};
+
+fn bench_planning(c: &mut Criterion) {
+    let p1 = PropSet::of(&[Prop::BestEffort]);
+    let mut g = c.benchmark_group("stack_planning");
+
+    g.bench_function("derive_canonical_stack", |b| {
+        let stack = ["TOTAL", "MBRSHIP", "FRAG", "NAK", "COM"];
+        b.iter(|| std::hint::black_box(derive_stack(&stack, p1).unwrap()));
+    });
+
+    let requests = [
+        ("fifo", PropSet::of(&[Prop::FifoMulticast])),
+        ("vsync", PropSet::of(&[Prop::VirtualSync])),
+        ("total", PropSet::of(&[Prop::TotalOrder])),
+        ("safe", PropSet::of(&[Prop::Safe])),
+        ("everything", PropSet::ALL.without(Prop::BestEffort).without(Prop::Prioritized)),
+        ("impossible", PropSet::of(&[Prop::BestEffort, Prop::FifoMulticast])),
+    ];
+    for (label, req) in requests {
+        g.bench_with_input(BenchmarkId::new("plan", label), &req, |b, &req| {
+            b.iter(|| std::hint::black_box(plan_minimal_stack(req, p1)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

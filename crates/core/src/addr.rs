@@ -1,0 +1,167 @@
+//! Endpoint and group addresses (§3 of the paper).
+//!
+//! An *endpoint* models the communicating entity; it has an address and can
+//! send and receive messages.  Messages are not addressed to endpoints but to
+//! *groups*; the endpoint address is used for membership purposes.  Both
+//! address kinds here are small opaque identifiers — in the 1995 system they
+//! were wide enough to embed transport information, but every protocol above
+//! the COM layer treats them as opaque tokens, which is all that matters for
+//! composition.
+
+use std::fmt;
+
+/// The address of a communication endpoint.
+///
+/// A process may own several endpoints, each with its own protocol stack.
+/// Addresses are totally ordered; several protocols (coordinator election in
+/// MBRSHIP, deterministic post-flush ordering in TOTAL) rely on that order to
+/// break ties without exchanging messages.
+///
+/// ```
+/// use horus_core::EndpointAddr;
+/// let a = EndpointAddr::new(1);
+/// let b = EndpointAddr::new(2);
+/// assert!(a < b);
+/// assert_eq!(a.to_string(), "ep:1");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointAddr(u64);
+
+impl EndpointAddr {
+    /// The reserved "nobody" address. Never assigned to a real endpoint.
+    pub const NULL: EndpointAddr = EndpointAddr(0);
+
+    /// Creates an endpoint address from a raw identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is zero, which is reserved for [`EndpointAddr::NULL`].
+    pub fn new(id: u64) -> Self {
+        assert!(id != 0, "endpoint id 0 is reserved for EndpointAddr::NULL");
+        EndpointAddr(id)
+    }
+
+    /// Returns the raw identifier.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` for the reserved null address.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for EndpointAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "ep:-")
+        } else {
+            write!(f, "ep:{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for EndpointAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl From<EndpointAddr> for u64 {
+    fn from(a: EndpointAddr) -> u64 {
+        a.0
+    }
+}
+
+/// The address of a process group: the destination of `cast` downcalls.
+///
+/// A group address names the *set of members that communicate*; the local
+/// bookkeeping for one member's participation is the group state carried by
+/// its stack (see [`crate::view::View`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupAddr(u64);
+
+impl GroupAddr {
+    /// Creates a group address from a raw identifier.
+    pub fn new(id: u64) -> Self {
+        GroupAddr(id)
+    }
+
+    /// Returns the raw identifier.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for GroupAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "grp:{}", self.0)
+    }
+}
+
+impl fmt::Debug for GroupAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A member's position in the ordered member list of a view.
+///
+/// Rank 0 is the first member of the view. Several protocols use ranks for
+/// deterministic decisions: TOTAL hands the first token of a new view to the
+/// lowest-ranked member, and orders flush-recovered messages by source rank.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rank(pub usize);
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rank:{}", self.0)
+    }
+}
+
+impl fmt::Debug for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_ordering_follows_raw_id() {
+        let mut addrs: Vec<_> = [5u64, 2, 9, 3].iter().map(|&i| EndpointAddr::new(i)).collect();
+        addrs.sort();
+        let raw: Vec<u64> = addrs.iter().map(|a| a.raw()).collect();
+        assert_eq!(raw, vec![2, 3, 5, 9]);
+    }
+
+    #[test]
+    fn null_is_distinguished() {
+        assert!(EndpointAddr::NULL.is_null());
+        assert!(!EndpointAddr::new(1).is_null());
+        assert_eq!(EndpointAddr::NULL.to_string(), "ep:-");
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn zero_endpoint_id_panics() {
+        let _ = EndpointAddr::new(0);
+    }
+
+    #[test]
+    fn group_addr_roundtrip() {
+        let g = GroupAddr::new(42);
+        assert_eq!(g.raw(), 42);
+        assert_eq!(g.to_string(), "grp:42");
+        assert_eq!(g, GroupAddr::new(42));
+    }
+
+    #[test]
+    fn rank_display() {
+        assert_eq!(Rank(3).to_string(), "rank:3");
+        assert!(Rank(0) < Rank(1));
+    }
+}

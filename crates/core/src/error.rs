@@ -1,0 +1,62 @@
+//! The crate-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the Horus runtime and by protocol layers.
+///
+/// Following the paper's SYSTEM_ERROR upcall, most *asynchronous* protocol
+/// problems are reported through the event stream ([`crate::event::Up`]);
+/// `HorusError` covers *synchronous* failures of API calls — malformed stack
+/// descriptions, undecodable wire messages, and the like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HorusError {
+    /// The requested stack composition is invalid (empty, too deep, or a
+    /// layer rejected its position or parameters).
+    BadStack(String),
+    /// A layer parameter string could not be parsed.
+    BadParam(String),
+    /// An incoming wire message could not be decoded against this stack's
+    /// header layout.
+    Decode(String),
+    /// The named layer does not exist in the layer registry.
+    UnknownLayer(String),
+    /// The endpoint or group referenced by an operation does not exist.
+    UnknownEndpoint(String),
+    /// An operation was attempted in a state where it is not permitted
+    /// (e.g. casting before joining a group).
+    BadState(String),
+}
+
+impl fmt::Display for HorusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HorusError::BadStack(m) => write!(f, "invalid stack composition: {m}"),
+            HorusError::BadParam(m) => write!(f, "invalid layer parameter: {m}"),
+            HorusError::Decode(m) => write!(f, "undecodable wire message: {m}"),
+            HorusError::UnknownLayer(m) => write!(f, "unknown layer: {m}"),
+            HorusError::UnknownEndpoint(m) => write!(f, "unknown endpoint: {m}"),
+            HorusError::BadState(m) => write!(f, "operation not permitted in current state: {m}"),
+        }
+    }
+}
+
+impl Error for HorusError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = HorusError::BadStack("empty".into());
+        assert_eq!(e.to_string(), "invalid stack composition: empty");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HorusError>();
+    }
+}

@@ -1,0 +1,726 @@
+//! The Horus message object (§3) and the two header layouts of §10.
+//!
+//! A message travels *down* a protocol stack while being sent — each layer
+//! pushing a header — and *up* while being delivered — each layer popping its
+//! header.  The paper identifies the 1995 layout (each layer pushes its own
+//! word-aligned header) as a source of overhead, and proposes pre-computing,
+//! per stack, "a single header in which the necessary fields are compacted",
+//! specified in bits.  Both layouts are implemented here behind one typed
+//! field API, so every protocol layer is written once and the layout is a
+//! run-time choice ([`HeaderMode`]) — exactly the ablation benchmarked in
+//! `bench/benches/header_overhead.rs`.
+//!
+//! Layers declare fixed-size header *fields* ([`FieldSpec`]); variable-size
+//! control data travels in message bodies (see [`crate::wire`]).  The body is
+//! a [`bytes::Bytes`], so passing a message through a stack never copies the
+//! payload — the paper's "no copying of the data that the message will
+//! actually transport".
+
+use crate::addr::EndpointAddr;
+use crate::error::HorusError;
+use crate::event::MsgId;
+use bytes::Bytes;
+use std::fmt;
+use std::sync::Arc;
+
+/// Description of one fixed-size header field, sized in bits (1..=64).
+///
+/// This mirrors the paper's proposal that "a protocol will specify, instead
+/// of the layout of their header, the fields that it needs (in terms of size
+/// and alignment, both specified in bits)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Field name, for dumps and diagnostics.
+    pub name: &'static str,
+    /// Width in bits; must be in `1..=64`.
+    pub bits: u32,
+}
+
+impl FieldSpec {
+    /// Shorthand constructor.
+    pub const fn new(name: &'static str, bits: u32) -> Self {
+        FieldSpec { name, bits }
+    }
+
+    /// Bytes needed to store this field byte-aligned (aligned layout).
+    pub fn aligned_bytes(&self) -> usize {
+        self.bits.div_ceil(8) as usize
+    }
+}
+
+/// Which of the two §10 header layouts a stack uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HeaderMode {
+    /// The 1995 production layout: every layer pushes its own header record,
+    /// padded to a 4-byte word boundary, preceded by a 4-byte record header.
+    /// Push and pop are real operations with per-layer cost.
+    Aligned,
+    /// The proposed optimization: a single pre-computed header with all
+    /// layers' fields bit-compacted.  Push and pop are no-ops; fields are
+    /// written and read in place.
+    #[default]
+    Compact,
+}
+
+/// Per-layer slot in a [`HeaderLayout`].
+#[derive(Debug, Clone)]
+struct LayerSlot {
+    layer_name: &'static str,
+    fields: Vec<FieldSpec>,
+    /// Compact layout: absolute bit offset of each field.
+    bit_offsets: Vec<usize>,
+    /// Aligned layout: byte offset of each field *within this layer's
+    /// record* (after the 4-byte record header).
+    rec_offsets: Vec<usize>,
+    /// Aligned layout: payload bytes of the record (unpadded).
+    rec_bytes: usize,
+}
+
+/// The pre-computed header layout of one stack composition.
+///
+/// Built once when a stack is composed (`StackBuilder::build`), shared by all
+/// messages of that stack.  Layer index 0 is the **top** layer.
+#[derive(Debug, Clone)]
+pub struct HeaderLayout {
+    slots: Vec<LayerSlot>,
+    total_bits: usize,
+    mode: HeaderMode,
+}
+
+impl HeaderLayout {
+    /// Builds a layout from each layer's field list, top layer first.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any field is wider than 64 bits or zero bits wide.
+    pub fn build(
+        layers: &[(&'static str, &[FieldSpec])],
+        mode: HeaderMode,
+    ) -> Result<Self, HorusError> {
+        let mut slots = Vec::with_capacity(layers.len());
+        let mut bit_cursor = 0usize;
+        for &(layer_name, fields) in layers {
+            let mut bit_offsets = Vec::with_capacity(fields.len());
+            let mut rec_offsets = Vec::with_capacity(fields.len());
+            let mut rec_cursor = 0usize;
+            for f in fields {
+                if f.bits == 0 || f.bits > 64 {
+                    return Err(HorusError::BadStack(format!(
+                        "field {}/{} has invalid width {} bits",
+                        layer_name, f.name, f.bits
+                    )));
+                }
+                bit_offsets.push(bit_cursor);
+                bit_cursor += f.bits as usize;
+                rec_offsets.push(rec_cursor);
+                rec_cursor += f.aligned_bytes();
+            }
+            slots.push(LayerSlot {
+                layer_name,
+                fields: fields.to_vec(),
+                bit_offsets,
+                rec_offsets,
+                rec_bytes: rec_cursor,
+            });
+        }
+        Ok(HeaderLayout { slots, total_bits: bit_cursor, mode })
+    }
+
+    /// The header layout mode.
+    pub fn mode(&self) -> HeaderMode {
+        self.mode
+    }
+
+    /// Number of layers in the layout.
+    pub fn layers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total compacted header size in bytes (compact mode).
+    pub fn compact_bytes(&self) -> usize {
+        self.total_bits.div_ceil(8)
+    }
+
+    /// Size in bytes of one layer's aligned record, including the 4-byte
+    /// record header and word padding.
+    pub fn aligned_record_bytes(&self, layer: usize) -> usize {
+        4 + self.slots[layer].rec_bytes.div_ceil(4) * 4
+    }
+
+    /// Worst-case total aligned header size (every layer pushes).
+    pub fn aligned_bytes_all(&self) -> usize {
+        (0..self.slots.len()).map(|i| self.aligned_record_bytes(i)).sum()
+    }
+
+    /// The field specs of one layer.
+    pub fn fields_of(&self, layer: usize) -> &[FieldSpec] {
+        &self.slots[layer].fields
+    }
+
+    /// The name of the layer occupying a slot.
+    pub fn layer_name(&self, layer: usize) -> &'static str {
+        self.slots[layer].layer_name
+    }
+}
+
+/// Non-wire annotations layers attach to a message during delivery.
+///
+/// These model per-message state the 1995 system kept in its message object
+/// (source endpoint, stability identifier, ordering position) without paying
+/// wire bytes for information that is local to the receiving stack.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MessageMeta {
+    /// The sending endpoint, filled in by the COM layer on receipt.
+    pub src: Option<EndpointAddr>,
+    /// Stability identifier assigned by a STABLE/PINWHEEL layer, for use
+    /// with the `ack`/`stable` downcalls.
+    pub msg_id: Option<MsgId>,
+    /// Global total-order sequence number assigned by TOTAL, if any.
+    pub total_seq: Option<u64>,
+    /// Whether this delivery was recovered by a flush (Figure 2 path)
+    /// rather than received directly from its sender.
+    pub flush_recovered: bool,
+    /// Application-assigned send priority (used by PRIO/NNAK layers;
+    /// higher is more urgent).
+    pub priority: u8,
+    /// Logical channel for MUX layers (cactus-stack multiplexing, §4).
+    pub channel: u8,
+    /// RPC correlation: `(request id, is_reply)`, managed by the RPC
+    /// layer.
+    pub rpc: Option<(u64, bool)>,
+}
+
+/// A Horus message: a header area managed per [`HeaderMode`] plus a cheaply
+/// cloneable body.
+///
+/// ```
+/// use horus_core::message::{FieldSpec, HeaderLayout, HeaderMode, Message};
+///
+/// const F: &[FieldSpec] = &[FieldSpec::new("seq", 32), FieldSpec::new("kind", 3)];
+/// let layout = std::sync::Arc::new(
+///     HeaderLayout::build(&[("NAK", F)], HeaderMode::Compact).unwrap());
+/// let mut m = Message::new(layout, &b"payload"[..]);
+/// m.push_header(0);
+/// m.set_field(0, 0, 7);
+/// m.set_field(0, 1, 5);
+/// assert_eq!(m.field(0, 0), 7);
+/// assert_eq!(m.body(), &b"payload"[..]);
+/// ```
+#[derive(Clone)]
+pub struct Message {
+    layout: Arc<HeaderLayout>,
+    /// Compact mode: the single bit-compacted header area.
+    compact: Vec<u8>,
+    /// Aligned mode: the stack of pushed records, bottom of the byte vector
+    /// = first pushed (top layer); the *end* of the vector is the top of the
+    /// header stack (last pushed, i.e. lowest layer so far).
+    aligned: Vec<u8>,
+    /// Aligned mode: (layer index, record start offset) of pushed records.
+    records: Vec<(u8, usize)>,
+    /// Aligned mode: fields of the most recently popped record.
+    popped: Option<(u8, Vec<u64>)>,
+    body: Bytes,
+    /// Receiving-side annotations; never serialized.
+    pub meta: MessageMeta,
+}
+
+impl Message {
+    /// Creates a fresh message with the given body and no headers pushed.
+    pub fn new(layout: Arc<HeaderLayout>, body: impl Into<Bytes>) -> Self {
+        let compact = match layout.mode {
+            HeaderMode::Compact => vec![0u8; layout.compact_bytes()],
+            HeaderMode::Aligned => Vec::new(),
+        };
+        Message {
+            layout,
+            compact,
+            aligned: Vec::new(),
+            records: Vec::new(),
+            popped: None,
+            body: body.into(),
+            meta: MessageMeta::default(),
+        }
+    }
+
+    /// The shared layout this message was created against.
+    pub fn layout(&self) -> &Arc<HeaderLayout> {
+        &self.layout
+    }
+
+    /// The message body. Cloning the returned [`Bytes`] is O(1).
+    pub fn body(&self) -> &Bytes {
+        &self.body
+    }
+
+    /// Replaces the body, returning the previous one.
+    pub fn set_body(&mut self, body: impl Into<Bytes>) -> Bytes {
+        std::mem::replace(&mut self.body, body.into())
+    }
+
+    /// Begins this layer's header on the way down.
+    ///
+    /// In aligned mode this appends a word-aligned record (a real operation
+    /// with measurable cost — §10 problem 3); in compact mode it is free.
+    pub fn push_header(&mut self, layer: usize) {
+        match self.layout.mode {
+            HeaderMode::Compact => {}
+            HeaderMode::Aligned => {
+                let start = self.aligned.len();
+                let rec_bytes = self.layout.slots[layer].rec_bytes;
+                let padded = rec_bytes.div_ceil(4) * 4;
+                // Record header: layer id, payload length, padding count.
+                self.aligned.push(layer as u8);
+                self.aligned.push((padded - rec_bytes) as u8);
+                self.aligned.extend_from_slice(&(rec_bytes as u16).to_le_bytes());
+                self.aligned.resize(start + 4 + padded, 0);
+                self.records.push((layer as u8, start));
+            }
+        }
+    }
+
+    /// Removes this layer's header on the way up, making its fields readable
+    /// through [`Message::field`].
+    ///
+    /// # Errors
+    ///
+    /// In aligned mode, fails if the top record does not belong to `layer`
+    /// (stack composition mismatch or corrupted message).
+    pub fn pop_header(&mut self, layer: usize) -> Result<(), HorusError> {
+        match self.layout.mode {
+            HeaderMode::Compact => Ok(()),
+            HeaderMode::Aligned => {
+                let (rec_layer, start) = *self.records.last().ok_or_else(|| {
+                    HorusError::Decode(format!(
+                        "pop_header({}) on empty header stack",
+                        self.layout.layer_name(layer)
+                    ))
+                })?;
+                if rec_layer as usize != layer {
+                    return Err(HorusError::Decode(format!(
+                        "header stack mismatch: top record belongs to {}, {} tried to pop",
+                        self.layout.layer_name(rec_layer as usize),
+                        self.layout.layer_name(layer)
+                    )));
+                }
+                let slot = &self.layout.slots[layer];
+                let mut vals = Vec::with_capacity(slot.fields.len());
+                for (i, f) in slot.fields.iter().enumerate() {
+                    let off = start + 4 + slot.rec_offsets[i];
+                    let n = f.aligned_bytes();
+                    let mut raw = [0u8; 8];
+                    raw[..n].copy_from_slice(&self.aligned[off..off + n]);
+                    vals.push(u64::from_le_bytes(raw) & mask(f.bits));
+                }
+                self.records.pop();
+                self.aligned.truncate(start);
+                self.popped = Some((layer as u8, vals));
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether this layer currently has a header on the message.
+    ///
+    /// In aligned mode, true when the *top* record belongs to `layer` — the
+    /// up-path test for "is this message mine to open?".  In compact mode
+    /// every layer always has its (possibly all-zero) fields, so this is
+    /// always true.
+    pub fn has_header(&self, layer: usize) -> bool {
+        match self.layout.mode {
+            HeaderMode::Compact => true,
+            HeaderMode::Aligned => {
+                self.records.last().map(|&(l, _)| l as usize == layer).unwrap_or(false)
+            }
+        }
+    }
+
+    /// Writes a header field. Must follow [`Message::push_header`] for this
+    /// layer in aligned mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit the declared field width, or (in
+    /// aligned mode) if the layer's record is not the top of the header
+    /// stack.
+    pub fn set_field(&mut self, layer: usize, field: usize, val: u64) {
+        let spec = self.layout.slots[layer].fields[field];
+        assert!(
+            val <= mask(spec.bits),
+            "value {} does not fit field {}/{} of {} bits",
+            val,
+            self.layout.layer_name(layer),
+            spec.name,
+            spec.bits
+        );
+        match self.layout.mode {
+            HeaderMode::Compact => {
+                let off = self.layout.slots[layer].bit_offsets[field];
+                set_bits(&mut self.compact, off, spec.bits, val);
+            }
+            HeaderMode::Aligned => {
+                let &(rec_layer, start) = self
+                    .records
+                    .last()
+                    .expect("set_field before push_header");
+                assert_eq!(
+                    rec_layer as usize, layer,
+                    "set_field: top record belongs to a different layer"
+                );
+                let slot = &self.layout.slots[layer];
+                let off = start + 4 + slot.rec_offsets[field];
+                let n = spec.aligned_bytes();
+                self.aligned[off..off + n].copy_from_slice(&val.to_le_bytes()[..n]);
+            }
+        }
+    }
+
+    /// Reads a header field.  In aligned mode the layer must have popped its
+    /// record first (receive path) or pushed it (send path).
+    ///
+    /// # Panics
+    ///
+    /// Panics in aligned mode when neither a popped nor a pushed record for
+    /// this layer is available.
+    pub fn field(&self, layer: usize, field: usize) -> u64 {
+        let spec = self.layout.slots[layer].fields[field];
+        match self.layout.mode {
+            HeaderMode::Compact => {
+                let off = self.layout.slots[layer].bit_offsets[field];
+                get_bits(&self.compact, off, spec.bits)
+            }
+            HeaderMode::Aligned => {
+                if let Some((l, vals)) = &self.popped {
+                    if *l as usize == layer {
+                        return vals[field];
+                    }
+                }
+                // Fall back to the top pushed record (send path).
+                let &(rec_layer, start) = self
+                    .records
+                    .last()
+                    .expect("field() with no popped or pushed record");
+                assert_eq!(
+                    rec_layer as usize, layer,
+                    "field(): record belongs to a different layer"
+                );
+                let slot = &self.layout.slots[layer];
+                let off = start + 4 + slot.rec_offsets[field];
+                let n = spec.aligned_bytes();
+                let mut raw = [0u8; 8];
+                raw[..n].copy_from_slice(&self.aligned[off..off + n]);
+                u64::from_le_bytes(raw) & mask(spec.bits)
+            }
+        }
+    }
+
+    /// Current header area size in bytes — the quantity the §10 header
+    /// ablation measures.
+    pub fn header_wire_len(&self) -> usize {
+        match self.layout.mode {
+            HeaderMode::Compact => self.compact.len(),
+            HeaderMode::Aligned => self.aligned.len(),
+        }
+    }
+
+    /// Serializes header area + body into one buffer.  Used by the stack
+    /// when a message leaves the bottom of the stack, and by FRAG when a
+    /// partially-built message must be chunked.
+    pub fn encode_inner(&self) -> Bytes {
+        let hdr = match self.layout.mode {
+            HeaderMode::Compact => &self.compact,
+            HeaderMode::Aligned => &self.aligned,
+        };
+        let mut out = Vec::with_capacity(2 + hdr.len() + self.body.len());
+        out.extend_from_slice(&(hdr.len() as u16).to_le_bytes());
+        out.extend_from_slice(hdr);
+        out.extend_from_slice(&self.body);
+        Bytes::from(out)
+    }
+
+    /// Reconstructs a message from [`Message::encode_inner`] output.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or on malformed aligned records.
+    pub fn decode_inner(layout: Arc<HeaderLayout>, buf: &[u8]) -> Result<Self, HorusError> {
+        if buf.len() < 2 {
+            return Err(HorusError::Decode("message shorter than its length prefix".into()));
+        }
+        let hdr_len = u16::from_le_bytes([buf[0], buf[1]]) as usize;
+        if buf.len() < 2 + hdr_len {
+            return Err(HorusError::Decode(format!(
+                "header length {} exceeds buffer {}",
+                hdr_len,
+                buf.len() - 2
+            )));
+        }
+        let hdr = &buf[2..2 + hdr_len];
+        let body = Bytes::copy_from_slice(&buf[2 + hdr_len..]);
+        let mut msg = Message::new(layout.clone(), body);
+        match layout.mode {
+            HeaderMode::Compact => {
+                if hdr_len != layout.compact_bytes() {
+                    return Err(HorusError::Decode(format!(
+                        "compact header is {} bytes, layout expects {}",
+                        hdr_len,
+                        layout.compact_bytes()
+                    )));
+                }
+                msg.compact.copy_from_slice(hdr);
+            }
+            HeaderMode::Aligned => {
+                // Re-index the record stack by walking the records in push
+                // order (front of the buffer was pushed first).
+                let mut pos = 0usize;
+                while pos < hdr.len() {
+                    if pos + 4 > hdr.len() {
+                        return Err(HorusError::Decode("truncated aligned record header".into()));
+                    }
+                    let layer = hdr[pos];
+                    let pad = hdr[pos + 1] as usize;
+                    let rec_bytes =
+                        u16::from_le_bytes([hdr[pos + 2], hdr[pos + 3]]) as usize;
+                    if layer as usize >= layout.slots.len()
+                        || layout.slots[layer as usize].rec_bytes != rec_bytes
+                        || pad != rec_bytes.div_ceil(4) * 4 - rec_bytes
+                    {
+                        return Err(HorusError::Decode(format!(
+                            "malformed aligned record at offset {pos}"
+                        )));
+                    }
+                    msg.records.push((layer, pos));
+                    pos += 4 + rec_bytes + pad;
+                }
+                if pos != hdr.len() {
+                    return Err(HorusError::Decode("aligned records overrun header area".into()));
+                }
+                msg.aligned.extend_from_slice(hdr);
+            }
+        }
+        Ok(msg)
+    }
+}
+
+impl fmt::Debug for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Message")
+            .field("mode", &self.layout.mode)
+            .field("header_bytes", &self.header_wire_len())
+            .field("body_bytes", &self.body.len())
+            .field("meta", &self.meta)
+            .finish()
+    }
+}
+
+fn mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// Writes `bits` bits of `val` at absolute bit offset `off` (LSB-first).
+fn set_bits(area: &mut [u8], off: usize, bits: u32, val: u64) {
+    for i in 0..bits as usize {
+        let bit = (val >> i) & 1;
+        let pos = off + i;
+        let byte = pos / 8;
+        let shift = pos % 8;
+        if bit == 1 {
+            area[byte] |= 1 << shift;
+        } else {
+            area[byte] &= !(1 << shift);
+        }
+    }
+}
+
+/// Reads `bits` bits at absolute bit offset `off` (LSB-first).
+fn get_bits(area: &[u8], off: usize, bits: u32) -> u64 {
+    let mut v = 0u64;
+    for i in 0..bits as usize {
+        let pos = off + i;
+        let byte = pos / 8;
+        let shift = pos % 8;
+        if (area[byte] >> shift) & 1 == 1 {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOP: &[FieldSpec] = &[FieldSpec::new("order", 24), FieldSpec::new("kind", 3)];
+    const MID: &[FieldSpec] = &[FieldSpec::new("last", 1)];
+    const BOT: &[FieldSpec] = &[FieldSpec::new("seq", 32), FieldSpec::new("k", 2)];
+
+    fn layout(mode: HeaderMode) -> Arc<HeaderLayout> {
+        Arc::new(
+            HeaderLayout::build(&[("TOP", TOP), ("MID", MID), ("BOT", BOT)], mode).unwrap(),
+        )
+    }
+
+    #[test]
+    fn compact_layout_packs_bits() {
+        let l = layout(HeaderMode::Compact);
+        // 24+3+1+32+2 = 62 bits -> 8 bytes.
+        assert_eq!(l.compact_bytes(), 8);
+    }
+
+    #[test]
+    fn aligned_layout_pads_records() {
+        let l = layout(HeaderMode::Aligned);
+        // TOP: 3+1=4 payload bytes -> 4 hdr + 4 = 8.
+        assert_eq!(l.aligned_record_bytes(0), 8);
+        // MID: 1 byte -> 4 hdr + 4 padded = 8.
+        assert_eq!(l.aligned_record_bytes(1), 8);
+        // BOT: 4+1=5 -> 4 hdr + 8 padded = 12.
+        assert_eq!(l.aligned_record_bytes(2), 12);
+        assert_eq!(l.aligned_bytes_all(), 28);
+    }
+
+    fn roundtrip(mode: HeaderMode) {
+        let l = layout(mode);
+        let mut m = Message::new(l.clone(), &b"abc"[..]);
+        // Down path: TOP, MID, BOT push in order.
+        m.push_header(0);
+        m.set_field(0, 0, 0xABCDE);
+        m.set_field(0, 1, 5);
+        m.push_header(1);
+        m.set_field(1, 0, 1);
+        m.push_header(2);
+        m.set_field(2, 0, 0xDEADBEEF);
+        m.set_field(2, 1, 3);
+
+        // Wire roundtrip.
+        let wire = m.encode_inner();
+        let mut r = Message::decode_inner(l, &wire).unwrap();
+        assert_eq!(r.body(), &b"abc"[..]);
+
+        // Up path: BOT, MID, TOP pop in reverse order.
+        r.pop_header(2).unwrap();
+        assert_eq!(r.field(2, 0), 0xDEADBEEF);
+        assert_eq!(r.field(2, 1), 3);
+        r.pop_header(1).unwrap();
+        assert_eq!(r.field(1, 0), 1);
+        r.pop_header(0).unwrap();
+        assert_eq!(r.field(0, 0), 0xABCDE);
+        assert_eq!(r.field(0, 1), 5);
+    }
+
+    #[test]
+    fn roundtrip_compact() {
+        roundtrip(HeaderMode::Compact);
+    }
+
+    #[test]
+    fn roundtrip_aligned() {
+        roundtrip(HeaderMode::Aligned);
+    }
+
+    #[test]
+    fn aligned_pop_order_enforced() {
+        let l = layout(HeaderMode::Aligned);
+        let mut m = Message::new(l, &b""[..]);
+        m.push_header(0);
+        m.push_header(1);
+        // Popping TOP while MID is on top must fail.
+        assert!(m.pop_header(0).is_err());
+        assert!(m.pop_header(1).is_ok());
+        assert!(m.pop_header(0).is_ok());
+        assert!(m.pop_header(0).is_err());
+    }
+
+    #[test]
+    fn partial_stacks_encode() {
+        // A control message created at MID never visits TOP.
+        let l = layout(HeaderMode::Aligned);
+        let mut m = Message::new(l.clone(), &b"ctl"[..]);
+        m.push_header(1);
+        m.set_field(1, 0, 1);
+        m.push_header(2);
+        m.set_field(2, 0, 42);
+        m.set_field(2, 1, 1);
+        let wire = m.encode_inner();
+        let mut r = Message::decode_inner(l, &wire).unwrap();
+        r.pop_header(2).unwrap();
+        assert_eq!(r.field(2, 0), 42);
+        assert!(r.has_header(1));
+        assert!(!r.has_header(0));
+        r.pop_header(1).unwrap();
+        assert_eq!(r.field(1, 0), 1);
+    }
+
+    #[test]
+    fn compact_headers_smaller_than_aligned() {
+        let lc = layout(HeaderMode::Compact);
+        let la = layout(HeaderMode::Aligned);
+        let mut mc = Message::new(lc, &b""[..]);
+        let mut ma = Message::new(la, &b""[..]);
+        for i in 0..3 {
+            mc.push_header(i);
+            ma.push_header(i);
+        }
+        assert!(mc.header_wire_len() < ma.header_wire_len());
+    }
+
+    #[test]
+    fn field_width_enforced() {
+        let l = layout(HeaderMode::Compact);
+        let mut m = Message::new(l, &b""[..]);
+        m.push_header(1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.set_field(1, 0, 2); // "last" is 1 bit
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let l = layout(HeaderMode::Aligned);
+        assert!(Message::decode_inner(l.clone(), &[]).is_err());
+        assert!(Message::decode_inner(l.clone(), &[200, 0, 1, 2]).is_err());
+        // A record claiming a bogus layer id.
+        let mut m = Message::new(l.clone(), &b""[..]);
+        m.push_header(0);
+        let wire = m.encode_inner().to_vec();
+        let mut bad = wire.clone();
+        bad[2] = 9; // layer id byte of the first record
+        assert!(Message::decode_inner(l, &bad).is_err());
+    }
+
+    #[test]
+    fn bit_ops_dense_packing() {
+        let mut area = vec![0u8; 16];
+        set_bits(&mut area, 3, 7, 0b1010101);
+        set_bits(&mut area, 10, 64, u64::MAX);
+        set_bits(&mut area, 74, 1, 1);
+        assert_eq!(get_bits(&area, 3, 7), 0b1010101);
+        assert_eq!(get_bits(&area, 10, 64), u64::MAX);
+        assert_eq!(get_bits(&area, 74, 1), 1);
+        // Overwrite with a smaller value clears old bits.
+        set_bits(&mut area, 10, 64, 5);
+        assert_eq!(get_bits(&area, 10, 64), 5);
+    }
+
+    #[test]
+    fn body_clone_is_shallow() {
+        let l = layout(HeaderMode::Compact);
+        let body = Bytes::from(vec![7u8; 1024]);
+        let m = Message::new(l, body.clone());
+        let m2 = m.clone();
+        // Same backing storage: no copy of the payload.
+        assert_eq!(m.body().as_ptr(), m2.body().as_ptr());
+    }
+
+    #[test]
+    fn zero_width_field_rejected() {
+        let bad: &[FieldSpec] = &[FieldSpec::new("x", 0)];
+        assert!(HeaderLayout::build(&[("L", bad)], HeaderMode::Compact).is_err());
+        let wide: &[FieldSpec] = &[FieldSpec::new("x", 65)];
+        assert!(HeaderLayout::build(&[("L", wide)], HeaderMode::Compact).is_err());
+    }
+}

@@ -1,0 +1,844 @@
+//! The stack runtime: run-time protocol composition plus the event-queue
+//! execution model (§3, §10).
+//!
+//! A [`Stack`] is an ordered sequence of [`Layer`]s (index 0 on top) driven
+//! by a single scheduler — the paper's non-threaded model, where "each layer
+//! is implemented with a single scheduling thread per endpoint".  The stack
+//! is a pure state machine: [`Stack::handle`] consumes one [`StackInput`]
+//! and returns the [`Effect`]s the surrounding executor must perform
+//! (deliver upcalls, transmit wire messages, arm timers).  Determinism
+//! follows, and with it replayable failure scenarios.
+//!
+//! Two §10 optimizations are implemented and benchmarkable:
+//!
+//! * **layer skipping** ([`StackConfig::skip_passive`]): events bypass
+//!   layers that declare themselves passive, avoiding the indirect call per
+//!   boundary crossing (§10 problem 1);
+//! * **header compaction** ([`StackConfig::mode`]): the pre-computed
+//!   bit-compacted single header replaces per-layer aligned push/pop (§10
+//!   problem 3).
+
+use crate::addr::{EndpointAddr, GroupAddr};
+use crate::error::HorusError;
+use crate::event::{Down, Effect, StackInput, Up};
+use crate::layer::{Emit, Layer, LayerCtx};
+use crate::message::{HeaderLayout, HeaderMode, Message};
+use crate::time::SimTime;
+use crate::view::View;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// Configuration of a stack's runtime behaviour.
+#[derive(Debug, Clone)]
+pub struct StackConfig {
+    /// Header layout (§10 problem 3 ablation). Default: [`HeaderMode::Compact`].
+    pub mode: HeaderMode,
+    /// Skip dispatching events through passive layers (§10 problem 1
+    /// optimization). Default: `true`.
+    pub skip_passive: bool,
+    /// Seed for the stack's deterministic RNG. Defaults to the endpoint
+    /// address so distinct endpoints jitter differently but reproducibly.
+    pub seed: Option<u64>,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig { mode: HeaderMode::Compact, skip_passive: true, seed: None }
+    }
+}
+
+/// Counters accumulated by a stack; the raw material for the paper's
+/// overhead discussion (§10).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StackStats {
+    /// Wire messages transmitted (casts + sends).
+    pub msgs_sent: u64,
+    /// Wire messages received and decoded.
+    pub msgs_received: u64,
+    /// Total bytes handed to the transport.
+    pub bytes_sent: u64,
+    /// Total bytes received from the transport.
+    pub bytes_received: u64,
+    /// Header bytes (excluding frame and body) transmitted.
+    pub header_bytes_sent: u64,
+    /// Individual layer dispatches performed.
+    pub dispatches: u64,
+    /// Dispatches avoided by the passive-layer skip optimization.
+    pub skipped: u64,
+    /// Incoming wire messages dropped for a stack-fingerprint mismatch.
+    pub fingerprint_drops: u64,
+    /// Incoming wire messages dropped as undecodable.
+    pub decode_drops: u64,
+}
+
+/// Builds a [`Stack`] from layers given top-first — the run-time `endpoint`
+/// downcall of Table 1.
+///
+/// ```
+/// use horus_core::prelude::*;
+/// #[derive(Debug, Default)]
+/// struct Nop;
+/// impl Layer for Nop { fn name(&self) -> &'static str { "NOP" } }
+///
+/// let stack = StackBuilder::new(EndpointAddr::new(7))
+///     .push(Box::new(Nop))
+///     .build()?;
+/// assert_eq!(stack.layer_names(), vec!["NOP"]);
+/// # Ok::<(), HorusError>(())
+/// ```
+pub struct StackBuilder {
+    local: EndpointAddr,
+    layers: Vec<Box<dyn Layer>>,
+    config: StackConfig,
+}
+
+impl StackBuilder {
+    /// Starts a builder for an endpoint with the given address.
+    pub fn new(local: EndpointAddr) -> Self {
+        StackBuilder { local, layers: Vec::new(), config: StackConfig::default() }
+    }
+
+    /// Appends the next layer (top first: the first `push` is the layer the
+    /// application talks to).
+    pub fn push(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends many layers, top first.
+    pub fn extend(mut self, layers: impl IntoIterator<Item = Box<dyn Layer>>) -> Self {
+        self.layers.extend(layers);
+        self
+    }
+
+    /// Overrides the runtime configuration.
+    pub fn config(mut self, config: StackConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the header layout.
+    pub fn mode(mut self, mode: HeaderMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Enables or disables the passive-layer skip optimization.
+    pub fn skip_passive(mut self, on: bool) -> Self {
+        self.config.skip_passive = on;
+        self
+    }
+
+    /// Finishes composition, pre-computing the header layout and skip
+    /// tables.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an empty stack, on more than 250 layers, or on invalid
+    /// header field declarations.
+    pub fn build(self) -> Result<Stack, HorusError> {
+        if self.layers.is_empty() {
+            return Err(HorusError::BadStack("a stack needs at least one layer".into()));
+        }
+        if self.layers.len() > 250 {
+            return Err(HorusError::BadStack(format!(
+                "{} layers exceed the maximum stack depth of 250",
+                self.layers.len()
+            )));
+        }
+        let specs: Vec<(&'static str, &[crate::message::FieldSpec])> =
+            self.layers.iter().map(|l| (l.name(), l.header_fields())).collect();
+        let layout = Arc::new(HeaderLayout::build(&specs, self.config.mode)?);
+        let fingerprint = fingerprint(&specs, self.config.mode);
+        let seed = self.config.seed.unwrap_or(self.local.raw());
+        let n = self.layers.len();
+        Ok(Stack {
+            local: self.local,
+            layers: self.layers,
+            layout,
+            fingerprint,
+            config: self.config,
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            group: None,
+            view: None,
+            stats: StackStats::default(),
+            destroyed: false,
+            scratch: VecDeque::with_capacity(n * 2),
+        })
+    }
+}
+
+/// A 16-bit fingerprint of a stack composition (layer names, field specs,
+/// header mode).  Carried on every wire message so endpoints with mismatched
+/// stacks discard each other's traffic instead of misparsing it.
+fn fingerprint(specs: &[(&'static str, &[crate::message::FieldSpec])], mode: HeaderMode) -> u16 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u8| {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    eat(match mode {
+        HeaderMode::Aligned => 0,
+        HeaderMode::Compact => 1,
+    });
+    for (name, fields) in specs {
+        for b in name.bytes() {
+            eat(b);
+        }
+        eat(0xff);
+        for f in *fields {
+            for b in f.name.bytes() {
+                eat(b);
+            }
+            eat(f.bits as u8);
+        }
+    }
+    (h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) as u16
+}
+
+enum Item {
+    Down(Down),
+    Up(Up),
+    Timer(u64),
+}
+
+/// A composed protocol stack for one endpoint: the Horus "endpoint object"
+/// together with its layers and the per-stack event scheduler.
+pub struct Stack {
+    local: EndpointAddr,
+    layers: Vec<Box<dyn Layer>>,
+    layout: Arc<HeaderLayout>,
+    fingerprint: u16,
+    config: StackConfig,
+    now: SimTime,
+    rng: StdRng,
+    group: Option<GroupAddr>,
+    view: Option<View>,
+    stats: StackStats,
+    destroyed: bool,
+    scratch: VecDeque<(usize, Item)>,
+}
+
+impl Stack {
+    /// The owning endpoint's address.
+    pub fn local_addr(&self) -> EndpointAddr {
+        self.local
+    }
+
+    /// The group joined through this stack, if any.
+    pub fn group(&self) -> Option<GroupAddr> {
+        self.group
+    }
+
+    /// The most recent view delivered to the application, if any.
+    pub fn view(&self) -> Option<&View> {
+        self.view.as_ref()
+    }
+
+    /// The stack's pre-computed header layout.
+    pub fn layout(&self) -> &Arc<HeaderLayout> {
+        &self.layout
+    }
+
+    /// The stack composition fingerprint carried on wire messages.
+    pub fn fingerprint(&self) -> u16 {
+        self.fingerprint
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &StackStats {
+        &self.stats
+    }
+
+    /// Whether `destroy` has completed; a destroyed stack ignores inputs.
+    pub fn is_destroyed(&self) -> bool {
+        self.destroyed
+    }
+
+    /// Layer names, top first.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Creates an application message against this stack's layout.
+    pub fn new_message(&self, body: impl Into<Bytes>) -> Message {
+        Message::new(self.layout.clone(), body)
+    }
+
+    /// Sets the stack's notion of "now".  Executors call this before
+    /// [`Stack::handle`] whenever virtual or real time has advanced.
+    /// Monotone: an older timestamp (possible under the threaded executor,
+    /// where inputs are timestamped at enqueue time) is ignored.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = self.now.max(now);
+    }
+
+    /// Current virtual time as last told by the executor.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The `focus` downcall of Table 1: a state report from the named layer.
+    pub fn focus(&self, name: &str) -> Option<String> {
+        self.layers.iter().find(|l| l.name() == name).map(|l| l.dump())
+    }
+
+    /// Typed `focus`: borrow a layer's concrete type (layers opt in through
+    /// [`Layer::as_any`]).
+    pub fn focus_as<T: 'static>(&self, name: &str) -> Option<&T> {
+        self.layers
+            .iter()
+            .find(|l| l.name() == name)
+            .and_then(|l| l.as_any())
+            .and_then(|a| a.downcast_ref::<T>())
+    }
+
+    /// The `dump` downcall: every layer's state report, top first.
+    pub fn dump(&self) -> Vec<(&'static str, String)> {
+        self.layers.iter().map(|l| (l.name(), l.dump())).collect()
+    }
+
+    /// Runs every layer's [`Layer::on_init`].  Executors must call this
+    /// exactly once, before any input, and perform the returned effects
+    /// (layers arm their periodic timers here).
+    pub fn init(&mut self) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        for i in 0..self.layers.len() {
+            let mut emitted = Vec::new();
+            let mut ctx = LayerCtx {
+                layer: i,
+                now: self.now,
+                local: self.local,
+                layout: &self.layout,
+                rng: &mut self.rng,
+                emitted: &mut emitted,
+            };
+            self.layers[i].on_init(&mut ctx);
+            self.absorb(i, emitted, &mut effects);
+            self.drain(&mut effects);
+        }
+        effects
+    }
+
+    /// Feeds one input through the stack, returning the effects to perform.
+    ///
+    /// This is the single scheduler of the event-queue execution model: the
+    /// internal work queue drains completely before `handle` returns, so one
+    /// input's processing is never interleaved with another's.
+    pub fn handle(&mut self, input: StackInput) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        if self.destroyed {
+            return effects;
+        }
+        match input {
+            StackInput::FromApp(Down::Dump) => {
+                // The dump downcall is answered by the runtime on behalf of
+                // every layer, so even passive layers appear.
+                for l in &self.layers {
+                    effects.push(Effect::Deliver(Up::DumpInfo {
+                        layer: l.name(),
+                        info: l.dump(),
+                    }));
+                }
+                return effects;
+            }
+            StackInput::FromApp(down) => {
+                if let Down::Join { group } = &down {
+                    self.group = Some(*group);
+                }
+                match self.first_active_down(0) {
+                    Some(i) => self.scratch.push_back((i, Item::Down(down))),
+                    None => self.bottom_out(down, &mut effects),
+                }
+            }
+            StackInput::FromNet { from, cast, wire } => {
+                self.stats.bytes_received += wire.len() as u64;
+                match self.decode_frame(&wire) {
+                    Ok(mut msg) => {
+                        self.stats.msgs_received += 1;
+                        msg.meta.src = Some(from);
+                        let up = if cast {
+                            Up::Cast { src: from, msg }
+                        } else {
+                            Up::Send { src: from, msg }
+                        };
+                        let n = self.layers.len();
+                        match self.first_active_up(n - 1) {
+                            Some(i) => self.scratch.push_back((i, Item::Up(up))),
+                            None => self.top_out(up, &mut effects),
+                        }
+                    }
+                    Err(e) => {
+                        if matches!(e, FrameError::Fingerprint) {
+                            self.stats.fingerprint_drops += 1;
+                        } else {
+                            self.stats.decode_drops += 1;
+                        }
+                        effects.push(Effect::Trace(format!(
+                            "{}: dropped wire message from {from}: {e}",
+                            self.local
+                        )));
+                    }
+                }
+            }
+            StackInput::Timer { layer, token, now } => {
+                self.set_now(now);
+                if layer < self.layers.len() {
+                    self.scratch.push_back((layer, Item::Timer(token)));
+                }
+            }
+            StackInput::Tick { now } => {
+                self.set_now(now);
+            }
+        }
+        self.drain(&mut effects);
+        effects
+    }
+
+    /// Index of the first non-skipped layer at or below `i` (toward the
+    /// network).
+    fn first_active_down(&self, i: usize) -> Option<usize> {
+        if !self.config.skip_passive {
+            return (i < self.layers.len()).then_some(i);
+        }
+        (i..self.layers.len()).find(|&j| !self.layers[j].is_passive())
+    }
+
+    /// Index of the first non-skipped layer at or above `i` (toward the
+    /// application).
+    fn first_active_up(&self, i: usize) -> Option<usize> {
+        if !self.config.skip_passive {
+            return Some(i);
+        }
+        (0..=i).rev().find(|&j| !self.layers[j].is_passive())
+    }
+
+    fn drain(&mut self, effects: &mut Vec<Effect>) {
+        while let Some((idx, item)) = self.scratch.pop_front() {
+            self.stats.dispatches += 1;
+            let mut emitted = Vec::new();
+            let mut ctx = LayerCtx {
+                layer: idx,
+                now: self.now,
+                local: self.local,
+                layout: &self.layout,
+                rng: &mut self.rng,
+                emitted: &mut emitted,
+            };
+            match item {
+                Item::Down(ev) => self.layers[idx].on_down(ev, &mut ctx),
+                Item::Up(ev) => self.layers[idx].on_up(ev, &mut ctx),
+                Item::Timer(token) => self.layers[idx].on_timer(token, &mut ctx),
+            }
+            self.absorb(idx, emitted, effects);
+        }
+    }
+
+    /// Routes what layer `idx` emitted: to neighbouring layers' queues or to
+    /// executor effects.
+    fn absorb(&mut self, idx: usize, emitted: Vec<Emit>, effects: &mut Vec<Effect>) {
+        if self.config.skip_passive {
+            // Count what the skip optimization saved: each emitted event
+            // would otherwise visit every passive neighbour it bypasses.
+            for e in &emitted {
+                match e {
+                    Emit::Down(_) => {
+                        let next = self.first_active_down(idx + 1).unwrap_or(self.layers.len());
+                        self.stats.skipped += (next - (idx + 1)) as u64;
+                    }
+                    Emit::Up(_) if idx > 0 => {
+                        let next = self
+                            .first_active_up(idx - 1)
+                            .map(|j| j + 1)
+                            .unwrap_or(0);
+                        self.stats.skipped += (idx - next) as u64;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for e in emitted {
+            match e {
+                Emit::Down(ev) => match self.first_active_down(idx + 1) {
+                    Some(j) => self.scratch.push_back((j, Item::Down(ev))),
+                    None => self.bottom_out(ev, effects),
+                },
+                Emit::Up(ev) => {
+                    let dest = if idx == 0 { None } else { self.first_active_up(idx - 1) };
+                    match dest {
+                        Some(j) => self.scratch.push_back((j, Item::Up(ev))),
+                        None => self.top_out(ev, effects),
+                    }
+                }
+                Emit::Timer { token, delay } => {
+                    effects.push(Effect::SetTimer { layer: idx, token, delay });
+                }
+                Emit::Trace(t) => effects.push(Effect::Trace(t)),
+            }
+        }
+    }
+
+    /// A downcall fell off the bottom of the stack: convert to transport
+    /// effects.
+    fn bottom_out(&mut self, ev: Down, effects: &mut Vec<Effect>) {
+        match ev {
+            Down::Cast(msg) => {
+                let wire = self.encode_frame(&msg);
+                self.stats.msgs_sent += 1;
+                self.stats.bytes_sent += wire.len() as u64;
+                self.stats.header_bytes_sent += msg.header_wire_len() as u64;
+                effects.push(Effect::NetCast { wire });
+            }
+            Down::Send { dests, msg } => {
+                let wire = self.encode_frame(&msg);
+                self.stats.msgs_sent += 1;
+                self.stats.bytes_sent += wire.len() as u64;
+                self.stats.header_bytes_sent += msg.header_wire_len() as u64;
+                effects.push(Effect::NetSend { dests, wire });
+            }
+            Down::Join { group } => effects.push(Effect::NetJoin { group }),
+            Down::Leave => effects.push(Effect::NetLeave),
+            Down::Destroy => {
+                self.destroyed = true;
+                self.scratch.clear();
+                effects.push(Effect::NetLeave);
+                effects.push(Effect::Deliver(Up::Destroy));
+            }
+            // Control downcalls consumed by protocol layers; reaching the
+            // bottom means no layer in this composition implements them.
+            other => effects.push(Effect::Trace(format!(
+                "{}: downcall `{}` fell off the bottom of the stack unconsumed",
+                self.local,
+                other.kind()
+            ))),
+        }
+    }
+
+    /// An upcall crossed the top of the stack: deliver to the application.
+    fn top_out(&mut self, ev: Up, effects: &mut Vec<Effect>) {
+        if let Up::View(v) = &ev {
+            self.view = Some(v.clone());
+        }
+        effects.push(Effect::Deliver(ev));
+    }
+
+    /// Frame: `[u16 fingerprint][u32 checksum][encode_inner]`.
+    ///
+    /// The checksum covers the whole inner encoding — the link-level CRC
+    /// every real datagram network provides, and what makes the COM/frame
+    /// level's byte re-ordering detection (P10) actually true over the
+    /// garbling simulated network.
+    fn encode_frame(&self, msg: &Message) -> Bytes {
+        let inner = msg.encode_inner();
+        let mut out = Vec::with_capacity(6 + inner.len());
+        out.extend_from_slice(&self.fingerprint.to_le_bytes());
+        out.extend_from_slice(&(frame_checksum(&inner)).to_le_bytes());
+        out.extend_from_slice(&inner);
+        Bytes::from(out)
+    }
+
+    fn decode_frame(&self, wire: &[u8]) -> Result<Message, FrameError> {
+        if wire.len() < 6 {
+            return Err(FrameError::Malformed("frame shorter than its envelope".into()));
+        }
+        let fp = u16::from_le_bytes([wire[0], wire[1]]);
+        if fp != self.fingerprint {
+            return Err(FrameError::Fingerprint);
+        }
+        let sum = u32::from_le_bytes([wire[2], wire[3], wire[4], wire[5]]);
+        if sum != frame_checksum(&wire[6..]) {
+            return Err(FrameError::Malformed("frame checksum mismatch (garbled)".into()));
+        }
+        Message::decode_inner(self.layout.clone(), &wire[6..])
+            .map_err(|e| FrameError::Malformed(e.to_string()))
+    }
+}
+
+/// FNV-1a over the frame payload, folded to 32 bits.
+fn frame_checksum(data: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+#[derive(Debug)]
+enum FrameError {
+    Fingerprint,
+    Malformed(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Fingerprint => write!(f, "stack fingerprint mismatch"),
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl fmt::Debug for Stack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stack")
+            .field("local", &self.local)
+            .field("layers", &self.layer_names())
+            .field("mode", &self.config.mode)
+            .field("fingerprint", &self.fingerprint)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::FieldSpec;
+
+    #[derive(Debug, Default)]
+    struct Nop;
+    impl Layer for Nop {
+        fn name(&self) -> &'static str {
+            "NOP"
+        }
+        fn is_passive(&self) -> bool {
+            true
+        }
+    }
+
+    /// A layer that stamps a sequence number on casts.
+    #[derive(Debug, Default)]
+    struct Seq {
+        next: u64,
+        seen: Vec<u64>,
+    }
+    const SEQ_FIELDS: &[FieldSpec] = &[FieldSpec::new("seq", 32)];
+    impl Layer for Seq {
+        fn name(&self) -> &'static str {
+            "SEQ"
+        }
+        fn header_fields(&self) -> &'static [FieldSpec] {
+            SEQ_FIELDS
+        }
+        fn on_down(&mut self, ev: Down, ctx: &mut LayerCtx<'_>) {
+            match ev {
+                Down::Cast(mut msg) => {
+                    ctx.stamp(&mut msg);
+                    ctx.set(&mut msg, 0, self.next);
+                    self.next += 1;
+                    ctx.down(Down::Cast(msg));
+                }
+                other => ctx.down(other),
+            }
+        }
+        fn on_up(&mut self, ev: Up, ctx: &mut LayerCtx<'_>) {
+            match ev {
+                Up::Cast { src, mut msg } => {
+                    ctx.open(&mut msg).unwrap();
+                    self.seen.push(ctx.get(&msg, 0));
+                    ctx.up(Up::Cast { src, msg });
+                }
+                other => ctx.up(other),
+            }
+        }
+        fn dump(&self) -> String {
+            format!("next={} seen={}", self.next, self.seen.len())
+        }
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    fn ep(i: u64) -> EndpointAddr {
+        EndpointAddr::new(i)
+    }
+
+    fn two_layer_stack(mode: HeaderMode) -> Stack {
+        StackBuilder::new(ep(1))
+            .push(Box::new(Seq::default()))
+            .push(Box::new(Nop))
+            .mode(mode)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn cast_falls_out_the_bottom_as_netcast() {
+        let mut s = two_layer_stack(HeaderMode::Compact);
+        let m = s.new_message(&b"hi"[..]);
+        let fx = s.handle(StackInput::FromApp(Down::Cast(m)));
+        assert_eq!(fx.len(), 1);
+        assert!(matches!(fx[0], Effect::NetCast { .. }));
+        assert_eq!(s.stats().msgs_sent, 1);
+    }
+
+    #[test]
+    fn loopback_roundtrip_preserves_body_and_fields() {
+        for mode in [HeaderMode::Compact, HeaderMode::Aligned] {
+            let mut a = two_layer_stack(mode);
+            let mut b = StackBuilder::new(ep(2))
+                .push(Box::new(Seq::default()))
+                .push(Box::new(Nop))
+                .mode(mode)
+                .build()
+                .unwrap();
+            let m = a.new_message(&b"payload"[..]);
+            let fx = a.handle(StackInput::FromApp(Down::Cast(m)));
+            let wire = match &fx[0] {
+                Effect::NetCast { wire } => wire.clone(),
+                other => panic!("unexpected {other:?}"),
+            };
+            let fx = b.handle(StackInput::FromNet { from: ep(1), cast: true, wire });
+            let delivered = fx
+                .iter()
+                .find_map(|e| match e {
+                    Effect::Deliver(Up::Cast { src, msg }) => Some((*src, msg.clone())),
+                    _ => None,
+                })
+                .expect("delivery");
+            assert_eq!(delivered.0, ep(1));
+            assert_eq!(delivered.1.body(), &b"payload"[..]);
+            let seq: &Seq = b.focus_as("SEQ").unwrap();
+            assert_eq!(seq.seen, vec![0]);
+        }
+    }
+
+    #[test]
+    fn fingerprint_mismatch_drops() {
+        let mut a = two_layer_stack(HeaderMode::Compact);
+        // A stack with different composition.
+        let mut b = StackBuilder::new(ep(2)).push(Box::new(Nop)).build().unwrap();
+        let m = a.new_message(&b"x"[..]);
+        let fx = a.handle(StackInput::FromApp(Down::Cast(m)));
+        let wire = match &fx[0] {
+            Effect::NetCast { wire } => wire.clone(),
+            _ => unreachable!(),
+        };
+        let fx = b.handle(StackInput::FromNet { from: ep(1), cast: true, wire });
+        assert!(fx.iter().all(|e| matches!(e, Effect::Trace(_))));
+        assert_eq!(b.stats().fingerprint_drops, 1);
+    }
+
+    #[test]
+    fn skip_passive_counts_saved_dispatches() {
+        let build = |skip| {
+            StackBuilder::new(ep(1))
+                .push(Box::new(Seq::default()))
+                .push(Box::new(Nop))
+                .push(Box::new(Nop))
+                .push(Box::new(Nop))
+                .skip_passive(skip)
+                .build()
+                .unwrap()
+        };
+        let mut skipping = build(true);
+        let mut plain = build(false);
+        for s in [&mut skipping, &mut plain] {
+            let m = s.new_message(&b"x"[..]);
+            let _ = s.handle(StackInput::FromApp(Down::Cast(m)));
+        }
+        assert!(skipping.stats().dispatches < plain.stats().dispatches);
+        assert_eq!(skipping.stats().skipped, 3);
+    }
+
+    #[test]
+    fn dump_reports_every_layer() {
+        let mut s = two_layer_stack(HeaderMode::Compact);
+        let fx = s.handle(StackInput::FromApp(Down::Dump));
+        let names: Vec<_> = fx
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Deliver(Up::DumpInfo { layer, .. }) => Some(*layer),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(names, vec!["SEQ", "NOP"]);
+        assert_eq!(s.focus("SEQ").unwrap(), "next=0 seen=0");
+        assert!(s.focus("MISSING").is_none());
+    }
+
+    #[test]
+    fn destroy_is_terminal() {
+        let mut s = two_layer_stack(HeaderMode::Compact);
+        let fx = s.handle(StackInput::FromApp(Down::Destroy));
+        assert!(fx.iter().any(|e| matches!(e, Effect::Deliver(Up::Destroy))));
+        assert!(fx.iter().any(|e| matches!(e, Effect::NetLeave)));
+        assert!(s.is_destroyed());
+        let m = s.new_message(&b"x"[..]);
+        assert!(s.handle(StackInput::FromApp(Down::Cast(m))).is_empty());
+    }
+
+    #[test]
+    fn join_records_group_and_reaches_transport() {
+        let mut s = two_layer_stack(HeaderMode::Compact);
+        let fx = s.handle(StackInput::FromApp(Down::Join { group: GroupAddr::new(5) }));
+        assert!(matches!(fx[0], Effect::NetJoin { group } if group == GroupAddr::new(5)));
+        assert_eq!(s.group(), Some(GroupAddr::new(5)));
+    }
+
+    #[test]
+    fn unconsumed_control_downcall_traced() {
+        let mut s = two_layer_stack(HeaderMode::Compact);
+        let fx = s.handle(StackInput::FromApp(Down::FlushOk));
+        assert!(matches!(&fx[0], Effect::Trace(t) if t.contains("flush_ok")));
+    }
+
+    #[test]
+    fn empty_stack_rejected() {
+        assert!(StackBuilder::new(ep(1)).build().is_err());
+    }
+
+    #[test]
+    fn fingerprints_differ_across_modes_and_compositions() {
+        let a = two_layer_stack(HeaderMode::Compact).fingerprint();
+        let b = two_layer_stack(HeaderMode::Aligned).fingerprint();
+        let c = StackBuilder::new(ep(1)).push(Box::new(Nop)).build().unwrap().fingerprint();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn timer_roundtrip() {
+        /// Arms a timer on init and counts expirations.
+        #[derive(Debug, Default)]
+        struct Ticker {
+            fired: u64,
+        }
+        impl Layer for Ticker {
+            fn name(&self) -> &'static str {
+                "TICK"
+            }
+            fn on_init(&mut self, ctx: &mut LayerCtx<'_>) {
+                ctx.set_timer(std::time::Duration::from_millis(10), 7);
+            }
+            fn on_timer(&mut self, token: u64, _ctx: &mut LayerCtx<'_>) {
+                assert_eq!(token, 7);
+                self.fired += 1;
+            }
+            fn dump(&self) -> String {
+                format!("fired={}", self.fired)
+            }
+        }
+        let mut s = StackBuilder::new(ep(1)).push(Box::new(Ticker::default())).build().unwrap();
+        let fx = s.init();
+        let (layer, token) = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::SetTimer { layer, token, .. } => Some((*layer, *token)),
+                _ => None,
+            })
+            .expect("timer armed at init");
+        let _ = s.handle(StackInput::Timer {
+            layer,
+            token,
+            now: SimTime::from_millis(10),
+        });
+        assert_eq!(s.focus("TICK").unwrap(), "fired=1");
+        assert_eq!(s.now(), SimTime::from_millis(10));
+    }
+}

@@ -1,0 +1,128 @@
+//! Virtual time for the deterministic event-queue execution model.
+//!
+//! Protocol layers never read a wall clock: they see [`SimTime`] through
+//! their [`crate::layer::LayerCtx`] and request wake-ups with relative
+//! [`std::time::Duration`]s.  Under the discrete-event simulator the clock is
+//! virtual; under the threaded runtime it is mapped to the monotonic OS
+//! clock.  Keeping protocols clock-agnostic is what makes failure scenarios
+//! like Figure 2 of the paper exactly reproducible.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::time::Duration;
+
+/// A point in virtual time, with nanosecond resolution.
+///
+/// ```
+/// use horus_core::SimTime;
+/// use std::time::Duration;
+/// let t = SimTime::ZERO + Duration::from_millis(5);
+/// assert_eq!(t.as_nanos(), 5_000_000);
+/// assert!(t > SimTime::ZERO);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from a nanosecond count.
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates a time from a microsecond count.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Creates a time from a millisecond count.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Returns the time as nanoseconds since the origin.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time as (truncated) microseconds since the origin.
+    pub fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the time as (truncated) milliseconds since the origin.
+    pub fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Saturating difference between two times.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_nanos(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = self.0 / 1_000;
+        write!(f, "t+{}.{:03}ms", us / 1_000, us % 1_000)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::from_millis(2) + Duration::from_micros(500);
+        assert_eq!(t.as_micros(), 2_500);
+        assert_eq!(t - SimTime::from_millis(2), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn display_is_millis() {
+        assert_eq!(SimTime::from_micros(1_500).to_string(), "t+1.500ms");
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_millis(1);
+        let b = SimTime::from_millis(2);
+        assert_eq!(a.saturating_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_since(a), Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+}

@@ -1,0 +1,343 @@
+//! Group views (§3, §5 of the paper).
+//!
+//! A *view* is an ordered list of endpoint addresses representing the members
+//! of a group, as perceived by one member.  Views are purely local data —
+//! Horus allows different endpoints to hold different views of the same group
+//! — but a membership layer (MBRSHIP) adds the virtual-synchrony guarantee
+//! that members transitioning together between two views agree on both the
+//! views and the messages delivered in between.
+
+use crate::addr::{EndpointAddr, GroupAddr, Rank};
+use std::fmt;
+
+/// Identifies one installed view of a group.
+///
+/// View identifiers are totally ordered by `(counter, coordinator)`.  The
+/// counter increases by at least one with every installation, so the "oldest
+/// view" of the paper's coordinator-election rule is simply the view with the
+/// smallest identifier among the candidates.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ViewId {
+    /// Logical installation counter (the paper's view sequence number).
+    pub counter: u64,
+    /// The endpoint that installed the view (flush coordinator), breaking
+    /// ties between views installed concurrently in different partitions.
+    pub coordinator: EndpointAddr,
+}
+
+impl ViewId {
+    /// The identifier of the initial singleton view created by `join`.
+    pub fn initial(owner: EndpointAddr) -> Self {
+        ViewId { counter: 0, coordinator: owner }
+    }
+
+    /// The identifier a successor view installed by `coordinator` would get.
+    pub fn successor(self, coordinator: EndpointAddr) -> Self {
+        ViewId { counter: self.counter + 1, coordinator }
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}@{}", self.counter, self.coordinator)
+    }
+}
+
+impl fmt::Debug for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// An ordered list of group members, together with per-member seniority.
+///
+/// `members` is ordered by *seniority*: the oldest member (the one present
+/// since the earliest view) first.  A member's [`Rank`] is its index in that
+/// list.  Seniority is what lets the flush protocol elect its coordinator —
+/// "usually the oldest surviving member of the oldest view" — without
+/// exchanging any messages.
+///
+/// ```
+/// use horus_core::{EndpointAddr, GroupAddr, View};
+/// let a = EndpointAddr::new(1);
+/// let b = EndpointAddr::new(2);
+/// let v = View::initial(GroupAddr::new(7), a).with_joined(&[b]);
+/// assert_eq!(v.members(), &[a, b]);
+/// assert_eq!(v.rank_of(b).unwrap().0, 1);
+/// assert_eq!(v.coordinator_among(v.members()), Some(a));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct View {
+    group: GroupAddr,
+    id: ViewId,
+    members: Vec<EndpointAddr>,
+    /// For each member, the view counter at which it joined.
+    join_epochs: Vec<u64>,
+}
+
+impl View {
+    /// The singleton view an endpoint installs when it first joins a group.
+    pub fn initial(group: GroupAddr, owner: EndpointAddr) -> Self {
+        View {
+            group,
+            id: ViewId::initial(owner),
+            members: vec![owner],
+            join_epochs: vec![0],
+        }
+    }
+
+    /// Reconstructs a view from its parts (used by the wire codec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` and `join_epochs` differ in length, if `members`
+    /// is empty, or if members are not in seniority order.
+    pub fn from_parts(
+        group: GroupAddr,
+        id: ViewId,
+        members: Vec<EndpointAddr>,
+        join_epochs: Vec<u64>,
+    ) -> Self {
+        assert_eq!(members.len(), join_epochs.len(), "members/join_epochs length mismatch");
+        assert!(!members.is_empty(), "a view must contain at least one member");
+        for w in 0..members.len().saturating_sub(1) {
+            let a = (join_epochs[w], members[w]);
+            let b = (join_epochs[w + 1], members[w + 1]);
+            assert!(a < b, "view members must be in strict seniority order");
+        }
+        View { group, id, members, join_epochs }
+    }
+
+    /// The group this view belongs to.
+    pub fn group(&self) -> GroupAddr {
+        self.group
+    }
+
+    /// The identifier of this view.
+    pub fn id(&self) -> ViewId {
+        self.id
+    }
+
+    /// The ordered member list (most senior first).
+    pub fn members(&self) -> &[EndpointAddr] {
+        &self.members
+    }
+
+    /// Per-member join epochs, parallel to [`View::members`].
+    pub fn join_epochs(&self) -> &[u64] {
+        &self.join_epochs
+    }
+
+    /// Number of members in the view.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// A view always has at least one member, so this is always `false`;
+    /// provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Whether `who` is a member of this view.
+    pub fn contains(&self, who: EndpointAddr) -> bool {
+        self.members.contains(&who)
+    }
+
+    /// The rank (seniority index) of `who`, if a member.
+    pub fn rank_of(&self, who: EndpointAddr) -> Option<Rank> {
+        self.members.iter().position(|&m| m == who).map(Rank)
+    }
+
+    /// The seniority key of a member: `(join_epoch, address)`.
+    fn seniority(&self, who: EndpointAddr) -> Option<(u64, EndpointAddr)> {
+        self.rank_of(who).map(|r| (self.join_epochs[r.0], who))
+    }
+
+    /// Elects the flush coordinator among `candidates` (the surviving
+    /// members): the oldest member of the oldest view, ties broken by
+    /// address.  Returns `None` when no candidate is a member.
+    pub fn coordinator_among(&self, candidates: &[EndpointAddr]) -> Option<EndpointAddr> {
+        candidates
+            .iter()
+            .filter_map(|&c| self.seniority(c))
+            .min()
+            .map(|(_, who)| who)
+    }
+
+    /// Derives the successor view installed by `coordinator`, removing
+    /// `failed` members and appending `joined` newcomers (in address order,
+    /// with the new view's counter as their join epoch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting member list would be empty.
+    pub fn successor(
+        &self,
+        coordinator: EndpointAddr,
+        failed: &[EndpointAddr],
+        joined: &[EndpointAddr],
+    ) -> View {
+        let id = self.id.successor(coordinator);
+        let mut members = Vec::with_capacity(self.members.len() + joined.len());
+        let mut join_epochs = Vec::with_capacity(self.members.len() + joined.len());
+        for (i, &m) in self.members.iter().enumerate() {
+            if !failed.contains(&m) {
+                members.push(m);
+                join_epochs.push(self.join_epochs[i]);
+            }
+        }
+        let mut newcomers: Vec<EndpointAddr> = joined
+            .iter()
+            .copied()
+            .filter(|j| !members.contains(j) && !failed.contains(j))
+            .collect();
+        newcomers.sort();
+        newcomers.dedup();
+        for j in newcomers {
+            members.push(j);
+            join_epochs.push(id.counter);
+        }
+        assert!(!members.is_empty(), "successor view would be empty");
+        View { group: self.group, id, members, join_epochs }
+    }
+
+    /// Convenience builder: the successor view with `joined` newcomers and no
+    /// failures, installed by the current most-senior member.
+    pub fn with_joined(&self, joined: &[EndpointAddr]) -> View {
+        let coord = self.members[0];
+        self.successor(coord, &[], joined)
+    }
+
+    /// Merges this view with another view of the same group: the union of the
+    /// members, seniority preserved (members of the *older* view win ties).
+    /// Used by the MERGE/MBRSHIP layers when partitions heal.
+    pub fn merged(&self, other: &View, coordinator: EndpointAddr) -> View {
+        debug_assert_eq!(self.group, other.group);
+        let id = ViewId {
+            counter: self.id.counter.max(other.id.counter) + 1,
+            coordinator,
+        };
+        let mut pairs: Vec<(u64, EndpointAddr)> = Vec::new();
+        for (i, &m) in self.members.iter().enumerate() {
+            pairs.push((self.join_epochs[i], m));
+        }
+        for (i, &m) in other.members.iter().enumerate() {
+            match pairs.iter_mut().find(|(_, who)| *who == m) {
+                Some(existing) => existing.0 = existing.0.min(other.join_epochs[i]),
+                None => pairs.push((other.join_epochs[i], m)),
+            }
+        }
+        pairs.sort();
+        let (join_epochs, members): (Vec<u64>, Vec<EndpointAddr>) = pairs.into_iter().unzip();
+        View { group: self.group, id, members, join_epochs }
+    }
+}
+
+impl fmt::Display for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{} ", self.group, self.id)?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(i: u64) -> EndpointAddr {
+        EndpointAddr::new(i)
+    }
+
+    fn three() -> View {
+        View::initial(GroupAddr::new(1), ep(10)).with_joined(&[ep(20), ep(30)])
+    }
+
+    #[test]
+    fn initial_view_is_singleton() {
+        let v = View::initial(GroupAddr::new(1), ep(5));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.rank_of(ep(5)), Some(Rank(0)));
+        assert_eq!(v.id().counter, 0);
+    }
+
+    #[test]
+    fn successor_removes_failed_and_appends_joined() {
+        let v = three();
+        let v2 = v.successor(ep(10), &[ep(20)], &[ep(40)]);
+        assert_eq!(v2.members(), &[ep(10), ep(30), ep(40)]);
+        assert_eq!(v2.id().counter, v.id().counter + 1);
+        // The newcomer's join epoch is the new view's counter.
+        assert_eq!(v2.join_epochs()[2], v2.id().counter);
+    }
+
+    #[test]
+    fn coordinator_is_oldest_survivor() {
+        let v = three();
+        // ep(10) is most senior; if it fails, ep(20) becomes coordinator.
+        assert_eq!(v.coordinator_among(&[ep(20), ep(30)]), Some(ep(20)));
+        assert_eq!(v.coordinator_among(v.members()), Some(ep(10)));
+        assert_eq!(v.coordinator_among(&[ep(99)]), None);
+    }
+
+    #[test]
+    fn seniority_survives_successions() {
+        let v = three();
+        // Later joiner has strictly larger seniority key.
+        let v2 = v.successor(ep(10), &[], &[ep(5)]);
+        // ep(5) has a small address but joined late: must rank last.
+        assert_eq!(v2.members().last(), Some(&ep(5)));
+        assert_eq!(v2.coordinator_among(v2.members()), Some(ep(10)));
+    }
+
+    #[test]
+    fn merged_takes_union_and_orders_by_seniority() {
+        let g = GroupAddr::new(1);
+        let a = View::initial(g, ep(1)).with_joined(&[ep(2)]);
+        let b = View::initial(g, ep(9)).with_joined(&[ep(8)]);
+        let m = a.merged(&b, ep(1));
+        assert_eq!(m.len(), 4);
+        assert!(m.contains(ep(1)) && m.contains(ep(2)) && m.contains(ep(8)) && m.contains(ep(9)));
+        assert!(m.id().counter > a.id().counter && m.id().counter > b.id().counter);
+        // Epoch-0 members (ep1, ep9) come before epoch-1 members (ep2, ep8).
+        assert_eq!(m.members()[..2], [ep(1), ep(9)]);
+    }
+
+    #[test]
+    fn duplicate_join_is_ignored() {
+        let v = three();
+        let v2 = v.successor(ep(10), &[], &[ep(20), ep(20)]);
+        assert_eq!(v2.len(), 3);
+    }
+
+    #[test]
+    fn view_ids_totally_ordered() {
+        let a = ViewId { counter: 1, coordinator: ep(4) };
+        let b = ViewId { counter: 1, coordinator: ep(5) };
+        let c = ViewId { counter: 2, coordinator: ep(1) };
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    #[should_panic(expected = "seniority order")]
+    fn from_parts_validates_order() {
+        let _ = View::from_parts(
+            GroupAddr::new(1),
+            ViewId::initial(ep(1)),
+            vec![ep(2), ep(1)],
+            vec![0, 0],
+        );
+    }
+}

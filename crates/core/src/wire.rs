@@ -1,0 +1,338 @@
+//! A small, explicit wire codec for control payloads.
+//!
+//! Horus's one-message-format principle (§1) means every layer speaks the
+//! same encoding.  Fixed-size per-message control *fields* travel in the
+//! header area managed by [`crate::message`]; variable-size control *data*
+//! (member lists, ack vectors, retransmitted messages) travels in message
+//! bodies, encoded with these helpers.  Everything is little-endian.
+//!
+//! ```
+//! use horus_core::wire::{WireWriter, WireReader};
+//! use horus_core::EndpointAddr;
+//!
+//! let mut w = WireWriter::new();
+//! w.put_u32(7);
+//! w.put_addr(EndpointAddr::new(3));
+//! w.put_bytes(b"tail");
+//! let buf = w.finish();
+//!
+//! let mut r = WireReader::new(&buf);
+//! assert_eq!(r.get_u32().unwrap(), 7);
+//! assert_eq!(r.get_addr().unwrap(), EndpointAddr::new(3));
+//! assert_eq!(r.get_bytes().unwrap(), b"tail");
+//! assert!(r.is_empty());
+//! ```
+
+use crate::addr::{EndpointAddr, GroupAddr};
+use crate::error::HorusError;
+use crate::view::{View, ViewId};
+use bytes::Bytes;
+
+/// Incrementally builds a wire buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        WireWriter { buf: Vec::new() }
+    }
+
+    /// Creates a writer with pre-reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        WireWriter { buf: Vec::with_capacity(n) }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an endpoint address.
+    pub fn put_addr(&mut self, a: EndpointAddr) {
+        self.put_u64(a.raw());
+    }
+
+    /// Appends a group address.
+    pub fn put_group(&mut self, g: GroupAddr) {
+        self.put_u64(g.raw());
+    }
+
+    /// Appends a length-prefixed byte string (length as `u32`).
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a length-prefixed list of endpoint addresses.
+    pub fn put_addrs(&mut self, addrs: &[EndpointAddr]) {
+        self.put_u32(addrs.len() as u32);
+        for &a in addrs {
+            self.put_addr(a);
+        }
+    }
+
+    /// Appends a length-prefixed list of `u64`s.
+    pub fn put_u64s(&mut self, vals: &[u64]) {
+        self.put_u32(vals.len() as u32);
+        for &v in vals {
+            self.put_u64(v);
+        }
+    }
+
+    /// Appends a full view (group, id, members, join epochs).
+    pub fn put_view(&mut self, v: &View) {
+        self.put_group(v.group());
+        self.put_u64(v.id().counter);
+        self.put_addr(v.id().coordinator);
+        self.put_addrs(v.members());
+        self.put_u64s(v.join_epochs());
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Sequentially decodes a wire buffer produced by [`WireWriter`].
+///
+/// All getters return [`HorusError::Decode`] on truncated input rather than
+/// panicking: wire data may come from a garbling network model.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wraps a buffer for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], HorusError> {
+        if self.pos + n > self.buf.len() {
+            return Err(HorusError::Decode(format!(
+                "truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Result<u8, HorusError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, HorusError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, HorusError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, HorusError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an endpoint address.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncation or on the reserved null address (which never
+    /// appears on the wire).
+    pub fn get_addr(&mut self) -> Result<EndpointAddr, HorusError> {
+        let raw = self.get_u64()?;
+        if raw == 0 {
+            return Err(HorusError::Decode("null endpoint address on wire".into()));
+        }
+        Ok(EndpointAddr::new(raw))
+    }
+
+    /// Reads a group address.
+    pub fn get_group(&mut self) -> Result<GroupAddr, HorusError> {
+        Ok(GroupAddr::new(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], HorusError> {
+        let n = self.get_u32()? as usize;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed list of endpoint addresses.
+    pub fn get_addrs(&mut self) -> Result<Vec<EndpointAddr>, HorusError> {
+        let n = self.get_u32()? as usize;
+        if n > self.remaining() / 8 {
+            return Err(HorusError::Decode(format!("implausible address count {n}")));
+        }
+        (0..n).map(|_| self.get_addr()).collect()
+    }
+
+    /// Reads a length-prefixed list of `u64`s.
+    pub fn get_u64s(&mut self) -> Result<Vec<u64>, HorusError> {
+        let n = self.get_u32()? as usize;
+        if n > self.remaining() / 8 {
+            return Err(HorusError::Decode(format!("implausible u64 count {n}")));
+        }
+        (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    /// Reads a full view.
+    pub fn get_view(&mut self) -> Result<View, HorusError> {
+        let group = self.get_group()?;
+        let counter = self.get_u64()?;
+        let coordinator = self.get_addr()?;
+        let members = self.get_addrs()?;
+        let join_epochs = self.get_u64s()?;
+        if members.is_empty() || members.len() != join_epochs.len() {
+            return Err(HorusError::Decode("malformed view on wire".into()));
+        }
+        for w in 0..members.len() - 1 {
+            if (join_epochs[w], members[w]) >= (join_epochs[w + 1], members[w + 1]) {
+                return Err(HorusError::Decode("view members out of seniority order".into()));
+            }
+        }
+        Ok(View::from_parts(group, ViewId { counter, coordinator }, members, join_epochs))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the reader has consumed the whole buffer.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// The rest of the buffer, consuming it.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::EndpointAddr;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u8(1);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX);
+        let b = w.finish();
+        let mut r = WireReader::new(&b);
+        assert_eq!(r.get_u8().unwrap(), 1);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn view_roundtrip() {
+        let v = View::initial(GroupAddr::new(9), EndpointAddr::new(4))
+            .with_joined(&[EndpointAddr::new(2), EndpointAddr::new(6)]);
+        let mut w = WireWriter::new();
+        w.put_view(&v);
+        let b = w.finish();
+        let mut r = WireReader::new(&b);
+        assert_eq!(r.get_view().unwrap(), v);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = WireWriter::new();
+        w.put_u64(5);
+        let b = w.finish();
+        let mut r = WireReader::new(&b[..4]);
+        assert!(matches!(r.get_u64(), Err(HorusError::Decode(_))));
+    }
+
+    #[test]
+    fn implausible_lengths_rejected() {
+        // Claims 2^31 addresses but carries none.
+        let mut w = WireWriter::new();
+        w.put_u32(1 << 31);
+        let b = w.finish();
+        let mut r = WireReader::new(&b);
+        assert!(r.get_addrs().is_err());
+    }
+
+    #[test]
+    fn null_addr_on_wire_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u64(0);
+        let b = w.finish();
+        let mut r = WireReader::new(&b);
+        assert!(r.get_addr().is_err());
+    }
+
+    #[test]
+    fn rest_consumes() {
+        let mut w = WireWriter::new();
+        w.put_u8(9);
+        w.put_bytes(b"xy");
+        let b = w.finish();
+        let mut r = WireReader::new(&b);
+        let _ = r.get_u8().unwrap();
+        assert_eq!(r.get_bytes().unwrap(), b"xy");
+        assert_eq!(r.rest(), b"");
+    }
+
+    #[test]
+    fn garbled_view_rejected() {
+        // Members out of seniority order must not decode.
+        let mut w = WireWriter::new();
+        w.put_group(GroupAddr::new(1));
+        w.put_u64(3);
+        w.put_addr(EndpointAddr::new(1));
+        w.put_addrs(&[EndpointAddr::new(2), EndpointAddr::new(1)]);
+        w.put_u64s(&[0, 0]);
+        let b = w.finish();
+        let mut r = WireReader::new(&b);
+        assert!(r.get_view().is_err());
+    }
+}

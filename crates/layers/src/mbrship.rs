@@ -1,0 +1,1623 @@
+//! MBRSHIP — the virtually synchronous membership layer (§5, Figure 2).
+//!
+//! "The MBRSHIP layer simulates an environment for the members of a group
+//! in which members can only fail (they cannot be slow or get disconnected)
+//! and messages do not get lost. [...] Each member in the current view is
+//! guaranteed either to accept that same view, or to be removed from that
+//! view.  Messages sent in the current view are delivered to the surviving
+//! members of the current view. [...] This is called *virtual synchrony*."
+//!
+//! ## The flush protocol
+//!
+//! At the heart of the layer is the flush protocol, run when a crash is
+//! suspected, a member leaves, or views merge:
+//!
+//! 1. The **coordinator** — "usually the oldest surviving member of the
+//!    oldest view", elected without any message exchange — multicasts
+//!    `FLUSH(epoch, failed, leaving, joiners)`.
+//! 2. Every participant stops initiating casts (queueing them), reports the
+//!    flush to its application, and unicasts a **contribution** to the
+//!    coordinator: its cumulative-receive vector plus copies of every
+//!    logged message from *failed* senders (the unstable messages of
+//!    Figure 2 — "it is necessary that all members log all unstable
+//!    messages").
+//! 3. With all contributions in hand the coordinator computes the **cut**
+//!    (per sender, the highest message any survivor holds; for survivors
+//!    this equals everything they sent, because they stopped) and
+//!    multicasts `SYNC(cuts, retransmissions)` carrying every
+//!    failed-sender message some survivor might lack.
+//! 4. Each participant delivers retransmitted messages it misses, waits —
+//!    still delivering — until its receive vector reaches the cut (the
+//!    reliable FIFO layer below supplies survivors' in-flight messages),
+//!    and then unicasts `FLUSH_OK`.
+//! 5. On the last `FLUSH_OK` the coordinator multicasts the new **view**;
+//!    everyone installs it, resets per-view state, and resumes.
+//!
+//! Failures *during* the flush restart it with a higher epoch under the
+//! next coordinator, exactly as the paper describes ("a new round of the
+//! flush protocol may start up immediately").
+//!
+//! ## Merging
+//!
+//! Partitions are handled in the extended-virtual-synchrony style (§9):
+//! both sides make progress, and the `merge` downcall joins them back
+//! together.  The merge is a cross-view flush: the joining view's members
+//! participate in the coordinator's flush (contributing and waiting for
+//! their own side's cut), so the same-view delivery guarantee holds on both
+//! sides of the merge.  An Isis-style primary-partition mode
+//! ([`MbrshipConfig::primary_partition`]) instead blocks any side that
+//! loses a majority.
+//!
+//! ## Failure detection
+//!
+//! MBRSHIP consumes failure *suspicions* — PROBLEM upcalls from the NAK
+//! layer's status-silence detector, LOST_MESSAGE events, and external
+//! detector input via the `suspect` downcall (§5's "external failure
+//! detection") — and converts them, via the flush, into the clean fail-stop
+//! view changes the layers above rely on.
+//!
+//! Requires P3/P4 (reliable FIFO), P10–P12 beneath; provides P8, P9
+//! (virtually (semi-)synchronous delivery) and P15 (consistent views).
+
+use bytes::Bytes;
+use horus_core::wire::{WireReader, WireWriter};
+use horus_core::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
+
+const FIELDS: &[FieldSpec] = &[
+    FieldSpec::new("kind", 4),
+    FieldSpec::new("epoch", 16),
+    FieldSpec::new("vc", 32),
+    FieldSpec::new("seq", 32),
+];
+
+const KIND_DATA: u64 = 0;
+const KIND_FLUSH: u64 = 1;
+const KIND_CONTRIB: u64 = 2;
+const KIND_SYNC: u64 = 3;
+const KIND_FLUSH_OK: u64 = 4;
+const KIND_VIEW: u64 = 5;
+const KIND_MERGE_REQ: u64 = 6;
+const KIND_MERGE_DENY: u64 = 7;
+const KIND_SUSPECT: u64 = 8;
+const KIND_LEAVE_REQ: u64 = 9;
+/// An application-level subset send (Table 1 `send`): delivered within
+/// the view it was sent in, not subject to flush recovery.
+const KIND_USEND: u64 = 10;
+
+const TIMER_TICK: u64 = 0;
+
+/// Tuning and policy knobs for MBRSHIP.
+#[derive(Debug, Clone)]
+pub struct MbrshipConfig {
+    /// Grant merge requests without consulting the application.
+    pub auto_merge: bool,
+    /// Isis-style primary partition: refuse to install a view that loses
+    /// the majority of the previous one (§9's partitioning models).
+    pub primary_partition: bool,
+    /// Progress-check period.
+    pub tick: Duration,
+    /// Restart a stalled flush (or retry a merge) after this long.
+    pub flush_timeout: Duration,
+    /// Give up merging after this many MERGE_REQ retries.
+    pub merge_retries: u32,
+}
+
+impl Default for MbrshipConfig {
+    fn default() -> Self {
+        MbrshipConfig {
+            auto_merge: true,
+            primary_partition: false,
+            tick: Duration::from_millis(25),
+            flush_timeout: Duration::from_millis(400),
+            merge_retries: 8,
+        }
+    }
+}
+
+/// State of one flush round.
+#[derive(Debug)]
+struct FlushRound {
+    epoch: u16,
+    coordinator: EndpointAddr,
+    failed: BTreeSet<EndpointAddr>,
+    leaving: BTreeSet<EndpointAddr>,
+    joiner_views: Vec<View>,
+    /// Coordinator: contributions received (per contributor, ack vector).
+    contribs: BTreeMap<EndpointAddr, BTreeMap<EndpointAddr, u32>>,
+    /// Coordinator: failed-sender messages gathered from contributions.
+    collected: BTreeMap<(EndpointAddr, u32), Bytes>,
+    /// Coordinator: FLUSH_OKs received.
+    flush_oks: BTreeSet<EndpointAddr>,
+    sync_sent: bool,
+    /// Member: the cut to reach before FLUSH_OK.
+    cuts: Option<BTreeMap<EndpointAddr, u32>>,
+    flush_ok_sent: bool,
+}
+
+impl FlushRound {
+    fn new(
+        epoch: u16,
+        coordinator: EndpointAddr,
+        failed: BTreeSet<EndpointAddr>,
+        leaving: BTreeSet<EndpointAddr>,
+        joiner_views: Vec<View>,
+    ) -> Self {
+        FlushRound {
+            epoch,
+            coordinator,
+            failed,
+            leaving,
+            joiner_views,
+            contribs: BTreeMap::new(),
+            collected: BTreeMap::new(),
+            flush_oks: BTreeSet::new(),
+            sync_sent: false,
+            cuts: None,
+            flush_ok_sent: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Before `join`.
+    Idle,
+    /// Steady state: casting and delivering.
+    Normal,
+    /// A flush round is in progress.
+    Flushing(FlushRound),
+    /// We sent MERGE_REQ and await the merged view.
+    Merging { contact: EndpointAddr, attempts: u32, last_try: SimTime },
+    /// Primary-partition mode: we lost the majority.
+    Blocked,
+    /// We left (or were destroyed).
+    Exited,
+}
+
+/// The production membership layer.
+pub struct Mbrship {
+    cfg: MbrshipConfig,
+    me: Option<EndpointAddr>,
+    group: Option<GroupAddr>,
+    view: Option<View>,
+    phase: Phase,
+    /// Whether this endpoint asked to leave.
+    leaving_self: bool,
+    /// Per-view sequence of our own casts (first cast gets 1).
+    my_seq: u32,
+    /// Cumulative received per member, within the current view.
+    recv: BTreeMap<EndpointAddr, u32>,
+    /// Log of every data message received/sent in the current view
+    /// (the unstable-message log of Figure 2), as post-open encodings.
+    log: BTreeMap<(EndpointAddr, u32), Bytes>,
+    /// Data that arrived for a view we have not installed yet.
+    future: BTreeMap<(u32, EndpointAddr, u32), Message>,
+    /// Subset sends that arrived for a view we have not installed yet
+    /// (unicasts can outrun the VIEW multicast).
+    future_sends: Vec<(u32, EndpointAddr, Message)>,
+    /// Casts queued while flushing/merging.
+    pending: VecDeque<Message>,
+    /// Current failure suspicions.
+    suspects: BTreeSet<EndpointAddr>,
+    /// Members that asked to leave (coordinator-side bookkeeping).
+    leave_reqs: BTreeSet<EndpointAddr>,
+    /// Granted merges not yet folded into a view (coordinator side).
+    pending_joiners: Vec<View>,
+    /// Outstanding MERGE_REQUESTs shown to the application.
+    merge_reqs: BTreeMap<u64, (EndpointAddr, View)>,
+    next_merge_id: u64,
+    /// Highest flush epoch seen in the current view.
+    cur_epoch: u16,
+    last_progress: SimTime,
+    // Statistics.
+    views_installed: u64,
+    flushes_started: u64,
+    delivered: u64,
+    recovered: u64,
+    dropped_stale: u64,
+}
+
+impl Mbrship {
+    /// Creates a MBRSHIP layer with the given configuration.
+    pub fn new(cfg: MbrshipConfig) -> Self {
+        Mbrship {
+            cfg,
+            me: None,
+            group: None,
+            view: None,
+            phase: Phase::Idle,
+            leaving_self: false,
+            my_seq: 0,
+            recv: BTreeMap::new(),
+            log: BTreeMap::new(),
+            future: BTreeMap::new(),
+            future_sends: Vec::new(),
+            pending: VecDeque::new(),
+            suspects: BTreeSet::new(),
+            leave_reqs: BTreeSet::new(),
+            pending_joiners: Vec::new(),
+            merge_reqs: BTreeMap::new(),
+            next_merge_id: 1,
+            cur_epoch: 0,
+            last_progress: SimTime::ZERO,
+            views_installed: 0,
+            flushes_started: 0,
+            delivered: 0,
+            recovered: 0,
+            dropped_stale: 0,
+        }
+    }
+
+    fn me(&self) -> EndpointAddr {
+        self.me.expect("layer initialised")
+    }
+
+    fn vc(&self) -> u32 {
+        self.view.as_ref().map(|v| v.id().counter as u32).unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Message construction helpers
+    // ------------------------------------------------------------------
+
+    fn control(&self, ctx: &mut LayerCtx<'_>, kind: u64, epoch: u16, body: Bytes) -> Message {
+        let mut m = ctx.new_message(body);
+        ctx.stamp(&mut m);
+        ctx.set(&mut m, 0, kind);
+        ctx.set(&mut m, 1, epoch as u64);
+        ctx.set(&mut m, 2, self.vc() as u64);
+        ctx.set(&mut m, 3, 0);
+        m
+    }
+
+    fn control_cast(&self, ctx: &mut LayerCtx<'_>, kind: u64, epoch: u16, body: Bytes) {
+        let m = self.control(ctx, kind, epoch, body);
+        ctx.down(Down::Cast(m));
+    }
+
+    fn control_send(
+        &self,
+        ctx: &mut LayerCtx<'_>,
+        dest: EndpointAddr,
+        kind: u64,
+        epoch: u16,
+        body: Bytes,
+    ) {
+        let m = self.control(ctx, kind, epoch, body);
+        ctx.down(Down::Send { dests: vec![dest], msg: m });
+    }
+
+    fn send_data(&mut self, mut msg: Message, ctx: &mut LayerCtx<'_>) {
+        self.my_seq += 1;
+        let seq = self.my_seq;
+        // Log before stamping so the stored encoding matches what receivers
+        // log after opening our header.
+        self.log.insert((self.me(), seq), msg.encode_inner());
+        ctx.stamp(&mut msg);
+        ctx.set(&mut msg, 0, KIND_DATA);
+        ctx.set(&mut msg, 1, 0);
+        ctx.set(&mut msg, 2, self.vc() as u64);
+        ctx.set(&mut msg, 3, seq as u64);
+        ctx.down(Down::Cast(msg));
+    }
+
+    // ------------------------------------------------------------------
+    // View installation
+    // ------------------------------------------------------------------
+
+    fn install_initial(&mut self, group: GroupAddr, ctx: &mut LayerCtx<'_>) {
+        let v = View::initial(group, self.me());
+        self.group = Some(group);
+        self.adopt_view(v, ctx);
+        self.phase = Phase::Normal;
+    }
+
+    /// Resets per-view state and announces `v` up and down the stack.
+    fn adopt_view(&mut self, v: View, ctx: &mut LayerCtx<'_>) {
+        self.my_seq = 0;
+        self.recv = v.members().iter().map(|&m| (m, 0)).collect();
+        self.log.clear();
+        self.suspects.clear();
+        self.leave_reqs.clear();
+        self.pending_joiners.retain(|jv| !jv.members().iter().all(|m| v.contains(*m)));
+        self.cur_epoch = 0;
+        self.last_progress = ctx.now();
+        self.views_installed += 1;
+        self.view = Some(v.clone());
+        ctx.down(Down::InstallView(v.clone()));
+        ctx.up(Up::View(v.clone()));
+        // Replay data that raced ahead of this installation.
+        let vc = v.id().counter as u32;
+        let ready: Vec<((u32, EndpointAddr, u32), Message)> = {
+            let keys: Vec<_> = self
+                .future
+                .range((vc, EndpointAddr::new(1), 0)..=(vc, EndpointAddr::new(u64::MAX), u32::MAX))
+                .map(|(k, _)| *k)
+                .collect();
+            keys.into_iter().map(|k| (k, self.future.remove(&k).expect("present"))).collect()
+        };
+        for ((fvc, src, seq), msg) in ready {
+            debug_assert_eq!(fvc, vc);
+            self.handle_data(src, fvc, seq, msg, ctx);
+        }
+        // Drop data for views that can no longer happen.
+        self.future.retain(|&(fvc, _, _), _| fvc > vc);
+        // Release subset sends addressed to this view.
+        let sends = std::mem::take(&mut self.future_sends);
+        for (svc, src, msg) in sends {
+            if svc == vc && v.contains(src) {
+                ctx.up(Up::Send { src, msg });
+            } else if svc > vc {
+                self.future_sends.push((svc, src, msg));
+            }
+        }
+        // Release queued casts into the new view.
+        while let Some(m) = self.pending.pop_front() {
+            self.send_data(m, ctx);
+        }
+    }
+
+    /// Handles an incoming VIEW message (the final step of a flush).
+    fn handle_view_msg(&mut self, src: EndpointAddr, body: &[u8], ctx: &mut LayerCtx<'_>) {
+        let mut r = WireReader::new(body);
+        let Ok(v_new) = r.get_view() else { return };
+        let Ok(excluded) = r.get_addrs() else { return };
+        let Ok(leaving) = r.get_addrs() else { return };
+        let me = self.me();
+        let cur_counter = self.view.as_ref().map(|v| v.id().counter).unwrap_or(0);
+        if v_new.id().counter <= cur_counter {
+            return; // stale
+        }
+        if v_new.contains(me) {
+            if self.cfg.primary_partition {
+                if let Some(old) = &self.view {
+                    if old.len() > 1 {
+                        let surviving =
+                            old.members().iter().filter(|m| v_new.contains(**m)).count();
+                        if surviving * 2 <= old.len() {
+                            self.block(ctx);
+                            return;
+                        }
+                    }
+                }
+            }
+            for &l in &leaving {
+                ctx.up(Up::Leave { member: l });
+            }
+            self.phase = Phase::Normal;
+            self.adopt_view(v_new, ctx);
+            return;
+        }
+        // Not a member: only meaningful if we were explicitly excluded.
+        if leaving.contains(&me) && self.leaving_self {
+            self.phase = Phase::Exited;
+            ctx.down(Down::Leave);
+            ctx.up(Up::Exit);
+            return;
+        }
+        if excluded.contains(&me) {
+            // We were suspected but are alive: fall back to a fresh
+            // singleton view (the application may merge back later).
+            ctx.up(Up::SystemError {
+                reason: format!("excluded from view {} by {}", v_new.id(), src),
+            });
+            let group = self.group.expect("joined");
+            let single = View::from_parts(
+                group,
+                horus_core::view::ViewId { counter: v_new.id().counter + 1, coordinator: me },
+                vec![me],
+                vec![v_new.id().counter + 1],
+            );
+            self.phase = Phase::Normal;
+            self.adopt_view(single, ctx);
+        }
+        // Otherwise: somebody else's view lineage; ignore.
+    }
+
+    fn block(&mut self, ctx: &mut LayerCtx<'_>) {
+        self.phase = Phase::Blocked;
+        ctx.up(Up::SystemError {
+            reason: "lost primary partition; progress blocked".to_string(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Data path
+    // ------------------------------------------------------------------
+
+    fn handle_data(
+        &mut self,
+        src: EndpointAddr,
+        vc: u32,
+        seq: u32,
+        msg: Message,
+        ctx: &mut LayerCtx<'_>,
+    ) {
+        let Some(view) = &self.view else { return };
+        let my_vc = view.id().counter as u32;
+        if matches!(self.phase, Phase::Blocked | Phase::Exited | Phase::Idle) {
+            return;
+        }
+        if vc < my_vc {
+            self.dropped_stale += 1;
+            return;
+        }
+        if vc > my_vc {
+            // Sender is ahead of us; hold until we install that view.
+            self.future.insert((vc, src, seq), msg);
+            return;
+        }
+        if !view.contains(src) {
+            self.dropped_stale += 1;
+            return;
+        }
+        // During a flush, messages from supposedly failed members are
+        // ignored; their pre-cut messages return via SYNC retransmission.
+        if let Phase::Flushing(f) = &self.phase {
+            if f.failed.contains(&src) {
+                return;
+            }
+        }
+        let cum = self.recv.entry(src).or_insert(0);
+        if seq <= *cum {
+            self.dropped_stale += 1;
+            return; // duplicate (e.g. already recovered through a flush)
+        }
+        *cum = seq;
+        self.log.insert((src, seq), msg.encode_inner());
+        self.delivered += 1;
+        ctx.up(Up::Cast { src, msg });
+        self.maybe_flush_ok(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Flush protocol
+    // ------------------------------------------------------------------
+
+    fn flush_body(
+        failed: &BTreeSet<EndpointAddr>,
+        leaving: &BTreeSet<EndpointAddr>,
+        joiners: &[View],
+    ) -> Bytes {
+        let mut w = WireWriter::new();
+        let failed_list: Vec<EndpointAddr> = failed.iter().copied().collect();
+        let leaving_list: Vec<EndpointAddr> = leaving.iter().copied().collect();
+        w.put_addrs(&failed_list);
+        w.put_addrs(&leaving_list);
+        w.put_u32(joiners.len() as u32);
+        for jv in joiners {
+            w.put_view(jv);
+        }
+        w.finish()
+    }
+
+    fn sync_body(cuts: &BTreeMap<EndpointAddr, u32>, retrans: &[(EndpointAddr, u32, Bytes)]) -> Bytes {
+        let mut w = WireWriter::new();
+        w.put_u32(cuts.len() as u32);
+        for (&m, &c) in cuts {
+            w.put_addr(m);
+            w.put_u32(c);
+        }
+        w.put_u32(retrans.len() as u32);
+        for (origin, seq, inner) in retrans {
+            w.put_addr(*origin);
+            w.put_u32(*seq);
+            w.put_bytes(inner);
+        }
+        w.finish()
+    }
+
+    /// The coordinator re-broadcasts FLUSH (and SYNC) while waiting: the
+    /// reliable-FIFO layer prunes casts once the *view* members ack them,
+    /// so merge joiners outside the view can miss the originals for good.
+    fn rebroadcast_round(&mut self, ctx: &mut LayerCtx<'_>) {
+        let Phase::Flushing(round) = &self.phase else { return };
+        let body = Self::flush_body(&round.failed, &round.leaving, &round.joiner_views);
+        let epoch = round.epoch;
+        let sync = if round.sync_sent {
+            round.cuts.as_ref().map(|cuts| {
+                let retrans: Vec<(EndpointAddr, u32, Bytes)> = round
+                    .collected
+                    .iter()
+                    .map(|(&(o, s), b)| (o, s, b.clone()))
+                    .collect();
+                Self::sync_body(cuts, &retrans)
+            })
+        } else {
+            None
+        };
+        self.control_cast(ctx, KIND_FLUSH, epoch, body);
+        if let Some(sync) = sync {
+            self.control_cast(ctx, KIND_SYNC, epoch, sync);
+        }
+    }
+
+    /// Starts (or restarts) a flush round, electing the coordinator
+    /// deterministically.
+    fn start_flush(&mut self, ctx: &mut LayerCtx<'_>) {
+        let Some(view) = self.view.clone() else { return };
+        if matches!(self.phase, Phase::Blocked | Phase::Exited | Phase::Idle) {
+            return;
+        }
+        let me = self.me();
+        let failed: BTreeSet<EndpointAddr> =
+            self.suspects.iter().copied().filter(|s| view.contains(*s) && *s != me).collect();
+        let participants: Vec<EndpointAddr> =
+            view.members().iter().copied().filter(|m| !failed.contains(m)).collect();
+        let Some(coordinator) = view.coordinator_among(&participants) else { return };
+        if coordinator == me {
+            self.cur_epoch += 1;
+            self.flushes_started += 1;
+            let joiners = self.pending_joiners.clone();
+            let body = Self::flush_body(&failed, &self.leave_reqs.clone(), &joiners);
+            self.control_cast(ctx, KIND_FLUSH, self.cur_epoch, body);
+            // Our own FLUSH arrives via transport loopback and drives us
+            // through the same handler as everyone else.
+        } else {
+            // Report suspicions to whoever should coordinate.
+            let mut w = WireWriter::new();
+            let list: Vec<EndpointAddr> = failed.iter().copied().collect();
+            w.put_addrs(&list);
+            self.control_send(ctx, coordinator, KIND_SUSPECT, self.cur_epoch, w.finish());
+        }
+    }
+
+    fn handle_flush(
+        &mut self,
+        src: EndpointAddr,
+        epoch: u16,
+        vc: u32,
+        body: &[u8],
+        ctx: &mut LayerCtx<'_>,
+    ) {
+        let mut r = WireReader::new(body);
+        let Ok(failed_list) = r.get_addrs() else { return };
+        let Ok(leaving_list) = r.get_addrs() else { return };
+        let Ok(n_joiners) = r.get_u32() else { return };
+        let mut joiner_views = Vec::with_capacity(n_joiners as usize);
+        for _ in 0..n_joiners {
+            match r.get_view() {
+                Ok(v) => joiner_views.push(v),
+                Err(_) => return,
+            }
+        }
+        let me = self.me();
+        let Some(view) = self.view.clone() else { return };
+        let failed: BTreeSet<EndpointAddr> = failed_list.into_iter().collect();
+        let leaving: BTreeSet<EndpointAddr> = leaving_list.into_iter().collect();
+
+        // Which side of the flush are we on?
+        let in_main = view.contains(src) && vc == view.id().counter as u32;
+        let my_view_id = view.id();
+        let in_joiner = joiner_views.iter().any(|jv| jv.id() == my_view_id && jv.contains(me));
+        if !(in_main || in_joiner) {
+            return; // someone else's flush
+        }
+        if in_main {
+            if failed.contains(&me) {
+                return; // we are being excluded; the VIEW message decides
+            }
+            // Validate the sender's right to coordinate this round.
+            let participants: Vec<EndpointAddr> =
+                view.members().iter().copied().filter(|m| !failed.contains(m)).collect();
+            if view.coordinator_among(&participants) != Some(src) {
+                return;
+            }
+            if let Phase::Flushing(round) = &self.phase {
+                if epoch <= round.epoch {
+                    return; // stale round
+                }
+            }
+            self.cur_epoch = self.cur_epoch.max(epoch);
+        } else if !matches!(self.phase, Phase::Merging { .. } | Phase::Flushing(_)) {
+            // Joiner-side members learn about the merge here.
+        }
+        self.last_progress = ctx.now();
+        let round = FlushRound::new(epoch, src, failed.clone(), leaving, joiner_views);
+        self.phase = Phase::Flushing(round);
+        let failed_vec: Vec<EndpointAddr> = failed.iter().copied().collect();
+        ctx.up(Up::Flush { failed: failed_vec });
+        self.send_contrib(ctx);
+    }
+
+    /// Unicasts our contribution (ack vector + failed-sender messages) to
+    /// the coordinator of the current round.
+    fn send_contrib(&mut self, ctx: &mut LayerCtx<'_>) {
+        let me = self.me();
+        let Phase::Flushing(round) = &self.phase else { return };
+        let coordinator = round.coordinator;
+        let epoch = round.epoch;
+        let failed = round.failed.clone();
+        let Some(view) = &self.view else { return };
+        let mut w = WireWriter::new();
+        let mut entries: Vec<(EndpointAddr, u32)> = Vec::new();
+        for &m in view.members() {
+            let mut acked = self.recv.get(&m).copied().unwrap_or(0);
+            if m == me {
+                // Our own casts count as received even if the loopback copy
+                // is still in flight.
+                acked = acked.max(self.my_seq);
+            }
+            entries.push((m, acked));
+        }
+        w.put_u32(entries.len() as u32);
+        for (m, acked) in &entries {
+            w.put_addr(*m);
+            w.put_u32(*acked);
+        }
+        let msgs: Vec<(&(EndpointAddr, u32), &Bytes)> =
+            self.log.iter().filter(|((origin, _), _)| failed.contains(origin)).collect();
+        w.put_u32(msgs.len() as u32);
+        for ((origin, seq), inner) in msgs {
+            w.put_addr(*origin);
+            w.put_u32(*seq);
+            w.put_bytes(inner);
+        }
+        self.control_send(ctx, coordinator, KIND_CONTRIB, epoch, w.finish());
+    }
+
+    fn handle_contrib(
+        &mut self,
+        src: EndpointAddr,
+        epoch: u16,
+        body: &[u8],
+        ctx: &mut LayerCtx<'_>,
+    ) {
+        let me = self.me();
+        {
+            let Phase::Flushing(round) = &mut self.phase else { return };
+            if round.coordinator != me || round.epoch != epoch {
+                return;
+            }
+            let mut r = WireReader::new(body);
+            let Ok(n) = r.get_u32() else { return };
+            let mut vector = BTreeMap::new();
+            for _ in 0..n {
+                let (Ok(addr), Ok(acked)) = (r.get_addr(), r.get_u32()) else { return };
+                vector.insert(addr, acked);
+            }
+            let Ok(n_msgs) = r.get_u32() else { return };
+            for _ in 0..n_msgs {
+                let (Ok(origin), Ok(seq)) = (r.get_addr(), r.get_u32()) else { return };
+                let Ok(inner) = r.get_bytes() else { return };
+                round.collected.insert((origin, seq), Bytes::copy_from_slice(inner));
+            }
+            round.contribs.insert(src, vector);
+        }
+        self.last_progress = ctx.now();
+        self.try_sync(ctx);
+    }
+
+    /// All participants of the current round, main view and joiners alike.
+    fn round_participants(view: &View, round: &FlushRound) -> BTreeSet<EndpointAddr> {
+        let mut set: BTreeSet<EndpointAddr> = view
+            .members()
+            .iter()
+            .copied()
+            .filter(|m| !round.failed.contains(m))
+            .collect();
+        for jv in &round.joiner_views {
+            set.extend(jv.members().iter().copied());
+        }
+        set
+    }
+
+    fn try_sync(&mut self, ctx: &mut LayerCtx<'_>) {
+        let me = self.me();
+        let Some(view) = self.view.clone() else { return };
+        let (epoch, cuts, retrans) = {
+            let Phase::Flushing(round) = &mut self.phase else { return };
+            if round.coordinator != me || round.sync_sent {
+                return;
+            }
+            let participants = Self::round_participants(&view, round);
+            if !participants.iter().all(|p| round.contribs.contains_key(p)) {
+                return;
+            }
+            // The cut: per sender, the highest message any participant
+            // holds.
+            let mut cuts: BTreeMap<EndpointAddr, u32> = BTreeMap::new();
+            for vector in round.contribs.values() {
+                for (&m, &acked) in vector {
+                    let e = cuts.entry(m).or_insert(0);
+                    *e = (*e).max(acked);
+                }
+            }
+            // Retransmissions: everything from failed senders up to their
+            // cut (contributions supplied exactly these).
+            let retrans: Vec<(EndpointAddr, u32, Bytes)> = round
+                .collected
+                .iter()
+                .map(|(&(origin, seq), inner)| (origin, seq, inner.clone()))
+                .collect();
+            round.sync_sent = true;
+            round.cuts = Some(cuts.clone());
+            (round.epoch, cuts, retrans)
+        };
+        self.control_cast(ctx, KIND_SYNC, epoch, Self::sync_body(&cuts, &retrans));
+    }
+
+    fn handle_sync(
+        &mut self,
+        src: EndpointAddr,
+        epoch: u16,
+        body: &[u8],
+        ctx: &mut LayerCtx<'_>,
+    ) {
+        let mut r = WireReader::new(body);
+        let Ok(n) = r.get_u32() else { return };
+        let mut cuts = BTreeMap::new();
+        for _ in 0..n {
+            let (Ok(addr), Ok(c)) = (r.get_addr(), r.get_u32()) else { return };
+            cuts.insert(addr, c);
+        }
+        let Ok(n_msgs) = r.get_u32() else { return };
+        let mut retrans: Vec<(EndpointAddr, u32, Bytes)> = Vec::with_capacity(n_msgs as usize);
+        for _ in 0..n_msgs {
+            let (Ok(origin), Ok(seq)) = (r.get_addr(), r.get_u32()) else { return };
+            let Ok(inner) = r.get_bytes() else { return };
+            retrans.push((origin, seq, Bytes::copy_from_slice(inner)));
+        }
+        {
+            let Phase::Flushing(round) = &mut self.phase else { return };
+            if round.coordinator != src || round.epoch != epoch {
+                return;
+            }
+            round.cuts = Some(cuts);
+        }
+        self.last_progress = ctx.now();
+        // Deliver recovered messages from failed senders, in order.
+        retrans.sort_by_key(|&(origin, seq, _)| (origin, seq));
+        let view = self.view.clone();
+        for (origin, seq, inner) in retrans {
+            let Some(view) = &view else { break };
+            if !view.contains(origin) {
+                continue; // other side's failed member
+            }
+            let cum = self.recv.entry(origin).or_insert(0);
+            if seq <= *cum {
+                continue; // already have it
+            }
+            *cum = seq;
+            self.log.insert((origin, seq), inner.clone());
+            match Message::decode_inner(ctx_layout(ctx), &inner) {
+                Ok(mut m) => {
+                    m.meta.src = Some(origin);
+                    m.meta.flush_recovered = true;
+                    self.delivered += 1;
+                    self.recovered += 1;
+                    ctx.up(Up::Cast { src: origin, msg: m });
+                }
+                Err(e) => ctx.trace(format!("MBRSHIP: recovered message undecodable: {e}")),
+            }
+        }
+        self.maybe_flush_ok(ctx);
+    }
+
+    /// Sends FLUSH_OK once our receive vector reaches the cut.
+    fn maybe_flush_ok(&mut self, ctx: &mut LayerCtx<'_>) {
+        let Some(view) = self.view.clone() else { return };
+        let (coordinator, epoch) = {
+            let Phase::Flushing(round) = &mut self.phase else { return };
+            let Some(cuts) = &round.cuts else { return };
+            if round.flush_ok_sent {
+                return;
+            }
+            let complete = view.members().iter().all(|m| {
+                let have = self.recv.get(m).copied().unwrap_or(0);
+                have >= cuts.get(m).copied().unwrap_or(0)
+            });
+            if !complete {
+                return;
+            }
+            round.flush_ok_sent = true;
+            (round.coordinator, round.epoch)
+        };
+        self.control_send(ctx, coordinator, KIND_FLUSH_OK, epoch, Bytes::new());
+    }
+
+    fn handle_flush_ok(&mut self, src: EndpointAddr, epoch: u16, ctx: &mut LayerCtx<'_>) {
+        let me = self.me();
+        {
+            let Phase::Flushing(round) = &mut self.phase else { return };
+            if round.coordinator != me || round.epoch != epoch {
+                return;
+            }
+            round.flush_oks.insert(src);
+        }
+        self.last_progress = ctx.now();
+        ctx.up(Up::FlushOk { from: src });
+        self.try_install(ctx);
+    }
+
+    fn try_install(&mut self, ctx: &mut LayerCtx<'_>) {
+        let me = self.me();
+        let Some(view) = self.view.clone() else { return };
+        let (epoch, failed, leaving, joiner_views) = {
+            let Phase::Flushing(round) = &mut self.phase else { return };
+            if round.coordinator != me || !round.sync_sent {
+                return;
+            }
+            let participants = Self::round_participants(&view, round);
+            if !participants.iter().all(|p| round.flush_oks.contains(p)) {
+                return;
+            }
+            (
+                round.epoch,
+                round.failed.clone(),
+                round.leaving.clone(),
+                round.joiner_views.clone(),
+            )
+        };
+        let _ = epoch;
+        // Build the successor view: drop failed & leaving, fold in joiners.
+        let removed: Vec<EndpointAddr> = failed.union(&leaving).copied().collect();
+        let survivors: Vec<EndpointAddr> =
+            view.members().iter().copied().filter(|m| !removed.contains(m)).collect();
+        if survivors.is_empty() && joiner_views.is_empty() {
+            // Everyone (including us) is leaving: nothing to install.
+            self.phase = Phase::Exited;
+            ctx.down(Down::Leave);
+            ctx.up(Up::Exit);
+            return;
+        }
+        let mut v_new = view.successor(me, &removed, &[]);
+        for jv in &joiner_views {
+            v_new = v_new.merged(jv, me);
+        }
+        if self.cfg.primary_partition && view.len() > 1 {
+            let surviving = view.members().iter().filter(|m| v_new.contains(**m)).count();
+            if surviving * 2 <= view.len() {
+                self.block(ctx);
+                return;
+            }
+        }
+        let mut w = WireWriter::new();
+        w.put_view(&v_new);
+        let failed_vec: Vec<EndpointAddr> = failed.iter().copied().collect();
+        let leaving_vec: Vec<EndpointAddr> = leaving.iter().copied().collect();
+        w.put_addrs(&failed_vec);
+        w.put_addrs(&leaving_vec);
+        // The VIEW travels as a multicast (reaching main view and joiners
+        // alike through the shared transport group); our own copy loops
+        // back and installs it here too.
+        self.control_cast(ctx, KIND_VIEW, self.cur_epoch, w.finish());
+    }
+
+    // ------------------------------------------------------------------
+    // Suspicion and merge handling
+    // ------------------------------------------------------------------
+
+    fn suspect(&mut self, member: EndpointAddr, ctx: &mut LayerCtx<'_>) {
+        let Some(view) = &self.view else { return };
+        if member == self.me() || !view.contains(member) {
+            return;
+        }
+        if !self.suspects.insert(member) {
+            return; // already known
+        }
+        match &self.phase {
+            Phase::Normal => self.start_flush(ctx),
+            Phase::Flushing(round)
+                // A failure during the flush: restart under the (possibly
+                // new) coordinator.
+                if (round.coordinator == member || !round.failed.contains(&member)) => {
+                    self.start_flush(ctx);
+                }
+            _ => {}
+        }
+    }
+
+    /// Suspicion is view-relative: a report generated in another view (for
+    /// example one that crossed a partition and was delivered, reliably but
+    /// late, after the merge) must not poison the current view.
+    fn handle_suspect_report(&mut self, vc: u32, body: &[u8], ctx: &mut LayerCtx<'_>) {
+        if vc != self.vc() {
+            return;
+        }
+        let mut r = WireReader::new(body);
+        let Ok(list) = r.get_addrs() else { return };
+        for m in list {
+            self.suspect(m, ctx);
+        }
+        // Even an empty report means somebody expects us to coordinate.
+        if matches!(self.phase, Phase::Normal) && !self.suspects.is_empty() {
+            self.start_flush(ctx);
+        }
+    }
+
+    fn handle_merge_req(&mut self, src: EndpointAddr, body: &[u8], ctx: &mut LayerCtx<'_>) {
+        let mut r = WireReader::new(body);
+        let Ok(their_view) = r.get_view() else { return };
+        let me = self.me();
+        let Some(view) = self.view.clone() else { return };
+        if their_view.members().iter().all(|m| view.contains(*m)) {
+            return; // already merged (duplicate retry)
+        }
+        let coordinator = view.coordinator_among(view.members());
+        if coordinator != Some(me) {
+            // Forward to our coordinator.
+            if let Some(c) = coordinator {
+                let mut w = WireWriter::new();
+                w.put_view(&their_view);
+                self.control_send(ctx, c, KIND_MERGE_REQ, 0, w.finish());
+            }
+            return;
+        }
+        if self.cfg.auto_merge {
+            self.grant_merge(src, their_view, ctx);
+        } else {
+            let id = self.next_merge_id;
+            self.next_merge_id += 1;
+            self.merge_reqs.insert(id, (src, their_view));
+            ctx.up(Up::MergeRequest { from: src, id: MergeId(id) });
+        }
+    }
+
+    fn grant_merge(&mut self, _from: EndpointAddr, their_view: View, ctx: &mut LayerCtx<'_>) {
+        if !self
+            .pending_joiners
+            .iter()
+            .any(|jv| jv.id() == their_view.id())
+        {
+            self.pending_joiners.push(their_view);
+        }
+        if matches!(self.phase, Phase::Normal) {
+            self.start_flush(ctx);
+        }
+    }
+
+    fn handle_merge_deny(&mut self, body: &[u8], ctx: &mut LayerCtx<'_>) {
+        if let Phase::Merging { .. } = self.phase {
+            let why = String::from_utf8_lossy(body).to_string();
+            self.phase = Phase::Normal;
+            ctx.up(Up::MergeDenied { why });
+        }
+    }
+
+    fn send_merge_req(&mut self, contact: EndpointAddr, ctx: &mut LayerCtx<'_>) {
+        let Some(view) = &self.view else { return };
+        let mut w = WireWriter::new();
+        w.put_view(view);
+        self.control_send(ctx, contact, KIND_MERGE_REQ, 0, w.finish());
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    fn on_tick(&mut self, ctx: &mut LayerCtx<'_>) {
+        let now = ctx.now();
+        let stalled = now.saturating_since(self.last_progress) > self.cfg.flush_timeout;
+
+        enum Action {
+            None,
+            RestartAsCoordinator { awaited: Vec<EndpointAddr> },
+            SuspectCoordinator(EndpointAddr),
+            RetryMerge(EndpointAddr),
+            AbandonMerge,
+            RetryLeave,
+            Rebroadcast,
+        }
+
+        let waited = now.saturating_since(self.last_progress);
+        let action = match &mut self.phase {
+            Phase::Flushing(round) => {
+                let me = self.me.expect("layer initialised");
+                if round.coordinator == me {
+                    if stalled {
+                        let view = self.view.clone().expect("flushing implies view");
+                        let awaited: Vec<EndpointAddr> = Self::round_participants(&view, round)
+                            .into_iter()
+                            .filter(|p| {
+                                !round.contribs.contains_key(p) || !round.flush_oks.contains(p)
+                            })
+                            .collect();
+                        Action::RestartAsCoordinator { awaited }
+                    } else if waited > self.cfg.flush_timeout / 4 {
+                        Action::Rebroadcast
+                    } else {
+                        Action::None
+                    }
+                } else if waited > self.cfg.flush_timeout * 2 {
+                    Action::SuspectCoordinator(round.coordinator)
+                } else {
+                    Action::None
+                }
+            }
+            Phase::Merging { contact, attempts, last_try } => {
+                if now.saturating_since(*last_try) > self.cfg.flush_timeout {
+                    if *attempts >= self.cfg.merge_retries {
+                        Action::AbandonMerge
+                    } else {
+                        *attempts += 1;
+                        *last_try = now;
+                        Action::RetryMerge(*contact)
+                    }
+                } else {
+                    Action::None
+                }
+            }
+            Phase::Normal if self.leaving_self && stalled => {
+                self.last_progress = now;
+                Action::RetryLeave
+            }
+            _ => Action::None,
+        };
+
+        match action {
+            Action::None => {}
+            Action::RestartAsCoordinator { awaited } => {
+                // Participants that never answered are gone: fail main-view
+                // members, drop unresponsive joiners.
+                let me = self.me();
+                let view = self.view.clone().expect("flushing implies view");
+                for p in awaited {
+                    if p == me {
+                        continue;
+                    }
+                    if view.contains(p) {
+                        self.suspects.insert(p);
+                    } else {
+                        self.pending_joiners.retain(|jv| !jv.contains(p));
+                    }
+                }
+                self.last_progress = now;
+                self.start_flush(ctx);
+            }
+            Action::SuspectCoordinator(c) => {
+                // The coordinator stopped making progress: suspect it and
+                // try again under its successor.
+                self.last_progress = now;
+                self.suspect(c, ctx);
+                self.start_flush(ctx);
+            }
+            Action::Rebroadcast => self.rebroadcast_round(ctx),
+            Action::RetryMerge(contact) => self.send_merge_req(contact, ctx),
+            Action::RetryLeave => {
+                if let Some(view) = &self.view {
+                    if view.len() > 1 {
+                        let coordinator =
+                            view.coordinator_among(view.members()).expect("non-empty view");
+                        let me = self.me();
+                        if coordinator == me {
+                            self.leave_reqs.insert(me);
+                            self.start_flush(ctx);
+                        } else {
+                            self.control_send(ctx, coordinator, KIND_LEAVE_REQ, 0, Bytes::new());
+                        }
+                    }
+                }
+            }
+            Action::AbandonMerge => {
+                self.phase = Phase::Normal;
+                ctx.up(Up::MergeDenied { why: "merge timed out".to_string() });
+            }
+        }
+        ctx.set_timer(self.cfg.tick, TIMER_TICK);
+    }
+}
+
+/// The layout handle of the current stack (for decoding recovered
+/// messages).
+fn ctx_layout(ctx: &LayerCtx<'_>) -> std::sync::Arc<horus_core::message::HeaderLayout> {
+    // A zero-byte message shares the stack's layout Arc.
+    ctx.new_message(Bytes::new()).layout().clone()
+}
+
+impl Default for Mbrship {
+    fn default() -> Self {
+        Mbrship::new(MbrshipConfig::default())
+    }
+}
+
+impl Layer for Mbrship {
+    fn name(&self) -> &'static str {
+        "MBRSHIP"
+    }
+
+    fn header_fields(&self) -> &'static [FieldSpec] {
+        FIELDS
+    }
+
+    fn on_init(&mut self, ctx: &mut LayerCtx<'_>) {
+        self.me = Some(ctx.local_addr());
+        self.last_progress = ctx.now();
+        ctx.set_timer(self.cfg.tick, TIMER_TICK);
+    }
+
+    fn on_down(&mut self, ev: Down, ctx: &mut LayerCtx<'_>) {
+        match ev {
+            Down::Join { group } => {
+                ctx.down(Down::Join { group });
+                self.install_initial(group, ctx);
+            }
+            Down::Cast(msg) => match self.phase {
+                // Casting while Merging is safe: a MERGE_REQ does not stop
+                // the current view, and any messages sent before the merge
+                // flush arrives are covered by its cut.
+                Phase::Normal | Phase::Merging { .. } => self.send_data(msg, ctx),
+                Phase::Flushing(_) => self.pending.push_back(msg),
+                _ => ctx.up(Up::SystemError {
+                    reason: "cast while not an active group member".to_string(),
+                }),
+            },
+            Down::Send { dests, mut msg } => {
+                ctx.stamp(&mut msg);
+                ctx.set(&mut msg, 0, KIND_USEND);
+                ctx.set(&mut msg, 1, 0);
+                ctx.set(&mut msg, 2, self.vc() as u64);
+                ctx.set(&mut msg, 3, 0);
+                ctx.down(Down::Send { dests, msg });
+            }
+            Down::Suspect { member } => self.suspect(member, ctx),
+            Down::Flush { failed } => {
+                for m in failed {
+                    self.suspects.insert(m);
+                }
+                if matches!(self.phase, Phase::Normal | Phase::Flushing(_)) {
+                    self.start_flush(ctx);
+                }
+            }
+            Down::FlushOk => {
+                // The production layer tracks flush completion itself; the
+                // downcall exists for app-driven membership (Table 1).
+                self.maybe_flush_ok(ctx);
+            }
+            Down::Merge { contact } => {
+                if !matches!(self.phase, Phase::Normal) {
+                    ctx.up(Up::SystemError {
+                        reason: "merge only possible from a stable view".to_string(),
+                    });
+                    return;
+                }
+                let me = self.me();
+                let is_coord = self
+                    .view
+                    .as_ref()
+                    .and_then(|v| v.coordinator_among(v.members()))
+                    == Some(me);
+                if !is_coord {
+                    ctx.up(Up::SystemError {
+                        reason: "merge must be issued at the view coordinator".to_string(),
+                    });
+                    return;
+                }
+                self.phase =
+                    Phase::Merging { contact, attempts: 1, last_try: ctx.now() };
+                self.send_merge_req(contact, ctx);
+            }
+            Down::MergeGranted(MergeId(id)) => {
+                if let Some((from, their_view)) = self.merge_reqs.remove(&id) {
+                    self.grant_merge(from, their_view, ctx);
+                }
+            }
+            Down::MergeDenied(MergeId(id)) => {
+                if let Some((from, _)) = self.merge_reqs.remove(&id) {
+                    self.control_send(
+                        ctx,
+                        from,
+                        KIND_MERGE_DENY,
+                        0,
+                        Bytes::from_static(b"denied by application"),
+                    );
+                }
+            }
+            Down::Leave => {
+                let me = self.me();
+                self.leaving_self = true;
+                match (&self.phase, self.view.as_ref()) {
+                    (Phase::Normal | Phase::Flushing(_), Some(view)) if view.len() > 1 => {
+                        let coordinator =
+                            view.coordinator_among(view.members()).expect("non-empty view");
+                        if coordinator == me {
+                            self.leave_reqs.insert(me);
+                            self.start_flush(ctx);
+                        } else {
+                            self.control_send(ctx, coordinator, KIND_LEAVE_REQ, 0, Bytes::new());
+                        }
+                    }
+                    _ => {
+                        self.phase = Phase::Exited;
+                        ctx.down(Down::Leave);
+                        ctx.up(Up::Exit);
+                    }
+                }
+            }
+            Down::Destroy => {
+                self.phase = Phase::Exited;
+                ctx.down(Down::Destroy);
+            }
+            other => ctx.down(other),
+        }
+    }
+
+    fn on_up(&mut self, ev: Up, ctx: &mut LayerCtx<'_>) {
+        match ev {
+            Up::Cast { src, mut msg } | Up::Send { src, mut msg } => {
+                if ctx.open(&mut msg).is_err() {
+                    return;
+                }
+                let kind = ctx.get(&msg, 0);
+                let epoch = ctx.get(&msg, 1) as u16;
+                let vc = ctx.get(&msg, 2) as u32;
+                let seq = ctx.get(&msg, 3) as u32;
+                match kind {
+                    KIND_DATA => self.handle_data(src, vc, seq, msg, ctx),
+                    KIND_FLUSH => {
+                        self.handle_flush(src, epoch, vc, &msg.body().clone(), ctx)
+                    }
+                    KIND_CONTRIB => self.handle_contrib(src, epoch, &msg.body().clone(), ctx),
+                    KIND_SYNC => self.handle_sync(src, epoch, &msg.body().clone(), ctx),
+                    KIND_FLUSH_OK => self.handle_flush_ok(src, epoch, ctx),
+                    KIND_VIEW => self.handle_view_msg(src, &msg.body().clone(), ctx),
+                    KIND_MERGE_REQ => self.handle_merge_req(src, &msg.body().clone(), ctx),
+                    KIND_MERGE_DENY => self.handle_merge_deny(&msg.body().clone(), ctx),
+                    KIND_SUSPECT => self.handle_suspect_report(vc, &msg.body().clone(), ctx),
+                    KIND_USEND => {
+                        // Subset sends honour view boundaries like casts,
+                        // but carry no sequence and are not flushed.  A
+                        // send for a newer view than ours buffers until we
+                        // install it (unicasts can beat the VIEW cast).
+                        if vc > self.vc() {
+                            self.future_sends.push((vc, src, msg));
+                        } else if vc == self.vc()
+                            && self.view.as_ref().map(|v| v.contains(src)).unwrap_or(false)
+                        {
+                            ctx.up(Up::Send { src, msg });
+                        }
+                    }
+                    KIND_LEAVE_REQ
+                        if vc == self.vc() => {
+                            self.leave_reqs.insert(src);
+                            if matches!(self.phase, Phase::Normal) {
+                                self.start_flush(ctx);
+                            }
+                        }
+                    _ => {}
+                }
+            }
+            Up::Problem { member } => {
+                self.suspect(member, ctx);
+                ctx.up(Up::Problem { member });
+            }
+            Up::LostMessage { src } => {
+                // A hole in src's transport-level FIFO stream.  This is
+                // benign for virtual synchrony: the flush protocol prunes
+                // nothing that a current-view member still needs (the NAK
+                // layer only discards messages acknowledged by the whole
+                // destination view), so LOST placeholders refer to messages
+                // of *older* views, which the vc check would discard anyway
+                // (a common artefact after partitions heal).  Report it to
+                // the application but do not suspect the sender.
+                ctx.up(Up::LostMessage { src });
+            }
+            other => ctx.up(other),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut LayerCtx<'_>) {
+        if token == TIMER_TICK {
+            self.on_tick(ctx);
+        }
+    }
+
+    fn dump(&self) -> String {
+        let round = match &self.phase {
+            Phase::Flushing(r) => format!(
+                " round[e{} coord={} failed={:?} contribs={:?} oks={:?} sync={} cuts={} joiners={}]",
+                r.epoch,
+                r.coordinator,
+                r.failed,
+                r.contribs.keys().collect::<Vec<_>>(),
+                r.flush_oks,
+                r.sync_sent,
+                r.cuts.is_some(),
+                r.joiner_views.len(),
+            ),
+            _ => String::new(),
+        };
+        format!(
+            "phase={}{round} view={} seq={} delivered={} recovered={} flushes={} views={} suspects={:?}",
+            match &self.phase {
+                Phase::Idle => "idle",
+                Phase::Normal => "normal",
+                Phase::Flushing(_) => "flushing",
+                Phase::Merging { .. } => "merging",
+                Phase::Blocked => "blocked",
+                Phase::Exited => "exited",
+            },
+            self.view
+                .as_ref()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            self.my_seq,
+            self.delivered,
+            self.recovered,
+            self.flushes_started,
+            self.views_installed,
+            self.suspects,
+        )
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::com::Com;
+    use crate::frag::Frag;
+    use crate::nak::{Nak, NakConfig};
+    use horus_net::NetConfig;
+    use horus_sim::{check_virtual_synchrony, DeliveryLog, SimWorld, Workload};
+
+    fn ep(i: u64) -> EndpointAddr {
+        EndpointAddr::new(i)
+    }
+
+    fn vs_stack(i: u64, cfg: MbrshipConfig) -> Stack {
+        StackBuilder::new(ep(i))
+            .push(Box::new(Mbrship::new(cfg)))
+            .push(Box::new(Frag::default()))
+            .push(Box::new(Nak::new(NakConfig {
+                fail_timeout: Duration::from_millis(120),
+                ..NakConfig::default()
+            })))
+            .push(Box::new(Com::promiscuous()))
+            .build()
+            .unwrap()
+    }
+
+    /// Builds a world where member 1 joins first and the others merge in,
+    /// then runs until the full view is installed everywhere.
+    fn joined_world(n: u64, seed: u64, cfg: MbrshipConfig, net: NetConfig) -> SimWorld {
+        let mut w = SimWorld::new(seed, net);
+        for i in 1..=n {
+            w.add_endpoint(vs_stack(i, cfg.clone()));
+            w.join(ep(i), GroupAddr::new(1));
+        }
+        // Everyone merges toward endpoint 1.
+        for i in 2..=n {
+            w.down_at(
+                SimTime::from_millis(5 * (i - 1)),
+                ep(i),
+                Down::Merge { contact: ep(1) },
+            );
+        }
+        w.run_for(Duration::from_secs(2));
+        for i in 1..=n {
+            let views = w.installed_views(ep(i));
+            let last = views.last().unwrap_or_else(|| panic!("{i} has no view"));
+            assert_eq!(last.len(), n as usize, "endpoint {i} should see all {n} members");
+        }
+        w
+    }
+
+    fn logs(w: &SimWorld, n: u64) -> Vec<DeliveryLog> {
+        (1..=n)
+            .filter(|&i| w.is_alive(ep(i)))
+            .map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i))))
+            .collect()
+    }
+
+
+
+
+    #[test]
+    fn join_installs_singleton_view() {
+        let mut w = SimWorld::new(1, NetConfig::reliable());
+        w.add_endpoint(vs_stack(1, MbrshipConfig::default()));
+        w.join(ep(1), GroupAddr::new(1));
+        w.run_for(Duration::from_millis(10));
+        let views = w.installed_views(ep(1));
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].members(), &[ep(1)]);
+    }
+
+    #[test]
+    fn merge_builds_full_view() {
+        let w = joined_world(4, 2, MbrshipConfig::default(), NetConfig::reliable());
+        // All members agree on the final view.
+        let v1 = w.installed_views(ep(1)).last().unwrap().clone();
+        for i in 2..=4 {
+            assert_eq!(w.installed_views(ep(i)).last().unwrap(), &v1);
+        }
+        assert!(check_virtual_synchrony(&logs(&w, 4)).is_empty());
+    }
+
+    #[test]
+    fn casts_reach_all_members_of_view() {
+        let mut w = joined_world(3, 3, MbrshipConfig::default(), NetConfig::reliable());
+        let start = w.now();
+        for k in 1..=10u64 {
+            w.cast_bytes_at(start + Duration::from_millis(k), ep(1), Workload::body(ep(1), k, 32));
+        }
+        w.run_for(Duration::from_millis(500));
+        for i in 1..=3 {
+            assert_eq!(w.delivered_casts(ep(i)).len(), 10, "endpoint {i}");
+        }
+        assert!(check_virtual_synchrony(&logs(&w, 3)).is_empty());
+    }
+
+    #[test]
+    fn crash_triggers_flush_and_new_view() {
+        let mut w = joined_world(3, 4, MbrshipConfig::default(), NetConfig::reliable());
+        let t = w.now();
+        w.crash_at(t + Duration::from_millis(10), ep(3));
+        w.run_for(Duration::from_secs(2));
+        for i in 1..=2 {
+            let last = w.installed_views(ep(i)).last().unwrap().clone();
+            assert_eq!(last.members(), &[ep(1), ep(2)], "endpoint {i} final view");
+            // FLUSH upcall visible to the application.
+            assert!(w
+                .upcalls(ep(i))
+                .iter()
+                .any(|(_, up)| matches!(up, Up::Flush { failed } if failed.contains(&ep(3)))));
+        }
+        assert!(check_virtual_synchrony(&logs(&w, 3)).is_empty());
+    }
+
+    #[test]
+    fn figure_2_scenario_message_survives_sender_crash() {
+        // Figure 2: D crashes right after sending M; only C receives it.
+        // The flush must deliver M at A and B before the new view.
+        let mut w = joined_world(4, 5, MbrshipConfig::default(), NetConfig::reliable());
+        let (a, b, _c, d) = (ep(1), ep(2), ep(3), ep(4));
+        let t = w.now();
+        // Cut D off from A and B (but not C), let it cast M, then crash it.
+        w.partition_at(t + Duration::from_millis(1), &[&[ep(1), ep(2)], &[ep(3), ep(4)]]);
+        w.cast_bytes_at(t + Duration::from_millis(2), d, Workload::body(d, 1, 32));
+        w.crash_at(t + Duration::from_millis(5), d);
+        w.heal_at(t + Duration::from_millis(8));
+        w.run_for(Duration::from_secs(3));
+        for &m in &[a, b] {
+            let got = w.delivered_casts(m);
+            let from_d: Vec<_> = got.iter().filter(|(s, _, _)| *s == d).collect();
+            assert_eq!(from_d.len(), 1, "{m} must deliver M exactly once");
+        }
+        // And the survivors end in a 3-member view.
+        let last = w.installed_views(a).last().unwrap().clone();
+        assert_eq!(last.members(), &[ep(1), ep(2), ep(3)]);
+        assert!(check_virtual_synchrony(&logs(&w, 4)).is_empty());
+    }
+
+    #[test]
+    fn traffic_during_crash_stays_virtually_synchronous() {
+        for seed in 1..=4 {
+            let mut w = joined_world(4, 100 + seed, MbrshipConfig::default(), NetConfig::reliable());
+            let t = w.now();
+            let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3), ep(4)], 40);
+            wl.schedule(&mut w, t + Duration::from_millis(1));
+            w.crash_at(t + Duration::from_millis(20), ep(2));
+            w.run_for(Duration::from_secs(3));
+            let violations = check_virtual_synchrony(&logs(&w, 4));
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+            // Survivors made it to a 3-member view.
+            for i in [1u64, 3, 4] {
+                assert_eq!(
+                    w.installed_views(ep(i)).last().unwrap().len(),
+                    3,
+                    "seed {seed} endpoint {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leave_is_graceful() {
+        let mut w = joined_world(3, 6, MbrshipConfig::default(), NetConfig::reliable());
+        let t = w.now();
+        w.down_at(t + Duration::from_millis(5), ep(2), Down::Leave);
+        w.run_for(Duration::from_secs(2));
+        // The leaver gets EXIT; the others see LEAVE and a 2-member view.
+        assert!(w.upcalls(ep(2)).iter().any(|(_, up)| matches!(up, Up::Exit)));
+        for i in [1u64, 3] {
+            assert!(w
+                .upcalls(ep(i))
+                .iter()
+                .any(|(_, up)| matches!(up, Up::Leave { member } if *member == ep(2))));
+            assert_eq!(
+                w.installed_views(ep(i)).last().unwrap().members(),
+                &[ep(1), ep(3)]
+            );
+        }
+    }
+
+    #[test]
+    fn partition_and_remerge_extended_vs() {
+        let mut w = joined_world(4, 7, MbrshipConfig::default(), NetConfig::reliable());
+        let t = w.now();
+        w.partition_at(t + Duration::from_millis(5), &[&[ep(1), ep(2)], &[ep(3), ep(4)]]);
+        w.run_for(Duration::from_secs(2));
+        // Both sides made progress into 2-member views.
+        assert_eq!(w.installed_views(ep(1)).last().unwrap().len(), 2);
+        assert_eq!(w.installed_views(ep(3)).last().unwrap().len(), 2);
+        // Heal and merge back: the coordinator of the (3,4) side contacts 1.
+        let t = w.now();
+        w.heal_at(t);
+        w.down_at(t + Duration::from_millis(30), ep(3), Down::Merge { contact: ep(1) });
+        w.run_for(Duration::from_secs(2));
+        for i in 1..=4 {
+            assert_eq!(
+                w.installed_views(ep(i)).last().unwrap().len(),
+                4,
+                "endpoint {i} back to full view"
+            );
+        }
+        assert!(check_virtual_synchrony(&logs(&w, 4)).is_empty());
+    }
+
+    #[test]
+    fn primary_partition_blocks_minority() {
+        let cfg = MbrshipConfig { primary_partition: true, ..MbrshipConfig::default() };
+        let mut w = joined_world(4, 8, cfg, NetConfig::reliable());
+        let t = w.now();
+        w.partition_at(t + Duration::from_millis(5), &[&[ep(1), ep(2), ep(3)], &[ep(4)]]);
+        w.run_for(Duration::from_secs(3));
+        // Majority side continues into a 3-member view.
+        for i in 1..=3 {
+            assert_eq!(w.installed_views(ep(i)).last().unwrap().len(), 3);
+        }
+        // Minority member is blocked, not reinstalled.
+        assert!(w
+            .upcalls(ep(4))
+            .iter()
+            .any(|(_, up)| matches!(up, Up::SystemError { reason } if reason.contains("primary"))));
+        assert_eq!(w.installed_views(ep(4)).last().unwrap().len(), 4, "no minority view");
+    }
+
+    #[test]
+    fn virtual_synchrony_under_loss() {
+        for seed in 1..=3 {
+            let mut w =
+                joined_world(3, 200 + seed, MbrshipConfig::default(), NetConfig::lossy(0.1));
+            let t = w.now();
+            let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3)], 30);
+            wl.schedule(&mut w, t + Duration::from_millis(1));
+            w.crash_at(t + Duration::from_millis(25), ep(3));
+            w.run_for(Duration::from_secs(4));
+            let violations = check_virtual_synchrony(&logs(&w, 3));
+            assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn coordinator_crash_mid_flush_recovers() {
+        let mut w = joined_world(4, 9, MbrshipConfig::default(), NetConfig::reliable());
+        let t = w.now();
+        // Crash the member whose failure starts a flush...
+        w.crash_at(t + Duration::from_millis(5), ep(4));
+        // ...and crash the coordinator (oldest member, ep1) mid-flush.
+        w.crash_at(t + Duration::from_millis(140), ep(1));
+        w.run_for(Duration::from_secs(4));
+        for i in 2..=3 {
+            let last = w.installed_views(ep(i)).last().unwrap().clone();
+            assert_eq!(last.members(), &[ep(2), ep(3)], "endpoint {i}");
+        }
+        assert!(check_virtual_synchrony(&logs(&w, 4)).is_empty());
+    }
+
+    #[test]
+    fn external_suspicion_downcall_forces_flush() {
+        let mut w = joined_world(3, 10, MbrshipConfig::default(), NetConfig::reliable());
+        let t = w.now();
+        // The external failure detector (§5) says ep3 is faulty, even
+        // though it is actually fine.
+        w.down_at(t + Duration::from_millis(5), ep(1), Down::Suspect { member: ep(3) });
+        w.run_for(Duration::from_secs(2));
+        let last = w.installed_views(ep(1)).last().unwrap().clone();
+        assert_eq!(last.members(), &[ep(1), ep(2)]);
+        // The falsely-suspected member was excluded and told so.
+        assert!(w
+            .upcalls(ep(3))
+            .iter()
+            .any(|(_, up)| matches!(up, Up::SystemError { reason } if reason.contains("excluded"))));
+        // It falls back to a singleton view and could merge back.
+        assert_eq!(w.installed_views(ep(3)).last().unwrap().members(), &[ep(3)]);
+    }
+}

@@ -1,0 +1,391 @@
+//! Run-time protocol composition: the layer registry and the stack-string
+//! parser.
+//!
+//! "When creating an endpoint, a process describes, **at run-time**, what
+//! stack of protocols it needs" (§4) — unlike the x-kernel, where
+//! "configuration is done at compile-time, not at run-time" (§12).  A
+//! stack description is a colon-separated list of layer names, top first,
+//! optionally parameterized:
+//!
+//! ```text
+//! TOTAL:MBRSHIP:FRAG(size=512):NAK(window=64):COM
+//! ```
+//!
+//! The registry holds "a library of about thirty different protocols, each
+//! providing a particular communication feature" (§1) — 35 layer
+//! types in this reproduction; [`layer_names`] enumerates them.
+
+use crate::causal::{Causal, Ts};
+use crate::com::Com;
+use crate::frag::{Frag, NFrag};
+use crate::mbrship::{Mbrship, MbrshipConfig};
+use crate::membership_parts::{Bms, FlushLayer, Vss};
+use crate::merge::Merge;
+use crate::nak::{Nak, NakConfig};
+use crate::nnak::Nnak;
+use crate::pinwheel::Pinwheel;
+use crate::reference::{NakRef, TotalRef};
+use crate::safe::Safe;
+use crate::services::{ClockSync, Mux, Rpc, Secure};
+use crate::stable::Stable;
+use crate::total::Total;
+use crate::util::{
+    Acct, Chksum, Compress, DropEvery, Encrypt, Flow, Logger, Nop, NopOpaque, Prio, Seqno, Sign,
+    Trace,
+};
+use horus_core::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Parsed layer parameters: `key=value` pairs from the stack string.
+#[derive(Debug, Clone, Default)]
+pub struct Params(BTreeMap<String, String>);
+
+impl Params {
+    /// Looks up and parses a parameter.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value does not parse as `T`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, HorusError> {
+        match self.0.get(key) {
+            None => Ok(None),
+            Some(v) => v.parse::<T>().map(Some).map_err(|_| {
+                HorusError::BadParam(format!("parameter {key}={v} is not a valid value"))
+            }),
+        }
+    }
+
+    /// Like [`Params::get`] with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, HorusError> {
+        Ok(self.get(key)?.unwrap_or(default))
+    }
+
+    /// A `Duration` parameter expressed in milliseconds.
+    pub fn millis_or(&self, key: &str, default: Duration) -> Result<Duration, HorusError> {
+        Ok(self.get::<u64>(key)?.map(Duration::from_millis).unwrap_or(default))
+    }
+
+    /// Sets a parameter (used by composition-aware defaults).
+    pub fn set(&mut self, key: &str, value: &str) {
+        self.0.insert(key.to_string(), value.to_string());
+    }
+}
+
+/// One parsed element of a stack description.
+#[derive(Debug, Clone)]
+pub struct LayerSpec {
+    /// Upper-cased layer name.
+    pub name: String,
+    /// Its parameters.
+    pub params: Params,
+}
+
+/// Parses `"TOTAL:MBRSHIP:FRAG(size=512):NAK:COM"` into layer specs,
+/// top first.
+///
+/// # Errors
+///
+/// Fails on empty input, unbalanced parentheses, or malformed `key=value`
+/// pairs.
+pub fn parse_stack(desc: &str) -> Result<Vec<LayerSpec>, HorusError> {
+    let desc = desc.trim();
+    if desc.is_empty() {
+        return Err(HorusError::BadStack("empty stack description".into()));
+    }
+    // Split on ':' outside parentheses.
+    let mut specs = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let bytes = desc.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth = depth.checked_sub(1).ok_or_else(|| {
+                    HorusError::BadStack(format!("unbalanced ')' in {desc:?}"))
+                })?;
+            }
+            b':' if depth == 0 => {
+                specs.push(parse_one(&desc[start..i])?);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return Err(HorusError::BadStack(format!("unbalanced '(' in {desc:?}")));
+    }
+    specs.push(parse_one(&desc[start..])?);
+    Ok(specs)
+}
+
+fn parse_one(part: &str) -> Result<LayerSpec, HorusError> {
+    let part = part.trim();
+    if part.is_empty() {
+        return Err(HorusError::BadStack("empty layer name in stack description".into()));
+    }
+    let (name, args) = match part.find('(') {
+        None => (part, ""),
+        Some(i) => {
+            let rest = &part[i + 1..];
+            let inner = rest.strip_suffix(')').ok_or_else(|| {
+                HorusError::BadStack(format!("missing ')' after {part:?}"))
+            })?;
+            (&part[..i], inner)
+        }
+    };
+    let mut params = BTreeMap::new();
+    for pair in args.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (k, v) = pair.split_once('=').ok_or_else(|| {
+            HorusError::BadParam(format!("expected key=value, got {pair:?}"))
+        })?;
+        params.insert(k.trim().to_string(), v.trim().to_string());
+    }
+    Ok(LayerSpec { name: name.trim().to_uppercase(), params: Params(params) })
+}
+
+/// Instantiates a single layer from its spec.
+///
+/// # Errors
+///
+/// Fails on unknown names or unparseable parameters.
+pub fn build_layer(spec: &LayerSpec) -> Result<Box<dyn Layer>, HorusError> {
+    let p = &spec.params;
+    Ok(match spec.name.as_str() {
+        "COM" => {
+            let promiscuous = p.get_or("promiscuous", false)?;
+            let push_src = p.get_or("push_src", false)?;
+            Box::new(match (promiscuous, push_src) {
+                (true, _) => Com::promiscuous(),
+                (false, true) => Com::with_pushed_src(),
+                (false, false) => Com::new(),
+            })
+        }
+        "NAK" => Box::new(Nak::new(NakConfig {
+            status_period: p.millis_or("period", Duration::from_millis(20))?,
+            fail_timeout: p.millis_or("fail_timeout", Duration::from_millis(200))?,
+            window: p.get_or("window", 4096)?,
+            buffer_cap: p.get_or("buffer", 16384)?,
+            rto: p.millis_or("rto", Duration::from_millis(40))?,
+        })),
+        "NNAK" => Box::new(Nnak::new(
+            p.get_or("window", 8)?,
+            p.millis_or("rto", Duration::from_millis(30))?,
+        )),
+        "NAK_REF" => Box::new(NakRef::new(
+            p.millis_or("period", Duration::from_millis(20))?,
+            p.millis_or("fail_timeout", Duration::from_millis(200))?,
+        )),
+        "FRAG" => Box::new(Frag::new(p.get_or("size", 1024)?)),
+        "NFRAG" => Box::new(NFrag::new(
+            p.get_or("size", 1024)?,
+            p.millis_or("timeout", Duration::from_secs(2))?,
+        )),
+        "MBRSHIP" => Box::new(Mbrship::new(MbrshipConfig {
+            auto_merge: p.get_or("auto_merge", true)?,
+            primary_partition: p.get_or("primary", false)?,
+            tick: p.millis_or("tick", Duration::from_millis(25))?,
+            flush_timeout: p.millis_or("flush_timeout", Duration::from_millis(400))?,
+            merge_retries: p.get_or("merge_retries", 8)?,
+        })),
+        "BMS" => Box::new(Bms::new(
+            p.millis_or("tick", Duration::from_millis(25))?,
+            p.millis_or("timeout", Duration::from_millis(400))?,
+            p.get_or("auto_ok", false)?,
+        )),
+        "VSS" => Box::new(Vss::new(p.get_or("auto_ok", true)?)),
+        "FLUSH" => Box::new(FlushLayer::new()),
+        "TOTAL" => Box::new(Total::new()),
+        "TOTAL_REF" => Box::new(TotalRef::new()),
+        "CAUSAL" => Box::new(Causal::new()),
+        "TS" => Box::new(Ts::new()),
+        "SAFE" => Box::new(Safe::new()),
+        "STABLE" => Box::new(Stable::new(
+            p.get_or("auto_ack", true)?,
+            p.millis_or("period", Duration::from_millis(20))?,
+        )),
+        "PINWHEEL" => Box::new(Pinwheel::new(
+            p.get_or("auto_ack", true)?,
+            p.millis_or("slot", Duration::from_millis(20))?,
+        )),
+        "MERGE" => {
+            let contacts: Vec<EndpointAddr> = match p.get::<String>("contacts")? {
+                Some(list) => list
+                    .split('+')
+                    .map(|s| {
+                        s.trim().parse::<u64>().map(EndpointAddr::new).map_err(|_| {
+                            HorusError::BadParam(format!("bad contact id {s:?}"))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            };
+            Box::new(Merge::new(contacts, p.millis_or("period", Duration::from_millis(50))?))
+        }
+        "CHKSUM" => Box::new(Chksum::default()),
+        "SIGN" => Box::new(Sign::new(p.get_or("key", 0)?)),
+        "ENCRYPT" => Box::new(Encrypt::new(p.get_or("key", 0)?)),
+        "COMPRESS" => Box::new(Compress::default()),
+        "FLOW" => Box::new(Flow::new(
+            p.get_or("rate", 100)?,
+            p.millis_or("period", Duration::from_millis(10))?,
+        )),
+        "PRIO" => Box::new(Prio::new(p.millis_or("window", Duration::from_millis(1))?)),
+        "TRACE" => Box::new(Trace::new(p.get_or("verbose", false)?)),
+        "ACCT" => Box::new(Acct::new()),
+        "LOGGER" => Box::new(Logger::new()),
+        "DROP" => Box::new(DropEvery::new(p.get_or("nth", 2)?)),
+        "SEQNO" => Box::new(Seqno::default()),
+        "RPC" => Box::new(Rpc::new(
+            p.millis_or("timeout", Duration::from_millis(100))?,
+            p.get_or("retries", 3)?,
+        )),
+        "CLOCKSYNC" => Box::new(ClockSync::new(
+            p.get_or("skew_us", 0)?,
+            p.millis_or("period", Duration::from_millis(50))?,
+        )),
+        "SECURE" => Box::new(Secure::new(p.get_or("master", 0)?)),
+        "MUX" => Box::new(Mux::new()),
+        "NOP" => Box::new(Nop),
+        "NOP_OPAQUE" => Box::new(NopOpaque),
+        other => return Err(HorusError::UnknownLayer(other.to_string())),
+    })
+}
+
+/// Every layer name the registry can instantiate — the protocol library
+/// of §1's "about thirty different protocols".
+pub fn layer_names() -> Vec<&'static str> {
+    vec![
+        "COM", "NAK", "NNAK", "NAK_REF", "FRAG", "NFRAG", "MBRSHIP", "BMS", "VSS", "FLUSH",
+        "TOTAL", "TOTAL_REF", "CAUSAL", "TS", "SAFE", "STABLE", "PINWHEEL", "MERGE", "CHKSUM",
+        "SIGN", "ENCRYPT", "COMPRESS", "FLOW", "PRIO", "TRACE", "ACCT", "LOGGER", "DROP",
+        "SEQNO", "NOP", "NOP_OPAQUE", "RPC", "CLOCKSYNC", "SECURE", "MUX",
+    ]
+}
+
+/// Builds a full stack for `local` from a stack description string.
+///
+/// # Errors
+///
+/// Fails on parse errors, unknown layers, or invalid compositions.
+///
+/// ```
+/// use horus_layers::registry::build_stack;
+/// use horus_core::prelude::*;
+/// let s = build_stack(EndpointAddr::new(9), "CHKSUM:NAK:COM", StackConfig::default())?;
+/// assert_eq!(s.layer_names(), vec!["CHKSUM", "NAK", "COM"]);
+/// # Ok::<(), HorusError>(())
+/// ```
+pub fn build_stack(
+    local: EndpointAddr,
+    desc: &str,
+    config: StackConfig,
+) -> Result<Stack, HorusError> {
+    let mut specs = parse_stack(desc)?;
+    // Composition-aware flush_ok defaults (Table 1's `flush`/`flush_ok`
+    // contract): the *topmost* flush participant answers.  A FLUSH layer
+    // does real recovery; otherwise VSS answers immediately; a bare BMS
+    // answers itself.  Explicit `auto_ok=...` parameters always win.
+    let mut flush_above = false;
+    let mut responder_above = false;
+    for spec in specs.iter_mut() {
+        if spec.name == "FLUSH" {
+            flush_above = true;
+            responder_above = true;
+        }
+        if spec.name == "VSS" {
+            if spec.params.get::<bool>("auto_ok")?.is_none() {
+                spec.params.set("auto_ok", if flush_above { "false" } else { "true" });
+            }
+            responder_above = true;
+        }
+        if spec.name == "BMS" && spec.params.get::<bool>("auto_ok")?.is_none() {
+            spec.params.set("auto_ok", if responder_above { "false" } else { "true" });
+        }
+    }
+    let mut b = StackBuilder::new(local).config(config);
+    for spec in &specs {
+        b = b.push(build_layer(spec)?);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_names_and_params() {
+        let specs = parse_stack("total:MBRSHIP:FRAG(size=512):NAK(window=64, rto=10):COM").unwrap();
+        let names: Vec<_> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["TOTAL", "MBRSHIP", "FRAG", "NAK", "COM"]);
+        assert_eq!(specs[2].params.get::<usize>("size").unwrap(), Some(512));
+        assert_eq!(specs[3].params.get::<u32>("window").unwrap(), Some(64));
+    }
+
+    #[test]
+    fn rejects_malformed_descriptions() {
+        assert!(parse_stack("").is_err());
+        assert!(parse_stack("NAK:").is_err());
+        assert!(parse_stack("FRAG(size=512").is_err());
+        assert!(parse_stack("FRAG size=512)").is_err());
+        assert!(parse_stack("FRAG(size)").is_err());
+        assert!(parse_stack("NO_SUCH").map(|s| build_layer(&s[0])).unwrap().is_err());
+    }
+
+    #[test]
+    fn every_registered_layer_instantiates() {
+        for name in layer_names() {
+            let spec = parse_stack(name).unwrap().remove(0);
+            let layer = build_layer(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(layer.name(), name, "constructed layer reports its own name");
+        }
+        assert!(layer_names().len() >= 30, "the paper's ~thirty protocols");
+    }
+
+    #[test]
+    fn canonical_stack_builds() {
+        let s = build_stack(
+            EndpointAddr::new(1),
+            "TOTAL:MBRSHIP:FRAG:NAK:COM(promiscuous=true)",
+            StackConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(s.layer_names(), vec!["TOTAL", "MBRSHIP", "FRAG", "NAK", "COM"]);
+    }
+
+    #[test]
+    fn bad_param_value_is_reported() {
+        let e = build_stack(EndpointAddr::new(1), "FRAG(size=many)", StackConfig::default());
+        assert!(matches!(e, Err(HorusError::BadParam(_))));
+    }
+
+    #[test]
+    fn run_time_composition_two_apps_one_process() {
+        // §1: "Horus can support many applications concurrently, each of
+        // which can be configured individually."  Two endpoints with
+        // different stacks run in one world (one "process").
+        use horus_net::NetConfig;
+        use horus_sim::SimWorld;
+        let mut w = SimWorld::new(1, NetConfig::reliable());
+        let a = build_stack(EndpointAddr::new(1), "CHKSUM:NAK:COM", StackConfig::default())
+            .unwrap();
+        let b = build_stack(
+            EndpointAddr::new(2),
+            "COMPRESS:SEQNO:COM",
+            StackConfig::default(),
+        )
+        .unwrap();
+        w.add_endpoint(a);
+        w.add_endpoint(b);
+        w.join(EndpointAddr::new(1), GroupAddr::new(1));
+        w.join(EndpointAddr::new(2), GroupAddr::new(2));
+        w.cast_bytes(EndpointAddr::new(1), &b"x"[..]);
+        w.cast_bytes(EndpointAddr::new(2), &b"y"[..]);
+        w.run_for(std::time::Duration::from_millis(50));
+        // Each talks only to its own group and stack.
+        assert_eq!(w.delivered_casts(EndpointAddr::new(1)).len(), 1);
+        assert_eq!(w.delivered_casts(EndpointAddr::new(2)).len(), 1);
+    }
+}

@@ -1,0 +1,418 @@
+//! The deterministic simulated datagram network.
+//!
+//! [`SimNetwork`] models the "basic protocol class that supports best-effort
+//! byte delivery" of §2: messages may be **delayed**, **lost**, **garbled**,
+//! **duplicated**, or **reordered**, frames larger than the MTU are dropped
+//! (motivating FRAG), and the membership of network *partitions* can change
+//! over time (motivating MBRSHIP/MERGE).  It provides exactly property `P1`
+//! (best-effort delivery) of Table 4.
+//!
+//! The network is a pure function of its configuration and the caller's RNG:
+//! given a frame to transmit it returns the [`Delivery`] events that should
+//! be scheduled, with their virtual arrival times.  The discrete-event
+//! executor in `horus-sim` owns the calendar; this type owns the physics.
+
+use bytes::Bytes;
+use horus_core::addr::{EndpointAddr, GroupAddr};
+use horus_core::time::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Tunable physics of the simulated network.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Minimum one-way latency between distinct endpoints.
+    pub latency_min: Duration,
+    /// Maximum one-way latency (uniformly distributed; a wide range causes
+    /// reordering between consecutive frames).
+    pub latency_max: Duration,
+    /// Latency of an endpoint's loopback delivery of its own multicast.
+    /// Loopback is reliable and partition-immune.
+    pub local_latency: Duration,
+    /// Probability that a frame is silently lost.
+    pub loss: f64,
+    /// Probability that a frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability that one byte of the frame is corrupted in flight.
+    pub garble: f64,
+    /// Frames larger than this are dropped (classic datagram MTU).
+    pub mtu: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency_min: Duration::from_micros(50),
+            latency_max: Duration::from_micros(200),
+            local_latency: Duration::from_micros(5),
+            loss: 0.0,
+            duplicate: 0.0,
+            garble: 0.0,
+            mtu: 1500,
+        }
+    }
+}
+
+impl NetConfig {
+    /// A perfectly reliable, low-jitter network (protocol logic tests).
+    pub fn reliable() -> Self {
+        NetConfig::default()
+    }
+
+    /// A lossy WAN-ish network for stress tests.
+    pub fn lossy(loss: f64) -> Self {
+        NetConfig { loss, latency_max: Duration::from_millis(2), ..NetConfig::default() }
+    }
+}
+
+/// Counters kept by the network model.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Frames handed to the network for transmission.
+    pub frames_sent: u64,
+    /// Point deliveries produced (one frame to N receivers counts N).
+    pub deliveries: u64,
+    /// Deliveries suppressed by random loss.
+    pub dropped_loss: u64,
+    /// Deliveries suppressed because sender and receiver are in different
+    /// partitions.
+    pub dropped_partition: u64,
+    /// Frames dropped for exceeding the MTU.
+    pub dropped_mtu: u64,
+    /// Extra deliveries injected by duplication.
+    pub duplicated: u64,
+    /// Deliveries whose payload was corrupted.
+    pub garbled: u64,
+    /// Total payload bytes accepted for transmission.
+    pub bytes_sent: u64,
+}
+
+/// One scheduled arrival produced by the network model.
+#[derive(Debug, Clone)]
+pub struct Delivery {
+    /// Receiving endpoint.
+    pub to: EndpointAddr,
+    /// Transport-level sender.
+    pub from: EndpointAddr,
+    /// Whether this was a multicast (`true`) or point-to-point frame.
+    pub cast: bool,
+    /// Arrival time.
+    pub at: SimTime,
+    /// The (possibly garbled) frame.
+    pub wire: Bytes,
+}
+
+/// The simulated datagram network: transport-level group membership,
+/// partition state, and per-frame physics.
+#[derive(Debug)]
+pub struct SimNetwork {
+    config: NetConfig,
+    /// Transport-level group membership (who receives casts to a group).
+    groups: BTreeMap<GroupAddr, Vec<EndpointAddr>>,
+    /// Which group an endpoint joined (one per endpoint in this model).
+    member_of: BTreeMap<EndpointAddr, GroupAddr>,
+    /// Partition region of each endpoint; unlisted endpoints are region 0.
+    regions: BTreeMap<EndpointAddr, u32>,
+    stats: NetStats,
+}
+
+impl SimNetwork {
+    /// Creates a network with the given physics.
+    pub fn new(config: NetConfig) -> Self {
+        SimNetwork {
+            config,
+            groups: BTreeMap::new(),
+            member_of: BTreeMap::new(),
+            regions: BTreeMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
+    /// Mutable access to the configuration (tests tighten physics on the
+    /// fly, e.g. "from t=2s the network is lossless").
+    pub fn config_mut(&mut self) -> &mut NetConfig {
+        &mut self.config
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Registers `ep` as a transport-level receiver of `group` multicasts.
+    pub fn join(&mut self, group: GroupAddr, ep: EndpointAddr) {
+        let members = self.groups.entry(group).or_default();
+        if !members.contains(&ep) {
+            members.push(ep);
+        }
+        self.member_of.insert(ep, group);
+    }
+
+    /// Deregisters `ep` from its group (leave, destroy, or crash).
+    pub fn leave(&mut self, ep: EndpointAddr) {
+        if let Some(group) = self.member_of.remove(&ep) {
+            if let Some(members) = self.groups.get_mut(&group) {
+                members.retain(|&m| m != ep);
+            }
+        }
+    }
+
+    /// Transport-level receivers of `ep`'s multicasts (including `ep`).
+    pub fn cast_targets(&self, ep: EndpointAddr) -> Vec<EndpointAddr> {
+        self.member_of
+            .get(&ep)
+            .and_then(|g| self.groups.get(g))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Splits the network: each inner slice becomes one partition region.
+    /// Endpoints not mentioned keep their previous region.
+    pub fn partition(&mut self, regions: &[&[EndpointAddr]]) {
+        for (i, eps) in regions.iter().enumerate() {
+            for &ep in *eps {
+                self.regions.insert(ep, i as u32 + 1);
+            }
+        }
+    }
+
+    /// Heals all partitions: every endpoint returns to region 0.
+    pub fn heal(&mut self) {
+        self.regions.clear();
+    }
+
+    /// Whether two endpoints can currently exchange frames.
+    pub fn connected(&self, a: EndpointAddr, b: EndpointAddr) -> bool {
+        self.region(a) == self.region(b)
+    }
+
+    fn region(&self, ep: EndpointAddr) -> u32 {
+        self.regions.get(&ep).copied().unwrap_or(0)
+    }
+
+    /// Transmits a multicast frame from `from` to its transport group
+    /// (including a reliable loopback to `from` itself), returning the
+    /// deliveries to schedule.
+    pub fn cast(
+        &mut self,
+        from: EndpointAddr,
+        wire: Bytes,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<Delivery> {
+        let targets = self.cast_targets(from);
+        self.transmit(from, &targets, true, wire, now, rng)
+    }
+
+    /// Transmits a point-to-point frame to explicit destinations.
+    pub fn send(
+        &mut self,
+        from: EndpointAddr,
+        dests: &[EndpointAddr],
+        wire: Bytes,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<Delivery> {
+        self.transmit(from, dests, false, wire, now, rng)
+    }
+
+    fn transmit(
+        &mut self,
+        from: EndpointAddr,
+        dests: &[EndpointAddr],
+        cast: bool,
+        wire: Bytes,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Vec<Delivery> {
+        self.stats.frames_sent += 1;
+        if wire.len() > self.config.mtu {
+            self.stats.dropped_mtu += 1;
+            return Vec::new();
+        }
+        self.stats.bytes_sent += wire.len() as u64;
+        let mut out = Vec::with_capacity(dests.len());
+        for &to in dests {
+            if to == from {
+                // Loopback: reliable, immune to loss/garbling/partitions.
+                self.stats.deliveries += 1;
+                out.push(Delivery {
+                    to,
+                    from,
+                    cast,
+                    at: now + self.config.local_latency,
+                    wire: wire.clone(),
+                });
+                continue;
+            }
+            if !self.connected(from, to) {
+                self.stats.dropped_partition += 1;
+                continue;
+            }
+            if rng.gen_bool(self.config.loss) {
+                self.stats.dropped_loss += 1;
+                continue;
+            }
+            let copies = if self.config.duplicate > 0.0 && rng.gen_bool(self.config.duplicate) {
+                self.stats.duplicated += 1;
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                let at = now + self.sample_latency(rng);
+                let payload =
+                    if self.config.garble > 0.0 && rng.gen_bool(self.config.garble) {
+                        self.stats.garbled += 1;
+                        garble(&wire, rng)
+                    } else {
+                        wire.clone()
+                    };
+                self.stats.deliveries += 1;
+                out.push(Delivery { to, from, cast, at, wire: payload });
+            }
+        }
+        out
+    }
+
+    fn sample_latency(&self, rng: &mut StdRng) -> Duration {
+        let lo = self.config.latency_min.as_nanos() as u64;
+        let hi = self.config.latency_max.as_nanos() as u64;
+        if hi <= lo {
+            return self.config.latency_min;
+        }
+        Duration::from_nanos(rng.gen_range(lo..=hi))
+    }
+}
+
+fn garble(wire: &Bytes, rng: &mut StdRng) -> Bytes {
+    let mut v = wire.to_vec();
+    if !v.is_empty() {
+        let i = rng.gen_range(0..v.len());
+        v[i] ^= 1 << rng.gen_range(0..8);
+    }
+    Bytes::from(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ep(i: u64) -> EndpointAddr {
+        EndpointAddr::new(i)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn joined_net(config: NetConfig) -> SimNetwork {
+        let mut n = SimNetwork::new(config);
+        let g = GroupAddr::new(1);
+        for i in 1..=3 {
+            n.join(g, ep(i));
+        }
+        n
+    }
+
+    #[test]
+    fn cast_reaches_all_members_including_loopback() {
+        let mut n = joined_net(NetConfig::reliable());
+        let d = n.cast(ep(1), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        let mut tos: Vec<_> = d.iter().map(|d| d.to.raw()).collect();
+        tos.sort();
+        assert_eq!(tos, vec![1, 2, 3]);
+        assert!(d.iter().all(|d| d.cast));
+    }
+
+    #[test]
+    fn loopback_is_fast_and_reliable() {
+        let mut cfg = NetConfig::reliable();
+        cfg.loss = 1.0; // lose everything remote
+        let mut n = joined_net(cfg);
+        let d = n.cast(ep(1), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].to, ep(1));
+        assert_eq!(n.stats().dropped_loss, 2);
+    }
+
+    #[test]
+    fn partitions_block_cross_region_traffic() {
+        let mut n = joined_net(NetConfig::reliable());
+        n.partition(&[&[ep(1)], &[ep(2), ep(3)]]);
+        let d = n.cast(ep(2), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        let mut tos: Vec<_> = d.iter().map(|d| d.to.raw()).collect();
+        tos.sort();
+        assert_eq!(tos, vec![2, 3]);
+        assert!(!n.connected(ep(1), ep(2)));
+        n.heal();
+        assert!(n.connected(ep(1), ep(2)));
+    }
+
+    #[test]
+    fn mtu_drops_whole_frame() {
+        let mut cfg = NetConfig::reliable();
+        cfg.mtu = 8;
+        let mut n = joined_net(cfg);
+        let d = n.cast(ep(1), Bytes::from(vec![0u8; 9]), SimTime::ZERO, &mut rng());
+        assert!(d.is_empty());
+        assert_eq!(n.stats().dropped_mtu, 1);
+    }
+
+    #[test]
+    fn duplication_and_garbling_are_counted() {
+        let mut cfg = NetConfig::reliable();
+        cfg.duplicate = 1.0;
+        cfg.garble = 1.0;
+        let mut n = joined_net(cfg);
+        let d = n.cast(ep(1), Bytes::from_static(b"abcd"), SimTime::ZERO, &mut rng());
+        // 2 remote receivers x 2 copies + 1 loopback.
+        assert_eq!(d.len(), 5);
+        assert_eq!(n.stats().duplicated, 2);
+        assert!(n.stats().garbled >= 2);
+        // Loopback copy is never garbled.
+        let local = d.iter().find(|d| d.to == ep(1)).unwrap();
+        assert_eq!(&local.wire[..], b"abcd");
+    }
+
+    #[test]
+    fn unicast_send_targets_exact_destinations() {
+        let mut n = joined_net(NetConfig::reliable());
+        let d = n.send(ep(1), &[ep(3)], Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].to, ep(3));
+        assert!(!d[0].cast);
+    }
+
+    #[test]
+    fn latency_within_bounds_and_deterministic() {
+        let mut n = joined_net(NetConfig::reliable());
+        let d1 = n.cast(ep(1), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        let mut n2 = joined_net(NetConfig::reliable());
+        let d2 = n2.cast(ep(1), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        for (a, b) in d1.iter().zip(&d2) {
+            assert_eq!(a.at, b.at, "same seed, same physics");
+        }
+        for d in d1.iter().filter(|d| d.to != ep(1)) {
+            let cfg = NetConfig::reliable();
+            assert!(d.at >= SimTime::ZERO + cfg.latency_min);
+            assert!(d.at <= SimTime::ZERO + cfg.latency_max);
+        }
+    }
+
+    #[test]
+    fn leave_removes_from_group() {
+        let mut n = joined_net(NetConfig::reliable());
+        n.leave(ep(2));
+        let d = n.cast(ep(1), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        assert!(d.iter().all(|d| d.to != ep(2)));
+    }
+}

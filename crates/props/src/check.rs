@@ -1,0 +1,200 @@
+//! Stack well-formedness and property derivation (§6, §7).
+//!
+//! "Given this table, it is possible to figure out if a stack is
+//! well-formed, and what properties a well-formed stack provides.  A stack
+//! is well-formed if, for each layer, all its required properties are
+//! guaranteed by the stack underneath it."
+
+use crate::matrix::layer_meta;
+use crate::props::{Prop, PropSet};
+use std::error::Error;
+use std::fmt;
+
+/// Why a stack fails the well-formedness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StackError {
+    /// A layer name has no row in the matrix (utility layers with no
+    /// property semantics simply inherit and may be interleaved freely;
+    /// this error names genuinely unknown layers).
+    UnknownLayer(String),
+    /// A layer's requirements are not met by what lies beneath it.
+    UnmetRequirement {
+        /// The offending layer.
+        layer: String,
+        /// What it requires.
+        requires: PropSet,
+        /// What the stack below actually guarantees.
+        available: PropSet,
+        /// The missing properties.
+        missing: PropSet,
+    },
+}
+
+impl fmt::Display for StackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackError::UnknownLayer(n) => write!(f, "layer {n} is not in the property matrix"),
+            StackError::UnmetRequirement { layer, requires, available, missing } => write!(
+                f,
+                "layer {layer} requires {requires} but only {available} is guaranteed below \
+                 (missing {missing})"
+            ),
+        }
+    }
+}
+
+impl Error for StackError {}
+
+/// Pass-through utility layers: in the registry, carry no property
+/// semantics, and inherit everything.  The checker treats them as
+/// identity rows.
+const TRANSPARENT: &[&str] = &[
+    "SIGN", "ENCRYPT", "COMPRESS", "FLOW", "TRACE", "ACCT", "LOGGER", "DROP", "SEQNO", "NOP",
+    "NOP_OPAQUE", "RPC", "CLOCKSYNC", "SECURE", "MUX",
+];
+
+/// Derives the property set a stack provides to its application, checking
+/// well-formedness along the way.
+///
+/// `stack` is given **top first** (the order of a stack description
+/// string); `network` is what the medium below the bottom layer
+/// guarantees (P1 for the simulated datagram network).
+///
+/// # Errors
+///
+/// Returns the first violation found, walking bottom-up.
+///
+/// ```
+/// use horus_props::{derive_stack, Prop, PropSet};
+/// let provided = derive_stack(
+///     &["TOTAL", "MBRSHIP", "FRAG", "NAK", "COM"],
+///     PropSet::of(&[Prop::BestEffort]),
+/// )?;
+/// assert!(provided.contains(Prop::TotalOrder));
+/// # Ok::<(), horus_props::StackError>(())
+/// ```
+pub fn derive_stack(stack: &[&str], network: PropSet) -> Result<PropSet, StackError> {
+    let mut below = network;
+    for &name in stack.iter().rev() {
+        if TRANSPARENT.contains(&name) {
+            continue;
+        }
+        let meta = layer_meta(name).ok_or_else(|| StackError::UnknownLayer(name.to_string()))?;
+        if !below.is_superset(meta.requires) {
+            return Err(StackError::UnmetRequirement {
+                layer: name.to_string(),
+                requires: meta.requires,
+                available: below,
+                missing: meta.requires.difference(below),
+            });
+        }
+        below = below.difference(meta.masks).union(meta.provides);
+    }
+    Ok(below)
+}
+
+/// Whether a stack is well-formed over the given network.
+pub fn is_well_formed(stack: &[&str], network: PropSet) -> bool {
+    derive_stack(stack, network).is_ok()
+}
+
+/// The §7 worked example as data: the canonical stack, the network
+/// property, and the paper's stated result set.  The E3 tests assert that
+/// [`derive_stack`] reproduces it exactly.
+pub fn section7() -> (&'static [&'static str], PropSet, PropSet) {
+    (
+        &["TOTAL", "MBRSHIP", "FRAG", "NAK", "COM"],
+        PropSet::of(&[Prop::BestEffort]),
+        PropSet::from_numbers(&[3, 4, 6, 8, 9, 10, 11, 12, 15]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section7_derivation_matches_the_paper() {
+        let (stack, network, expected) = section7();
+        let got = derive_stack(stack, network).expect("canonical stack is well-formed");
+        assert_eq!(
+            got, expected,
+            "TOTAL:MBRSHIP:FRAG:NAK:COM over {{P1}} must yield the paper's set"
+        );
+    }
+
+    #[test]
+    fn missing_layer_breaks_requirements() {
+        // Without NAK there is no FIFO: FRAG's requirement fails.
+        let err = derive_stack(&["FRAG", "COM"], PropSet::of(&[Prop::BestEffort]))
+            .expect_err("FRAG needs FIFO");
+        match err {
+            StackError::UnmetRequirement { layer, missing, .. } => {
+                assert_eq!(layer, "FRAG");
+                assert!(missing.contains(Prop::FifoUnicast));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn order_matters() {
+        // TOTAL below MBRSHIP cannot work: no virtual synchrony yet.
+        let ok = &["TOTAL", "MBRSHIP", "FRAG", "NAK", "COM"];
+        let bad = &["MBRSHIP", "TOTAL", "FRAG", "NAK", "COM"];
+        let net = PropSet::of(&[Prop::BestEffort]);
+        assert!(is_well_formed(ok, net));
+        assert!(!is_well_formed(bad, net));
+    }
+
+    #[test]
+    fn dead_network_supports_nothing() {
+        let err = derive_stack(&["NAK", "COM"], PropSet::EMPTY).unwrap_err();
+        assert!(matches!(err, StackError::UnmetRequirement { ref layer, .. } if layer == "COM"));
+    }
+
+    #[test]
+    fn transparent_layers_are_ignored() {
+        let net = PropSet::of(&[Prop::BestEffort]);
+        let with = derive_stack(&["TRACE", "NAK", "LOGGER", "COM"], net).unwrap();
+        let without = derive_stack(&["NAK", "COM"], net).unwrap();
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn unknown_layers_are_reported() {
+        let err = derive_stack(&["XYZZY"], PropSet::ALL).unwrap_err();
+        assert_eq!(err, StackError::UnknownLayer("XYZZY".to_string()));
+    }
+
+    #[test]
+    fn decomposed_membership_equals_production() {
+        // FLUSH:VSS:BMS provides the same membership properties as
+        // MBRSHIP (P8, P9, P15) — the §8 composition claim, checked in
+        // the algebra.
+        let net = PropSet::of(&[Prop::BestEffort]);
+        let prod = derive_stack(&["MBRSHIP", "FRAG", "NAK", "COM"], net).unwrap();
+        let refd = derive_stack(&["FLUSH", "VSS", "BMS", "FRAG", "NAK", "COM"], net).unwrap();
+        assert_eq!(prod, refd);
+    }
+
+    #[test]
+    fn masking_removes_best_effort() {
+        let net = PropSet::of(&[Prop::BestEffort]);
+        let got = derive_stack(&["NAK", "COM"], net).unwrap();
+        assert!(!got.contains(Prop::BestEffort), "NAK upgrades (masks) P1");
+        assert!(got.contains(Prop::FifoMulticast));
+    }
+
+    #[test]
+    fn full_feature_stack_derives() {
+        let net = PropSet::of(&[Prop::BestEffort]);
+        let stack = &[
+            "SAFE", "STABLE", "TOTAL", "MERGE", "MBRSHIP", "FRAG", "NAK", "COM",
+        ];
+        let got = derive_stack(stack, net).unwrap();
+        for p in [Prop::Safe, Prop::Stability, Prop::TotalOrder, Prop::AutoMerge] {
+            assert!(got.contains(p), "missing {p} in {got}");
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Automatic (minimal) stack construction (§6).
+//!
+//! "Given a set of network properties and required properties for an
+//! application, it is possible to figure out if a stack exists that can
+//! implement the requirements.  If we can associate a cost with each of
+//! the properties, possibly on a per-layer basis, we can even create a
+//! minimal stack.  Rather than looking at this as stacking protocols on
+//! top of each other, a different interpretation is that Horus actually
+//! builds a single protocol for the particular application on the fly."
+//!
+//! The search space is the 2¹⁶ property-set states; stacking a layer
+//! whose requirements the current state satisfies is an edge with that
+//! layer's cost.  Dijkstra over this graph yields the cheapest stack
+//! whose final state covers the request — or a definite "impossible",
+//! which §6 likens to real-time admission control: "if not, an error is
+//! returned to the user".
+
+use crate::matrix::MATRIX;
+use crate::props::PropSet;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+/// Planner failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// No composition of known layers provides the request over this
+    /// network — the §6 admission-control "error returned to the user".
+    Unsatisfiable {
+        /// What was asked for.
+        required: PropSet,
+        /// What the network offers.
+        network: PropSet,
+        /// The closest any reachable state came (maximal coverage).
+        best_coverage: PropSet,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Unsatisfiable { required, network, best_coverage } => write!(
+                f,
+                "no stack provides {required} over a {network} network \
+                 (best reachable coverage: {best_coverage})"
+            ),
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+#[derive(PartialEq, Eq)]
+struct Node {
+    cost: u32,
+    state: u16,
+}
+
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by cost, tie-broken by state for determinism.
+        (other.cost, other.state).cmp(&(self.cost, self.state))
+    }
+}
+
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Finds the cheapest well-formed stack providing `required` over a
+/// network guaranteeing `network`.  Returns layer names **top first**,
+/// ready for `horus_layers::registry::build_stack`-style consumption.
+///
+/// # Errors
+///
+/// [`PlanError::Unsatisfiable`] when no composition works.
+///
+/// ```
+/// use horus_props::{plan_minimal_stack, Prop, PropSet};
+/// let stack = plan_minimal_stack(
+///     PropSet::of(&[Prop::TotalOrder]),
+///     PropSet::of(&[Prop::BestEffort]),
+/// )?;
+/// assert_eq!(stack.last(), Some(&"COM"));
+/// assert!(stack.contains(&"TOTAL"));
+/// # Ok::<(), horus_props::PlanError>(())
+/// ```
+pub fn plan_minimal_stack(
+    required: PropSet,
+    network: PropSet,
+) -> Result<Vec<&'static str>, PlanError> {
+    const INF: u32 = u32::MAX;
+    let mut dist = vec![INF; 1 << 16];
+    // (previous state, layer index used to get here)
+    let mut prev: Vec<Option<(u16, usize)>> = vec![None; 1 << 16];
+    let start = network.bits();
+    dist[start as usize] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Node { cost: 0, state: start });
+    let mut best_coverage = network;
+
+    while let Some(Node { cost, state }) = heap.pop() {
+        if cost > dist[state as usize] {
+            continue;
+        }
+        let set = PropSet::from_bits(state);
+        best_coverage = if set.intersection(required).len() > best_coverage.intersection(required).len()
+        {
+            set
+        } else {
+            best_coverage
+        };
+        if set.is_superset(required) {
+            // Reconstruct the path (bottom-up), then flip to top-first.
+            let mut stack = Vec::new();
+            let mut cur = state;
+            while let Some((p, layer_idx)) = prev[cur as usize] {
+                stack.push(MATRIX[layer_idx].name);
+                cur = p;
+            }
+            stack.reverse(); // bottom-up order
+            stack.reverse(); // top-first: the last layer stacked is on top
+            return Ok(stack);
+        }
+        for (i, m) in MATRIX.iter().enumerate() {
+            if !set.is_superset(m.requires) {
+                continue;
+            }
+            let next = set.difference(m.masks).union(m.provides).bits();
+            if next == state {
+                continue; // no effect: never useful
+            }
+            let ncost = cost.saturating_add(m.cost);
+            if ncost < dist[next as usize] {
+                dist[next as usize] = ncost;
+                prev[next as usize] = Some((state, i));
+                heap.push(Node { cost: ncost, state: next });
+            }
+        }
+    }
+    Err(PlanError::Unsatisfiable { required, network, best_coverage })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::derive_stack;
+    use crate::props::Prop;
+
+    fn p1() -> PropSet {
+        PropSet::of(&[Prop::BestEffort])
+    }
+
+    #[test]
+    fn plans_the_canonical_total_order_stack() {
+        let stack = plan_minimal_stack(PropSet::of(&[Prop::TotalOrder]), p1()).unwrap();
+        // Must be well-formed and actually provide total order.
+        let provided = derive_stack(&stack, p1()).unwrap();
+        assert!(provided.contains(Prop::TotalOrder));
+        // The cheapest route to virtual synchrony is the production
+        // MBRSHIP (cost 6) vs FLUSH+VSS+BMS (cost 8), so the paper's §7
+        // stack drops out of the planner.
+        assert_eq!(stack, vec!["TOTAL", "MBRSHIP", "FRAG", "NAK", "COM"]);
+    }
+
+    #[test]
+    fn trivial_request_needs_no_layers() {
+        let stack = plan_minimal_stack(p1(), p1()).unwrap();
+        assert!(stack.is_empty());
+    }
+
+    #[test]
+    fn fifo_request_is_small() {
+        let stack = plan_minimal_stack(PropSet::of(&[Prop::FifoMulticast]), p1()).unwrap();
+        assert_eq!(stack, vec!["NAK", "COM"]);
+    }
+
+    #[test]
+    fn impossible_requests_are_rejected() {
+        // Nothing can conjure delivery out of a dead network.
+        let err =
+            plan_minimal_stack(PropSet::of(&[Prop::FifoUnicast]), PropSet::EMPTY).unwrap_err();
+        match err {
+            PlanError::Unsatisfiable { best_coverage, .. } => {
+                assert!(!best_coverage.contains(Prop::FifoUnicast));
+            }
+        }
+    }
+
+    #[test]
+    fn keeping_best_effort_and_fifo_is_impossible() {
+        // P1 is masked by every FIFO layer: asking for both P1 and P4 must
+        // fail — the algebra knows upgrades are not additive.
+        let err = plan_minimal_stack(
+            PropSet::of(&[Prop::BestEffort, Prop::FifoMulticast]),
+            p1(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::Unsatisfiable { .. }));
+    }
+
+    #[test]
+    fn every_single_property_plan_is_sound() {
+        // For each individually plannable property: the planner's stack is
+        // well-formed and provides it (planner soundness, E4).
+        for p in Prop::ALL {
+            match plan_minimal_stack(PropSet::of(&[p]), p1()) {
+                Ok(stack) => {
+                    let provided = derive_stack(&stack, p1())
+                        .unwrap_or_else(|e| panic!("{p}: planned stack ill-formed: {e}"));
+                    assert!(provided.contains(p), "{p}: stack {stack:?} gives {provided}");
+                }
+                Err(PlanError::Unsatisfiable { .. }) => {
+                    panic!("{p} should be satisfiable over a best-effort network")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_minimizes_cost() {
+        // Stability: PINWHEEL (cost 2, fewer requirements) and STABLE
+        // (cost 2) both qualify; whichever is chosen, the total cost must
+        // not exceed hand-built alternatives.
+        let stack =
+            plan_minimal_stack(PropSet::of(&[Prop::Stability]), p1()).unwrap();
+        let cost: u32 = stack
+            .iter()
+            .map(|n| crate::matrix::layer_meta(n).unwrap().cost)
+            .sum();
+        let hand = ["STABLE", "MBRSHIP", "FRAG", "NAK", "COM"];
+        let hand_cost: u32 =
+            hand.iter().map(|n| crate::matrix::layer_meta(n).unwrap().cost).sum();
+        assert!(cost <= hand_cost, "planned {stack:?} (cost {cost}) vs hand {hand_cost}");
+    }
+
+    #[test]
+    fn rich_request_plans_one_combined_stack() {
+        let req = PropSet::of(&[Prop::TotalOrder, Prop::Stability, Prop::AutoMerge]);
+        let stack = plan_minimal_stack(req, p1()).unwrap();
+        let provided = derive_stack(&stack, p1()).unwrap();
+        assert!(provided.is_superset(req), "{stack:?} gives {provided}");
+    }
+}

@@ -1,0 +1,264 @@
+//! The sixteen protocol properties of Table 4.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A protocol property (Table 4): "each of which can either be a
+/// requirement on the communication guarantees provided underneath the
+/// protocol, or a guarantee that is provided by the protocol itself".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Prop {
+    /// P1: best effort delivery.
+    BestEffort = 1,
+    /// P2: prioritized effort delivery.
+    Prioritized = 2,
+    /// P3: FIFO unicast delivery.
+    FifoUnicast = 3,
+    /// P4: FIFO multicast delivery.
+    FifoMulticast = 4,
+    /// P5: causal delivery.
+    Causal = 5,
+    /// P6: totally ordered delivery.
+    TotalOrder = 6,
+    /// P7: safe delivery.
+    Safe = 7,
+    /// P8: virtually semi-synchronous delivery.
+    SemiSync = 8,
+    /// P9: virtually synchronous delivery.
+    VirtualSync = 9,
+    /// P10: byte re-ordering detection.
+    GarbleDetect = 10,
+    /// P11: source address.
+    SourceAddr = 11,
+    /// P12: large messages.
+    LargeMessages = 12,
+    /// P13: causal timestamps.
+    CausalTimestamps = 13,
+    /// P14: stability information.
+    Stability = 14,
+    /// P15: consistent views.
+    ConsistentViews = 15,
+    /// P16: automatic view merging.
+    AutoMerge = 16,
+}
+
+impl Prop {
+    /// All sixteen properties in Table 4 order.
+    pub const ALL: [Prop; 16] = [
+        Prop::BestEffort,
+        Prop::Prioritized,
+        Prop::FifoUnicast,
+        Prop::FifoMulticast,
+        Prop::Causal,
+        Prop::TotalOrder,
+        Prop::Safe,
+        Prop::SemiSync,
+        Prop::VirtualSync,
+        Prop::GarbleDetect,
+        Prop::SourceAddr,
+        Prop::LargeMessages,
+        Prop::CausalTimestamps,
+        Prop::Stability,
+        Prop::ConsistentViews,
+        Prop::AutoMerge,
+    ];
+
+    /// The 1-based property number used in the paper (P1..P16).
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks a property up by its paper number.
+    pub fn from_number(n: u8) -> Option<Prop> {
+        Prop::ALL.get(n.checked_sub(1)? as usize).copied()
+    }
+
+    /// The Table 4 description.
+    pub fn description(self) -> &'static str {
+        match self {
+            Prop::BestEffort => "best effort delivery",
+            Prop::Prioritized => "prioritized effort delivery",
+            Prop::FifoUnicast => "FIFO unicast delivery",
+            Prop::FifoMulticast => "FIFO multicast delivery",
+            Prop::Causal => "causal delivery",
+            Prop::TotalOrder => "totally ordered delivery",
+            Prop::Safe => "safe delivery",
+            Prop::SemiSync => "virtually semi-synchronous delivery",
+            Prop::VirtualSync => "virtually synchronous delivery",
+            Prop::GarbleDetect => "byte re-ordering detection",
+            Prop::SourceAddr => "source address",
+            Prop::LargeMessages => "large messages",
+            Prop::CausalTimestamps => "causal timestamps",
+            Prop::Stability => "stability information",
+            Prop::ConsistentViews => "consistent views",
+            Prop::AutoMerge => "automatic view merging",
+        }
+    }
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.number())
+    }
+}
+
+/// A set of properties, packed into a 16-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct PropSet(u16);
+
+impl PropSet {
+    /// The empty set.
+    pub const EMPTY: PropSet = PropSet(0);
+    /// Every property.
+    pub const ALL: PropSet = PropSet(u16::MAX);
+
+    /// Builds a set from properties.
+    pub fn of(props: &[Prop]) -> Self {
+        props.iter().fold(PropSet::EMPTY, |s, &p| s.with(p))
+    }
+
+    /// Builds a set from paper numbers (1..=16); unknown numbers are
+    /// ignored.
+    pub fn from_numbers(numbers: &[u8]) -> Self {
+        numbers
+            .iter()
+            .filter_map(|&n| Prop::from_number(n))
+            .fold(PropSet::EMPTY, |s, p| s.with(p))
+    }
+
+    /// The raw bitmask (bit `n-1` is property Pn).
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs a set from a raw bitmask.
+    pub const fn from_bits(bits: u16) -> Self {
+        PropSet(bits)
+    }
+
+    /// This set plus `p`.
+    #[must_use]
+    pub fn with(self, p: Prop) -> Self {
+        PropSet(self.0 | 1 << (p.number() - 1))
+    }
+
+    /// This set minus `p`.
+    #[must_use]
+    pub fn without(self, p: Prop) -> Self {
+        PropSet(self.0 & !(1 << (p.number() - 1)))
+    }
+
+    /// Membership test.
+    pub fn contains(self, p: Prop) -> bool {
+        self.0 & (1 << (p.number() - 1)) != 0
+    }
+
+    /// Whether every property in `other` is in `self`.
+    pub fn is_superset(self, other: PropSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: PropSet) -> Self {
+        PropSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(self, other: PropSet) -> Self {
+        PropSet(self.0 & other.0)
+    }
+
+    /// Set difference.
+    #[must_use]
+    pub fn difference(self, other: PropSet) -> Self {
+        PropSet(self.0 & !other.0)
+    }
+
+    /// Number of properties in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates the properties in the set, in P1..P16 order.
+    pub fn iter(self) -> impl Iterator<Item = Prop> {
+        Prop::ALL.into_iter().filter(move |&p| self.contains(p))
+    }
+}
+
+impl FromIterator<Prop> for PropSet {
+    fn from_iter<I: IntoIterator<Item = Prop>>(iter: I) -> Self {
+        iter.into_iter().fold(PropSet::EMPTY, |s, p| s.with(p))
+    }
+}
+
+impl fmt::Display for PropSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, p) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for PropSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_properties_with_stable_numbers() {
+        assert_eq!(Prop::ALL.len(), 16);
+        for (i, p) in Prop::ALL.iter().enumerate() {
+            assert_eq!(p.number() as usize, i + 1);
+            assert_eq!(Prop::from_number(p.number()), Some(*p));
+        }
+        assert_eq!(Prop::from_number(0), None);
+        assert_eq!(Prop::from_number(17), None);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = PropSet::of(&[Prop::BestEffort, Prop::FifoUnicast]);
+        let b = PropSet::of(&[Prop::FifoUnicast, Prop::TotalOrder]);
+        assert!(a.contains(Prop::BestEffort));
+        assert!(!a.contains(Prop::TotalOrder));
+        assert_eq!(a.union(b).len(), 3);
+        assert_eq!(a.intersection(b), PropSet::of(&[Prop::FifoUnicast]));
+        assert_eq!(a.difference(b), PropSet::of(&[Prop::BestEffort]));
+        assert!(a.union(b).is_superset(a));
+        assert!(!a.is_superset(b));
+        assert_eq!(a.without(Prop::BestEffort), PropSet::of(&[Prop::FifoUnicast]));
+    }
+
+    #[test]
+    fn display_uses_paper_numbers() {
+        let s = PropSet::of(&[Prop::FifoUnicast, Prop::ConsistentViews]);
+        assert_eq!(s.to_string(), "{P3,P15}");
+        assert_eq!(Prop::VirtualSync.to_string(), "P9");
+    }
+
+    #[test]
+    fn from_numbers_roundtrip() {
+        let s = PropSet::from_numbers(&[3, 4, 6, 8, 9, 10, 11, 12, 15]);
+        assert_eq!(s.len(), 9);
+        let nums: Vec<u8> = s.iter().map(|p| p.number()).collect();
+        assert_eq!(nums, vec![3, 4, 6, 8, 9, 10, 11, 12, 15]);
+    }
+}

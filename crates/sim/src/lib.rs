@@ -1,0 +1,24 @@
+//! # horus-sim
+//!
+//! Deterministic discrete-event execution of Horus stacks, plus the
+//! machinery that turns the paper's failure stories into repeatable
+//! experiments:
+//!
+//! * [`world::SimWorld`] — the event calendar: endpoints with stacks,
+//!   the simulated network of `horus-net`, virtual time, scripted crashes,
+//!   partitions, and merges.  One seed ⇒ one execution, always.
+//! * [`invariants`] — checkers for the virtual-synchrony guarantees of §5
+//!   (view agreement, same-view delivery agreement, FIFO and total order),
+//!   applied to the upcall logs a `SimWorld` records.
+//! * [`workload`] — message workload generators for the benchmarks.
+//! * [`threaded`] — a real-time, really-threaded executor over the loopback
+//!   transport, for the §10 dispatch-model ablation.
+
+pub mod invariants;
+pub mod threaded;
+pub mod workload;
+pub mod world;
+
+pub use invariants::{check_fifo, check_total_order, check_virtual_synchrony, DeliveryLog};
+pub use workload::{Workload, WorkloadKind};
+pub use world::SimWorld;

@@ -1,0 +1,386 @@
+//! A real-time, really-threaded executor — the other side of the §10
+//! dispatch-model ablation.
+//!
+//! The paper reports that Horus was moving *away* from intra-stack threading
+//! ("concurrency within a stack does not lead to significant gains") toward
+//! one scheduling thread per stack.  This module runs the same stacks under
+//! both regimes over the in-process loopback transport:
+//!
+//! * [`DispatchModel::EventQueue`] — one worker thread owns the stack; all
+//!   inputs (frames, timers, downcalls) funnel through one channel.  No
+//!   locks on the hot path.
+//! * [`DispatchModel::LockedThreads`] — several worker threads share the
+//!   input channel and take a mutex around every stack dispatch, emulating
+//!   the thread-per-upcall, lock-per-group model of the 1995 system.
+//!
+//! Timekeeping maps the monotonic OS clock onto [`SimTime`], so protocol
+//! timers behave identically to the simulated world.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use horus_core::prelude::*;
+use horus_net::threaded::Frame;
+use horus_net::LoopbackNet;
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a stack's events are dispatched (§10 problem 2 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchModel {
+    /// Single scheduler thread per stack (the event-queue model the paper
+    /// adopts).
+    EventQueue,
+    /// `n` worker threads, each locking the stack per event (the threaded
+    /// model the paper moves away from).
+    LockedThreads(usize),
+}
+
+enum In {
+    Frame(Frame),
+    Timer { layer: usize, token: u64 },
+    App(Down),
+    Stop,
+}
+
+struct TimerEntry {
+    due: Instant,
+    layer: usize,
+    token: u64,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.due.cmp(&self.due) // min-heap
+    }
+}
+
+struct Shared {
+    stack: Mutex<Stack>,
+    upcalls: Mutex<Vec<Up>>,
+    timers: Mutex<BinaryHeap<TimerEntry>>,
+    net: LoopbackNet,
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn apply(&self, ep: EndpointAddr, effects: Vec<Effect>) {
+        for fx in effects {
+            match fx {
+                Effect::Deliver(up) => self.upcalls.lock().push(up),
+                Effect::NetCast { wire } => {
+                    self.net.cast(ep, wire);
+                }
+                Effect::NetSend { dests, wire } => {
+                    self.net.send(ep, &dests, wire);
+                }
+                Effect::NetJoin { group } => self.net.join(group, ep),
+                Effect::NetLeave => self.net.leave(ep),
+                Effect::SetTimer { layer, token, delay } => {
+                    self.timers.lock().push(TimerEntry {
+                        due: Instant::now() + delay,
+                        layer,
+                        token,
+                    });
+                }
+                Effect::Trace(_) => {}
+            }
+        }
+    }
+}
+
+/// A running endpoint under the threaded executor.
+pub struct ThreadedEndpoint {
+    addr: EndpointAddr,
+    shared: Arc<Shared>,
+    input_tx: Sender<In>,
+    workers: Vec<JoinHandle<()>>,
+    timer_thread: Option<JoinHandle<()>>,
+    stopped: bool,
+}
+
+impl ThreadedEndpoint {
+    /// Spawns an endpoint running `stack` under `model` on `net`.
+    pub fn spawn(stack: Stack, net: LoopbackNet, model: DispatchModel) -> Self {
+        let addr = stack.local_addr();
+        let rx_frames = net.register(addr);
+        let (input_tx, input_rx) = unbounded::<In>();
+        let shared = Arc::new(Shared {
+            stack: Mutex::new(stack),
+            upcalls: Mutex::new(Vec::new()),
+            timers: Mutex::new(BinaryHeap::new()),
+            net,
+            epoch: Instant::now(),
+        });
+
+        // Init layers (arms initial timers).
+        {
+            let mut stack = shared.stack.lock();
+            let now = shared.now();
+            stack.set_now(now);
+            let fx = stack.init();
+            drop(stack);
+            shared.apply(addr, fx);
+        }
+
+        // Frame pump: moves transport frames into the input channel.
+        {
+            let tx = input_tx.clone();
+            std::thread::spawn(move || {
+                for f in rx_frames.iter() {
+                    if tx.send(In::Frame(f)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+
+        // Timer thread: fires due timers into the input channel.
+        let timer_thread = {
+            let shared = Arc::clone(&shared);
+            let tx = input_tx.clone();
+            Some(std::thread::spawn(move || loop {
+                let next_due = shared.timers.lock().peek().map(|t| t.due);
+                match next_due {
+                    Some(due) => {
+                        let now = Instant::now();
+                        if due <= now {
+                            let entry = shared.timers.lock().pop().expect("peeked timer");
+                            if tx
+                                .send(In::Timer { layer: entry.layer, token: entry.token })
+                                .is_err()
+                            {
+                                return;
+                            }
+                        } else {
+                            std::thread::sleep((due - now).min(Duration::from_millis(1)));
+                        }
+                    }
+                    None => {
+                        std::thread::sleep(Duration::from_millis(1));
+                        // Exit when the endpoint itself is gone (only this
+                        // thread still holds the shared state).
+                        if Arc::strong_count(&shared) == 1 {
+                            return;
+                        }
+                    }
+                }
+            }))
+        };
+
+        let n_workers = match model {
+            DispatchModel::EventQueue => 1,
+            DispatchModel::LockedThreads(n) => n.max(1),
+        };
+        let mut workers = Vec::with_capacity(n_workers);
+        for _ in 0..n_workers {
+            let shared = Arc::clone(&shared);
+            let rx: Receiver<In> = input_rx.clone();
+            workers.push(std::thread::spawn(move || {
+                for input in rx.iter() {
+                    let stack_input = match input {
+                        In::Stop => break,
+                        In::Frame(f) => {
+                            StackInput::FromNet { from: f.from, cast: f.cast, wire: f.wire }
+                        }
+                        In::Timer { layer, token } => {
+                            StackInput::Timer { layer, token, now: shared.now() }
+                        }
+                        In::App(down) => StackInput::FromApp(down),
+                    };
+                    let fx = {
+                        let mut stack = shared.stack.lock();
+                        let now = shared.now();
+                        stack.set_now(now);
+                        stack.handle(stack_input)
+                    };
+                    shared.apply(shared.stack.lock().local_addr(), fx);
+                }
+            }));
+        }
+
+        ThreadedEndpoint { addr, shared, input_tx, workers, timer_thread, stopped: false }
+    }
+
+    /// The endpoint's address.
+    pub fn addr(&self) -> EndpointAddr {
+        self.addr
+    }
+
+    /// Issues a downcall.
+    pub fn down(&self, down: Down) {
+        let _ = self.input_tx.send(In::App(down));
+    }
+
+    /// Creates a message against the endpoint's stack layout.
+    pub fn new_message(&self, body: impl Into<Bytes>) -> Message {
+        self.shared.stack.lock().new_message(body)
+    }
+
+    /// Convenience: cast an application payload.
+    pub fn cast_bytes(&self, body: impl Into<Bytes>) {
+        let msg = self.new_message(body);
+        self.down(Down::Cast(msg));
+    }
+
+    /// Number of upcalls delivered so far.
+    pub fn upcall_count(&self) -> usize {
+        self.shared.upcalls.lock().len()
+    }
+
+    /// Number of CAST upcalls delivered so far.
+    pub fn cast_count(&self) -> usize {
+        self.shared
+            .upcalls
+            .lock()
+            .iter()
+            .filter(|u| matches!(u, Up::Cast { .. }))
+            .count()
+    }
+
+    /// Drains the delivered upcalls.
+    pub fn take_upcalls(&self) -> Vec<Up> {
+        std::mem::take(&mut *self.shared.upcalls.lock())
+    }
+
+    /// Busy-waits (politely) until `pred` holds or `timeout` elapses;
+    /// returns whether the predicate held.
+    pub fn wait_until(&self, timeout: Duration, mut pred: impl FnMut(&Self) -> bool) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if pred(self) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        pred(self)
+    }
+
+    /// Stops the workers and deregisters from the transport.
+    pub fn stop(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        for _ in 0..self.workers.len() {
+            let _ = self.input_tx.send(In::Stop);
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.net.deregister(self.addr);
+        // The frame pump ends when its channel closes (deregister), and the
+        // timer thread ends when the Arc count drops; detach both.
+        let _ = self.timer_thread.take();
+    }
+}
+
+impl Drop for ThreadedEndpoint {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Nop;
+    impl Layer for Nop {
+        fn name(&self) -> &'static str {
+            "NOP"
+        }
+    }
+
+    fn ep(i: u64) -> EndpointAddr {
+        EndpointAddr::new(i)
+    }
+
+    fn run_model(model: DispatchModel) {
+        let net = LoopbackNet::new();
+        let g = GroupAddr::new(1);
+        let mut eps: Vec<ThreadedEndpoint> = (1..=2)
+            .map(|i| {
+                let stack = StackBuilder::new(ep(i)).push(Box::new(Nop)).build().unwrap();
+                ThreadedEndpoint::spawn(stack, net.clone(), model)
+            })
+            .collect();
+        for e in &eps {
+            e.down(Down::Join { group: g });
+        }
+        // Let the joins land.
+        std::thread::sleep(Duration::from_millis(20));
+        for k in 0..50u8 {
+            eps[0].cast_bytes(vec![k]);
+        }
+        assert!(
+            eps[1].wait_until(Duration::from_secs(5), |e| e.cast_count() >= 50),
+            "receiver saw {} of 50 casts",
+            eps[1].cast_count()
+        );
+        // Loopback delivery to the sender itself also happens.
+        assert!(eps[0].wait_until(Duration::from_secs(5), |e| e.cast_count() >= 50));
+        for e in &mut eps {
+            e.stop();
+        }
+    }
+
+    #[test]
+    fn event_queue_model_delivers() {
+        run_model(DispatchModel::EventQueue);
+    }
+
+    #[test]
+    fn locked_threads_model_delivers() {
+        run_model(DispatchModel::LockedThreads(4));
+    }
+
+    #[test]
+    fn timers_fire_under_real_time() {
+        #[derive(Debug, Default)]
+        struct Tick {
+            count: u64,
+        }
+        impl Layer for Tick {
+            fn name(&self) -> &'static str {
+                "TICK"
+            }
+            fn on_init(&mut self, ctx: &mut LayerCtx<'_>) {
+                ctx.set_timer(Duration::from_millis(5), 0);
+            }
+            fn on_timer(&mut self, _t: u64, ctx: &mut LayerCtx<'_>) {
+                self.count += 1;
+                if self.count < 3 {
+                    ctx.set_timer(Duration::from_millis(5), 0);
+                } else {
+                    ctx.up(Up::Exit);
+                }
+            }
+        }
+        let net = LoopbackNet::new();
+        let stack = StackBuilder::new(ep(9)).push(Box::new(Tick::default())).build().unwrap();
+        let mut e = ThreadedEndpoint::spawn(stack, net, DispatchModel::EventQueue);
+        assert!(e.wait_until(Duration::from_secs(5), |e| {
+            e.take_upcalls().iter().any(|u| matches!(u, Up::Exit))
+        }));
+        e.stop();
+    }
+}

@@ -1,0 +1,163 @@
+//! Message workload generators for tests and benchmarks.
+//!
+//! Bodies are self-describing — `[sender u64][seq u64][padding]` — so the
+//! invariant checkers can recover per-sender sequence numbers from delivered
+//! payloads without side channels.
+
+use bytes::Bytes;
+use horus_core::prelude::*;
+use std::time::Duration;
+
+use crate::world::SimWorld;
+
+/// How casts are distributed over the senders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkloadKind {
+    /// Senders take turns, one message per slot.
+    #[default]
+    RoundRobin,
+    /// Only the first sender casts.
+    SingleSender,
+    /// Every sender casts in every slot (an all-to-all burst per slot).
+    AllToAll,
+}
+
+/// A scripted multicast workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Distribution of casts over senders.
+    pub kind: WorkloadKind,
+    /// Participating senders.
+    pub senders: Vec<EndpointAddr>,
+    /// Total number of slots (for `RoundRobin`/`SingleSender`: one message
+    /// per slot; for `AllToAll`: one message per sender per slot).
+    pub slots: u64,
+    /// Virtual time between consecutive slots.
+    pub interval: Duration,
+    /// Total body size in bytes (minimum 16 for the self-describing
+    /// prefix).
+    pub payload: usize,
+}
+
+impl Workload {
+    /// A round-robin workload with 64-byte payloads at a 1 ms cadence.
+    pub fn round_robin(senders: Vec<EndpointAddr>, slots: u64) -> Self {
+        Workload {
+            kind: WorkloadKind::RoundRobin,
+            senders,
+            slots,
+            interval: Duration::from_millis(1),
+            payload: 64,
+        }
+    }
+
+    /// Encodes a self-describing body.
+    pub fn body(sender: EndpointAddr, seq: u64, payload: usize) -> Bytes {
+        let mut v = Vec::with_capacity(payload.max(16));
+        v.extend_from_slice(&sender.raw().to_le_bytes());
+        v.extend_from_slice(&seq.to_le_bytes());
+        v.resize(payload.max(16), 0xAB);
+        Bytes::from(v)
+    }
+
+    /// Decodes a self-describing body into `(sender raw id, seq)`.
+    pub fn parse(body: &Bytes) -> Option<(u64, u64)> {
+        if body.len() < 16 {
+            return None;
+        }
+        Some((
+            u64::from_le_bytes(body[..8].try_into().ok()?),
+            u64::from_le_bytes(body[8..16].try_into().ok()?),
+        ))
+    }
+
+    /// Schedules the workload's casts on a world, starting at `start`.
+    /// Returns the total number of casts scheduled.
+    pub fn schedule(&self, world: &mut SimWorld, start: SimTime) -> u64 {
+        let mut seqs: std::collections::BTreeMap<EndpointAddr, u64> =
+            self.senders.iter().map(|&s| (s, 0)).collect();
+        let mut total = 0;
+        for slot in 0..self.slots {
+            let at = start + self.interval * slot as u32;
+            match self.kind {
+                WorkloadKind::RoundRobin => {
+                    let sender = self.senders[(slot as usize) % self.senders.len()];
+                    let seq = seqs.get_mut(&sender).expect("sender registered");
+                    *seq += 1;
+                    world.cast_bytes_at(at, sender, Self::body(sender, *seq, self.payload));
+                    total += 1;
+                }
+                WorkloadKind::SingleSender => {
+                    let sender = self.senders[0];
+                    let seq = seqs.get_mut(&sender).expect("sender registered");
+                    *seq += 1;
+                    world.cast_bytes_at(at, sender, Self::body(sender, *seq, self.payload));
+                    total += 1;
+                }
+                WorkloadKind::AllToAll => {
+                    for &sender in &self.senders {
+                        let seq = seqs.get_mut(&sender).expect("sender registered");
+                        *seq += 1;
+                        world.cast_bytes_at(at, sender, Self::body(sender, *seq, self.payload));
+                        total += 1;
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// The virtual duration of the scheduled workload.
+    pub fn duration(&self) -> Duration {
+        self.interval * self.slots as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_parse_roundtrip() {
+        let b = Workload::body(EndpointAddr::new(7), 42, 64);
+        assert_eq!(b.len(), 64);
+        assert_eq!(Workload::parse(&b), Some((7, 42)));
+        assert_eq!(Workload::parse(&Bytes::from_static(b"short")), None);
+    }
+
+    #[test]
+    fn body_enforces_minimum_size() {
+        let b = Workload::body(EndpointAddr::new(1), 1, 4);
+        assert_eq!(b.len(), 16);
+    }
+
+    #[test]
+    fn counts_per_kind() {
+        let senders = vec![EndpointAddr::new(1), EndpointAddr::new(2)];
+        let mk = |kind| Workload {
+            kind,
+            senders: senders.clone(),
+            slots: 10,
+            interval: Duration::from_millis(1),
+            payload: 16,
+        };
+        // Scheduled counts differ by kind; verify on a throwaway world.
+        use horus_net::NetConfig;
+        #[derive(Debug, Default)]
+        struct Nop;
+        impl Layer for Nop {
+            fn name(&self) -> &'static str {
+                "NOP"
+            }
+        }
+        let mut world = SimWorld::new(1, NetConfig::reliable());
+        for &s in &senders {
+            let stack = StackBuilder::new(s).push(Box::new(Nop)).build().unwrap();
+            world.add_endpoint(stack);
+            world.join(s, GroupAddr::new(1));
+        }
+        assert_eq!(mk(WorkloadKind::RoundRobin).schedule(&mut world, SimTime::ZERO), 10);
+        assert_eq!(mk(WorkloadKind::SingleSender).schedule(&mut world, SimTime::ZERO), 10);
+        assert_eq!(mk(WorkloadKind::AllToAll).schedule(&mut world, SimTime::ZERO), 20);
+    }
+}

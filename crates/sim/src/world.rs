@@ -1,0 +1,546 @@
+//! The deterministic discrete-event executor.
+//!
+//! A [`SimWorld`] owns a set of endpoints (each a [`Stack`]), the simulated
+//! network, and an event calendar ordered by virtual time.  Stacks are pure
+//! state machines, the network is a pure function of its RNG, and the
+//! calendar breaks ties by insertion order — so a `(seed, script)` pair
+//! identifies exactly one execution.  This is what lets the repository
+//! replay Figure 2 of the paper byte-for-byte, and lets the property tests
+//! shrink failing schedules.
+
+use bytes::Bytes;
+use horus_core::prelude::*;
+use horus_net::{NetConfig, SimNetwork};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::time::Duration;
+
+/// Safety valve: a single `run_until` may not process more events than this
+/// (catches accidental message storms in protocol code).
+const MAX_STEPS_PER_RUN: u64 = 50_000_000;
+
+// Net deliveries dominate the calendar; boxing them would cost an
+// allocation per simulated packet.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Ev {
+    /// A wire frame arrives at `to`.
+    Net { to: EndpointAddr, from: EndpointAddr, cast: bool, wire: Bytes },
+    /// A stack timer expires.
+    Timer { ep: EndpointAddr, layer: usize, token: u64 },
+    /// The application issues a downcall.
+    App { ep: EndpointAddr, down: Down },
+    /// The endpoint crashes (fail-stop).
+    Crash { ep: EndpointAddr },
+    /// The network splits into the given regions.
+    Partition { regions: Vec<Vec<EndpointAddr>> },
+    /// All partitions heal.
+    Heal,
+}
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Slot {
+    stack: Stack,
+    upcalls: Vec<(SimTime, Up)>,
+    alive: bool,
+}
+
+/// The discrete-event world: endpoints, network, calendar, virtual clock.
+///
+/// ```
+/// use horus_sim::SimWorld;
+/// use horus_net::NetConfig;
+/// use horus_core::prelude::*;
+/// use std::time::Duration;
+///
+/// #[derive(Debug, Default)]
+/// struct Nop;
+/// impl Layer for Nop { fn name(&self) -> &'static str { "NOP" } }
+///
+/// let mut w = SimWorld::new(1, NetConfig::reliable());
+/// let a = EndpointAddr::new(1);
+/// let b = EndpointAddr::new(2);
+/// for ep in [a, b] {
+///     let stack = StackBuilder::new(ep).push(Box::new(Nop)).build()?;
+///     w.add_endpoint(stack);
+///     w.join(ep, GroupAddr::new(1));
+/// }
+/// w.cast_bytes(a, &b"hi"[..]);
+/// w.run_for(Duration::from_millis(10));
+/// let got = w.delivered_casts(b);
+/// assert_eq!(got.len(), 1);
+/// assert_eq!(&got[0].1[..], b"hi");
+/// # Ok::<(), HorusError>(())
+/// ```
+pub struct SimWorld {
+    time: SimTime,
+    seq: u64,
+    steps: u64,
+    calendar: BinaryHeap<Entry>,
+    net: SimNetwork,
+    endpoints: BTreeMap<EndpointAddr, Slot>,
+    rng: StdRng,
+    traces: Vec<(SimTime, String)>,
+}
+
+impl SimWorld {
+    /// Creates a world with a deterministic seed and network physics.
+    pub fn new(seed: u64, config: NetConfig) -> Self {
+        SimWorld {
+            time: SimTime::ZERO,
+            seq: 0,
+            steps: 0,
+            calendar: BinaryHeap::new(),
+            net: SimNetwork::new(config),
+            endpoints: BTreeMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            traces: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// The simulated network (for physics tweaks mid-run).
+    pub fn net_mut(&mut self) -> &mut SimNetwork {
+        &mut self.net
+    }
+
+    /// Network counters.
+    pub fn net_stats(&self) -> &horus_net::NetStats {
+        self.net.stats()
+    }
+
+    /// Registers an endpoint's stack and runs its layer initialisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint with the same address already exists.
+    pub fn add_endpoint(&mut self, mut stack: Stack) -> EndpointAddr {
+        let ep = stack.local_addr();
+        assert!(
+            !self.endpoints.contains_key(&ep),
+            "endpoint {ep} already exists in this world"
+        );
+        stack.set_now(self.time);
+        let effects = stack.init();
+        self.endpoints.insert(ep, Slot { stack, upcalls: Vec::new(), alive: true });
+        self.apply_effects(ep, effects);
+        ep
+    }
+
+    /// Schedules a downcall at the current time.
+    pub fn down(&mut self, ep: EndpointAddr, down: Down) {
+        self.down_at(self.time, ep, down);
+    }
+
+    /// Schedules a downcall at an absolute virtual time.
+    pub fn down_at(&mut self, at: SimTime, ep: EndpointAddr, down: Down) {
+        self.schedule(at, Ev::App { ep, down });
+    }
+
+    /// Shorthand: `join` downcall now.
+    pub fn join(&mut self, ep: EndpointAddr, group: GroupAddr) {
+        self.down(ep, Down::Join { group });
+    }
+
+    /// Shorthand: casts an application payload now.
+    pub fn cast_bytes(&mut self, ep: EndpointAddr, body: impl Into<Bytes>) {
+        self.cast_bytes_at(self.time, ep, body);
+    }
+
+    /// Shorthand: casts an application payload at an absolute time.
+    pub fn cast_bytes_at(&mut self, at: SimTime, ep: EndpointAddr, body: impl Into<Bytes>) {
+        let msg = self
+            .endpoints
+            .get(&ep)
+            .unwrap_or_else(|| panic!("unknown endpoint {ep}"))
+            .stack
+            .new_message(body.into());
+        self.down_at(at, ep, Down::Cast(msg));
+    }
+
+    /// Schedules a fail-stop crash.
+    pub fn crash_at(&mut self, at: SimTime, ep: EndpointAddr) {
+        self.schedule(at, Ev::Crash { ep });
+    }
+
+    /// Schedules a network partition (each slice becomes one region).
+    pub fn partition_at(&mut self, at: SimTime, regions: &[&[EndpointAddr]]) {
+        let regions = regions.iter().map(|r| r.to_vec()).collect();
+        self.schedule(at, Ev::Partition { regions });
+    }
+
+    /// Schedules the healing of all partitions.
+    pub fn heal_at(&mut self, at: SimTime) {
+        self.schedule(at, Ev::Heal);
+    }
+
+    fn schedule(&mut self, at: SimTime, ev: Ev) {
+        debug_assert!(at >= self.time, "cannot schedule into the past");
+        self.seq += 1;
+        self.calendar.push(Entry { at, seq: self.seq, ev });
+    }
+
+    /// Runs the calendar until `deadline` (inclusive); events after it stay
+    /// queued.  Returns the number of events processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 50 million events fire in one call — almost
+    /// certainly a protocol message storm.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(head) = self.calendar.peek() {
+            if head.at > deadline {
+                break;
+            }
+            let entry = self.calendar.pop().expect("peeked entry");
+            self.time = entry.at;
+            self.dispatch(entry.ev);
+            processed += 1;
+            self.steps += 1;
+            assert!(
+                self.steps < MAX_STEPS_PER_RUN,
+                "event-count safety valve tripped at {}: message storm?",
+                self.time
+            );
+        }
+        self.time = self.time.max(deadline);
+        processed
+    }
+
+    /// Runs the calendar for a further `d` of virtual time.
+    pub fn run_for(&mut self, d: Duration) -> u64 {
+        self.run_until(self.time + d)
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Net { to, from, cast, wire } => {
+                let Some(slot) = self.endpoints.get_mut(&to) else { return };
+                if !slot.alive {
+                    return;
+                }
+                slot.stack.set_now(self.time);
+                let fx = slot.stack.handle(StackInput::FromNet { from, cast, wire });
+                self.apply_effects(to, fx);
+            }
+            Ev::Timer { ep, layer, token } => {
+                let Some(slot) = self.endpoints.get_mut(&ep) else { return };
+                if !slot.alive {
+                    return;
+                }
+                let fx = slot.stack.handle(StackInput::Timer { layer, token, now: self.time });
+                self.apply_effects(ep, fx);
+            }
+            Ev::App { ep, down } => {
+                let Some(slot) = self.endpoints.get_mut(&ep) else { return };
+                if !slot.alive {
+                    return;
+                }
+                slot.stack.set_now(self.time);
+                let fx = slot.stack.handle(StackInput::FromApp(down));
+                self.apply_effects(ep, fx);
+            }
+            Ev::Crash { ep } => {
+                if let Some(slot) = self.endpoints.get_mut(&ep) {
+                    slot.alive = false;
+                    self.net.leave(ep);
+                    self.traces.push((self.time, format!("{ep} crashed")));
+                }
+            }
+            Ev::Partition { regions } => {
+                let slices: Vec<&[EndpointAddr]> = regions.iter().map(|r| r.as_slice()).collect();
+                self.net.partition(&slices);
+                self.traces.push((self.time, format!("partition {regions:?}")));
+            }
+            Ev::Heal => {
+                self.net.heal();
+                self.traces.push((self.time, "partitions healed".to_string()));
+            }
+        }
+    }
+
+    fn apply_effects(&mut self, ep: EndpointAddr, effects: Vec<Effect>) {
+        for fx in effects {
+            match fx {
+                Effect::Deliver(up) => {
+                    if let Some(slot) = self.endpoints.get_mut(&ep) {
+                        slot.upcalls.push((self.time, up));
+                    }
+                }
+                Effect::NetCast { wire } => {
+                    let deliveries = self.net.cast(ep, wire, self.time, &mut self.rng);
+                    for d in deliveries {
+                        self.schedule(
+                            d.at,
+                            Ev::Net { to: d.to, from: d.from, cast: d.cast, wire: d.wire },
+                        );
+                    }
+                }
+                Effect::NetSend { dests, wire } => {
+                    let deliveries =
+                        self.net.send(ep, &dests, wire, self.time, &mut self.rng);
+                    for d in deliveries {
+                        self.schedule(
+                            d.at,
+                            Ev::Net { to: d.to, from: d.from, cast: d.cast, wire: d.wire },
+                        );
+                    }
+                }
+                Effect::NetJoin { group } => self.net.join(group, ep),
+                Effect::NetLeave => self.net.leave(ep),
+                Effect::SetTimer { layer, token, delay } => {
+                    self.schedule(self.time + delay, Ev::Timer { ep, layer, token });
+                }
+                Effect::Trace(t) => self.traces.push((self.time, format!("{ep}: {t}"))),
+            }
+        }
+    }
+
+    /// Whether an endpoint is still alive (has not crashed or been
+    /// destroyed).
+    pub fn is_alive(&self, ep: EndpointAddr) -> bool {
+        self.endpoints.get(&ep).map(|s| s.alive && !s.stack.is_destroyed()).unwrap_or(false)
+    }
+
+    /// All endpoint addresses, in address order.
+    pub fn endpoint_addrs(&self) -> Vec<EndpointAddr> {
+        self.endpoints.keys().copied().collect()
+    }
+
+    /// The recorded upcalls of an endpoint, in delivery order.
+    pub fn upcalls(&self, ep: EndpointAddr) -> &[(SimTime, Up)] {
+        self.endpoints
+            .get(&ep)
+            .map(|s| s.upcalls.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Removes and returns an endpoint's recorded upcalls.
+    pub fn take_upcalls(&mut self, ep: EndpointAddr) -> Vec<(SimTime, Up)> {
+        self.endpoints
+            .get_mut(&ep)
+            .map(|s| std::mem::take(&mut s.upcalls))
+            .unwrap_or_default()
+    }
+
+    /// CAST deliveries observed by an endpoint: `(source, body, time)`.
+    pub fn delivered_casts(&self, ep: EndpointAddr) -> Vec<(EndpointAddr, Bytes, SimTime)> {
+        self.upcalls(ep)
+            .iter()
+            .filter_map(|(t, up)| match up {
+                Up::Cast { src, msg } => Some((*src, msg.body().clone(), *t)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Views installed at an endpoint, in installation order.
+    pub fn installed_views(&self, ep: EndpointAddr) -> Vec<View> {
+        self.upcalls(ep)
+            .iter()
+            .filter_map(|(_, up)| match up {
+                Up::View(v) => Some(v.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Stack counters for an endpoint.
+    pub fn stack_stats(&self, ep: EndpointAddr) -> Option<&horus_core::stack::StackStats> {
+        self.endpoints.get(&ep).map(|s| s.stack.stats())
+    }
+
+    /// Borrow an endpoint's stack (for `focus`/`dump` inspection).
+    pub fn stack(&self, ep: EndpointAddr) -> Option<&Stack> {
+        self.endpoints.get(&ep).map(|s| &s.stack)
+    }
+
+    /// The world's trace log (layer traces, crash/partition markers).
+    pub fn traces(&self) -> &[(SimTime, String)] {
+        &self.traces
+    }
+
+    /// Pending calendar entries (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.calendar.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Nop;
+    impl Layer for Nop {
+        fn name(&self) -> &'static str {
+            "NOP"
+        }
+    }
+
+    fn ep(i: u64) -> EndpointAddr {
+        EndpointAddr::new(i)
+    }
+
+    fn world_of(n: u64) -> SimWorld {
+        let mut w = SimWorld::new(7, NetConfig::reliable());
+        for i in 1..=n {
+            let s = StackBuilder::new(ep(i)).push(Box::new(Nop)).build().unwrap();
+            w.add_endpoint(s);
+            w.join(ep(i), GroupAddr::new(1));
+        }
+        w
+    }
+
+    #[test]
+    fn cast_delivered_to_all_members() {
+        let mut w = world_of(3);
+        w.cast_bytes(ep(1), &b"m1"[..]);
+        w.run_for(Duration::from_millis(5));
+        for i in 1..=3 {
+            let got = w.delivered_casts(ep(i));
+            assert_eq!(got.len(), 1, "endpoint {i}");
+            assert_eq!(got[0].0, ep(1));
+        }
+    }
+
+    #[test]
+    fn crashed_endpoints_receive_nothing() {
+        let mut w = world_of(3);
+        w.crash_at(SimTime::from_millis(1), ep(3));
+        w.cast_bytes_at(SimTime::from_millis(2), ep(1), &b"late"[..]);
+        w.run_for(Duration::from_millis(10));
+        assert!(w.delivered_casts(ep(3)).is_empty());
+        assert!(!w.is_alive(ep(3)));
+        assert_eq!(w.delivered_casts(ep(2)).len(), 1);
+    }
+
+    #[test]
+    fn partitions_and_heal_are_scripted() {
+        let mut w = world_of(2);
+        w.partition_at(SimTime::from_millis(1), &[&[ep(1)], &[ep(2)]]);
+        w.cast_bytes_at(SimTime::from_millis(2), ep(1), &b"blocked"[..]);
+        w.heal_at(SimTime::from_millis(5));
+        w.cast_bytes_at(SimTime::from_millis(6), ep(1), &b"flows"[..]);
+        w.run_for(Duration::from_millis(20));
+        let got = w.delivered_casts(ep(2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].1[..], b"flows");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let mut w = world_of(3);
+            for k in 0..20 {
+                w.cast_bytes_at(SimTime::from_micros(100 * k), ep(1 + k % 3), vec![k as u8]);
+            }
+            w.run_for(Duration::from_millis(50));
+            (1..=3)
+                .map(|i| {
+                    w.delivered_casts(ep(i))
+                        .iter()
+                        .map(|(s, b, t)| (s.raw(), b.to_vec(), t.as_nanos()))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut w = world_of(2);
+        w.cast_bytes_at(SimTime::from_millis(10), ep(1), &b"later"[..]);
+        w.run_until(SimTime::from_millis(5));
+        assert!(w.delivered_casts(ep(2)).is_empty());
+        assert_eq!(w.now(), SimTime::from_millis(5));
+        w.run_until(SimTime::from_millis(20));
+        assert_eq!(w.delivered_casts(ep(2)).len(), 1);
+    }
+
+    #[test]
+    fn physics_can_change_mid_run() {
+        let mut w = world_of(2);
+        // From t=0 the network loses everything remote...
+        w.net_mut().config_mut().loss = 1.0;
+        w.cast_bytes(ep(1), &b"lost"[..]);
+        w.run_for(Duration::from_millis(5));
+        assert!(w.delivered_casts(ep(2)).is_empty());
+        // ...then it heals.
+        w.net_mut().config_mut().loss = 0.0;
+        w.cast_bytes(ep(1), &b"arrives"[..]);
+        w.run_for(Duration::from_millis(5));
+        assert_eq!(w.delivered_casts(ep(2)).len(), 1);
+    }
+
+    #[test]
+    fn take_upcalls_drains() {
+        let mut w = world_of(2);
+        w.cast_bytes(ep(1), &b"x"[..]);
+        w.run_for(Duration::from_millis(5));
+        assert_eq!(w.take_upcalls(ep(2)).len(), 1);
+        assert!(w.upcalls(ep(2)).is_empty());
+        assert!(w.take_upcalls(ep(9)).is_empty(), "unknown endpoints yield nothing");
+    }
+
+    #[test]
+    fn traces_record_world_events() {
+        let mut w = world_of(2);
+        w.crash_at(SimTime::from_millis(1), ep(2));
+        w.partition_at(SimTime::from_millis(2), &[&[ep(1)]]);
+        w.heal_at(SimTime::from_millis(3));
+        w.run_for(Duration::from_millis(10));
+        let text: Vec<&str> = w.traces().iter().map(|(_, t)| t.as_str()).collect();
+        assert!(text.iter().any(|t| t.contains("crashed")));
+        assert!(text.iter().any(|t| t.contains("partition")));
+        assert!(text.iter().any(|t| t.contains("healed")));
+    }
+
+    #[test]
+    fn pending_events_visible() {
+        let mut w = world_of(1);
+        w.cast_bytes_at(SimTime::from_millis(50), ep(1), &b"later"[..]);
+        assert!(w.pending_events() >= 1);
+        w.run_until(SimTime::from_millis(100));
+        assert_eq!(w.pending_events(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_endpoint_rejected() {
+        let mut w = world_of(1);
+        let s = StackBuilder::new(ep(1)).push(Box::new(Nop)).build().unwrap();
+        w.add_endpoint(s);
+    }
+}

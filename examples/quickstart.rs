@@ -1,0 +1,76 @@
+//! Quickstart: compose the paper's §7 stack at run time, form a group,
+//! and multicast with totally ordered, virtually synchronous delivery.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus::sim::SimWorld;
+use horus_net::NetConfig;
+use std::time::Duration;
+
+fn main() -> Result<(), HorusError> {
+    // The canonical Horus stack, described as a string and composed at
+    // run time — the LEGO-block premise of the paper.
+    const STACK: &str = "TOTAL:MBRSHIP:FRAG:NAK:COM(promiscuous=true)";
+    let group = GroupAddr::new(1);
+
+    // A deterministic world: same seed, same run, every time.
+    let mut world = SimWorld::new(2026, NetConfig::lossy(0.05));
+
+    println!("composing {STACK} for three endpoints");
+    for i in 1..=3 {
+        let ep = EndpointAddr::new(i);
+        let stack = build_stack(ep, STACK, StackConfig::default())?;
+        world.add_endpoint(stack);
+        world.join(ep, group);
+    }
+    // Members 2 and 3 merge toward member 1 to form the group.
+    for i in 2..=3 {
+        world.down(EndpointAddr::new(i), Down::Merge { contact: EndpointAddr::new(1) });
+    }
+    world.run_for(Duration::from_secs(2));
+
+    let view = world
+        .installed_views(EndpointAddr::new(1))
+        .last()
+        .expect("view installed")
+        .clone();
+    println!("group formed: {view}");
+
+    // Concurrent casts from all members: TOTAL orders them identically
+    // everywhere, even over a 5%-lossy network.
+    for k in 0..5u64 {
+        for i in 1..=3u64 {
+            world.cast_bytes(EndpointAddr::new(i), format!("msg {k} from ep{i}").into_bytes());
+        }
+    }
+    world.run_for(Duration::from_secs(2));
+
+    for i in 1..=3u64 {
+        let ep = EndpointAddr::new(i);
+        println!("\ndeliveries at ep{i} (in total order):");
+        for (src, body, _) in world.delivered_casts(ep) {
+            println!("  [{src}] {}", String::from_utf8_lossy(&body));
+        }
+    }
+
+    // Every member saw the identical sequence.
+    let seq1: Vec<_> = world
+        .delivered_casts(EndpointAddr::new(1))
+        .iter()
+        .map(|(s, b, _)| (*s, b.clone()))
+        .collect();
+    for i in 2..=3 {
+        let seq: Vec<_> = world
+            .delivered_casts(EndpointAddr::new(i))
+            .iter()
+            .map(|(s, b, _)| (*s, b.clone()))
+            .collect();
+        assert_eq!(seq1, seq, "total order must agree");
+    }
+    println!("\nall members delivered {} messages in the same global order ✓", seq1.len());
+    Ok(())
+}

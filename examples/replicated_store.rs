@@ -1,0 +1,95 @@
+//! State-machine replication over the Horus stack — the paper's §9 claim
+//! in action: "it is straightforward to implement replicated data ... in
+//! Horus.  Horus achieves the necessary consistency guarantees through
+//! ordering and atomicity properties provided by its process group and
+//! communication protocols."
+//!
+//! Each member runs a key-value store and applies every delivered command
+//! in the (identical) total order.  One replica crashes mid-run; the
+//! survivors keep identical state without any application-level recovery
+//! code.
+//!
+//! ```text
+//! cargo run --example replicated_store
+//! ```
+
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus::sim::SimWorld;
+use horus_net::NetConfig;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A command encoded as `key=value` bytes.
+fn cmd(key: &str, value: u64) -> Vec<u8> {
+    format!("{key}={value}").into_bytes()
+}
+
+/// Replays a member's deliveries into a store.
+fn replay(world: &SimWorld, ep: EndpointAddr) -> BTreeMap<String, u64> {
+    let mut store = BTreeMap::new();
+    for (_, body, _) in world.delivered_casts(ep) {
+        let text = String::from_utf8_lossy(&body);
+        if let Some((k, v)) = text.split_once('=') {
+            if let Ok(v) = v.parse::<u64>() {
+                store.insert(k.to_string(), v);
+            }
+        }
+    }
+    store
+}
+
+fn main() -> Result<(), HorusError> {
+    let group = GroupAddr::new(1);
+    let members: Vec<EndpointAddr> = (1..=4).map(EndpointAddr::new).collect();
+    let mut world = SimWorld::new(99, NetConfig::lossy(0.08));
+    for &ep in &members {
+        let stack = build_stack(
+            ep,
+            "TOTAL:MBRSHIP:FRAG:NAK:COM(promiscuous=true)",
+            StackConfig::default(),
+        )?;
+        world.add_endpoint(stack);
+        world.join(ep, group);
+    }
+    for &ep in &members[1..] {
+        world.down(ep, Down::Merge { contact: members[0] });
+    }
+    world.run_for(Duration::from_secs(2));
+    println!("4 replicas formed {}", world.installed_views(members[0]).last().unwrap());
+
+    // Conflicting writers: every member updates the same keys
+    // concurrently; total order decides the winner identically everywhere.
+    let t = world.now();
+    for round in 0..10u64 {
+        for (i, &ep) in members.iter().enumerate() {
+            world.cast_bytes_at(
+                t + Duration::from_millis(2 * round + 1),
+                ep,
+                cmd(&format!("k{}", round % 3), round * 10 + i as u64),
+            );
+        }
+    }
+    // Replica 3 crashes mid-run.
+    world.crash_at(t + Duration::from_millis(9), members[2]);
+    world.run_for(Duration::from_secs(3));
+
+    let mut states = Vec::new();
+    for &ep in &members {
+        if !world.is_alive(ep) {
+            println!("{ep}: crashed (excluded from the view by the flush protocol)");
+            continue;
+        }
+        let store = replay(&world, ep);
+        println!("{ep}: {store:?}");
+        states.push(store);
+    }
+    for w in states.windows(2) {
+        assert_eq!(w[0], w[1], "replicated state must be identical");
+    }
+    println!(
+        "\nall surviving replicas agree on {} keys despite 8% loss and a crash ✓",
+        states[0].len()
+    );
+    Ok(())
+}

@@ -1,0 +1,197 @@
+//! E2 — Figure 1: run-time LEGO-block composition.
+//!
+//! Stacks assemble at run time from the ~thirty-layer catalogue, utility
+//! layers interleave freely, independently configured applications coexist
+//! in one process, and mismatched compositions are firewalled rather than
+//! misparsed.
+
+mod common;
+
+use common::*;
+use horus::layers::registry::{build_stack, layer_names};
+use horus::prelude::*;
+use horus::sim::SimWorld;
+use horus_net::NetConfig;
+use std::time::Duration;
+
+#[test]
+fn the_catalogue_has_about_thirty_protocols() {
+    let names = layer_names();
+    assert!(
+        names.len() >= 30,
+        "the paper's 'library of about thirty different protocols': {} found",
+        names.len()
+    );
+}
+
+#[test]
+fn utility_layers_interleave_freely() {
+    // Mix seven catalogue layers around the FIFO core, in an order nobody
+    // planned for; everything still works because all speak the HCPI.
+    let desc = "TRACE:COMPRESS:SIGN(key=7):ACCT:ENCRYPT(key=9):LOGGER:CHKSUM:NAK:COM";
+    let mut w = SimWorld::new(1, NetConfig::lossy(0.1));
+    for i in 1..=2 {
+        let s = build_stack(ep(i), desc, StackConfig::default()).unwrap();
+        w.add_endpoint(s);
+        w.join(ep(i), group());
+    }
+    let body = b"compose me like LEGO".to_vec();
+    for _ in 0..10 {
+        w.cast_bytes(ep(1), body.clone());
+    }
+    w.run_for(Duration::from_secs(2));
+    let got = w.delivered_casts(ep(2));
+    assert_eq!(got.len(), 10);
+    for (_, b, _) in &got {
+        assert_eq!(&b[..], &body[..], "transforms must invert exactly");
+    }
+}
+
+#[test]
+fn deep_stacks_of_every_depth_build_and_run() {
+    for depth in 1..=10 {
+        let mut desc: Vec<&str> = vec!["NOP_OPAQUE"; depth];
+        desc.push("NAK");
+        desc.push("COM");
+        let desc = desc.join(":");
+        let mut w = SimWorld::new(depth as u64, NetConfig::reliable());
+        for i in 1..=2 {
+            let s = build_stack(ep(i), &desc, StackConfig::default()).unwrap();
+            w.add_endpoint(s);
+            w.join(ep(i), group());
+        }
+        w.cast_bytes(ep(1), &b"deep"[..]);
+        w.run_for(Duration::from_millis(100));
+        assert_eq!(w.delivered_casts(ep(2)).len(), 1, "depth {depth}");
+    }
+}
+
+#[test]
+fn independently_configured_apps_share_a_process() {
+    // §1: "Horus can support many applications concurrently, each of which
+    // can be configured individually."  Three groups, three stacks, one
+    // world; traffic never crosses.
+    let configs = [
+        (GroupAddr::new(10), "TOTAL:MBRSHIP:FRAG:NAK:COM(promiscuous=true)", 1u64),
+        (GroupAddr::new(20), "CHKSUM:NAK:COM", 11u64),
+        (GroupAddr::new(30), "COMPRESS:SEQNO:COM", 21u64),
+    ];
+    let mut w = SimWorld::new(5, NetConfig::reliable());
+    for &(g, desc, base) in &configs {
+        for i in base..base + 2 {
+            let s = build_stack(ep(i), desc, StackConfig::default()).unwrap();
+            w.add_endpoint(s);
+            w.join(ep(i), g);
+        }
+    }
+    // Form the membership group.
+    w.down(ep(2), Down::Merge { contact: ep(1) });
+    w.run_for(Duration::from_secs(2));
+    for &(_, _, base) in &configs {
+        w.cast_bytes(ep(base), format!("group-{base}").into_bytes());
+    }
+    w.run_for(Duration::from_secs(1));
+    for &(_, _, base) in &configs {
+        let got = w.delivered_casts(ep(base + 1));
+        assert_eq!(got.len(), 1, "group {base} isolated");
+        assert_eq!(got[0].1, format!("group-{base}").into_bytes());
+    }
+}
+
+#[test]
+fn mismatched_stacks_cannot_misparse_each_other() {
+    // Two members of one transport group running different compositions:
+    // the fingerprint drops the frames instead of letting NAK parse TOTAL
+    // headers as sequence numbers.
+    let mut w = SimWorld::new(6, NetConfig::reliable());
+    let a = build_stack(ep(1), "NAK:COM", StackConfig::default()).unwrap();
+    let b = build_stack(ep(2), "FRAG:NAK:COM", StackConfig::default()).unwrap();
+    w.add_endpoint(a);
+    w.add_endpoint(b);
+    w.join(ep(1), group());
+    w.join(ep(2), group());
+    for k in 0..5u8 {
+        w.cast_bytes(ep(1), vec![k]);
+    }
+    w.run_for(Duration::from_millis(200));
+    assert!(w.delivered_casts(ep(2)).is_empty());
+    assert!(w.stack_stats(ep(2)).unwrap().fingerprint_drops >= 5);
+}
+
+#[test]
+fn header_modes_are_a_runtime_choice_per_stack() {
+    // The same composition in aligned and compact header modes: identical
+    // behaviour, different wire sizes (§10 problem 3).
+    let mut sizes = Vec::new();
+    for mode in [HeaderMode::Aligned, HeaderMode::Compact] {
+        let config = StackConfig { mode, ..StackConfig::default() };
+        let mut w = SimWorld::new(7, NetConfig::reliable());
+        for i in 1..=2 {
+            let s = build_stack(ep(i), "FRAG:NAK:COM", config.clone()).unwrap();
+            w.add_endpoint(s);
+            w.join(ep(i), group());
+        }
+        w.cast_bytes(ep(1), vec![0u8; 64]);
+        w.run_for(Duration::from_millis(100));
+        assert_eq!(w.delivered_casts(ep(2)).len(), 1, "{mode:?}");
+        sizes.push(w.stack_stats(ep(1)).unwrap().header_bytes_sent);
+    }
+    assert!(
+        sizes[1] < sizes[0],
+        "compact headers ({}) must undercut aligned ({})",
+        sizes[1],
+        sizes[0]
+    );
+}
+
+#[test]
+fn every_catalogue_layer_participates_in_some_working_stack() {
+    // Each layer runs in a minimal sensible composition and traffic still
+    // flows end to end (smoke coverage for the whole catalogue).
+    let compositions: Vec<String> = layer_names()
+        .into_iter()
+        .filter(|n| !matches!(*n, "COM" | "MERGE" | "NNAK"))
+        .map(|n| match n {
+            // Ordering/membership-dependent layers need their substrate.
+            "TOTAL" | "TOTAL_REF" | "CAUSAL" => {
+                format!("{n}:MBRSHIP:FRAG:NAK:COM(promiscuous=true)")
+            }
+            "SAFE" => "SAFE:STABLE:MBRSHIP:FRAG:NAK:COM(promiscuous=true)".to_string(),
+            "STABLE" | "PINWHEEL" => {
+                format!("{n}:MBRSHIP:FRAG:NAK:COM(promiscuous=true)")
+            }
+            "MBRSHIP" => "MBRSHIP:FRAG:NAK:COM(promiscuous=true)".to_string(),
+            "SECURE" => "SECURE:MBRSHIP:FRAG:NAK:COM(promiscuous=true)".to_string(),
+            "BMS" => "VSS(auto_ok=true):BMS:FRAG:NAK:COM(promiscuous=true)".to_string(),
+            "VSS" => "VSS(auto_ok=true):BMS:FRAG:NAK:COM(promiscuous=true)".to_string(),
+            "FLUSH" => "FLUSH:VSS:BMS:FRAG:NAK:COM(promiscuous=true)".to_string(),
+            "FRAG" => "FRAG:NAK:COM".to_string(),
+            "NAK" | "NAK_REF" => format!("{n}:COM"),
+            "NFRAG" => "NFRAG:COM".to_string(),
+            "TS" => "TS:NAK:COM".to_string(),
+            "DROP" => "NAK:DROP(nth=3):COM".to_string(),
+            other => format!("{other}:NAK:COM"),
+        })
+        .collect();
+    for (k, desc) in compositions.iter().enumerate() {
+        let needs_join = desc.contains("MBRSHIP") || desc.contains("BMS");
+        let mut w = SimWorld::new(100 + k as u64, NetConfig::reliable());
+        for i in 1..=2 {
+            let s = build_stack(ep(i), desc, StackConfig::default())
+                .unwrap_or_else(|e| panic!("{desc}: {e}"));
+            w.add_endpoint(s);
+            w.join(ep(i), group());
+        }
+        if needs_join {
+            w.down(ep(2), Down::Merge { contact: ep(1) });
+            w.run_for(Duration::from_secs(2));
+        }
+        w.cast_bytes(ep(1), &b"smoke"[..]);
+        w.run_for(Duration::from_secs(2));
+        assert_eq!(
+            w.delivered_casts(ep(2)).len(),
+            1,
+            "stack {desc} must deliver end to end"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Randomized hardening of the BMS/VSS/FLUSH reference decomposition
+//! (§8): the composed reference layers must give the same virtual-synchrony
+//! guarantees as the production MBRSHIP, under random crashes and loss —
+//! plus stress cases for membership churn generally.
+
+mod common;
+
+use common::*;
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus::sim::{SimWorld, Workload, WorkloadKind};
+use horus_net::NetConfig;
+use horus_sim::check_virtual_synchrony;
+use proptest::prelude::*;
+use std::time::Duration;
+
+const DECOMPOSED: &str = "FLUSH:VSS:BMS:FRAG:NAK:COM(promiscuous=true)";
+
+fn run_decomposed(seed: u64, n: u64, loss_pct: u8, crash: Option<u64>) -> Result<(), TestCaseError> {
+    let net = if loss_pct == 0 {
+        NetConfig::reliable()
+    } else {
+        NetConfig::lossy(loss_pct as f64 / 100.0)
+    };
+    let mut w = SimWorld::new(seed, net);
+    for i in 1..=n {
+        let s = build_stack(ep(i), DECOMPOSED, StackConfig::default()).unwrap();
+        w.add_endpoint(s);
+        w.join(ep(i), group());
+    }
+    for i in 2..=n {
+        w.down_at(SimTime::from_millis(5 * (i - 1)), ep(i), Down::Merge { contact: ep(1) });
+    }
+    w.run_for(Duration::from_secs(3));
+    for i in 1..=n {
+        prop_assert_eq!(
+            w.installed_views(ep(i)).last().expect("view").len(),
+            n as usize,
+            "seed {} ep{} join",
+            seed,
+            i
+        );
+    }
+    let t = w.now();
+    let wl = Workload {
+        kind: WorkloadKind::RoundRobin,
+        senders: (1..=n).map(ep).collect(),
+        slots: 20,
+        interval: Duration::from_millis(1),
+        payload: 24,
+    };
+    wl.schedule(&mut w, t + Duration::from_millis(1));
+    if let Some(v) = crash {
+        let victim = 2 + (v % (n - 1)); // never the senior member here
+        w.crash_at(t + Duration::from_millis(8), ep(victim));
+    }
+    w.run_for(Duration::from_secs(6));
+    let logs = logs(&w, n);
+    let violations = check_virtual_synchrony(&logs);
+    prop_assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    // Survivors converge on one view containing exactly the live members
+    // (seniority order depends on which join round won, so compare sets).
+    let alive: Vec<EndpointAddr> = (1..=n).filter(|&i| w.is_alive(ep(i))).map(ep).collect();
+    let reference = w.installed_views(alive[0]).last().unwrap().clone();
+    let mut members = reference.members().to_vec();
+    members.sort();
+    prop_assert_eq!(&members[..], &alive[..], "seed {} membership set", seed);
+    for &a in &alive[1..] {
+        let v = w.installed_views(a).last().unwrap().clone();
+        prop_assert_eq!(&v, &reference, "seed {} {} final view agreement", seed, a);
+    }
+    Ok(())
+}
+
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn decomposed_membership_is_virtually_synchronous(
+        seed in 0u64..10_000,
+        n in 2u64..=4,
+        loss in prop_oneof![Just(0u8), Just(6u8)],
+        crash in proptest::option::of(0u64..100),
+    ) {
+        run_decomposed(seed, n, loss, if n > 2 { crash } else { None })?;
+    }
+}
+
+#[test]
+fn simultaneous_merges_converge() {
+    // All newcomers fire their merge requests at the *same instant*: the
+    // coordinator must queue/fold the joiner views without losing any.
+    for seed in 1..=4 {
+        let mut w = SimWorld::new(seed, NetConfig::reliable());
+        for i in 1..=5 {
+            let s = build_stack(ep(i), VSYNC, StackConfig::default()).unwrap();
+            w.add_endpoint(s);
+            w.join(ep(i), group());
+        }
+        for i in 2..=5 {
+            w.down_at(SimTime::from_millis(3), ep(i), Down::Merge { contact: ep(1) });
+        }
+        w.run_for(Duration::from_secs(4));
+        for i in 1..=5 {
+            assert_eq!(
+                w.installed_views(ep(i)).last().unwrap().len(),
+                5,
+                "seed {seed} ep{i}: all simultaneous joiners admitted"
+            );
+        }
+        assert!(check_virtual_synchrony(&logs(&w, 5)).is_empty(), "seed {seed}");
+    }
+}
+
+#[test]
+fn churn_join_leave_join_stays_consistent() {
+    let mut w = joined_world(4, 11, NetConfig::reliable(), VSYNC);
+    // ep4 leaves, casts flow, ep4's address never returns but a NEW member
+    // ep5 arrives.
+    let t = w.now();
+    w.down_at(t + Duration::from_millis(5), ep(4), Down::Leave);
+    w.cast_bytes_at(t + Duration::from_millis(10), ep(1), &b"during churn"[..]);
+    w.run_for(Duration::from_secs(2));
+    let s5 = build_stack(ep(5), VSYNC, StackConfig::default()).unwrap();
+    w.add_endpoint(s5);
+    w.join(ep(5), group());
+    let t = w.now();
+    w.down_at(t + Duration::from_millis(10), ep(5), Down::Merge { contact: ep(1) });
+    w.run_for(Duration::from_secs(2));
+    for i in [1u64, 2, 3, 5] {
+        let v = w.installed_views(ep(i)).last().unwrap().clone();
+        assert_eq!(v.members(), &[ep(1), ep(2), ep(3), ep(5)], "ep{i}: {v}");
+    }
+    assert!(check_virtual_synchrony(&logs(&w, 5)).is_empty());
+}

@@ -1,0 +1,72 @@
+//! Determinism guarantees of the executor: one `(seed, script)` pair is
+//! exactly one execution, byte for byte — the property that makes
+//! Figure 2 replayable and lets proptest shrink failing schedules.
+
+mod common;
+
+use common::*;
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus::sim::{SimWorld, Workload};
+use horus_net::NetConfig;
+use std::time::Duration;
+
+/// A full scripted run: group formation, chaos physics, traffic, a crash,
+/// a partition cycle.  Returns every observable: upcall kinds with
+/// timestamps, delivered bodies, views, stack stats.
+fn scripted_run(seed: u64) -> Vec<String> {
+    let mut cfg = NetConfig::lossy(0.1);
+    cfg.duplicate = 0.05;
+    cfg.latency_max = Duration::from_millis(2);
+    let mut w = SimWorld::new(seed, cfg);
+    for i in 1..=4 {
+        let s = build_stack(ep(i), CANONICAL, StackConfig::default()).unwrap();
+        w.add_endpoint(s);
+        w.join(ep(i), group());
+    }
+    for i in 2..=4 {
+        w.down_at(SimTime::from_millis(5 * (i - 1)), ep(i), Down::Merge { contact: ep(1) });
+    }
+    w.run_for(Duration::from_secs(3));
+    let t = w.now();
+    let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3), ep(4)], 24);
+    wl.schedule(&mut w, t + Duration::from_millis(1));
+    w.crash_at(t + Duration::from_millis(11), ep(2));
+    w.partition_at(t + Duration::from_millis(400), &[&[ep(1)], &[ep(3), ep(4)]]);
+    w.heal_at(t + Duration::from_millis(900), );
+    w.run_for(Duration::from_secs(6));
+
+    let mut out = Vec::new();
+    for i in 1..=4u64 {
+        for (at, up) in w.upcalls(ep(i)) {
+            let detail = match up {
+                Up::Cast { src, msg } => format!("{src}:{:?}", msg.body()),
+                Up::View(v) => v.to_string(),
+                other => other.kind().to_string(),
+            };
+            out.push(format!("ep{i} [{at}] {} {detail}", up.kind()));
+        }
+        out.push(format!("ep{i} stats {:?}", w.stack_stats(ep(i))));
+    }
+    out.push(format!("net {:?}", w.net_stats()));
+    out
+}
+
+#[test]
+fn identical_seed_identical_execution() {
+    let a = scripted_run(20260707);
+    let b = scripted_run(20260707);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn different_seeds_diverge() {
+    // Different RNG → different loss pattern → observably different runs
+    // (sanity check that the seed actually matters).
+    let a = scripted_run(1);
+    let b = scripted_run(2);
+    assert_ne!(a, b);
+}

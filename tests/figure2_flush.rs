@@ -1,0 +1,117 @@
+//! E5 — Figure 2, the flush protocol scenario, on both membership
+//! implementations (production MBRSHIP and the BMS/VSS/FLUSH reference
+//! decomposition) and across a matrix of loss rates and header modes.
+
+mod common;
+
+use common::*;
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus::sim::SimWorld;
+use horus_net::NetConfig;
+use horus_sim::check_virtual_synchrony;
+use std::time::Duration;
+
+const DECOMPOSED: &str = "FLUSH:VSS:BMS:FRAG:NAK:COM(promiscuous=true)";
+
+/// Runs the Figure 2 script: D, partitioned together with C, casts M and
+/// crashes; the flush must deliver M at A and B exactly once, recovered.
+fn figure2(stack: &str, seed: u64, net: NetConfig, mode: HeaderMode) {
+    let (a, b, c, d) = (ep(1), ep(2), ep(3), ep(4));
+    let config = StackConfig { mode, ..StackConfig::default() };
+    let mut w = SimWorld::new(seed, net);
+    for &e in &[a, b, c, d] {
+        let s = build_stack(e, stack, config.clone()).unwrap();
+        w.add_endpoint(s);
+        w.join(e, group());
+    }
+    for &e in &[b, c, d] {
+        w.down(e, Down::Merge { contact: a });
+    }
+    w.run_for(Duration::from_secs(3));
+    assert_eq!(w.installed_views(a).last().unwrap().len(), 4, "{stack} seed {seed}: formed");
+
+    let t = w.now();
+    w.partition_at(t + Duration::from_millis(1), &[&[a, b], &[c, d]]);
+    w.cast_bytes_at(t + Duration::from_millis(2), d, &b"M"[..]);
+    w.crash_at(t + Duration::from_millis(5), d);
+    w.heal_at(t + Duration::from_millis(8));
+    w.run_for(Duration::from_secs(4));
+
+    for &m in &[a, b, c] {
+        let from_d: Vec<bool> = w
+            .upcalls(m)
+            .iter()
+            .filter_map(|(_, up)| match up {
+                Up::Cast { src, msg } if *src == d => Some(msg.meta.flush_recovered),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(from_d.len(), 1, "{stack} seed {seed}: {m} delivers M exactly once");
+        if m == a || m == b {
+            assert!(
+                from_d[0],
+                "{stack} seed {seed}: {m} can only have gotten M through the flush"
+            );
+        }
+    }
+    let survivors_view = w.installed_views(a).last().unwrap().clone();
+    assert_eq!(survivors_view.members(), &[a, b, c], "{stack} seed {seed}: final view");
+    let logs = logs(&w, 4);
+    let violations = check_virtual_synchrony(&logs);
+    assert!(violations.is_empty(), "{stack} seed {seed}: {violations:?}");
+}
+
+#[test]
+fn figure2_production_membership() {
+    for seed in 1..=5 {
+        figure2(VSYNC, seed, NetConfig::reliable(), HeaderMode::Compact);
+    }
+}
+
+#[test]
+fn figure2_under_loss() {
+    for seed in 1..=3 {
+        figure2(VSYNC, 40 + seed, NetConfig::lossy(0.1), HeaderMode::Compact);
+    }
+}
+
+#[test]
+fn figure2_aligned_headers() {
+    figure2(VSYNC, 9, NetConfig::reliable(), HeaderMode::Aligned);
+}
+
+#[test]
+fn figure2_decomposed_membership() {
+    for seed in 1..=3 {
+        figure2(DECOMPOSED, 60 + seed, NetConfig::reliable(), HeaderMode::Compact);
+    }
+}
+
+#[test]
+fn coordinator_crash_cascades_to_next_oldest() {
+    // Crash D (triggering a flush led by A, the oldest), then crash A
+    // mid-flush: B takes over as "oldest surviving member of the oldest
+    // view" and the system still converges.
+    let (a, b, c, d) = (ep(1), ep(2), ep(3), ep(4));
+    let mut w = SimWorld::new(13, NetConfig::reliable());
+    for &e in &[a, b, c, d] {
+        let s = build_stack(e, VSYNC, StackConfig::default()).unwrap();
+        w.add_endpoint(s);
+        w.join(e, group());
+    }
+    for &e in &[b, c, d] {
+        w.down(e, Down::Merge { contact: a });
+    }
+    w.run_for(Duration::from_secs(2));
+    let t = w.now();
+    w.crash_at(t + Duration::from_millis(5), d);
+    w.crash_at(t + Duration::from_millis(150), a);
+    w.run_for(Duration::from_secs(5));
+    for &m in &[b, c] {
+        let v = w.installed_views(m).last().unwrap().clone();
+        assert_eq!(v.members(), &[b, c], "{m}");
+        assert_eq!(v.id().coordinator, b, "B led the final flush");
+    }
+    assert!(check_virtual_synchrony(&logs(&w, 4)).is_empty());
+}

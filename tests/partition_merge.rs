@@ -1,0 +1,137 @@
+//! E17 — §9's partitioning models: extended virtual synchrony with
+//! automatic re-merge, and the Isis-style primary partition.
+
+mod common;
+
+use common::*;
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus::sim::SimWorld;
+use horus_net::NetConfig;
+use horus_sim::check_virtual_synchrony;
+use std::time::Duration;
+
+const AUTO: &str = "MERGE(contacts=1,period=50):MBRSHIP:FRAG:NAK:COM(promiscuous=true)";
+const PRIMARY: &str =
+    "MERGE(contacts=1,period=50):MBRSHIP(primary=true):FRAG:NAK:COM(promiscuous=true)";
+
+fn auto_world(n: u64, seed: u64, desc: &str) -> SimWorld {
+    let mut w = SimWorld::new(seed, NetConfig::reliable());
+    for i in 1..=n {
+        let s = build_stack(ep(i), desc, StackConfig::default()).unwrap();
+        w.add_endpoint(s);
+        w.join(ep(i), group());
+    }
+    w.run_for(Duration::from_secs(4));
+    for i in 1..=n {
+        assert_eq!(
+            w.installed_views(ep(i)).last().unwrap().len(),
+            n as usize,
+            "ep{i} auto-assembled"
+        );
+    }
+    w
+}
+
+#[test]
+fn both_sides_progress_and_remerge() {
+    let mut w = auto_world(4, 1, AUTO);
+    let t = w.now();
+    w.partition_at(t, &[&[ep(1), ep(2)], &[ep(3), ep(4)]]);
+    w.run_for(Duration::from_secs(2));
+    // Extended model: both sides installed their own 2-member views.
+    assert_eq!(w.installed_views(ep(1)).last().unwrap().len(), 2);
+    assert_eq!(w.installed_views(ep(3)).last().unwrap().len(), 2);
+    // Both sides deliver traffic within their partitions.
+    w.cast_bytes(ep(2), &b"A side"[..]);
+    w.cast_bytes(ep(4), &b"B side"[..]);
+    w.run_for(Duration::from_secs(1));
+    assert!(w.delivered_casts(ep(1)).iter().any(|(_, b, _)| &b[..] == b"A side"));
+    assert!(w.delivered_casts(ep(3)).iter().any(|(_, b, _)| &b[..] == b"B side"));
+    // Healing re-merges automatically through the MERGE layer.
+    let t = w.now();
+    w.heal_at(t);
+    w.run_for(Duration::from_secs(5));
+    for i in 1..=4 {
+        assert_eq!(w.installed_views(ep(i)).last().unwrap().len(), 4, "ep{i} re-merged");
+    }
+    // Post-merge traffic flows across the former boundary.
+    w.cast_bytes(ep(1), &b"reunited"[..]);
+    w.run_for(Duration::from_secs(1));
+    for i in 1..=4 {
+        assert!(
+            w.delivered_casts(ep(i)).iter().any(|(_, b, _)| &b[..] == b"reunited"),
+            "ep{i}"
+        );
+    }
+    assert!(check_virtual_synchrony(&logs(&w, 4)).is_empty());
+}
+
+#[test]
+fn repeated_partition_cycles_stay_consistent() {
+    let mut w = auto_world(4, 2, AUTO);
+    for cycle in 0..3 {
+        let t = w.now();
+        w.partition_at(t, &[&[ep(1), ep(3)], &[ep(2), ep(4)]]);
+        w.cast_bytes_at(t + Duration::from_millis(600), ep(1), format!("c{cycle}a").into_bytes());
+        w.cast_bytes_at(t + Duration::from_millis(600), ep(2), format!("c{cycle}b").into_bytes());
+        w.heal_at(t + Duration::from_secs(2));
+        w.run_for(Duration::from_secs(7));
+        for i in 1..=4 {
+            assert_eq!(
+                w.installed_views(ep(i)).last().unwrap().len(),
+                4,
+                "cycle {cycle} ep{i} healed"
+            );
+        }
+    }
+    let violations = check_virtual_synchrony(&logs(&w, 4));
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn primary_partition_blocks_minority_and_majority_continues() {
+    let mut w = auto_world(5, 3, PRIMARY);
+    let t = w.now();
+    w.partition_at(t, &[&[ep(1), ep(2), ep(3)], &[ep(4), ep(5)]]);
+    w.run_for(Duration::from_secs(4));
+    // Majority: progress into a 3-member view; traffic still flows.
+    for i in 1..=3 {
+        assert_eq!(w.installed_views(ep(i)).last().unwrap().len(), 3, "ep{i}");
+    }
+    w.cast_bytes(ep(1), &b"primary still serving"[..]);
+    w.run_for(Duration::from_secs(1));
+    assert!(w
+        .delivered_casts(ep(3))
+        .iter()
+        .any(|(_, b, _)| &b[..] == b"primary still serving"));
+    // Minority: blocked with a SYSTEM_ERROR, views unchanged.
+    for i in 4..=5 {
+        let blocked = w
+            .upcalls(ep(i))
+            .iter()
+            .any(|(_, up)| matches!(up, Up::SystemError { reason } if reason.contains("primary")));
+        assert!(blocked, "ep{i} must report the lost primary partition");
+        assert_eq!(
+            w.installed_views(ep(i)).last().unwrap().len(),
+            5,
+            "ep{i} must not install a minority view"
+        );
+    }
+}
+
+#[test]
+fn merge_of_unequal_partitions_preserves_seniority() {
+    let mut w = auto_world(4, 4, AUTO);
+    let t = w.now();
+    // 3-1 split; the singleton is the junior member.
+    w.partition_at(t, &[&[ep(1), ep(2), ep(3)], &[ep(4)]]);
+    w.run_for(Duration::from_secs(2));
+    let t = w.now();
+    w.heal_at(t);
+    w.run_for(Duration::from_secs(5));
+    let v = w.installed_views(ep(1)).last().unwrap().clone();
+    assert_eq!(v.len(), 4);
+    // The original seniors keep their rank after the merge.
+    assert_eq!(v.members()[0], ep(1), "oldest member still ranks first: {v}");
+}

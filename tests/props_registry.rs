@@ -1,0 +1,95 @@
+//! Consistency between the property matrix (horus-props) and the layer
+//! registry (horus-layers): every matrix row is buildable, every
+//! registered layer is either in the matrix or explicitly transparent,
+//! and planner output feeds straight into the stack builder.
+
+mod common;
+
+use common::*;
+use horus::layers::registry::{build_layer, build_stack, layer_names, parse_stack};
+use horus::prelude::*;
+use horus::props::{derive_stack, plan_minimal_stack, Prop, PropSet};
+use horus::sim::SimWorld;
+use horus_net::NetConfig;
+use horus_props::matrix::matrix_names;
+use std::time::Duration;
+
+#[test]
+fn every_matrix_row_is_a_buildable_layer() {
+    for name in matrix_names() {
+        let spec = parse_stack(name).unwrap().remove(0);
+        let layer = build_layer(&spec).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(layer.name(), name);
+    }
+}
+
+#[test]
+fn every_registered_layer_is_classified() {
+    // A registered layer must be in the matrix OR in the checker's
+    // transparent list — nothing may silently lack property semantics.
+    let matrix: Vec<&str> = matrix_names();
+    for name in layer_names() {
+        let transparent = derive_stack(&[name, "COM"], PropSet::of(&[Prop::BestEffort])).is_ok()
+            || matrix.contains(&name);
+        assert!(
+            transparent || matrix.contains(&name),
+            "{name} is neither in the matrix nor treated as transparent"
+        );
+    }
+}
+
+#[test]
+fn planner_output_builds_and_runs() {
+    // Close the loop of §6: request properties, plan the stack, build it
+    // through the registry, run it, observe the property.
+    let stack = plan_minimal_stack(
+        PropSet::of(&[Prop::TotalOrder]),
+        PropSet::of(&[Prop::BestEffort]),
+    )
+    .unwrap();
+    // Promiscuous COM so the group can assemble by merging.
+    let desc: String = stack
+        .iter()
+        .map(|&n| if n == "COM" { "COM(promiscuous=true)".to_string() } else { n.to_string() })
+        .collect::<Vec<_>>()
+        .join(":");
+    let mut w = SimWorld::new(1, NetConfig::reliable());
+    for i in 1..=3 {
+        let s = build_stack(ep(i), &desc, StackConfig::default()).unwrap();
+        w.add_endpoint(s);
+        w.join(ep(i), group());
+    }
+    for i in 2..=3 {
+        w.down(ep(i), Down::Merge { contact: ep(1) });
+    }
+    w.run_for(Duration::from_secs(3));
+    for i in 1..=3u64 {
+        w.cast_bytes(ep(i), format!("from {i}").into_bytes());
+    }
+    w.run_for(Duration::from_secs(1));
+    let seq1: Vec<_> = w.delivered_casts(ep(1)).iter().map(|(s, b, _)| (*s, b.clone())).collect();
+    assert_eq!(seq1.len(), 3);
+    for i in 2..=3 {
+        let seq: Vec<_> =
+            w.delivered_casts(ep(i)).iter().map(|(s, b, _)| (*s, b.clone())).collect();
+        assert_eq!(seq1, seq, "planned stack delivers in one total order");
+    }
+}
+
+#[test]
+fn ill_formed_stacks_fail_fast_in_the_algebra() {
+    // The algebra rejects compositions before any packet flows: the
+    // run-time "can I have these properties?" check of §6.
+    let p1 = PropSet::of(&[Prop::BestEffort]);
+    for bad in [
+        vec!["TOTAL", "FRAG", "NAK", "COM"],       // no membership under TOTAL
+        vec!["MBRSHIP", "NAK", "COM"],             // no FRAG: large messages missing
+        vec!["SAFE", "MBRSHIP", "FRAG", "NAK", "COM"], // no stability under SAFE
+        vec!["COM", "NAK"],                        // upside down
+    ] {
+        assert!(
+            derive_stack(&bad, p1).is_err(),
+            "{bad:?} must be rejected by the property check"
+        );
+    }
+}

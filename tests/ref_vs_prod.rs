@@ -1,0 +1,120 @@
+//! E16 — §8: reference and production layers are interchangeable and
+//! mixable within a stack, equivalent in guarantees, different in cost.
+
+mod common;
+
+use common::*;
+use horus::prelude::*;
+use horus::sim::Workload;
+use horus_layers::reference::NakRef;
+use horus_net::NetConfig;
+use horus_sim::{check_total_order, check_virtual_synchrony, SimWorld};
+use std::time::Duration;
+
+fn flavour(ref_total: bool, ref_nak: bool) -> String {
+    format!(
+        "{}:MBRSHIP:FRAG:{}:COM(promiscuous=true)",
+        if ref_total { "TOTAL_REF" } else { "TOTAL" },
+        if ref_nak { "NAK_REF" } else { "NAK" },
+    )
+}
+
+fn run(desc: &str, seed: u64, loss: f64) -> (SimWorld, Vec<(u64, Vec<u8>)>) {
+    let net = if loss > 0.0 { NetConfig::lossy(loss) } else { NetConfig::reliable() };
+    let mut w = joined_world(3, seed, net, desc);
+    let t = w.now();
+    let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3)], 21);
+    wl.schedule(&mut w, t + Duration::from_millis(1));
+    w.run_for(Duration::from_secs(5));
+    let seq = w
+        .delivered_casts(ep(2))
+        .iter()
+        .map(|(s, b, _)| (s.raw(), b.to_vec()))
+        .collect();
+    (w, seq)
+}
+
+#[test]
+fn all_four_flavours_meet_the_same_contract() {
+    for &(rt, rn) in &[(false, false), (false, true), (true, false), (true, true)] {
+        let desc = flavour(rt, rn);
+        let (w, seq) = run(&desc, 500, 0.0);
+        assert_eq!(seq.len(), 21, "{desc}");
+        let logs = logs(&w, 3);
+        assert!(check_total_order(&logs).is_empty(), "{desc}");
+        assert!(check_virtual_synchrony(&logs).is_empty(), "{desc}");
+        // All members identical.
+        for i in [1u64, 3] {
+            let other: Vec<_> = w
+                .delivered_casts(ep(i))
+                .iter()
+                .map(|(s, b, _)| (s.raw(), b.to_vec()))
+                .collect();
+            assert_eq!(seq, other, "{desc} ep{i}");
+        }
+    }
+}
+
+#[test]
+fn reference_flavours_survive_loss_and_crashes() {
+    for &(rt, rn) in &[(true, true), (true, false), (false, true)] {
+        let desc = flavour(rt, rn);
+        let mut w = joined_world(3, 600, NetConfig::lossy(0.12), &desc);
+        let t = w.now();
+        let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3)], 24);
+        wl.schedule(&mut w, t + Duration::from_millis(1));
+        w.crash_at(t + Duration::from_millis(12), ep(3));
+        w.run_for(Duration::from_secs(6));
+        let logs = logs(&w, 3);
+        assert!(check_total_order(&logs).is_empty(), "{desc}");
+        assert!(check_virtual_synchrony(&logs).is_empty(), "{desc}");
+    }
+}
+
+#[test]
+fn reference_fifo_pays_bandwidth_for_simplicity() {
+    // Same lossy workload through NAK and NAK_REF: the reference go-back-N
+    // design must move measurably more traffic for the same delivery.
+    let measure = |desc: &str| -> (u64, usize) {
+        let mut w = SimWorld::new(700, NetConfig::lossy(0.15));
+        for i in 1..=2 {
+            let s = horus::layers::registry::build_stack(
+                ep(i),
+                desc,
+                horus_core::StackConfig::default(),
+            )
+            .unwrap();
+            w.add_endpoint(s);
+            w.join(ep(i), group());
+        }
+        for k in 0..40u64 {
+            w.cast_bytes_at(SimTime::from_millis(k), ep(1), Workload::body(ep(1), k + 1, 64));
+        }
+        w.run_for(Duration::from_secs(4));
+        (w.net_stats().bytes_sent, w.delivered_casts(ep(2)).len())
+    };
+    let (prod_bytes, prod_delivered) = measure("NAK:COM");
+    let (ref_bytes, ref_delivered) = measure("NAK_REF:COM");
+    assert_eq!(prod_delivered, 40);
+    assert_eq!(ref_delivered, 40);
+    assert!(
+        ref_bytes > prod_bytes,
+        "go-back-N ({ref_bytes}B) must outspend selective repeat ({prod_bytes}B)"
+    );
+}
+
+#[test]
+fn code_size_gap_echoes_the_paper() {
+    // §8: reference layers are "generally an order of magnitude smaller".
+    // Ours are roughly 2-3x by line count; assert the direction so the
+    // claim stays honest if the sources drift.
+    let nak = include_str!("../crates/layers/src/nak.rs");
+    let nak_ref_total = include_str!("../crates/layers/src/reference.rs");
+    let count = |s: &str| s.lines().filter(|l| !l.trim().is_empty()).count();
+    // reference.rs holds TWO layers; halve for a fair comparison.
+    assert!(
+        count(nak_ref_total) / 2 < count(nak),
+        "reference NAK should be smaller than production NAK"
+    );
+    let _ = NakRef::default(); // keep the import honest
+}

@@ -1,0 +1,89 @@
+//! §5/§9 — "members excluded from the view may still be alive.  When
+//! communication is restored, views may be merged using the merge
+//! downcall": the full exclusion → singleton → merge-back lifecycle, and
+//! the same suite in the 1995 aligned-header mode.
+
+mod common;
+
+use common::*;
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus::sim::{SimWorld, Workload};
+use horus_net::NetConfig;
+use horus_sim::{check_total_order, check_virtual_synchrony};
+use std::time::Duration;
+
+#[test]
+fn falsely_excluded_member_merges_back() {
+    let mut w = joined_world(3, 1, NetConfig::reliable(), VSYNC);
+    // The external failure detector (§5) falsely accuses ep3.
+    let t = w.now();
+    w.down_at(t + Duration::from_millis(5), ep(1), Down::Suspect { member: ep(3) });
+    w.run_for(Duration::from_secs(2));
+    // ep3 is excluded but alive, fell back to a singleton view...
+    assert_eq!(w.installed_views(ep(3)).last().unwrap().members(), &[ep(3)]);
+    assert_eq!(w.installed_views(ep(1)).last().unwrap().len(), 2);
+    // ...and merges back in.
+    w.down(ep(3), Down::Merge { contact: ep(1) });
+    w.run_for(Duration::from_secs(2));
+    for i in 1..=3 {
+        assert_eq!(w.installed_views(ep(i)).last().unwrap().len(), 3, "ep{i} reunited");
+    }
+    // Traffic flows again to everyone, and the history is consistent.
+    w.cast_bytes(ep(3), &b"i am back"[..]);
+    w.run_for(Duration::from_secs(1));
+    for i in 1..=3 {
+        assert!(w
+            .delivered_casts(ep(i))
+            .iter()
+            .any(|(_, b, _)| &b[..] == b"i am back"));
+    }
+    assert!(check_virtual_synchrony(&logs(&w, 3)).is_empty());
+}
+
+#[test]
+fn seniority_resets_for_the_rejoiner() {
+    // The rejoiner was the oldest member; after exclusion + re-merge it is
+    // the *youngest* (a rejoin is a new incarnation, not a resurrection).
+    let mut w = joined_world(3, 2, NetConfig::reliable(), VSYNC);
+    let t = w.now();
+    // Falsely accuse ep1 (the senior member) at both survivors.
+    w.down_at(t + Duration::from_millis(5), ep(2), Down::Suspect { member: ep(1) });
+    w.run_for(Duration::from_secs(2));
+    assert_eq!(w.installed_views(ep(2)).last().unwrap().members(), &[ep(2), ep(3)]);
+    // ep1 merges back toward the new coordinator.
+    w.down(ep(1), Down::Merge { contact: ep(2) });
+    w.run_for(Duration::from_secs(2));
+    let v = w.installed_views(ep(2)).last().unwrap().clone();
+    assert_eq!(v.len(), 3);
+    assert_eq!(v.members()[0], ep(2), "ep2 is now the senior member: {v}");
+    assert_eq!(*v.members().last().unwrap(), ep(1), "ep1 rejoined as junior: {v}");
+}
+
+#[test]
+fn aligned_headers_full_protocol_suite() {
+    // The 1995 aligned push/pop layout, end to end: group formation,
+    // total-ordered traffic, a crash, and the invariants — nothing about
+    // the protocols may depend on the compact layout.
+    let config = StackConfig { mode: HeaderMode::Aligned, ..StackConfig::default() };
+    let mut w = SimWorld::new(3, NetConfig::lossy(0.08));
+    for i in 1..=3 {
+        let s = build_stack(ep(i), CANONICAL, config.clone()).unwrap();
+        w.add_endpoint(s);
+        w.join(ep(i), group());
+    }
+    for i in 2..=3 {
+        w.down_at(SimTime::from_millis(5 * (i - 1)), ep(i), Down::Merge { contact: ep(1) });
+    }
+    w.run_for(Duration::from_secs(3));
+    let t = w.now();
+    let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3)], 24);
+    wl.schedule(&mut w, t + Duration::from_millis(1));
+    w.crash_at(t + Duration::from_millis(12), ep(2));
+    w.run_for(Duration::from_secs(5));
+    let logs = logs(&w, 3);
+    assert!(check_virtual_synchrony(&logs).is_empty());
+    assert!(check_total_order(&logs).is_empty());
+    let survivors_view = w.installed_views(ep(1)).last().unwrap().clone();
+    assert_eq!(survivors_view.members(), &[ep(1), ep(3)]);
+}

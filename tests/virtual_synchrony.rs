@@ -1,0 +1,113 @@
+//! E6 — randomized virtual-synchrony invariant checking (§5).
+//!
+//! Property-based: over random seeds, loss rates, group sizes, crash
+//! schedules, and workloads, every execution of the membership stack must
+//! satisfy the §5 guarantees — view agreement, same-view delivery
+//! agreement among survivors, sender-in-view, monotone views.  The
+//! deterministic simulator makes every failure reproducible from its
+//! proptest seed.
+
+mod common;
+
+use common::*;
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus::sim::{SimWorld, Workload, WorkloadKind};
+use horus_net::NetConfig;
+use horus_sim::check_virtual_synchrony;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// One randomized scenario: build, load, crash, check.
+fn run_scenario(
+    seed: u64,
+    n: u64,
+    loss_pct: u8,
+    crash_victims: Vec<u64>,
+    crash_at_ms: u64,
+    slots: u64,
+    kind: WorkloadKind,
+) -> Result<(), TestCaseError> {
+    let net = if loss_pct == 0 {
+        NetConfig::reliable()
+    } else {
+        NetConfig::lossy(loss_pct as f64 / 100.0)
+    };
+    let mut w = SimWorld::new(seed, net);
+    for i in 1..=n {
+        let s = build_stack(ep(i), VSYNC, StackConfig::default()).unwrap();
+        w.add_endpoint(s);
+        w.join(ep(i), group());
+    }
+    for i in 2..=n {
+        w.down_at(SimTime::from_millis(5 * (i - 1)), ep(i), Down::Merge { contact: ep(1) });
+    }
+    w.run_for(Duration::from_secs(3));
+    let t = w.now();
+    let wl = Workload {
+        kind,
+        senders: (1..=n).map(ep).collect(),
+        slots,
+        interval: Duration::from_millis(1),
+        payload: 24,
+    };
+    wl.schedule(&mut w, t + Duration::from_millis(1));
+    // Crash the victims (never all members).
+    for (j, &v) in crash_victims.iter().enumerate() {
+        let victim = 1 + (v % n);
+        if victim != 1 || crash_victims.len() < n as usize {
+            w.crash_at(t + Duration::from_millis(crash_at_ms + 7 * j as u64), ep(victim));
+        }
+    }
+    w.run_for(Duration::from_secs(6));
+
+    let alive: Vec<u64> = (1..=n).filter(|&i| w.is_alive(ep(i))).collect();
+    prop_assert!(!alive.is_empty(), "some member must survive");
+    let logs = logs(&w, n);
+    let violations = check_virtual_synchrony(&logs);
+    prop_assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+    // Liveness: survivors converged on a view containing exactly the
+    // surviving members.
+    let expect: Vec<EndpointAddr> = alive.iter().map(|&i| ep(i)).collect();
+    for &i in &alive {
+        let v = w.installed_views(ep(i)).last().unwrap().clone();
+        prop_assert_eq!(
+            v.members(),
+            &expect[..],
+            "seed {} ep{} final view {}",
+            seed,
+            i,
+            v
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn virtual_synchrony_holds_under_random_crashes(
+        seed in 0u64..10_000,
+        n in 2u64..=5,
+        loss_pct in prop_oneof![Just(0u8), Just(5u8), Just(12u8)],
+        victims in proptest::collection::vec(0u64..100, 0..=2),
+        crash_at in 2u64..40,
+        slots in 5u64..40,
+        kind in prop_oneof![Just(WorkloadKind::RoundRobin), Just(WorkloadKind::AllToAll)],
+    ) {
+        run_scenario(seed, n, loss_pct, victims, crash_at, slots, kind)?;
+    }
+}
+
+#[test]
+fn regression_two_simultaneous_crashes() {
+    run_scenario(4242, 5, 10, vec![1, 2], 10, 30, WorkloadKind::AllToAll).unwrap();
+}
+
+#[test]
+fn regression_crash_during_group_formation_churn() {
+    // Crash immediately after the workload starts, while stability
+    // machinery is still warming up.
+    run_scenario(77, 4, 12, vec![3], 2, 40, WorkloadKind::RoundRobin).unwrap();
+}
