@@ -11,10 +11,10 @@
 //! and [`Up`].
 
 use crate::addr::{EndpointAddr, GroupAddr};
+use crate::frame::WireFrame;
 use crate::message::Message;
 use crate::time::SimTime;
 use crate::view::View;
-use bytes::Bytes;
 use std::fmt;
 use std::time::Duration;
 
@@ -267,7 +267,7 @@ pub enum StackInput {
         /// point-to-point send (`false`).
         cast: bool,
         /// The encoded message.
-        wire: Bytes,
+        wire: WireFrame,
     },
     /// A timer set by layer `layer` with the given token has expired.
     Timer { layer: usize, token: u64, now: SimTime },
@@ -286,9 +286,9 @@ pub enum Effect {
     /// Deliver an upcall to the application.
     Deliver(Up),
     /// Multicast `wire` to the group (transport-level membership).
-    NetCast { wire: Bytes },
+    NetCast { wire: WireFrame },
     /// Send `wire` to the listed endpoints.
-    NetSend { dests: Vec<EndpointAddr>, wire: Bytes },
+    NetSend { dests: Vec<EndpointAddr>, wire: WireFrame },
     /// Register this endpoint as a transport-level receiver of the group.
     NetJoin { group: GroupAddr },
     /// Deregister from the transport-level group.

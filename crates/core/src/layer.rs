@@ -14,6 +14,7 @@
 use crate::addr::EndpointAddr;
 use crate::event::{Down, Up};
 use crate::message::{FieldSpec, HeaderLayout, Message};
+use crate::stack::StackStats;
 use crate::time::SimTime;
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -45,6 +46,7 @@ pub struct LayerCtx<'a> {
     pub(crate) layout: &'a Arc<HeaderLayout>,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) emitted: &'a mut Vec<Emit>,
+    pub(crate) stats: &'a mut StackStats,
 }
 
 impl<'a> LayerCtx<'a> {
@@ -130,6 +132,21 @@ impl<'a> LayerCtx<'a> {
     /// Reads field `field` of this layer's header.
     pub fn get(&self, msg: &Message, field: usize) -> u64 {
         msg.field(self.layer, field)
+    }
+
+    /// Records that a packing layer coalesced `msgs` messages into one wire
+    /// frame, saving `bytes_saved` bytes of per-frame envelope overhead.
+    pub fn note_packed(&mut self, msgs: u64, bytes_saved: u64) {
+        self.stats.frames_packed += 1;
+        self.stats.msgs_packed += msgs;
+        self.stats.bytes_saved_packing += bytes_saved;
+    }
+
+    /// Records `n` payload copies.  Layers that must materialize a new body
+    /// (fragment reassembly, packing, transforms) report here so the
+    /// zero-copy discipline of the hot path stays observable.
+    pub fn note_payload_copy(&mut self, n: u64) {
+        self.stats.payload_copies += n;
     }
 }
 
@@ -225,6 +242,7 @@ mod tests {
             Arc::new(HeaderLayout::build(&[("NOP", &[])], HeaderMode::Compact).unwrap());
         let mut rng = StdRng::seed_from_u64(1);
         let mut emitted = Vec::new();
+        let mut stats = StackStats::default();
         let mut ctx = LayerCtx {
             layer: 0,
             now: SimTime::ZERO,
@@ -232,6 +250,7 @@ mod tests {
             layout: &layout,
             rng: &mut rng,
             emitted: &mut emitted,
+            stats: &mut stats,
         };
         let mut l = Nop;
         l.on_down(Down::Leave, &mut ctx);
@@ -248,6 +267,7 @@ mod tests {
             Arc::new(HeaderLayout::build(&[("NOP", &[])], HeaderMode::Compact).unwrap());
         let mut rng = StdRng::seed_from_u64(1);
         let mut emitted = Vec::new();
+        let mut stats = StackStats::default();
         let ctx = LayerCtx {
             layer: 0,
             now: SimTime::ZERO,
@@ -255,6 +275,7 @@ mod tests {
             layout: &layout,
             rng: &mut rng,
             emitted: &mut emitted,
+            stats: &mut stats,
         };
         let m = ctx.new_message(&b"x"[..]);
         assert_eq!(m.body(), &b"x"[..]);

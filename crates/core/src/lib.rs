@@ -53,6 +53,7 @@
 pub mod addr;
 pub mod error;
 pub mod event;
+pub mod frame;
 pub mod layer;
 pub mod message;
 pub mod stack;
@@ -63,6 +64,7 @@ pub mod wire;
 pub use addr::{EndpointAddr, GroupAddr, Rank};
 pub use error::HorusError;
 pub use event::{Down, Effect, MergeId, MsgId, StabilityMatrix, StackInput, Up};
+pub use frame::WireFrame;
 pub use layer::{Layer, LayerCtx};
 pub use message::{FieldSpec, HeaderLayout, HeaderMode, Message};
 pub use stack::{Stack, StackBuilder, StackConfig};
@@ -76,6 +78,7 @@ pub mod prelude {
     pub use crate::event::{
         Down, Effect, MergeId, MsgId, StabilityMatrix, StackInput, Up,
     };
+    pub use crate::frame::WireFrame;
     pub use crate::layer::{Layer, LayerCtx};
     pub use crate::message::{FieldSpec, HeaderLayout, HeaderMode, Message};
     pub use crate::stack::{Stack, StackBuilder, StackConfig};

@@ -422,14 +422,28 @@ impl Message {
         }
     }
 
-    /// Serializes header area + body into one buffer.  Used by the stack
-    /// when a message leaves the bottom of the stack, and by FRAG when a
-    /// partially-built message must be chunked.
-    pub fn encode_inner(&self) -> Bytes {
-        let hdr = match self.layout.mode {
+    /// The current header area: the bit-compacted header (compact mode) or
+    /// the pushed record stack (aligned mode).  This is exactly what
+    /// [`Message::encode_inner`] serializes ahead of the body.
+    pub fn header_area(&self) -> &[u8] {
+        match self.layout.mode {
             HeaderMode::Compact => &self.compact,
             HeaderMode::Aligned => &self.aligned,
-        };
+        }
+    }
+
+    /// Size of [`Message::encode_inner`] output, without encoding.  Lets
+    /// callers that embed encoded messages (FRAG, PACK) pre-size buffers.
+    pub fn encoded_inner_len(&self) -> usize {
+        2 + self.header_area().len() + self.body.len()
+    }
+
+    /// Serializes header area + body into one buffer.  Used by FRAG when a
+    /// partially-built message must be chunked and by PACK when messages are
+    /// coalesced; the stack itself ships the two parts as a scatter-gather
+    /// [`crate::frame::WireFrame`] instead.
+    pub fn encode_inner(&self) -> Bytes {
+        let hdr = self.header_area();
         let mut out = Vec::with_capacity(2 + hdr.len() + self.body.len());
         out.extend_from_slice(&(hdr.len() as u16).to_le_bytes());
         out.extend_from_slice(hdr);
@@ -454,8 +468,28 @@ impl Message {
                 buf.len() - 2
             )));
         }
-        let hdr = &buf[2..2 + hdr_len];
-        let body = Bytes::copy_from_slice(&buf[2 + hdr_len..]);
+        Message::decode_parts(
+            layout,
+            &buf[2..2 + hdr_len],
+            Bytes::copy_from_slice(&buf[2 + hdr_len..]),
+        )
+    }
+
+    /// Reconstructs a message from an already-split header area and body.
+    /// The zero-copy receive path: `body` is attached as-is, so a transport
+    /// that kept the payload as a distinct [`Bytes`] segment hands it to the
+    /// reconstructed message without a copy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a header area that does not match the layout, or on
+    /// malformed aligned records.
+    pub fn decode_parts(
+        layout: Arc<HeaderLayout>,
+        hdr: &[u8],
+        body: Bytes,
+    ) -> Result<Self, HorusError> {
+        let hdr_len = hdr.len();
         let mut msg = Message::new(layout.clone(), body);
         match layout.mode {
             HeaderMode::Compact => {

@@ -21,6 +21,7 @@
 use crate::addr::{EndpointAddr, GroupAddr};
 use crate::error::HorusError;
 use crate::event::{Down, Effect, StackInput, Up};
+use crate::frame::{FrameChecksum, WireFrame, ENVELOPE_BYTES};
 use crate::layer::{Emit, Layer, LayerCtx};
 use crate::message::{HeaderLayout, HeaderMode, Message};
 use crate::time::SimTime;
@@ -73,6 +74,16 @@ pub struct StackStats {
     pub fingerprint_drops: u64,
     /// Incoming wire messages dropped as undecodable.
     pub decode_drops: u64,
+    /// Wire frames that carried more than one coalesced message (PACK).
+    pub frames_packed: u64,
+    /// Messages that travelled inside a packed carrier frame.
+    pub msgs_packed: u64,
+    /// Envelope bytes saved by packing versus one frame per message.
+    pub bytes_saved_packing: u64,
+    /// Payload (body) copies performed between the application boundary and
+    /// the transport.  Zero on the plain cast/send hot path: the scatter-
+    /// gather framing ships the application's `Bytes` by reference.
+    pub payload_copies: u64,
 }
 
 /// Builds a [`Stack`] from layers given top-first — the run-time `endpoint`
@@ -169,6 +180,7 @@ impl StackBuilder {
             stats: StackStats::default(),
             destroyed: false,
             scratch: VecDeque::with_capacity(n * 2),
+            emit_buf: Vec::with_capacity(4),
         })
     }
 }
@@ -222,6 +234,9 @@ pub struct Stack {
     stats: StackStats,
     destroyed: bool,
     scratch: VecDeque<(usize, Item)>,
+    /// Reusable per-dispatch emission buffer: one allocation per stack, not
+    /// one per layer dispatch.
+    emit_buf: Vec<Emit>,
 }
 
 impl Stack {
@@ -309,7 +324,7 @@ impl Stack {
     pub fn init(&mut self) -> Vec<Effect> {
         let mut effects = Vec::new();
         for i in 0..self.layers.len() {
-            let mut emitted = Vec::new();
+            let mut emitted = std::mem::take(&mut self.emit_buf);
             let mut ctx = LayerCtx {
                 layer: i,
                 now: self.now,
@@ -317,9 +332,11 @@ impl Stack {
                 layout: &self.layout,
                 rng: &mut self.rng,
                 emitted: &mut emitted,
+                stats: &mut self.stats,
             };
             self.layers[i].on_init(&mut ctx);
-            self.absorb(i, emitted, &mut effects);
+            self.absorb(i, &mut emitted, &mut effects);
+            self.emit_buf = emitted;
             self.drain(&mut effects);
         }
         effects
@@ -421,7 +438,7 @@ impl Stack {
     fn drain(&mut self, effects: &mut Vec<Effect>) {
         while let Some((idx, item)) = self.scratch.pop_front() {
             self.stats.dispatches += 1;
-            let mut emitted = Vec::new();
+            let mut emitted = std::mem::take(&mut self.emit_buf);
             let mut ctx = LayerCtx {
                 layer: idx,
                 now: self.now,
@@ -429,23 +446,25 @@ impl Stack {
                 layout: &self.layout,
                 rng: &mut self.rng,
                 emitted: &mut emitted,
+                stats: &mut self.stats,
             };
             match item {
                 Item::Down(ev) => self.layers[idx].on_down(ev, &mut ctx),
                 Item::Up(ev) => self.layers[idx].on_up(ev, &mut ctx),
                 Item::Timer(token) => self.layers[idx].on_timer(token, &mut ctx),
             }
-            self.absorb(idx, emitted, effects);
+            self.absorb(idx, &mut emitted, effects);
+            self.emit_buf = emitted;
         }
     }
 
     /// Routes what layer `idx` emitted: to neighbouring layers' queues or to
     /// executor effects.
-    fn absorb(&mut self, idx: usize, emitted: Vec<Emit>, effects: &mut Vec<Effect>) {
+    fn absorb(&mut self, idx: usize, emitted: &mut Vec<Emit>, effects: &mut Vec<Effect>) {
         if self.config.skip_passive {
             // Count what the skip optimization saved: each emitted event
             // would otherwise visit every passive neighbour it bypasses.
-            for e in &emitted {
+            for e in emitted.iter() {
                 match e {
                     Emit::Down(_) => {
                         let next = self.first_active_down(idx + 1).unwrap_or(self.layers.len());
@@ -462,7 +481,7 @@ impl Stack {
                 }
             }
         }
-        for e in emitted {
+        for e in emitted.drain(..) {
             match e {
                 Emit::Down(ev) => match self.first_active_down(idx + 1) {
                     Some(j) => self.scratch.push_back((j, Item::Down(ev))),
@@ -527,46 +546,40 @@ impl Stack {
         effects.push(Effect::Deliver(ev));
     }
 
-    /// Frame: `[u16 fingerprint][u32 checksum][encode_inner]`.
+    /// Frame: `[u16 fingerprint][u32 checksum][u16 hdr_len][hdr][body]`,
+    /// carried as a scatter-gather [`WireFrame`] whose head (envelope +
+    /// header area) is built here in a single exact-capacity allocation and
+    /// whose body *is* the message body — the application's payload `Bytes`
+    /// reaches the transport by reference, never by copy.
     ///
-    /// The checksum covers the whole inner encoding — the link-level CRC
-    /// every real datagram network provides, and what makes the COM/frame
-    /// level's byte re-ordering detection (P10) actually true over the
-    /// garbling simulated network.
-    fn encode_frame(&self, msg: &Message) -> Bytes {
-        let inner = msg.encode_inner();
-        let mut out = Vec::with_capacity(6 + inner.len());
-        out.extend_from_slice(&self.fingerprint.to_le_bytes());
-        out.extend_from_slice(&(frame_checksum(&inner)).to_le_bytes());
-        out.extend_from_slice(&inner);
-        Bytes::from(out)
+    /// The checksum covers `hdr_len|hdr|body` (computed streaming over the
+    /// two segments) — the link-level CRC every real datagram network
+    /// provides, and what makes the COM/frame level's byte re-ordering
+    /// detection (P10) actually true over the garbling simulated network.
+    fn encode_frame(&self, msg: &Message) -> WireFrame {
+        WireFrame::build(self.fingerprint, msg.header_area(), msg.body().clone())
     }
 
-    fn decode_frame(&self, wire: &[u8]) -> Result<Message, FrameError> {
-        if wire.len() < 6 {
-            return Err(FrameError::Malformed("frame shorter than its envelope".into()));
-        }
-        let fp = u16::from_le_bytes([wire[0], wire[1]]);
+    fn decode_frame(&self, frame: &WireFrame) -> Result<Message, FrameError> {
+        let (head, body) = frame
+            .canonical_parts()
+            .ok_or_else(|| FrameError::Malformed("frame shorter than its envelope".into()))?;
+        let fp = u16::from_le_bytes([head[0], head[1]]);
         if fp != self.fingerprint {
             return Err(FrameError::Fingerprint);
         }
-        let sum = u32::from_le_bytes([wire[2], wire[3], wire[4], wire[5]]);
-        if sum != frame_checksum(&wire[6..]) {
+        let sum = u32::from_le_bytes([head[2], head[3], head[4], head[5]]);
+        let mut ck = FrameChecksum::new();
+        ck.update(&head[6..]);
+        ck.update(&body);
+        if sum != ck.finish() {
             return Err(FrameError::Malformed("frame checksum mismatch (garbled)".into()));
         }
-        Message::decode_inner(self.layout.clone(), &wire[6..])
+        // Zero-copy receive: the body segment is attached to the decoded
+        // message as-is.
+        Message::decode_parts(self.layout.clone(), &head[ENVELOPE_BYTES..], body)
             .map_err(|e| FrameError::Malformed(e.to_string()))
     }
-}
-
-/// FNV-1a over the frame payload, folded to 32 bits.
-fn frame_checksum(data: &[u8]) -> u32 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    (h ^ (h >> 32)) as u32
 }
 
 #[derive(Debug)]
@@ -706,6 +719,38 @@ mod tests {
             let seq: &Seq = b.focus_as("SEQ").unwrap();
             assert_eq!(seq.seen, vec![0]);
         }
+    }
+
+    #[test]
+    fn transmitted_body_shares_storage_with_app_payload() {
+        // The scatter-gather frame ships the application's Bytes by
+        // reference: same backing storage at the transport boundary, and
+        // again on the receiving stack's delivered message.
+        let mut a = two_layer_stack(HeaderMode::Compact);
+        let mut b = StackBuilder::new(ep(2))
+            .push(Box::new(Seq::default()))
+            .push(Box::new(Nop))
+            .build()
+            .unwrap();
+        let payload = Bytes::from(vec![0xAB; 256]);
+        let m = a.new_message(payload.clone());
+        let fx = a.handle(StackInput::FromApp(Down::Cast(m)));
+        let wire = match &fx[0] {
+            Effect::NetCast { wire } => wire.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(wire.body().as_ptr(), payload.as_ptr());
+        assert_eq!(a.stats().payload_copies, 0);
+        let fx = b.handle(StackInput::FromNet { from: ep(1), cast: true, wire });
+        let delivered = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::Deliver(Up::Cast { msg, .. }) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("delivery");
+        assert_eq!(delivered.body().as_ptr(), payload.as_ptr());
+        assert_eq!(b.stats().payload_copies, 0);
     }
 
     #[test]

@@ -81,6 +81,13 @@ impl WireWriter {
         self.buf.extend_from_slice(b);
     }
 
+    /// Appends raw bytes with no length prefix, for callers that frame
+    /// their own records (the PACK carrier body writes segments whose
+    /// lengths are derivable from an earlier prefix).
+    pub fn put_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
     /// Appends a length-prefixed list of endpoint addresses.
     pub fn put_addrs(&mut self, addrs: &[EndpointAddr]) {
         self.put_u32(addrs.len() as u32);

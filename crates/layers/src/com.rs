@@ -176,7 +176,7 @@ mod tests {
         StackBuilder::new(ep(1)).push(Box::new(com)).build().unwrap()
     }
 
-    fn cast_wire(s: &mut Stack, body: &[u8]) -> bytes::Bytes {
+    fn cast_wire(s: &mut Stack, body: &[u8]) -> WireFrame {
         let m = s.new_message(body.to_vec());
         let fx = s.handle(StackInput::FromApp(Down::Cast(m)));
         match &fx[0] {

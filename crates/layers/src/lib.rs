@@ -37,6 +37,7 @@
 //! | [`nak`] | NAK | §7 FIFO via negative acks |
 //! | [`nnak`] | NNAK | Table 3, prioritized unicast FIFO |
 //! | [`frag`] | FRAG, NFRAG | §7 fragmentation |
+//! | [`pack`] | PACK | §10 message packing |
 //! | [`mbrship`] | MBRSHIP | §5 membership/flush |
 //! | [`membership_parts`] | BMS, VSS, FLUSH | §6/§8 reference decomposition |
 //! | [`total`] | TOTAL | §7 token total order |
@@ -56,6 +57,7 @@ pub mod membership_parts;
 pub mod merge;
 pub mod nak;
 pub mod nnak;
+pub mod pack;
 pub mod pinwheel;
 pub mod reference;
 pub mod registry;
@@ -69,5 +71,6 @@ pub use com::Com;
 pub use frag::{Frag, NFrag};
 pub use mbrship::{Mbrship, MbrshipConfig};
 pub use nak::{Nak, NakConfig};
+pub use pack::Pack;
 pub use registry::{build_stack, parse_stack};
 pub use total::Total;

@@ -481,9 +481,12 @@ impl Mbrship {
         leaving: &BTreeSet<EndpointAddr>,
         joiners: &[View],
     ) -> Bytes {
-        let mut w = WireWriter::new();
         let failed_list: Vec<EndpointAddr> = failed.iter().copied().collect();
         let leaving_list: Vec<EndpointAddr> = leaving.iter().copied().collect();
+        let mut w = WireWriter::with_capacity(
+            12 + 8 * (failed_list.len() + leaving_list.len())
+                + joiners.iter().map(|v| 40 + 16 * v.len()).sum::<usize>(),
+        );
         w.put_addrs(&failed_list);
         w.put_addrs(&leaving_list);
         w.put_u32(joiners.len() as u32);
@@ -494,7 +497,9 @@ impl Mbrship {
     }
 
     fn sync_body(cuts: &BTreeMap<EndpointAddr, u32>, retrans: &[(EndpointAddr, u32, Bytes)]) -> Bytes {
-        let mut w = WireWriter::new();
+        let mut w = WireWriter::with_capacity(
+            8 + 12 * cuts.len() + retrans.iter().map(|(_, _, b)| 16 + b.len()).sum::<usize>(),
+        );
         w.put_u32(cuts.len() as u32);
         for (&m, &c) in cuts {
             w.put_addr(m);
@@ -557,8 +562,8 @@ impl Mbrship {
             // through the same handler as everyone else.
         } else {
             // Report suspicions to whoever should coordinate.
-            let mut w = WireWriter::new();
             let list: Vec<EndpointAddr> = failed.iter().copied().collect();
+            let mut w = WireWriter::with_capacity(4 + 8 * list.len());
             w.put_addrs(&list);
             self.control_send(ctx, coordinator, KIND_SUSPECT, self.cur_epoch, w.finish());
         }
@@ -631,7 +636,6 @@ impl Mbrship {
         let epoch = round.epoch;
         let failed = round.failed.clone();
         let Some(view) = &self.view else { return };
-        let mut w = WireWriter::new();
         let mut entries: Vec<(EndpointAddr, u32)> = Vec::new();
         for &m in view.members() {
             let mut acked = self.recv.get(&m).copied().unwrap_or(0);
@@ -642,6 +646,7 @@ impl Mbrship {
             }
             entries.push((m, acked));
         }
+        let mut w = WireWriter::with_capacity(8 + 12 * entries.len());
         w.put_u32(entries.len() as u32);
         for (m, acked) in &entries {
             w.put_addr(*m);
@@ -874,10 +879,12 @@ impl Mbrship {
                 return;
             }
         }
-        let mut w = WireWriter::new();
-        w.put_view(&v_new);
         let failed_vec: Vec<EndpointAddr> = failed.iter().copied().collect();
         let leaving_vec: Vec<EndpointAddr> = leaving.iter().copied().collect();
+        let mut w = WireWriter::with_capacity(
+            48 + 16 * v_new.len() + 8 * (failed_vec.len() + leaving_vec.len()),
+        );
+        w.put_view(&v_new);
         w.put_addrs(&failed_vec);
         w.put_addrs(&leaving_vec);
         // The VIEW travels as a multicast (reaching main view and joiners
@@ -940,7 +947,7 @@ impl Mbrship {
         if coordinator != Some(me) {
             // Forward to our coordinator.
             if let Some(c) = coordinator {
-                let mut w = WireWriter::new();
+                let mut w = WireWriter::with_capacity(40 + 16 * their_view.len());
                 w.put_view(&their_view);
                 self.control_send(ctx, c, KIND_MERGE_REQ, 0, w.finish());
             }
@@ -979,7 +986,7 @@ impl Mbrship {
 
     fn send_merge_req(&mut self, contact: EndpointAddr, ctx: &mut LayerCtx<'_>) {
         let Some(view) = &self.view else { return };
-        let mut w = WireWriter::new();
+        let mut w = WireWriter::with_capacity(40 + 16 * view.len());
         w.put_view(view);
         self.control_send(ctx, contact, KIND_MERGE_REQ, 0, w.finish());
     }

@@ -161,7 +161,7 @@ impl Bms {
         if view.coordinator_among(&alive) != Some(me) {
             // Not our job: report suspicions to the rightful coordinator.
             if let Some(c) = view.coordinator_among(&alive) {
-                let mut w = WireWriter::new();
+                let mut w = WireWriter::with_capacity(4 + 8 * failed.len());
                 w.put_addrs(&failed);
                 let m = self.control(ctx, B_SUSPECT, self.cur_epoch, w.finish());
                 ctx.down(Down::Send { dests: vec![c], msg: m });
@@ -174,7 +174,7 @@ impl Bms {
         }
         self.cur_epoch += 1;
         let proposal = view.successor(me, &failed, &joiners);
-        let mut w = WireWriter::new();
+        let mut w = WireWriter::with_capacity(44 + 16 * proposal.len() + 8 * failed.len());
         w.put_view(&proposal);
         w.put_addrs(&failed);
         let body = w.finish();
@@ -242,8 +242,6 @@ impl Bms {
         self.last_progress = ctx.now();
         if done {
             let BmsPhase::Collecting { proposal, .. } = &self.phase else { unreachable!() };
-            let mut w = WireWriter::new();
-            w.put_view(proposal);
             // Name the excluded members explicitly so that bystanders from
             // other view lineages do not mistake this commit for their own
             // exclusion.
@@ -254,6 +252,8 @@ impl Bms {
                     v.members().iter().copied().filter(|m| !proposal.contains(*m)).collect()
                 })
                 .unwrap_or_default();
+            let mut w = WireWriter::with_capacity(44 + 16 * proposal.len() + 8 * excluded.len());
+            w.put_view(proposal);
             w.put_addrs(&excluded);
             let m = self.control(ctx, B_COMMIT, epoch, w.finish());
             ctx.down(Down::Cast(m));
@@ -598,7 +598,6 @@ impl FlushLayer {
     fn announce(&mut self, ctx: &mut LayerCtx<'_>) {
         let Some(work) = &self.active else { return };
         let Some(view) = &self.view else { return };
-        let mut w = WireWriter::new();
         let me = self.me();
         let entries: Vec<(EndpointAddr, u32)> = view
             .members()
@@ -611,6 +610,7 @@ impl FlushLayer {
                 (m, v)
             })
             .collect();
+        let mut w = WireWriter::with_capacity(8 + 12 * entries.len());
         w.put_u32(entries.len() as u32);
         for (m, v) in &entries {
             w.put_addr(*m);

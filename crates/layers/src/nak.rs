@@ -214,7 +214,7 @@ impl Nak {
 
     fn send_nak(&mut self, src: EndpointAddr, from: u32, to: u32, ctx: &mut LayerCtx<'_>) {
         let to = to.min(from + MAX_NAK_RANGE - 1);
-        let mut w = WireWriter::new();
+        let mut w = WireWriter::with_capacity(8);
         w.put_u32(from);
         w.put_u32(to);
         let msg = self.control(ctx, KIND_NAK, 0, w.finish());
@@ -223,13 +223,13 @@ impl Nak {
     }
 
     fn send_status(&mut self, ctx: &mut LayerCtx<'_>) {
-        let mut w = WireWriter::new();
-        w.put_u32(self.next_seq - 1);
         let entries: Vec<(EndpointAddr, u32)> = self
             .peers
             .iter()
             .map(|(&p, rx)| (p, rx.expected.saturating_sub(1)))
             .collect();
+        let mut w = WireWriter::with_capacity(8 + 12 * entries.len());
+        w.put_u32(self.next_seq - 1);
         w.put_u32(entries.len() as u32);
         for (p, cum) in entries {
             w.put_addr(p);

@@ -84,8 +84,8 @@ impl Pinwheel {
     /// Multicasts everything we know: the full matrix as we see it.
     fn spin(&mut self, ctx: &mut LayerCtx<'_>) {
         let Some(view) = &self.view else { return };
-        let mut w = WireWriter::new();
         let members = view.members();
+        let mut w = WireWriter::with_capacity(4 + members.len() * 8 * (1 + members.len()));
         w.put_u32(members.len() as u32);
         for &row in members {
             w.put_addr(row);

@@ -269,12 +269,12 @@ impl Layer for NakRef {
             return;
         }
         // Status: my expected vector (all senders).
-        let mut w = WireWriter::new();
         let entries: Vec<(EndpointAddr, u32)> = self
             .expected
             .iter()
             .map(|(&s, &e)| (s, e.saturating_sub(1)))
             .collect();
+        let mut w = WireWriter::with_capacity(4 + 12 * entries.len());
         w.put_u32(entries.len() as u32);
         for (s, cum) in entries {
             w.put_addr(s);
@@ -400,7 +400,7 @@ impl TotalRef {
         if batch.is_empty() {
             return;
         }
-        let mut w = WireWriter::new();
+        let mut w = WireWriter::with_capacity(12 + 12 * batch.len());
         w.put_u64(self.gassign);
         w.put_u32(batch.len() as u32);
         for &(src, tseq) in &batch {

@@ -12,7 +12,7 @@
 //! ```
 //!
 //! The registry holds "a library of about thirty different protocols, each
-//! providing a particular communication feature" (§1) — 35 layer
+//! providing a particular communication feature" (§1) — 36 layer
 //! types in this reproduction; [`layer_names`] enumerates them.
 
 use crate::causal::{Causal, Ts};
@@ -23,6 +23,7 @@ use crate::membership_parts::{Bms, FlushLayer, Vss};
 use crate::merge::Merge;
 use crate::nak::{Nak, NakConfig};
 use crate::nnak::Nnak;
+use crate::pack::Pack;
 use crate::pinwheel::Pinwheel;
 use crate::reference::{NakRef, TotalRef};
 use crate::safe::Safe;
@@ -178,6 +179,11 @@ pub fn build_layer(spec: &LayerSpec) -> Result<Box<dyn Layer>, HorusError> {
             p.millis_or("fail_timeout", Duration::from_millis(200))?,
         )),
         "FRAG" => Box::new(Frag::new(p.get_or("size", 1024)?)),
+        "PACK" => Box::new(Pack::new(
+            p.get_or("msgs", 16)?,
+            p.get_or("bytes", 1200)?,
+            p.millis_or("delay", Duration::from_millis(1))?,
+        )),
         "NFRAG" => Box::new(NFrag::new(
             p.get_or("size", 1024)?,
             p.millis_or("timeout", Duration::from_secs(2))?,
@@ -257,7 +263,7 @@ pub fn build_layer(spec: &LayerSpec) -> Result<Box<dyn Layer>, HorusError> {
 /// of §1's "about thirty different protocols".
 pub fn layer_names() -> Vec<&'static str> {
     vec![
-        "COM", "NAK", "NNAK", "NAK_REF", "FRAG", "NFRAG", "MBRSHIP", "BMS", "VSS", "FLUSH",
+        "COM", "NAK", "NNAK", "NAK_REF", "FRAG", "NFRAG", "PACK", "MBRSHIP", "BMS", "VSS", "FLUSH",
         "TOTAL", "TOTAL_REF", "CAUSAL", "TS", "SAFE", "STABLE", "PINWHEEL", "MERGE", "CHKSUM",
         "SIGN", "ENCRYPT", "COMPRESS", "FLOW", "PRIO", "TRACE", "ACCT", "LOGGER", "DROP",
         "SEQNO", "NOP", "NOP_OPAQUE", "RPC", "CLOCKSYNC", "SECURE", "MUX",

@@ -316,7 +316,7 @@ impl Layer for ClockSync {
                         let mut r = WireReader::new(msg.body());
                         let Ok(t1) = r.get_u64() else { return };
                         let t2 = self.local_clock_us(ctx.now());
-                        let mut w = WireWriter::new();
+                        let mut w = WireWriter::with_capacity(16);
                         w.put_u64(t1);
                         w.put_u64(t2 as u64);
                         let mut rsp = ctx.new_message(w.finish());
@@ -350,7 +350,7 @@ impl Layer for ClockSync {
         }
         if let (Some(master), Some(me)) = (self.master(), self.me) {
             if master != me {
-                let mut w = WireWriter::new();
+                let mut w = WireWriter::with_capacity(8);
                 w.put_u64(self.local_clock_us(ctx.now()) as u64);
                 let mut req = ctx.new_message(w.finish());
                 ctx.stamp(&mut req);
@@ -507,7 +507,7 @@ impl Secure {
             }
             // Wrap the group key under the pairwise key; MAC it.
             let wrap = self.pairwise(m);
-            let mut w = WireWriter::new();
+            let mut w = WireWriter::with_capacity(20);
             w.put_u32(epoch);
             w.put_u64(group_key ^ wrap);
             w.put_u64(fnv(&group_key.to_le_bytes(), wrap));

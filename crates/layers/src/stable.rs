@@ -87,12 +87,12 @@ impl Stable {
     fn gossip_row(&mut self, ctx: &mut LayerCtx<'_>) {
         let Some(view) = &self.view else { return };
         let me = self.me.expect("init");
-        let mut w = WireWriter::new();
         let entries: Vec<(EndpointAddr, u64)> = view
             .members()
             .iter()
             .map(|&m| (m, self.matrix.acked(me, m)))
             .collect();
+        let mut w = WireWriter::with_capacity(4 + 16 * entries.len());
         w.put_u32(entries.len() as u32);
         for (m, v) in entries {
             w.put_addr(m);

@@ -165,7 +165,7 @@ impl Total {
         }
         let n = batch.len() as u64;
         let next_holder = self.oracle(&batch);
-        let mut w = WireWriter::new();
+        let mut w = WireWriter::with_capacity(20 + 12 * batch.len());
         w.put_u64(g_base);
         w.put_addr(next_holder);
         w.put_u32(batch.len() as u32);

@@ -869,6 +869,9 @@ mod tests {
         };
         let mut w = pair_world(4, mk, NetConfig::reliable());
         w.cast_bytes(ep(1), vec![7u8; 400]); // compresses well
+        // COMPRESS:COM has no FIFO layer, so space the casts beyond the
+        // network's latency jitter to keep delivery order deterministic.
+        w.run_for(Duration::from_millis(5));
         w.cast_bytes(ep(1), (0..=255u8).collect::<Vec<_>>()); // incompressible
         w.run_for(Duration::from_millis(50));
         let got = w.delivered_casts(ep(2));

@@ -14,6 +14,7 @@
 
 use bytes::Bytes;
 use horus_core::addr::{EndpointAddr, GroupAddr};
+use horus_core::frame::WireFrame;
 use horus_core::time::SimTime;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -101,7 +102,7 @@ pub struct Delivery {
     /// Arrival time.
     pub at: SimTime,
     /// The (possibly garbled) frame.
-    pub wire: Bytes,
+    pub wire: WireFrame,
 }
 
 /// The simulated datagram network: transport-level group membership,
@@ -203,7 +204,7 @@ impl SimNetwork {
     pub fn cast(
         &mut self,
         from: EndpointAddr,
-        wire: Bytes,
+        wire: WireFrame,
         now: SimTime,
         rng: &mut StdRng,
     ) -> Vec<Delivery> {
@@ -216,7 +217,7 @@ impl SimNetwork {
         &mut self,
         from: EndpointAddr,
         dests: &[EndpointAddr],
-        wire: Bytes,
+        wire: WireFrame,
         now: SimTime,
         rng: &mut StdRng,
     ) -> Vec<Delivery> {
@@ -228,7 +229,7 @@ impl SimNetwork {
         from: EndpointAddr,
         dests: &[EndpointAddr],
         cast: bool,
-        wire: Bytes,
+        wire: WireFrame,
         now: SimTime,
         rng: &mut StdRng,
     ) -> Vec<Delivery> {
@@ -292,13 +293,17 @@ impl SimNetwork {
     }
 }
 
-fn garble(wire: &Bytes, rng: &mut StdRng) -> Bytes {
-    let mut v = wire.to_vec();
+/// Flips one random bit.  Garbling needs the contiguous byte string, so
+/// this is the one network path that flattens a frame; the corrupted copy is
+/// re-split at the canonical boundary (the checksum rejects it regardless of
+/// where the flip landed).
+fn garble(wire: &WireFrame, rng: &mut StdRng) -> WireFrame {
+    let mut v = wire.to_bytes().to_vec();
     if !v.is_empty() {
         let i = rng.gen_range(0..v.len());
-        v[i] ^= 1 << rng.gen_range(0..8);
+        v[i] ^= 1u8 << rng.gen_range(0u32..8);
     }
-    Bytes::from(v)
+    WireFrame::from_bytes(Bytes::from(v))
 }
 
 #[cfg(test)]
@@ -314,6 +319,10 @@ mod tests {
         StdRng::seed_from_u64(42)
     }
 
+    fn raw(b: &'static [u8]) -> WireFrame {
+        WireFrame::raw(Bytes::from_static(b))
+    }
+
     fn joined_net(config: NetConfig) -> SimNetwork {
         let mut n = SimNetwork::new(config);
         let g = GroupAddr::new(1);
@@ -326,7 +335,7 @@ mod tests {
     #[test]
     fn cast_reaches_all_members_including_loopback() {
         let mut n = joined_net(NetConfig::reliable());
-        let d = n.cast(ep(1), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        let d = n.cast(ep(1), raw(b"x"), SimTime::ZERO, &mut rng());
         let mut tos: Vec<_> = d.iter().map(|d| d.to.raw()).collect();
         tos.sort();
         assert_eq!(tos, vec![1, 2, 3]);
@@ -338,7 +347,7 @@ mod tests {
         let mut cfg = NetConfig::reliable();
         cfg.loss = 1.0; // lose everything remote
         let mut n = joined_net(cfg);
-        let d = n.cast(ep(1), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        let d = n.cast(ep(1), raw(b"x"), SimTime::ZERO, &mut rng());
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].to, ep(1));
         assert_eq!(n.stats().dropped_loss, 2);
@@ -348,7 +357,7 @@ mod tests {
     fn partitions_block_cross_region_traffic() {
         let mut n = joined_net(NetConfig::reliable());
         n.partition(&[&[ep(1)], &[ep(2), ep(3)]]);
-        let d = n.cast(ep(2), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        let d = n.cast(ep(2), raw(b"x"), SimTime::ZERO, &mut rng());
         let mut tos: Vec<_> = d.iter().map(|d| d.to.raw()).collect();
         tos.sort();
         assert_eq!(tos, vec![2, 3]);
@@ -362,7 +371,7 @@ mod tests {
         let mut cfg = NetConfig::reliable();
         cfg.mtu = 8;
         let mut n = joined_net(cfg);
-        let d = n.cast(ep(1), Bytes::from(vec![0u8; 9]), SimTime::ZERO, &mut rng());
+        let d = n.cast(ep(1), WireFrame::raw(vec![0u8; 9]), SimTime::ZERO, &mut rng());
         assert!(d.is_empty());
         assert_eq!(n.stats().dropped_mtu, 1);
     }
@@ -373,20 +382,20 @@ mod tests {
         cfg.duplicate = 1.0;
         cfg.garble = 1.0;
         let mut n = joined_net(cfg);
-        let d = n.cast(ep(1), Bytes::from_static(b"abcd"), SimTime::ZERO, &mut rng());
+        let d = n.cast(ep(1), raw(b"abcd"), SimTime::ZERO, &mut rng());
         // 2 remote receivers x 2 copies + 1 loopback.
         assert_eq!(d.len(), 5);
         assert_eq!(n.stats().duplicated, 2);
         assert!(n.stats().garbled >= 2);
         // Loopback copy is never garbled.
         let local = d.iter().find(|d| d.to == ep(1)).unwrap();
-        assert_eq!(&local.wire[..], b"abcd");
+        assert_eq!(&local.wire.to_bytes()[..], b"abcd");
     }
 
     #[test]
     fn unicast_send_targets_exact_destinations() {
         let mut n = joined_net(NetConfig::reliable());
-        let d = n.send(ep(1), &[ep(3)], Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        let d = n.send(ep(1), &[ep(3)], raw(b"x"), SimTime::ZERO, &mut rng());
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].to, ep(3));
         assert!(!d[0].cast);
@@ -395,9 +404,9 @@ mod tests {
     #[test]
     fn latency_within_bounds_and_deterministic() {
         let mut n = joined_net(NetConfig::reliable());
-        let d1 = n.cast(ep(1), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        let d1 = n.cast(ep(1), raw(b"x"), SimTime::ZERO, &mut rng());
         let mut n2 = joined_net(NetConfig::reliable());
-        let d2 = n2.cast(ep(1), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        let d2 = n2.cast(ep(1), raw(b"x"), SimTime::ZERO, &mut rng());
         for (a, b) in d1.iter().zip(&d2) {
             assert_eq!(a.at, b.at, "same seed, same physics");
         }
@@ -412,7 +421,7 @@ mod tests {
     fn leave_removes_from_group() {
         let mut n = joined_net(NetConfig::reliable());
         n.leave(ep(2));
-        let d = n.cast(ep(1), Bytes::from_static(b"x"), SimTime::ZERO, &mut rng());
+        let d = n.cast(ep(1), raw(b"x"), SimTime::ZERO, &mut rng());
         assert!(d.iter().all(|d| d.to != ep(2)));
     }
 }

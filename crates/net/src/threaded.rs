@@ -5,9 +5,9 @@
 //! with no simulated physics — the closest in-process analogue to the
 //! paper's "almost no overhead at all" ATM configuration.
 
-use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use horus_core::addr::{EndpointAddr, GroupAddr};
+use horus_core::frame::WireFrame;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -20,7 +20,7 @@ pub struct Frame {
     /// Multicast (`true`) or point-to-point.
     pub cast: bool,
     /// The encoded message.
-    pub wire: Bytes,
+    pub wire: WireFrame,
 }
 
 #[derive(Debug, Default)]
@@ -34,7 +34,7 @@ struct Registry {
 ///
 /// ```
 /// use horus_net::LoopbackNet;
-/// use horus_core::{EndpointAddr, GroupAddr};
+/// use horus_core::{EndpointAddr, GroupAddr, WireFrame};
 /// use bytes::Bytes;
 ///
 /// let net = LoopbackNet::new();
@@ -45,9 +45,9 @@ struct Registry {
 /// let g = GroupAddr::new(9);
 /// net.join(g, a);
 /// net.join(g, b);
-/// net.cast(a, Bytes::from_static(b"hello"));
-/// assert_eq!(&rx_b.recv().unwrap().wire[..], b"hello");
-/// assert_eq!(&rx_a.recv().unwrap().wire[..], b"hello"); // loopback to self
+/// net.cast(a, WireFrame::raw(Bytes::from_static(b"hello")));
+/// assert_eq!(&rx_b.recv().unwrap().wire.to_bytes()[..], b"hello");
+/// assert_eq!(&rx_a.recv().unwrap().wire.to_bytes()[..], b"hello"); // loopback to self
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LoopbackNet {
@@ -101,7 +101,7 @@ impl LoopbackNet {
 
     /// Multicasts a frame to `from`'s group, including a loopback copy.
     /// Returns the number of endpoints the frame was queued for.
-    pub fn cast(&self, from: EndpointAddr, wire: Bytes) -> usize {
+    pub fn cast(&self, from: EndpointAddr, wire: WireFrame) -> usize {
         let reg = self.inner.lock();
         let Some(group) = reg.member_of.get(&from) else { return 0 };
         let Some(members) = reg.groups.get(group) else { return 0 };
@@ -117,7 +117,7 @@ impl LoopbackNet {
     }
 
     /// Sends a frame to explicit destinations.
-    pub fn send(&self, from: EndpointAddr, dests: &[EndpointAddr], wire: Bytes) -> usize {
+    pub fn send(&self, from: EndpointAddr, dests: &[EndpointAddr], wire: WireFrame) -> usize {
         let reg = self.inner.lock();
         let mut queued = 0;
         for &to in dests {
@@ -139,9 +139,14 @@ impl LoopbackNet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     fn ep(i: u64) -> EndpointAddr {
         EndpointAddr::new(i)
+    }
+
+    fn raw(b: &'static [u8]) -> WireFrame {
+        WireFrame::raw(Bytes::from_static(b))
     }
 
     #[test]
@@ -155,7 +160,7 @@ mod tests {
                 r
             })
             .collect();
-        assert_eq!(net.cast(ep(1), Bytes::from_static(b"m")), 3);
+        assert_eq!(net.cast(ep(1), raw(b"m")), 3);
         for rx in &rxs {
             let f = rx.recv().unwrap();
             assert_eq!(f.from, ep(1));
@@ -168,7 +173,7 @@ mod tests {
         let net = LoopbackNet::new();
         let _rx1 = net.register(ep(1));
         let rx2 = net.register(ep(2));
-        assert_eq!(net.send(ep(1), &[ep(2)], Bytes::from_static(b"s")), 1);
+        assert_eq!(net.send(ep(1), &[ep(2)], raw(b"s")), 1);
         assert!(!rx2.recv().unwrap().cast);
         assert!(rx2.try_recv().is_err());
     }
@@ -182,7 +187,7 @@ mod tests {
         net.join(g, ep(1));
         net.join(g, ep(2));
         net.deregister(ep(2));
-        assert_eq!(net.cast(ep(1), Bytes::from_static(b"m")), 1);
+        assert_eq!(net.cast(ep(1), raw(b"m")), 1);
         drop(net);
         assert!(rx2.try_recv().is_err());
     }
@@ -199,7 +204,7 @@ mod tests {
         let _rx1 = net.register(ep(1));
         let h = std::thread::spawn(move || {
             for _ in 0..100 {
-                net2.cast(ep(1), Bytes::from_static(b"m"));
+                net2.cast(ep(1), raw(b"m"));
             }
         });
         h.join().unwrap();

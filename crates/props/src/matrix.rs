@@ -79,6 +79,7 @@ pub const MATRIX: &[LayerMeta] = &[
     row!("NNAK",      req:[1, 10, 11],                  prov:[2, 3],      mask:[1], cost:3),
     row!("NAK_REF",   req:[1, 10, 11],                  prov:[3, 4],      mask:[1], cost:5),
     row!("FRAG",      req:[3, 4, 10, 11],               prov:[12],        mask:[],  cost:2),
+    row!("PACK",      req:[3, 4, 10, 11],               prov:[],          mask:[],  cost:1),
     row!("MBRSHIP",   req:[3, 4, 10, 11, 12],           prov:[8, 9, 15],  mask:[],  cost:6),
     row!("BMS",       req:[3, 4, 10, 11, 12],           prov:[15],        mask:[],  cost:3),
     row!("VSS",       req:[3, 10, 11, 12, 15],          prov:[8],         mask:[],  cost:2),

@@ -1,12 +1,11 @@
 //! The sixteen protocol properties of Table 4.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A protocol property (Table 4): "each of which can either be a
 /// requirement on the communication guarantees provided underneath the
 /// protocol, or a guarantee that is provided by the protocol itself".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum Prop {
     /// P1: best effort delivery.
@@ -104,7 +103,7 @@ impl fmt::Display for Prop {
 }
 
 /// A set of properties, packed into a 16-bit mask.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PropSet(u16);
 
 impl PropSet {

@@ -27,7 +27,7 @@ const MAX_STEPS_PER_RUN: u64 = 50_000_000;
 #[derive(Debug)]
 enum Ev {
     /// A wire frame arrives at `to`.
-    Net { to: EndpointAddr, from: EndpointAddr, cast: bool, wire: Bytes },
+    Net { to: EndpointAddr, from: EndpointAddr, cast: bool, wire: WireFrame },
     /// A stack timer expires.
     Timer { ep: EndpointAddr, layer: usize, token: u64 },
     /// The application issues a downcall.
