@@ -17,8 +17,7 @@ use horus_core::prelude::*;
 
 fn pair(desc: &str) -> (Stack, Stack) {
     let tx = lone_stack(desc, StackConfig::default());
-    let mut rx =
-        horus_layers::registry::build_stack(ep(2), desc, StackConfig::default()).unwrap();
+    let mut rx = horus_layers::registry::build_stack(ep(2), desc, StackConfig::default()).unwrap();
     let _ = rx.init();
     let _ = rx.handle(StackInput::FromApp(Down::Join { group: group() }));
     (tx, rx)

@@ -32,19 +32,15 @@ fn bench_header_modes(c: &mut Criterion) {
         let body = vec![0xA5u8; payload];
         g.throughput(Throughput::Bytes(payload as u64));
         for (label, mode) in [("aligned", HeaderMode::Aligned), ("compact", HeaderMode::Compact)] {
-            g.bench_with_input(
-                BenchmarkId::new(label, payload),
-                &payload,
-                |b, _| {
-                    let (mut tx, mut rx) = stack_pair(mode);
-                    b.iter(|| {
-                        // The raw send path cost: header push/stamp +
-                        // encode (+ the receive-side pop on delivery).
-                        let n = pump_one(&mut tx, &mut rx, &body);
-                        std::hint::black_box(n);
-                    });
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, payload), &payload, |b, _| {
+                let (mut tx, mut rx) = stack_pair(mode);
+                b.iter(|| {
+                    // The raw send path cost: header push/stamp +
+                    // encode (+ the receive-side pop on delivery).
+                    let n = pump_one(&mut tx, &mut rx, &body);
+                    std::hint::black_box(n);
+                });
+            });
         }
     }
     g.finish();

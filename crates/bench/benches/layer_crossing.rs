@@ -56,8 +56,9 @@ fn bench_layer_crossing(c: &mut Criterion) {
     // Header bytes a real layer adds (the "few bytes (or none at all)"
     // claim): print once for EXPERIMENTS.md.
     eprintln!("\n[E8] header bytes per message by stack (compact mode):");
-    for desc in ["COM", "NAK:COM", "FRAG:NAK:COM", "MBRSHIP:FRAG:NAK:COM",
-                 "TOTAL:MBRSHIP:FRAG:NAK:COM"] {
+    for desc in
+        ["COM", "NAK:COM", "FRAG:NAK:COM", "MBRSHIP:FRAG:NAK:COM", "TOTAL:MBRSHIP:FRAG:NAK:COM"]
+    {
         let s = lone_stack(desc, StackConfig::default());
         eprintln!("  {desc:<30} {:>3} B", s.layout().compact_bytes());
     }

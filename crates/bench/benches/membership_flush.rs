@@ -64,16 +64,12 @@ fn bench_flush(c: &mut Criterion) {
         });
     }
     for &unstable in &[0u64, 16, 64] {
-        g.bench_with_input(
-            BenchmarkId::new("unstable_msgs_cpu", unstable),
-            &unstable,
-            |b, &u| {
-                b.iter(|| {
-                    let out = crash_and_flush(4, u, 12);
-                    std::hint::black_box(out);
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("unstable_msgs_cpu", unstable), &unstable, |b, &u| {
+            b.iter(|| {
+                let out = crash_and_flush(4, u, 12);
+                std::hint::black_box(out);
+            });
+        });
     }
     g.finish();
 

@@ -34,8 +34,8 @@ fn run_workload(desc: &str, needs_group: bool, seed: u64) -> (u64, usize) {
     } else {
         let mut w = horus_sim::SimWorld::new(seed, NetConfig::reliable());
         for i in 1..=3 {
-            let s = horus_layers::registry::build_stack(ep(i), desc, StackConfig::default())
-                .unwrap();
+            let s =
+                horus_layers::registry::build_stack(ep(i), desc, StackConfig::default()).unwrap();
             w.add_endpoint(s);
             w.join(ep(i), bench::group());
         }
@@ -67,9 +67,7 @@ fn bench_ordering(c: &mut Criterion) {
     eprintln!("\n[E13] wire amplification (frames on the network per workload, {SLOTS} casts):");
     for &(label, desc, needs_group) in STACKS {
         let (frames, delivered) = run_workload(desc, needs_group, 42);
-        eprintln!(
-            "  {label:<14} {desc:<55} frames={frames:>5} delivered@ep2={delivered:>3}"
-        );
+        eprintln!("  {label:<14} {desc:<55} frames={frames:>5} delivered@ep2={delivered:>3}");
     }
 }
 

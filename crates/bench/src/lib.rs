@@ -34,7 +34,13 @@ pub fn group() -> GroupAddr {
 /// # Panics
 ///
 /// Panics if the stack fails to build or the group does not form.
-pub fn joined_world(n: u64, seed: u64, net: NetConfig, desc: &str, config: StackConfig) -> SimWorld {
+pub fn joined_world(
+    n: u64,
+    seed: u64,
+    net: NetConfig,
+    desc: &str,
+    config: StackConfig,
+) -> SimWorld {
     let mut w = SimWorld::new(seed, net);
     for i in 1..=n {
         let s = build_stack(ep(i), desc, config.clone()).expect("stack builds");
@@ -78,10 +84,8 @@ pub fn pump_one(tx: &mut Stack, rx: &mut Stack, body: &[u8]) -> usize {
     for e in fx {
         if let Effect::NetCast { wire } = e {
             let fx2 = rx.handle(StackInput::FromNet { from: ep(1), cast: true, wire });
-            delivered += fx2
-                .iter()
-                .filter(|e| matches!(e, Effect::Deliver(Up::Cast { .. })))
-                .count();
+            delivered +=
+                fx2.iter().filter(|e| matches!(e, Effect::Deliver(Up::Cast { .. }))).count();
         }
     }
     delivered

@@ -196,6 +196,12 @@ pub enum Up {
     /// PROBLEM: communication trouble with a member (failure *suspicion*,
     /// not yet a membership decision).
     Problem { member: EndpointAddr },
+    /// PROBLEM_CLEARED: a previously raised suspicion proved false — the
+    /// failure detector saw fresh evidence (e.g. a heartbeat) that the
+    /// member is alive.  Membership may rescind a pending exclusion that
+    /// has not yet committed to a view change (§5: detectors are allowed
+    /// to be inaccurate; the system must stay correct anyway).
+    ProblemCleared { member: EndpointAddr },
     /// SYSTEM_ERROR: something went wrong inside the stack.
     SystemError { reason: String },
     /// DESTROY: the endpoint has been destroyed.
@@ -222,6 +228,7 @@ impl Up {
             Up::LostMessage { .. } => "LOST_MESSAGE",
             Up::Stable(_) => "STABLE",
             Up::Problem { .. } => "PROBLEM",
+            Up::ProblemCleared { .. } => "PROBLEM_CLEARED",
             Up::SystemError { .. } => "SYSTEM_ERROR",
             Up::Destroy => "DESTROY",
             Up::Exit => "EXIT",

@@ -238,8 +238,7 @@ mod tests {
 
     #[test]
     fn default_layer_passes_through() {
-        let layout =
-            Arc::new(HeaderLayout::build(&[("NOP", &[])], HeaderMode::Compact).unwrap());
+        let layout = Arc::new(HeaderLayout::build(&[("NOP", &[])], HeaderMode::Compact).unwrap());
         let mut rng = StdRng::seed_from_u64(1);
         let mut emitted = Vec::new();
         let mut stats = StackStats::default();
@@ -263,8 +262,7 @@ mod tests {
 
     #[test]
     fn ctx_creates_messages_against_layout() {
-        let layout =
-            Arc::new(HeaderLayout::build(&[("NOP", &[])], HeaderMode::Compact).unwrap());
+        let layout = Arc::new(HeaderLayout::build(&[("NOP", &[])], HeaderMode::Compact).unwrap());
         let mut rng = StdRng::seed_from_u64(1);
         let mut emitted = Vec::new();
         let mut stats = StackStats::default();

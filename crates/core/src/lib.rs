@@ -75,9 +75,7 @@ pub use view::{View, ViewId};
 pub mod prelude {
     pub use crate::addr::{EndpointAddr, GroupAddr, Rank};
     pub use crate::error::HorusError;
-    pub use crate::event::{
-        Down, Effect, MergeId, MsgId, StabilityMatrix, StackInput, Up,
-    };
+    pub use crate::event::{Down, Effect, MergeId, MsgId, StabilityMatrix, StackInput, Up};
     pub use crate::frame::WireFrame;
     pub use crate::layer::{Layer, LayerCtx};
     pub use crate::message::{FieldSpec, HeaderLayout, HeaderMode, Message};

@@ -358,10 +358,8 @@ impl Message {
                 set_bits(&mut self.compact, off, spec.bits, val);
             }
             HeaderMode::Aligned => {
-                let &(rec_layer, start) = self
-                    .records
-                    .last()
-                    .expect("set_field before push_header");
+                let &(rec_layer, start) =
+                    self.records.last().expect("set_field before push_header");
                 assert_eq!(
                     rec_layer as usize, layer,
                     "set_field: top record belongs to a different layer"
@@ -395,10 +393,8 @@ impl Message {
                     }
                 }
                 // Fall back to the top pushed record (send path).
-                let &(rec_layer, start) = self
-                    .records
-                    .last()
-                    .expect("field() with no popped or pushed record");
+                let &(rec_layer, start) =
+                    self.records.last().expect("field() with no popped or pushed record");
                 assert_eq!(
                     rec_layer as usize, layer,
                     "field(): record belongs to a different layer"
@@ -512,8 +508,7 @@ impl Message {
                     }
                     let layer = hdr[pos];
                     let pad = hdr[pos + 1] as usize;
-                    let rec_bytes =
-                        u16::from_le_bytes([hdr[pos + 2], hdr[pos + 3]]) as usize;
+                    let rec_bytes = u16::from_le_bytes([hdr[pos + 2], hdr[pos + 3]]) as usize;
                     if layer as usize >= layout.slots.len()
                         || layout.slots[layer as usize].rec_bytes != rec_bytes
                         || pad != rec_bytes.div_ceil(4) * 4 - rec_bytes
@@ -592,9 +587,7 @@ mod tests {
     const BOT: &[FieldSpec] = &[FieldSpec::new("seq", 32), FieldSpec::new("k", 2)];
 
     fn layout(mode: HeaderMode) -> Arc<HeaderLayout> {
-        Arc::new(
-            HeaderLayout::build(&[("TOP", TOP), ("MID", MID), ("BOT", BOT)], mode).unwrap(),
-        )
+        Arc::new(HeaderLayout::build(&[("TOP", TOP), ("MID", MID), ("BOT", BOT)], mode).unwrap())
     }
 
     #[test]

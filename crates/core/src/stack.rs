@@ -357,10 +357,7 @@ impl Stack {
                 // The dump downcall is answered by the runtime on behalf of
                 // every layer, so even passive layers appear.
                 for l in &self.layers {
-                    effects.push(Effect::Deliver(Up::DumpInfo {
-                        layer: l.name(),
-                        info: l.dump(),
-                    }));
+                    effects.push(Effect::Deliver(Up::DumpInfo { layer: l.name(), info: l.dump() }));
                 }
                 return effects;
             }
@@ -471,10 +468,7 @@ impl Stack {
                         self.stats.skipped += (next - (idx + 1)) as u64;
                     }
                     Emit::Up(_) if idx > 0 => {
-                        let next = self
-                            .first_active_up(idx - 1)
-                            .map(|j| j + 1)
-                            .unwrap_or(0);
+                        let next = self.first_active_up(idx - 1).map(|j| j + 1).unwrap_or(0);
                         self.stats.skipped += (idx - next) as u64;
                     }
                     _ => {}
@@ -878,11 +872,7 @@ mod tests {
                 _ => None,
             })
             .expect("timer armed at init");
-        let _ = s.handle(StackInput::Timer {
-            layer,
-            token,
-            now: SimTime::from_millis(10),
-        });
+        let _ = s.handle(StackInput::Timer { layer, token, now: SimTime::from_millis(10) });
         assert_eq!(s.focus("TICK").unwrap(), "fired=1");
         assert_eq!(s.now(), SimTime::from_millis(10));
     }

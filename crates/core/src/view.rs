@@ -78,12 +78,7 @@ pub struct View {
 impl View {
     /// The singleton view an endpoint installs when it first joins a group.
     pub fn initial(group: GroupAddr, owner: EndpointAddr) -> Self {
-        View {
-            group,
-            id: ViewId::initial(owner),
-            members: vec![owner],
-            join_epochs: vec![0],
-        }
+        View { group, id: ViewId::initial(owner), members: vec![owner], join_epochs: vec![0] }
     }
 
     /// Reconstructs a view from its parts (used by the wire codec).
@@ -158,11 +153,7 @@ impl View {
     /// members): the oldest member of the oldest view, ties broken by
     /// address.  Returns `None` when no candidate is a member.
     pub fn coordinator_among(&self, candidates: &[EndpointAddr]) -> Option<EndpointAddr> {
-        candidates
-            .iter()
-            .filter_map(|&c| self.seniority(c))
-            .min()
-            .map(|(_, who)| who)
+        candidates.iter().filter_map(|&c| self.seniority(c)).min().map(|(_, who)| who)
     }
 
     /// Derives the successor view installed by `coordinator`, removing
@@ -214,10 +205,7 @@ impl View {
     /// Used by the MERGE/MBRSHIP layers when partitions heal.
     pub fn merged(&self, other: &View, coordinator: EndpointAddr) -> View {
         debug_assert_eq!(self.group, other.group);
-        let id = ViewId {
-            counter: self.id.counter.max(other.id.counter) + 1,
-            coordinator,
-        };
+        let id = ViewId { counter: self.id.counter.max(other.id.counter) + 1, coordinator };
         let mut pairs: Vec<(u64, EndpointAddr)> = Vec::new();
         for (i, &m) in self.members.iter().enumerate() {
             pairs.push((self.join_epochs[i], m));

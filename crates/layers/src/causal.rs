@@ -118,10 +118,8 @@ impl Causal {
     /// Re-scans the buffer until no further message is deliverable.
     fn drain(&mut self, ctx: &mut LayerCtx<'_>) {
         loop {
-            let idx = self
-                .buffer
-                .iter()
-                .position(|(sender, vt, _, _)| self.deliverable(*sender, vt));
+            let idx =
+                self.buffer.iter().position(|(sender, vt, _, _)| self.deliverable(*sender, vt));
             match idx {
                 Some(i) => {
                     let (sender, _, src, msg) = self.buffer.remove(i);
@@ -391,9 +389,8 @@ mod tests {
         for i in 1..=3 {
             assert_eq!(w.delivered_casts(ep(i)).len(), 30, "endpoint {i}");
         }
-        let logs: Vec<DeliveryLog> = (1..=3)
-            .map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i))))
-            .collect();
+        let logs: Vec<DeliveryLog> =
+            (1..=3).map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i)))).collect();
         assert!(check_virtual_synchrony(&logs).is_empty());
     }
 
@@ -407,15 +404,10 @@ mod tests {
         w.crash_at(t + Duration::from_millis(3), ep(3));
         w.run_for(Duration::from_secs(2));
         // Survivors agree and deliver everything from ep2.
-        let logs: Vec<DeliveryLog> = (1..=2)
-            .map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i))))
-            .collect();
+        let logs: Vec<DeliveryLog> =
+            (1..=2).map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i)))).collect();
         assert!(check_virtual_synchrony(&logs).is_empty());
-        let from2 = w
-            .delivered_casts(ep(1))
-            .iter()
-            .filter(|(s, _, _)| *s == ep(2))
-            .count();
+        let from2 = w.delivered_casts(ep(1)).iter().filter(|(s, _, _)| *s == ep(2)).count();
         assert_eq!(from2, 6);
     }
 

@@ -232,8 +232,10 @@ mod tests {
 
     #[test]
     fn pushed_src_overrides_transport_source() {
-        let mut a = StackBuilder::new(ep(7)).push(Box::new(Com::with_pushed_src())).build().unwrap();
-        let mut b = StackBuilder::new(ep(2)).push(Box::new(Com::with_pushed_src())).build().unwrap();
+        let mut a =
+            StackBuilder::new(ep(7)).push(Box::new(Com::with_pushed_src())).build().unwrap();
+        let mut b =
+            StackBuilder::new(ep(2)).push(Box::new(Com::with_pushed_src())).build().unwrap();
         let wire = cast_wire(&mut a, b"x");
         // Transport claims ep(9), header says ep(7): header wins.
         let fx = b.handle(StackInput::FromNet { from: ep(9), cast: true, wire });

@@ -65,7 +65,12 @@ impl Frag {
         }
     }
 
-    fn send_down(&mut self, msg: Message, dests: Option<Vec<EndpointAddr>>, ctx: &mut LayerCtx<'_>) {
+    fn send_down(
+        &mut self,
+        msg: Message,
+        dests: Option<Vec<EndpointAddr>>,
+        ctx: &mut LayerCtx<'_>,
+    ) {
         // Fast path: the whole message (headers so far + body) fits.
         if msg.body().len() <= self.frag_size {
             let mut m = msg;
@@ -82,7 +87,8 @@ impl Frag {
         let inner = msg.encode_inner();
         let n = inner.len().div_ceil(self.frag_size);
         for i in 0..n {
-            let chunk = inner.slice(i * self.frag_size..((i + 1) * self.frag_size).min(inner.len()));
+            let chunk =
+                inner.slice(i * self.frag_size..((i + 1) * self.frag_size).min(inner.len()));
             let mut frag = ctx.new_message(chunk);
             ctx.stamp(&mut frag);
             ctx.set(&mut frag, 0, (i + 1 == n) as u64);
@@ -99,13 +105,7 @@ impl Frag {
         }
     }
 
-    fn receive(
-        &mut self,
-        src: EndpointAddr,
-        cast: bool,
-        mut msg: Message,
-        ctx: &mut LayerCtx<'_>,
-    ) {
+    fn receive(&mut self, src: EndpointAddr, cast: bool, mut msg: Message, ctx: &mut LayerCtx<'_>) {
         if ctx.open(&mut msg).is_err() {
             return;
         }
@@ -236,7 +236,12 @@ impl NFrag {
         }
     }
 
-    fn send_down(&mut self, msg: Message, dests: Option<Vec<EndpointAddr>>, ctx: &mut LayerCtx<'_>) {
+    fn send_down(
+        &mut self,
+        msg: Message,
+        dests: Option<Vec<EndpointAddr>>,
+        ctx: &mut LayerCtx<'_>,
+    ) {
         if msg.body().len() <= self.frag_size {
             let mut m = msg;
             ctx.stamp(&mut m);
@@ -250,7 +255,8 @@ impl NFrag {
         let id = self.next_id;
         self.next_id = self.next_id.wrapping_add(1).max(1);
         for i in 0..n {
-            let chunk = inner.slice(i * self.frag_size..((i + 1) * self.frag_size).min(inner.len()));
+            let chunk =
+                inner.slice(i * self.frag_size..((i + 1) * self.frag_size).min(inner.len()));
             let mut frag = ctx.new_message(chunk);
             ctx.stamp(&mut frag);
             ctx.set(&mut frag, 0, 1);
@@ -268,13 +274,7 @@ impl NFrag {
         }
     }
 
-    fn receive(
-        &mut self,
-        src: EndpointAddr,
-        cast: bool,
-        mut msg: Message,
-        ctx: &mut LayerCtx<'_>,
-    ) {
+    fn receive(&mut self, src: EndpointAddr, cast: bool, mut msg: Message, ctx: &mut LayerCtx<'_>) {
         if ctx.open(&mut msg).is_err() {
             return;
         }

@@ -35,6 +35,7 @@
 //! |---|---|---|
 //! | [`com`] | COM | §7 bottom adapter |
 //! | [`nak`] | NAK | §7 FIFO via negative acks |
+//! | [`fd`] | FD | §5 adaptive heartbeat failure detector |
 //! | [`nnak`] | NNAK | Table 3, prioritized unicast FIFO |
 //! | [`frag`] | FRAG, NFRAG | §7 fragmentation |
 //! | [`pack`] | PACK | §10 message packing |
@@ -51,6 +52,7 @@
 
 pub mod causal;
 pub mod com;
+pub mod fd;
 pub mod frag;
 pub mod mbrship;
 pub mod membership_parts;
@@ -68,6 +70,7 @@ pub mod total;
 pub mod util;
 
 pub use com::Com;
+pub use fd::{Fd, FdConfig};
 pub use frag::{Frag, NFrag};
 pub use mbrship::{Mbrship, MbrshipConfig};
 pub use nak::{Nak, NakConfig};

@@ -60,8 +60,8 @@
 //! (virtually (semi-)synchronous delivery) and P15 (consistent views).
 
 use bytes::Bytes;
-use horus_core::wire::{WireReader, WireWriter};
 use horus_core::prelude::*;
+use horus_core::wire::{WireReader, WireWriter};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
 
@@ -418,9 +418,7 @@ impl Mbrship {
 
     fn block(&mut self, ctx: &mut LayerCtx<'_>) {
         self.phase = Phase::Blocked;
-        ctx.up(Up::SystemError {
-            reason: "lost primary partition; progress blocked".to_string(),
-        });
+        ctx.up(Up::SystemError { reason: "lost primary partition; progress blocked".to_string() });
     }
 
     // ------------------------------------------------------------------
@@ -496,7 +494,10 @@ impl Mbrship {
         w.finish()
     }
 
-    fn sync_body(cuts: &BTreeMap<EndpointAddr, u32>, retrans: &[(EndpointAddr, u32, Bytes)]) -> Bytes {
+    fn sync_body(
+        cuts: &BTreeMap<EndpointAddr, u32>,
+        retrans: &[(EndpointAddr, u32, Bytes)],
+    ) -> Bytes {
         let mut w = WireWriter::with_capacity(
             8 + 12 * cuts.len() + retrans.iter().map(|(_, _, b)| 16 + b.len()).sum::<usize>(),
         );
@@ -523,11 +524,8 @@ impl Mbrship {
         let epoch = round.epoch;
         let sync = if round.sync_sent {
             round.cuts.as_ref().map(|cuts| {
-                let retrans: Vec<(EndpointAddr, u32, Bytes)> = round
-                    .collected
-                    .iter()
-                    .map(|(&(o, s), b)| (o, s, b.clone()))
-                    .collect();
+                let retrans: Vec<(EndpointAddr, u32, Bytes)> =
+                    round.collected.iter().map(|(&(o, s), b)| (o, s, b.clone())).collect();
                 Self::sync_body(cuts, &retrans)
             })
         } else {
@@ -697,12 +695,8 @@ impl Mbrship {
 
     /// All participants of the current round, main view and joiners alike.
     fn round_participants(view: &View, round: &FlushRound) -> BTreeSet<EndpointAddr> {
-        let mut set: BTreeSet<EndpointAddr> = view
-            .members()
-            .iter()
-            .copied()
-            .filter(|m| !round.failed.contains(m))
-            .collect();
+        let mut set: BTreeSet<EndpointAddr> =
+            view.members().iter().copied().filter(|m| !round.failed.contains(m)).collect();
         for jv in &round.joiner_views {
             set.extend(jv.members().iter().copied());
         }
@@ -744,13 +738,7 @@ impl Mbrship {
         self.control_cast(ctx, KIND_SYNC, epoch, Self::sync_body(&cuts, &retrans));
     }
 
-    fn handle_sync(
-        &mut self,
-        src: EndpointAddr,
-        epoch: u16,
-        body: &[u8],
-        ctx: &mut LayerCtx<'_>,
-    ) {
+    fn handle_sync(&mut self, src: EndpointAddr, epoch: u16, body: &[u8], ctx: &mut LayerCtx<'_>) {
         let mut r = WireReader::new(body);
         let Ok(n) = r.get_u32() else { return };
         let mut cuts = BTreeMap::new();
@@ -849,12 +837,7 @@ impl Mbrship {
             if !participants.iter().all(|p| round.flush_oks.contains(p)) {
                 return;
             }
-            (
-                round.epoch,
-                round.failed.clone(),
-                round.leaving.clone(),
-                round.joiner_views.clone(),
-            )
+            (round.epoch, round.failed.clone(), round.leaving.clone(), round.joiner_views.clone())
         };
         let _ = epoch;
         // Build the successor view: drop failed & leaving, fold in joiners.
@@ -917,6 +900,28 @@ impl Mbrship {
         }
     }
 
+    /// Withdraws a suspicion: the detector below produced fresh evidence
+    /// that `member` is alive (PROBLEM_CLEARED).  If we are coordinating a
+    /// flush that would exclude the member and the cut has not been frozen
+    /// yet (no SYNC sent), the flush restarts under the shrunk suspect set
+    /// so a falsely accused live member is never ejected.
+    fn rescind(&mut self, member: EndpointAddr, ctx: &mut LayerCtx<'_>) {
+        if !self.suspects.remove(&member) {
+            return;
+        }
+        let me = self.me();
+        let restart = matches!(
+            &self.phase,
+            Phase::Flushing(round)
+                if round.coordinator == me
+                    && !round.sync_sent
+                    && round.failed.contains(&member)
+        );
+        if restart {
+            self.start_flush(ctx);
+        }
+    }
+
     /// Suspicion is view-relative: a report generated in another view (for
     /// example one that crossed a partition and was delivered, reliably but
     /// late, after the merge) must not poison the current view.
@@ -964,11 +969,7 @@ impl Mbrship {
     }
 
     fn grant_merge(&mut self, _from: EndpointAddr, their_view: View, ctx: &mut LayerCtx<'_>) {
-        if !self
-            .pending_joiners
-            .iter()
-            .any(|jv| jv.id() == their_view.id())
-        {
+        if !self.pending_joiners.iter().any(|jv| jv.id() == their_view.id()) {
             self.pending_joiners.push(their_view);
         }
         if matches!(self.phase, Phase::Normal) {
@@ -1016,10 +1017,19 @@ impl Mbrship {
                 if round.coordinator == me {
                     if stalled {
                         let view = self.view.clone().expect("flushing implies view");
+                        // What a participant owes us depends on the round's
+                        // stage: before SYNC only contributions exist —
+                        // judging members by missing flush-oks then would
+                        // condemn everyone, including live members whose
+                        // contribution already arrived.
                         let awaited: Vec<EndpointAddr> = Self::round_participants(&view, round)
                             .into_iter()
                             .filter(|p| {
-                                !round.contribs.contains_key(p) || !round.flush_oks.contains(p)
+                                if round.sync_sent {
+                                    !round.flush_oks.contains(p)
+                                } else {
+                                    !round.contribs.contains_key(p)
+                                }
                             })
                             .collect();
                         Action::RestartAsCoordinator { awaited }
@@ -1029,7 +1039,22 @@ impl Mbrship {
                         Action::None
                     }
                 } else if waited > self.cfg.flush_timeout * 2 {
-                    Action::SuspectCoordinator(round.coordinator)
+                    // The flush stopped making progress.  Aim the
+                    // escalation at whoever should be coordinating *now*
+                    // (senior live, unsuspected member): if the round's
+                    // original coordinator is already suspected from an
+                    // earlier escalation, re-suspecting it would no-op and
+                    // this watchdog would unicast SUSPECT reports to a dead
+                    // successor forever.
+                    let view = self.view.clone().expect("flushing implies view");
+                    let live: Vec<EndpointAddr> = view
+                        .members()
+                        .iter()
+                        .copied()
+                        .filter(|m| !self.suspects.contains(m))
+                        .collect();
+                    let awaited = view.coordinator_among(&live).unwrap_or(round.coordinator);
+                    Action::SuspectCoordinator(awaited)
                 } else {
                     Action::None
                 }
@@ -1181,19 +1206,15 @@ impl Layer for Mbrship {
                     return;
                 }
                 let me = self.me();
-                let is_coord = self
-                    .view
-                    .as_ref()
-                    .and_then(|v| v.coordinator_among(v.members()))
-                    == Some(me);
+                let is_coord =
+                    self.view.as_ref().and_then(|v| v.coordinator_among(v.members())) == Some(me);
                 if !is_coord {
                     ctx.up(Up::SystemError {
                         reason: "merge must be issued at the view coordinator".to_string(),
                     });
                     return;
                 }
-                self.phase =
-                    Phase::Merging { contact, attempts: 1, last_try: ctx.now() };
+                self.phase = Phase::Merging { contact, attempts: 1, last_try: ctx.now() };
                 self.send_merge_req(contact, ctx);
             }
             Down::MergeGranted(MergeId(id)) => {
@@ -1253,9 +1274,7 @@ impl Layer for Mbrship {
                 let seq = ctx.get(&msg, 3) as u32;
                 match kind {
                     KIND_DATA => self.handle_data(src, vc, seq, msg, ctx),
-                    KIND_FLUSH => {
-                        self.handle_flush(src, epoch, vc, &msg.body().clone(), ctx)
-                    }
+                    KIND_FLUSH => self.handle_flush(src, epoch, vc, &msg.body().clone(), ctx),
                     KIND_CONTRIB => self.handle_contrib(src, epoch, &msg.body().clone(), ctx),
                     KIND_SYNC => self.handle_sync(src, epoch, &msg.body().clone(), ctx),
                     KIND_FLUSH_OK => self.handle_flush_ok(src, epoch, ctx),
@@ -1276,19 +1295,22 @@ impl Layer for Mbrship {
                             ctx.up(Up::Send { src, msg });
                         }
                     }
-                    KIND_LEAVE_REQ
-                        if vc == self.vc() => {
-                            self.leave_reqs.insert(src);
-                            if matches!(self.phase, Phase::Normal) {
-                                self.start_flush(ctx);
-                            }
+                    KIND_LEAVE_REQ if vc == self.vc() => {
+                        self.leave_reqs.insert(src);
+                        if matches!(self.phase, Phase::Normal) {
+                            self.start_flush(ctx);
                         }
+                    }
                     _ => {}
                 }
             }
             Up::Problem { member } => {
                 self.suspect(member, ctx);
                 ctx.up(Up::Problem { member });
+            }
+            Up::ProblemCleared { member } => {
+                self.rescind(member, ctx);
+                ctx.up(Up::ProblemCleared { member });
             }
             Up::LostMessage { src } => {
                 // A hole in src's transport-level FIFO stream.  This is
@@ -1390,11 +1412,7 @@ mod tests {
         }
         // Everyone merges toward endpoint 1.
         for i in 2..=n {
-            w.down_at(
-                SimTime::from_millis(5 * (i - 1)),
-                ep(i),
-                Down::Merge { contact: ep(1) },
-            );
+            w.down_at(SimTime::from_millis(5 * (i - 1)), ep(i), Down::Merge { contact: ep(1) });
         }
         w.run_for(Duration::from_secs(2));
         for i in 1..=n {
@@ -1411,9 +1429,6 @@ mod tests {
             .map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i))))
             .collect()
     }
-
-
-
 
     #[test]
     fn join_installs_singleton_view() {
@@ -1496,7 +1511,8 @@ mod tests {
     #[test]
     fn traffic_during_crash_stays_virtually_synchronous() {
         for seed in 1..=4 {
-            let mut w = joined_world(4, 100 + seed, MbrshipConfig::default(), NetConfig::reliable());
+            let mut w =
+                joined_world(4, 100 + seed, MbrshipConfig::default(), NetConfig::reliable());
             let t = w.now();
             let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3), ep(4)], 40);
             wl.schedule(&mut w, t + Duration::from_millis(1));
@@ -1528,10 +1544,7 @@ mod tests {
                 .upcalls(ep(i))
                 .iter()
                 .any(|(_, up)| matches!(up, Up::Leave { member } if *member == ep(2))));
-            assert_eq!(
-                w.installed_views(ep(i)).last().unwrap().members(),
-                &[ep(1), ep(3)]
-            );
+            assert_eq!(w.installed_views(ep(i)).last().unwrap().members(), &[ep(1), ep(3)]);
         }
     }
 
@@ -1620,10 +1633,9 @@ mod tests {
         let last = w.installed_views(ep(1)).last().unwrap().clone();
         assert_eq!(last.members(), &[ep(1), ep(2)]);
         // The falsely-suspected member was excluded and told so.
-        assert!(w
-            .upcalls(ep(3))
-            .iter()
-            .any(|(_, up)| matches!(up, Up::SystemError { reason } if reason.contains("excluded"))));
+        assert!(w.upcalls(ep(3)).iter().any(
+            |(_, up)| matches!(up, Up::SystemError { reason } if reason.contains("excluded"))
+        ));
         // It falls back to a singleton view and could merge back.
         assert_eq!(w.installed_views(ep(3)).last().unwrap().members(), &[ep(3)]);
     }

@@ -36,8 +36,8 @@
 //! new membership layer ... can easily be added".
 
 use bytes::Bytes;
-use horus_core::wire::{WireReader, WireWriter};
 use horus_core::prelude::*;
+use horus_core::wire::{WireReader, WireWriter};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
 
@@ -61,12 +61,19 @@ enum BmsPhase {
     Idle,
     Normal,
     /// READY sent; waiting for COMMIT.
-    Ready { coordinator: EndpointAddr },
+    Ready {
+        coordinator: EndpointAddr,
+    },
     /// Coordinator: collecting READYs.  The prepare body is kept for
     /// rebroadcast: the FIFO layer prunes casts once *view* members ack
     /// them, so a joiner outside the view can miss the original PREPARE
     /// for good.
-    Collecting { epoch: u16, proposal: View, readies: BTreeSet<EndpointAddr>, prepare: Bytes },
+    Collecting {
+        epoch: u16,
+        proposal: View,
+        readies: BTreeSet<EndpointAddr>,
+        prepare: Bytes,
+    },
 }
 
 /// The basic membership service: consistent views, nothing more.
@@ -147,9 +154,7 @@ impl Bms {
     /// while a round is active (the stall-recovery path); otherwise a new
     /// trigger waits for the current round to finish.
     fn propose(&mut self, ctx: &mut LayerCtx<'_>, force: bool) {
-        if !force
-            && !matches!(self.phase, BmsPhase::Normal | BmsPhase::Idle)
-        {
+        if !force && !matches!(self.phase, BmsPhase::Normal | BmsPhase::Idle) {
             return; // a round is in flight; install() will chase the rest
         }
         let Some(view) = self.view.clone() else { return };
@@ -248,9 +253,7 @@ impl Bms {
             let excluded: Vec<EndpointAddr> = self
                 .view
                 .as_ref()
-                .map(|v| {
-                    v.members().iter().copied().filter(|m| !proposal.contains(*m)).collect()
-                })
+                .map(|v| v.members().iter().copied().filter(|m| !proposal.contains(*m)).collect())
                 .unwrap_or_default();
             let mut w = WireWriter::with_capacity(44 + 16 * proposal.len() + 8 * excluded.len());
             w.put_view(proposal);
@@ -413,12 +416,13 @@ impl Layer for Bms {
                 self.phase = BmsPhase::Normal;
                 self.propose(ctx, true);
             }
-            BmsPhase::Normal if waited > self.timeout => {
-                // Unserved joins/suspicions are retried here.
-                if !self.joiners.is_empty() || !self.suspects.is_empty() {
-                    self.last_progress = now;
-                    self.propose(ctx, false);
-                }
+            // Unserved joins/suspicions are retried here.
+            BmsPhase::Normal
+                if waited > self.timeout
+                    && (!self.joiners.is_empty() || !self.suspects.is_empty()) =>
+            {
+                self.last_progress = now;
+                self.propose(ctx, false);
             }
             _ => {}
         }
@@ -638,16 +642,11 @@ impl FlushLayer {
             if work.ok_sent {
                 return;
             }
-            let survivors: Vec<EndpointAddr> = view
-                .members()
-                .iter()
-                .copied()
-                .filter(|m| !work.failed.contains(m))
-                .collect();
+            let survivors: Vec<EndpointAddr> =
+                view.members().iter().copied().filter(|m| !work.failed.contains(m)).collect();
             survivors.iter().all(|s| work.announced.contains(s))
                 && view.members().iter().all(|m| {
-                    self.recv.get(m).copied().unwrap_or(0)
-                        >= work.cuts.get(m).copied().unwrap_or(0)
+                    self.recv.get(m).copied().unwrap_or(0) >= work.cuts.get(m).copied().unwrap_or(0)
                 })
         };
         if ready {
@@ -814,11 +813,7 @@ mod tests {
         StackBuilder::new(ep(i))
             .push(Box::new(FlushLayer::new()))
             .push(Box::new(Vss::new(false)))
-            .push(Box::new(Bms::new(
-                Duration::from_millis(25),
-                Duration::from_millis(400),
-                false,
-            )))
+            .push(Box::new(Bms::new(Duration::from_millis(25), Duration::from_millis(400), false)))
             .push(Box::new(Frag::default()))
             .push(Box::new(Nak::new(NakConfig {
                 fail_timeout: Duration::from_millis(120),
@@ -832,11 +827,7 @@ mod tests {
     fn bms_only_stack(i: u64) -> Stack {
         StackBuilder::new(ep(i))
             .push(Box::new(Vss::new(true)))
-            .push(Box::new(Bms::new(
-                Duration::from_millis(25),
-                Duration::from_millis(400),
-                false,
-            )))
+            .push(Box::new(Bms::new(Duration::from_millis(25), Duration::from_millis(400), false)))
             .push(Box::new(Frag::default()))
             .push(Box::new(Nak::new(NakConfig {
                 fail_timeout: Duration::from_millis(120),
@@ -866,7 +857,6 @@ mod tests {
         }
         w
     }
-
 
     #[test]
     fn bms_alone_agrees_on_views() {
@@ -909,17 +899,10 @@ mod tests {
         w.heal_at(t + Duration::from_millis(8));
         w.run_for(Duration::from_secs(3));
         for &m in &[a, b] {
-            let from_d = w
-                .delivered_casts(m)
-                .iter()
-                .filter(|(s, _, _)| *s == d)
-                .count();
+            let from_d = w.delivered_casts(m).iter().filter(|(s, _, _)| *s == d).count();
             assert_eq!(from_d, 1, "{m} must deliver M exactly once");
         }
-        assert_eq!(
-            w.installed_views(a).last().unwrap().members(),
-            &[ep(1), ep(2), ep(3)]
-        );
+        assert_eq!(w.installed_views(a).last().unwrap().members(), &[ep(1), ep(2), ep(3)]);
     }
 
     #[test]

@@ -26,8 +26,8 @@
 //! Table 4; requires only best-effort delivery with source addresses
 //! underneath.
 
-use horus_core::wire::{WireReader, WireWriter};
 use horus_core::prelude::*;
+use horus_core::wire::{WireReader, WireWriter};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::time::Duration;
 
@@ -57,8 +57,14 @@ pub struct NakConfig {
     /// Retransmission buffer capacity per endpoint; overflow discards the
     /// oldest (turning future NAKs for them into LOST placeholders).
     pub buffer_cap: usize,
-    /// Retransmit unacked point-to-point messages after this long.
+    /// Initial retransmission timeout for unacked point-to-point messages.
+    /// Each further retransmission of the same message doubles the wait
+    /// (exponential backoff) up to `rto_max`.
     pub rto: Duration,
+    /// Backoff ceiling: the per-message retransmission interval never
+    /// exceeds this, so a long outage cannot push recovery arbitrarily far
+    /// out once the peer returns.
+    pub rto_max: Duration,
 }
 
 impl Default for NakConfig {
@@ -69,8 +75,19 @@ impl Default for NakConfig {
             window: 4096,
             buffer_cap: 16384,
             rto: Duration::from_millis(40),
+            rto_max: Duration::from_millis(320),
         }
     }
+}
+
+/// One unacked outgoing point-to-point message awaiting (re)transmission.
+#[derive(Debug)]
+struct UniOut {
+    msg: Message,
+    /// Time of the most recent transmission.
+    sent_at: SimTime,
+    /// Transmissions so far beyond the first (drives the backoff).
+    attempts: u32,
 }
 
 /// Per-source multicast receive state.
@@ -93,8 +110,8 @@ struct PeerRx {
 struct UniChan {
     /// Next seq to assign for sends to this peer.
     next: u32,
-    /// Unacked outgoing messages with last transmission time.
-    out: BTreeMap<u32, (Message, SimTime)>,
+    /// Unacked outgoing messages with retransmission state.
+    out: BTreeMap<u32, UniOut>,
     /// Next expected incoming seq from this peer.
     expected: u32,
     /// Out-of-order incoming buffer.
@@ -223,11 +240,8 @@ impl Nak {
     }
 
     fn send_status(&mut self, ctx: &mut LayerCtx<'_>) {
-        let entries: Vec<(EndpointAddr, u32)> = self
-            .peers
-            .iter()
-            .map(|(&p, rx)| (p, rx.expected.saturating_sub(1)))
-            .collect();
+        let entries: Vec<(EndpointAddr, u32)> =
+            self.peers.iter().map(|(&p, rx)| (p, rx.expected.saturating_sub(1))).collect();
         let mut w = WireWriter::with_capacity(8 + 12 * entries.len());
         w.put_u32(self.next_seq - 1);
         w.put_u32(entries.len() as u32);
@@ -489,7 +503,7 @@ impl Layer for Nak {
                         .get_mut(&dest)
                         .expect("channel just created")
                         .out
-                        .insert(seq, (m.clone(), ctx.now()));
+                        .insert(seq, UniOut { msg: m.clone(), sent_at: ctx.now(), attempts: 0 });
                     ctx.down(Down::Send { dests: vec![dest], msg: m });
                 }
             }
@@ -535,22 +549,31 @@ impl Layer for Nak {
         }
         self.send_status(ctx);
         self.check_failures(ctx);
-        // Retransmit stale unacked point-to-point messages.
+        // Retransmit stale unacked point-to-point messages with
+        // exponential backoff: the k-th retransmission waits 2^k × rto,
+        // capped at rto_max.  A dead or partitioned peer costs O(log)
+        // retransmissions per message instead of a fixed-period stream,
+        // while the cap keeps recovery prompt once the peer returns.
         let now = ctx.now();
         let rto = self.cfg.rto;
+        let rto_max = self.cfg.rto_max.max(rto);
         let mut to_resend: Vec<(EndpointAddr, u32)> = Vec::new();
         for (&peer, chan) in &self.uni {
-            for (&seq, (_, sent_at)) in &chan.out {
-                if now.saturating_since(*sent_at) > rto {
+            for (&seq, out) in &chan.out {
+                let backoff = rto
+                    .checked_mul(1u32 << out.attempts.min(16))
+                    .map_or(rto_max, |b| b.min(rto_max));
+                if now.saturating_since(out.sent_at) > backoff {
                     to_resend.push((peer, seq));
                 }
             }
         }
         for (peer, seq) in to_resend {
             if let Some(chan) = self.uni.get_mut(&peer) {
-                if let Some((msg, sent_at)) = chan.out.get_mut(&seq) {
-                    *sent_at = now;
-                    let m = msg.clone();
+                if let Some(out) = chan.out.get_mut(&seq) {
+                    out.sent_at = now;
+                    out.attempts = out.attempts.saturating_add(1);
+                    let m = out.msg.clone();
                     self.retransmissions += 1;
                     ctx.down(Down::Send { dests: vec![peer], msg: m });
                 }
@@ -617,9 +640,8 @@ mod tests {
         for i in 1..=3 {
             assert_eq!(w.delivered_casts(ep(i)).len(), 30, "endpoint {i}");
         }
-        let logs: Vec<DeliveryLog> = (1..=3)
-            .map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i))))
-            .collect();
+        let logs: Vec<DeliveryLog> =
+            (1..=3).map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i)))).collect();
         assert!(check_fifo(&logs, Workload::parse).is_empty());
     }
 
@@ -638,9 +660,8 @@ mod tests {
                     w.stack(ep(i)).unwrap().focus("NAK")
                 );
             }
-            let logs: Vec<DeliveryLog> = (1..=3)
-                .map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i))))
-                .collect();
+            let logs: Vec<DeliveryLog> =
+                (1..=3).map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i)))).collect();
             assert!(check_fifo(&logs, Workload::parse).is_empty(), "seed {seed}");
         }
     }
@@ -739,10 +760,7 @@ mod tests {
         let mut w = SimWorld::new(5, NetConfig::reliable());
         for i in 1..=2 {
             let stack = StackBuilder::new(ep(i))
-                .push(Box::new(Nak::new(NakConfig {
-                    buffer_cap: 2,
-                    ..NakConfig::default()
-                })))
+                .push(Box::new(Nak::new(NakConfig { buffer_cap: 2, ..NakConfig::default() })))
                 .push(Box::new(Com::new()))
                 .build()
                 .unwrap();
@@ -751,19 +769,12 @@ mod tests {
         }
         w.partition_at(SimTime::from_millis(1), &[&[ep(1)], &[ep(2)]]);
         for k in 0..10u64 {
-            w.cast_bytes_at(
-                SimTime::from_millis(2 + k),
-                ep(1),
-                Workload::body(ep(1), k + 1, 16),
-            );
+            w.cast_bytes_at(SimTime::from_millis(2 + k), ep(1), Workload::body(ep(1), k + 1, 16));
         }
         w.heal_at(SimTime::from_millis(100));
         w.run_for(Duration::from_secs(3));
-        let lost = w
-            .upcalls(ep(2))
-            .iter()
-            .filter(|(_, up)| matches!(up, Up::LostMessage { .. }))
-            .count();
+        let lost =
+            w.upcalls(ep(2)).iter().filter(|(_, up)| matches!(up, Up::LostMessage { .. })).count();
         let delivered = w.delivered_casts(ep(2)).len();
         assert!(lost >= 1, "expected LOST placeholders, got {delivered} deliveries, {lost} lost");
         assert_eq!(lost + delivered, 10, "every seq accounted for");
@@ -783,5 +794,74 @@ mod tests {
         assert_eq!(got.len(), 5);
         let logs = vec![DeliveryLog::from_upcalls(ep(1), w.upcalls(ep(1)))];
         assert!(check_fifo(&logs, Workload::parse).is_empty());
+    }
+
+    fn nak_retransmissions(w: &SimWorld, i: u64) -> u64 {
+        let dump = w.stack(ep(i)).unwrap().focus("NAK").unwrap();
+        dump.split_whitespace().find_map(|f| f.strip_prefix("retrans=")).unwrap().parse().unwrap()
+    }
+
+    #[test]
+    fn unicast_retransmission_backs_off_exponentially() {
+        // A message to an unreachable peer: with a fixed 40 ms rto, 3 s of
+        // outage would cost ~75 retransmissions; the exponential backoff
+        // (40, 80, 160, then capped at 320 ms) keeps it near a dozen —
+        // and the cap still recovers the message promptly after the heal.
+        let mut w = world(2, NetConfig::reliable(), 7);
+        w.partition_at(SimTime::from_millis(1), &[&[ep(1)], &[ep(2)]]);
+        let msg = w.stack(ep(1)).unwrap().new_message(vec![42u8]);
+        w.down_at(SimTime::from_millis(2), ep(1), Down::Send { dests: vec![ep(2)], msg });
+        w.run_for(Duration::from_secs(3));
+        let retrans = nak_retransmissions(&w, 1);
+        assert!(
+            (4..=20).contains(&retrans),
+            "expected O(log) + capped-interval retransmissions in 3 s, got {retrans}"
+        );
+        w.heal_at(w.now());
+        w.run_for(Duration::from_secs(1));
+        let sends: Vec<u8> = w
+            .upcalls(ep(2))
+            .iter()
+            .filter_map(|(_, up)| match up {
+                Up::Send { msg, .. } => Some(msg.body()[0]),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sends, vec![42], "the message arrives once the partition heals");
+    }
+
+    #[test]
+    fn view_install_clears_suspicions_for_fresh_detection() {
+        // Regression: `Down::InstallView` must clear the `suspected` set.
+        // If a stale suspicion survived a view change, the second silence
+        // below would never raise a second PROBLEM (suspected members are
+        // skipped by the silence check) and the peer would be stuck
+        // half-muted in the new view.
+        use horus_core::view::View;
+        let mut w = world(2, NetConfig::reliable(), 8);
+        let view = View::initial(GroupAddr::new(1), ep(1)).with_joined(&[ep(2)]);
+        for i in 1..=2 {
+            w.down(ep(i), Down::InstallView(view.clone()));
+        }
+        let problems = |w: &SimWorld| {
+            w.upcalls(ep(1))
+                .iter()
+                .filter(|(_, up)| matches!(up, Up::Problem { member } if *member == ep(2)))
+                .count()
+        };
+        // First silence: suspicion raised once.
+        w.partition_at(SimTime::from_millis(10), &[&[ep(1)], &[ep(2)]]);
+        w.run_for(Duration::from_secs(1));
+        assert_eq!(problems(&w), 1, "first silence suspected");
+        // The view change resolves the episode; the silence clock restarts.
+        w.heal_at(w.now());
+        for i in 1..=2 {
+            w.down(ep(i), Down::InstallView(view.clone()));
+        }
+        w.run_for(Duration::from_millis(100));
+        // Second silence: detection must fire again in the new view.
+        w.partition_at(w.now(), &[&[ep(1)], &[ep(2)]]);
+        w.run_for(Duration::from_secs(1));
+        assert_eq!(problems(&w), 2, "cleared suspicion re-arms the detector");
     }
 }

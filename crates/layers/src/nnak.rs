@@ -153,11 +153,8 @@ impl Layer for Nnak {
                             ctx.up(Up::Send { src, msg: m });
                         }
                         // Cumulative ack.
-                        let cum = self
-                            .chans
-                            .get(&src)
-                            .map(|c| c.expected.saturating_sub(1))
-                            .unwrap_or(0);
+                        let cum =
+                            self.chans.get(&src).map(|c| c.expected.saturating_sub(1)).unwrap_or(0);
                         let mut ack = ctx.new_message(bytes::Bytes::new());
                         ctx.stamp(&mut ack);
                         ctx.set(&mut ack, 0, KIND_ACK);

@@ -194,13 +194,7 @@ impl Pack {
         }
     }
 
-    fn receive(
-        &mut self,
-        src: EndpointAddr,
-        cast: bool,
-        mut msg: Message,
-        ctx: &mut LayerCtx<'_>,
-    ) {
+    fn receive(&mut self, src: EndpointAddr, cast: bool, mut msg: Message, ctx: &mut LayerCtx<'_>) {
         if ctx.open(&mut msg).is_err() {
             return;
         }
@@ -369,8 +363,7 @@ mod tests {
     #[test]
     fn flush_timer_bounds_latency_of_a_lone_cast() {
         let delay = Duration::from_millis(2);
-        let mut w =
-            pack_world(2, move || Pack::new(64, 1200, delay), NetConfig::reliable(), 2);
+        let mut w = pack_world(2, move || Pack::new(64, 1200, delay), NetConfig::reliable(), 2);
         w.cast_bytes(ep(1), b"solo".to_vec());
         // Nothing else arrives; only the delay timer can flush.  The
         // message must be out within the configured bound plus transit.
@@ -423,10 +416,7 @@ mod tests {
             })
             .collect();
         assert_eq!(sends, vec![0x40, 0x41, 0x42, 0x43], "send order");
-        assert!(w
-            .upcalls(ep(3))
-            .iter()
-            .all(|(_, up)| !matches!(up, Up::Send { .. })));
+        assert!(w.upcalls(ep(3)).iter().all(|(_, up)| !matches!(up, Up::Send { .. })));
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! ids in delivery metadata, `ack`/`stable` downcalls, STABLE upcalls with
 //! the matrix.  Provides P14.
 
-use horus_core::wire::{WireReader, WireWriter};
 use horus_core::prelude::*;
+use horus_core::wire::{WireReader, WireWriter};
 use std::time::Duration;
 
 const FIELDS: &[FieldSpec] = &[FieldSpec::new("kind", 1), FieldSpec::new("sseq", 32)];
@@ -316,9 +316,7 @@ mod tests {
                 w.join(ep(i), GroupAddr::new(1));
             }
             for i in 2..=4 {
-                w.down_at(SimTime::from_millis(5 * (i - 1)), ep(i), Down::Merge {
-                    contact: ep(1),
-                });
+                w.down_at(SimTime::from_millis(5 * (i - 1)), ep(i), Down::Merge { contact: ep(1) });
             }
             w.run_for(Duration::from_secs(1));
             let t = w.now();

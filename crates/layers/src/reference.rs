@@ -22,8 +22,8 @@
 //! | FIFO | NAK: out-of-order buffering, ranged NAKs, windows | [`NakRef`]: go-back-N, drop out-of-order, whole-tail retransmission |
 //! | total order | TOTAL: moving token with oracle | [`TotalRef`]: fixed sequencer (rank 0) |
 
-use horus_core::wire::{WireReader, WireWriter};
 use horus_core::prelude::*;
+use horus_core::wire::{WireReader, WireWriter};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -269,11 +269,8 @@ impl Layer for NakRef {
             return;
         }
         // Status: my expected vector (all senders).
-        let entries: Vec<(EndpointAddr, u32)> = self
-            .expected
-            .iter()
-            .map(|(&s, &e)| (s, e.saturating_sub(1)))
-            .collect();
+        let entries: Vec<(EndpointAddr, u32)> =
+            self.expected.iter().map(|(&s, &e)| (s, e.saturating_sub(1))).collect();
         let mut w = WireWriter::with_capacity(4 + 12 * entries.len());
         w.put_u32(entries.len() as u32);
         for (s, cum) in entries {
@@ -288,8 +285,7 @@ impl Layer for NakRef {
 
         // Go-back-N: re-multicast the entire unacked tail.
         let min = self.min_acked();
-        let tail: Vec<Message> =
-            self.sent.range(min + 1..).map(|(_, m)| m.clone()).collect();
+        let tail: Vec<Message> = self.sent.range(min + 1..).map(|(_, m)| m.clone()).collect();
         for m in tail {
             self.retransmissions += 1;
             ctx.down(Down::Cast(m));
@@ -391,12 +387,8 @@ impl TotalRef {
         if !self.i_am_sequencer() {
             return;
         }
-        let batch: Vec<(EndpointAddr, u32)> = self
-            .unordered
-            .keys()
-            .filter(|k| !self.assigned.contains(*k))
-            .copied()
-            .collect();
+        let batch: Vec<(EndpointAddr, u32)> =
+            self.unordered.keys().filter(|k| !self.assigned.contains(*k)).copied().collect();
         if batch.is_empty() {
             return;
         }
@@ -586,21 +578,16 @@ mod tests {
         let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3)], 24);
         wl.schedule(&mut w, t + Duration::from_millis(1));
         w.run_for(Duration::from_secs(4));
-        let logs: Vec<DeliveryLog> = (1..=3)
-            .map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i))))
-            .collect();
+        let logs: Vec<DeliveryLog> =
+            (1..=3).map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i)))).collect();
         assert!(check_total_order(&logs).is_empty(), "total order in combo");
         assert!(check_virtual_synchrony(&logs).is_empty(), "vs in combo");
         (1..=3)
             .map(|i| {
-                w.delivered_casts(ep(i))
-                    .iter()
-                    .map(|(s, b, _)| (s.raw(), b.to_vec()))
-                    .collect()
+                w.delivered_casts(ep(i)).iter().map(|(s, b, _)| (s.raw(), b.to_vec())).collect()
             })
             .collect()
     }
-
 
     #[test]
     fn all_four_combinations_deliver_everything_in_total_order() {

@@ -12,11 +12,12 @@
 //! ```
 //!
 //! The registry holds "a library of about thirty different protocols, each
-//! providing a particular communication feature" (§1) — 36 layer
+//! providing a particular communication feature" (§1) — 37 layer
 //! types in this reproduction; [`layer_names`] enumerates them.
 
 use crate::causal::{Causal, Ts};
 use crate::com::Com;
+use crate::fd::{Fd, FdConfig};
 use crate::frag::{Frag, NFrag};
 use crate::mbrship::{Mbrship, MbrshipConfig};
 use crate::membership_parts::{Bms, FlushLayer, Vss};
@@ -103,9 +104,9 @@ pub fn parse_stack(desc: &str) -> Result<Vec<LayerSpec>, HorusError> {
         match b {
             b'(' => depth += 1,
             b')' => {
-                depth = depth.checked_sub(1).ok_or_else(|| {
-                    HorusError::BadStack(format!("unbalanced ')' in {desc:?}"))
-                })?;
+                depth = depth
+                    .checked_sub(1)
+                    .ok_or_else(|| HorusError::BadStack(format!("unbalanced ')' in {desc:?}")))?;
             }
             b':' if depth == 0 => {
                 specs.push(parse_one(&desc[start..i])?);
@@ -130,17 +131,17 @@ fn parse_one(part: &str) -> Result<LayerSpec, HorusError> {
         None => (part, ""),
         Some(i) => {
             let rest = &part[i + 1..];
-            let inner = rest.strip_suffix(')').ok_or_else(|| {
-                HorusError::BadStack(format!("missing ')' after {part:?}"))
-            })?;
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| HorusError::BadStack(format!("missing ')' after {part:?}")))?;
             (&part[..i], inner)
         }
     };
     let mut params = BTreeMap::new();
     for pair in args.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-        let (k, v) = pair.split_once('=').ok_or_else(|| {
-            HorusError::BadParam(format!("expected key=value, got {pair:?}"))
-        })?;
+        let (k, v) = pair
+            .split_once('=')
+            .ok_or_else(|| HorusError::BadParam(format!("expected key=value, got {pair:?}")))?;
         params.insert(k.trim().to_string(), v.trim().to_string());
     }
     Ok(LayerSpec { name: name.trim().to_uppercase(), params: Params(params) })
@@ -169,6 +170,13 @@ pub fn build_layer(spec: &LayerSpec) -> Result<Box<dyn Layer>, HorusError> {
             window: p.get_or("window", 4096)?,
             buffer_cap: p.get_or("buffer", 16384)?,
             rto: p.millis_or("rto", Duration::from_millis(40))?,
+            rto_max: p.millis_or("rto_max", Duration::from_millis(320))?,
+        })),
+        "FD" => Box::new(Fd::new(FdConfig {
+            period: p.millis_or("period", Duration::from_millis(25))?,
+            min_timeout: p.millis_or("min_timeout", Duration::from_millis(75))?,
+            margin: p.get_or("margin", 3.0)?,
+            jitter: p.millis_or("jitter", Duration::from_millis(10))?,
         })),
         "NNAK" => Box::new(Nnak::new(
             p.get_or("window", 8)?,
@@ -220,9 +228,10 @@ pub fn build_layer(spec: &LayerSpec) -> Result<Box<dyn Layer>, HorusError> {
                 Some(list) => list
                     .split('+')
                     .map(|s| {
-                        s.trim().parse::<u64>().map(EndpointAddr::new).map_err(|_| {
-                            HorusError::BadParam(format!("bad contact id {s:?}"))
-                        })
+                        s.trim()
+                            .parse::<u64>()
+                            .map(EndpointAddr::new)
+                            .map_err(|_| HorusError::BadParam(format!("bad contact id {s:?}")))
                     })
                     .collect::<Result<_, _>>()?,
                 None => Vec::new(),
@@ -263,10 +272,43 @@ pub fn build_layer(spec: &LayerSpec) -> Result<Box<dyn Layer>, HorusError> {
 /// of §1's "about thirty different protocols".
 pub fn layer_names() -> Vec<&'static str> {
     vec![
-        "COM", "NAK", "NNAK", "NAK_REF", "FRAG", "NFRAG", "PACK", "MBRSHIP", "BMS", "VSS", "FLUSH",
-        "TOTAL", "TOTAL_REF", "CAUSAL", "TS", "SAFE", "STABLE", "PINWHEEL", "MERGE", "CHKSUM",
-        "SIGN", "ENCRYPT", "COMPRESS", "FLOW", "PRIO", "TRACE", "ACCT", "LOGGER", "DROP",
-        "SEQNO", "NOP", "NOP_OPAQUE", "RPC", "CLOCKSYNC", "SECURE", "MUX",
+        "COM",
+        "NAK",
+        "NNAK",
+        "NAK_REF",
+        "FD",
+        "FRAG",
+        "NFRAG",
+        "PACK",
+        "MBRSHIP",
+        "BMS",
+        "VSS",
+        "FLUSH",
+        "TOTAL",
+        "TOTAL_REF",
+        "CAUSAL",
+        "TS",
+        "SAFE",
+        "STABLE",
+        "PINWHEEL",
+        "MERGE",
+        "CHKSUM",
+        "SIGN",
+        "ENCRYPT",
+        "COMPRESS",
+        "FLOW",
+        "PRIO",
+        "TRACE",
+        "ACCT",
+        "LOGGER",
+        "DROP",
+        "SEQNO",
+        "NOP",
+        "NOP_OPAQUE",
+        "RPC",
+        "CLOCKSYNC",
+        "SECURE",
+        "MUX",
     ]
 }
 
@@ -375,14 +417,10 @@ mod tests {
         use horus_net::NetConfig;
         use horus_sim::SimWorld;
         let mut w = SimWorld::new(1, NetConfig::reliable());
-        let a = build_stack(EndpointAddr::new(1), "CHKSUM:NAK:COM", StackConfig::default())
+        let a =
+            build_stack(EndpointAddr::new(1), "CHKSUM:NAK:COM", StackConfig::default()).unwrap();
+        let b = build_stack(EndpointAddr::new(2), "COMPRESS:SEQNO:COM", StackConfig::default())
             .unwrap();
-        let b = build_stack(
-            EndpointAddr::new(2),
-            "COMPRESS:SEQNO:COM",
-            StackConfig::default(),
-        )
-        .unwrap();
         w.add_endpoint(a);
         w.add_endpoint(b);
         w.join(EndpointAddr::new(1), GroupAddr::new(1));

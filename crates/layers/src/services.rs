@@ -21,8 +21,8 @@
 //!   surfaced through `msg.meta.channel`.
 
 use bytes::Bytes;
-use horus_core::wire::{WireReader, WireWriter};
 use horus_core::prelude::*;
+use horus_core::wire::{WireReader, WireWriter};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -364,10 +364,7 @@ impl Layer for ClockSync {
     }
 
     fn dump(&self) -> String {
-        format!(
-            "skew={}us estimate={:?}us rounds={}",
-            self.skew_us, self.estimate_us, self.rounds
-        )
+        format!("skew={}us estimate={:?}us rounds={}", self.skew_us, self.estimate_us, self.rounds)
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
@@ -551,7 +548,6 @@ impl Secure {
         ctx.set(&mut msg, 3, mac);
         ctx.down(Down::Cast(msg));
     }
-
 }
 
 impl Layer for Secure {
@@ -768,8 +764,6 @@ mod tests {
             .collect()
     }
 
-
-
     #[test]
     fn rpc_request_reply_roundtrip() {
         let mk = || -> Vec<Box<dyn Layer>> {
@@ -815,10 +809,9 @@ mod tests {
         req.meta.rpc = Some((0, false));
         w.down_at(SimTime::from_millis(2), ep(1), Down::Send { dests: vec![ep(2)], msg: req });
         w.run_for(Duration::from_secs(1));
-        assert!(w
-            .upcalls(ep(1))
-            .iter()
-            .any(|(_, up)| matches!(up, Up::SystemError { reason } if reason.contains("timed out"))));
+        assert!(w.upcalls(ep(1)).iter().any(
+            |(_, up)| matches!(up, Up::SystemError { reason } if reason.contains("timed out"))
+        ));
         let rpc_layer: &Rpc = w.stack(ep(1)).unwrap().focus_as("RPC").unwrap();
         assert_eq!(rpc_layer.timed_out, 1);
     }
@@ -857,10 +850,7 @@ mod tests {
         let skews: [i64; 3] = [0, 5_000, -3_000];
         for i in 1..=3u64 {
             let s = StackBuilder::new(ep(i))
-                .push(Box::new(ClockSync::new(
-                    skews[(i - 1) as usize],
-                    Duration::from_millis(20),
-                )))
+                .push(Box::new(ClockSync::new(skews[(i - 1) as usize], Duration::from_millis(20))))
                 .push(Box::new(Mbrship::new(MbrshipConfig::default())))
                 .push(Box::new(Frag::default()))
                 .push(Box::new(Nak::default()))
@@ -880,10 +870,7 @@ mod tests {
             let cs: &ClockSync = w.stack(ep(i)).unwrap().focus_as("CLOCKSYNC").unwrap();
             let est = cs.estimated_offset_us().expect("a sync round completed");
             let truth = -skews[(i - 1) as usize];
-            assert!(
-                (est - truth).abs() < 500,
-                "ep{i}: estimated {est}us vs true {truth}us"
-            );
+            assert!((est - truth).abs() < 500, "ep{i}: estimated {est}us vs true {truth}us");
             // Corrected clocks agree with true virtual time to the same
             // tolerance.
             let corrected = cs.corrected_clock_us(w.now());
@@ -928,10 +915,7 @@ mod tests {
         w.run_for(Duration::from_secs(2));
         w.cast_bytes(ep(1), &b"post-rotation"[..]);
         w.run_for(Duration::from_millis(500));
-        assert!(w
-            .delivered_casts(ep(2))
-            .iter()
-            .any(|(_, b, _)| &b[..] == b"post-rotation"));
+        assert!(w.delivered_casts(ep(2)).iter().any(|(_, b, _)| &b[..] == b"post-rotation"));
     }
 
     #[test]

@@ -20,8 +20,8 @@
 //! Requires P3, P4, P8, P9, P15 below; provides P14 (stability
 //! information).
 
-use horus_core::wire::{WireReader, WireWriter};
 use horus_core::prelude::*;
+use horus_core::wire::{WireReader, WireWriter};
 use std::time::Duration;
 
 const FIELDS: &[FieldSpec] = &[FieldSpec::new("kind", 1), FieldSpec::new("sseq", 32)];
@@ -87,11 +87,8 @@ impl Stable {
     fn gossip_row(&mut self, ctx: &mut LayerCtx<'_>) {
         let Some(view) = &self.view else { return };
         let me = self.me.expect("init");
-        let entries: Vec<(EndpointAddr, u64)> = view
-            .members()
-            .iter()
-            .map(|&m| (m, self.matrix.acked(me, m)))
-            .collect();
+        let entries: Vec<(EndpointAddr, u64)> =
+            view.members().iter().map(|&m| (m, self.matrix.acked(me, m))).collect();
         let mut w = WireWriter::with_capacity(4 + 16 * entries.len());
         w.put_u32(entries.len() as u32);
         for (m, v) in entries {
@@ -269,13 +266,10 @@ mod tests {
     }
 
     fn last_matrix(w: &SimWorld, e: EndpointAddr) -> Option<StabilityMatrix> {
-        w.upcalls(e)
-            .iter()
-            .rev()
-            .find_map(|(_, up)| match up {
-                Up::Stable(m) => Some(m.clone()),
-                _ => None,
-            })
+        w.upcalls(e).iter().rev().find_map(|(_, up)| match up {
+            Up::Stable(m) => Some(m.clone()),
+            _ => None,
+        })
     }
 
     #[test]
@@ -284,10 +278,7 @@ mod tests {
         w.cast_bytes(ep(1), &b"payload"[..]);
         w.run_for(Duration::from_millis(500));
         let m = last_matrix(&w, ep(1)).expect("STABLE upcall at sender");
-        assert!(
-            m.is_stable(ep(1), 1),
-            "message 1 of ep1 should be stable: {m:?}"
-        );
+        assert!(m.is_stable(ep(1), 1), "message 1 of ep1 should be stable: {m:?}");
         assert_eq!(m.stable_horizon(ep(1)), 1);
     }
 

@@ -37,8 +37,8 @@
 //! Requires P3, P8, P9, P15 beneath; provides P6 (totally ordered
 //! delivery).
 
-use horus_core::wire::{WireReader, WireWriter};
 use horus_core::prelude::*;
+use horus_core::wire::{WireReader, WireWriter};
 use std::collections::BTreeMap;
 
 const FIELDS: &[FieldSpec] = &[FieldSpec::new("kind", 2), FieldSpec::new("tseq", 32)];
@@ -154,12 +154,8 @@ impl Total {
         if self.frontier() != g_base {
             return; // not caught up with the order chain yet
         }
-        let batch: Vec<(EndpointAddr, u32)> = self
-            .unordered
-            .keys()
-            .filter(|k| !self.assigned.contains_key(*k))
-            .copied()
-            .collect();
+        let batch: Vec<(EndpointAddr, u32)> =
+            self.unordered.keys().filter(|k| !self.assigned.contains_key(*k)).copied().collect();
         if batch.is_empty() {
             return;
         }
@@ -272,8 +268,7 @@ impl Total {
         self.covered.clear();
         self.holder_gen = 0;
         self.holder = view.members().first().copied();
-        self.grant =
-            (self.holder == self.me).then_some(1);
+        self.grant = (self.holder == self.me).then_some(1);
         self.view = Some(view.clone());
         self.flushing = false;
         ctx.up(Up::View(view));
@@ -425,7 +420,6 @@ mod tests {
             .collect()
     }
 
-
     #[test]
     fn concurrent_senders_identical_order() {
         let mut w = joined_world(3, 1, NetConfig::reliable());
@@ -446,7 +440,8 @@ mod tests {
         assert!(check_total_order(&logs).is_empty());
         assert!(check_virtual_synchrony(&logs).is_empty());
         // All three endpoints see exactly the same global sequence.
-        let seq1: Vec<_> = w.delivered_casts(ep(1)).iter().map(|(s, b, _)| (*s, b.clone())).collect();
+        let seq1: Vec<_> =
+            w.delivered_casts(ep(1)).iter().map(|(s, b, _)| (*s, b.clone())).collect();
         for i in 2..=3 {
             let seq: Vec<_> =
                 w.delivered_casts(ep(i)).iter().map(|(s, b, _)| (*s, b.clone())).collect();

@@ -605,10 +605,7 @@ impl Layer for Acct {
         ctx.up(ev);
     }
     fn dump(&self) -> String {
-        format!(
-            "sent={}msg/{}B recv_sources={:?}",
-            self.sent_msgs, self.sent_bytes, self.by_source
-        )
+        format!("sent={}msg/{}B recv_sources={:?}", self.sent_msgs, self.sent_bytes, self.by_source)
     }
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
@@ -864,13 +861,12 @@ mod tests {
 
     #[test]
     fn compress_shrinks_redundant_bodies_only() {
-        let mk = || -> Vec<Box<dyn Layer>> {
-            vec![Box::new(Compress::default()), Box::new(Com::new())]
-        };
+        let mk =
+            || -> Vec<Box<dyn Layer>> { vec![Box::new(Compress::default()), Box::new(Com::new())] };
         let mut w = pair_world(4, mk, NetConfig::reliable());
         w.cast_bytes(ep(1), vec![7u8; 400]); // compresses well
-        // COMPRESS:COM has no FIFO layer, so space the casts beyond the
-        // network's latency jitter to keep delivery order deterministic.
+                                             // COMPRESS:COM has no FIFO layer, so space the casts beyond the
+                                             // network's latency jitter to keep delivery order deterministic.
         w.run_for(Duration::from_millis(5));
         w.cast_bytes(ep(1), (0..=255u8).collect::<Vec<_>>()); // incompressible
         w.run_for(Duration::from_millis(50));
@@ -886,10 +882,7 @@ mod tests {
     #[test]
     fn flow_paces_bursts() {
         let mk = || -> Vec<Box<dyn Layer>> {
-            vec![
-                Box::new(Flow::new(5, Duration::from_millis(10))),
-                Box::new(Com::new()),
-            ]
+            vec![Box::new(Flow::new(5, Duration::from_millis(10))), Box::new(Com::new())]
         };
         let mut w = pair_world(5, mk, NetConfig::reliable());
         for k in 0..20u8 {
@@ -969,11 +962,7 @@ mod tests {
     fn drop_layer_injects_deterministic_loss_nak_recovers() {
         // DROP below NAK: every 3rd cast vanishes, NAK must repair.
         let mk = || -> Vec<Box<dyn Layer>> {
-            vec![
-                Box::new(Nak::default()),
-                Box::new(DropEvery::new(3)),
-                Box::new(Com::new()),
-            ]
+            vec![Box::new(Nak::default()), Box::new(DropEvery::new(3)), Box::new(Com::new())]
         };
         let mut w = pair_world(9, mk, NetConfig::reliable());
         for k in 0..12u8 {
@@ -989,11 +978,7 @@ mod tests {
     #[test]
     fn seqno_detects_but_does_not_repair() {
         let mk = || -> Vec<Box<dyn Layer>> {
-            vec![
-                Box::new(Seqno::default()),
-                Box::new(DropEvery::new(4)),
-                Box::new(Com::new()),
-            ]
+            vec![Box::new(Seqno::default()), Box::new(DropEvery::new(4)), Box::new(Com::new())]
         };
         let mut w = pair_world(10, mk, NetConfig::reliable());
         for k in 0..8u8 {

@@ -1,0 +1,330 @@
+//! Targeted fault injection: the scripted counterpart to the random
+//! physics of [`crate::sim::NetConfig`].
+//!
+//! `NetConfig` models a uniformly bad network — every frame faces the same
+//! loss/garble dice.  Real failure scenarios are *asymmetric*: one
+//! directed link degrades, a router drops traffic in one direction only, a
+//! burst of congestion eats a window of frames, a flaky NIC corrupts every
+//! n-th packet it sends.  A [`FaultPlan`] is an ordered list of such
+//! [`FaultRule`]s, evaluated deterministically against virtual time and the
+//! world RNG, and composable with the global physics (a frame that survives
+//! the plan still faces random loss, duplication, and garbling).
+//!
+//! Every rule keeps a private hit counter ([`FaultPlan::hits`]) and the
+//! network splits its drop accounting per rule kind (`NetStats::dropped_cut`
+//! etc.), so a chaos test can assert that the injection it scripted actually
+//! fired — and that nothing else did.
+
+use horus_core::addr::EndpointAddr;
+use horus_core::time::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// One targeted fault, aimed at a directed link or a source endpoint.
+///
+/// All times are virtual; all rules are deterministic functions of
+/// `(rule, frame history, virtual time, world RNG)`, so a `(seed, plan)`
+/// pair replays byte-identically.
+#[derive(Debug, Clone)]
+pub enum FaultRule {
+    /// The directed link `from → to` loses each frame with probability
+    /// `rate` (the reverse direction is untouched).
+    DirectedLoss {
+        /// Transmitting endpoint.
+        from: EndpointAddr,
+        /// Receiving endpoint.
+        to: EndpointAddr,
+        /// Per-frame loss probability on this link.
+        rate: f64,
+    },
+    /// A one-way (asymmetric) cut: **all** frames `from → to` are dropped
+    /// while the cut is active; traffic `to → from` still flows.
+    OneWayCut {
+        /// Transmitting endpoint.
+        from: EndpointAddr,
+        /// Receiving endpoint.
+        to: EndpointAddr,
+        /// When the cut takes effect.
+        start: SimTime,
+        /// When the link heals; `None` means the cut is permanent.
+        end: Option<SimTime>,
+    },
+    /// A burst-loss window: every frame `from → to` inside
+    /// `[start, end)` is dropped (models a congestion burst or a
+    /// route flap on one directed link).
+    BurstLoss {
+        /// Transmitting endpoint.
+        from: EndpointAddr,
+        /// Receiving endpoint.
+        to: EndpointAddr,
+        /// Window start (inclusive).
+        start: SimTime,
+        /// Window end (exclusive).
+        end: SimTime,
+    },
+    /// Corrupts every `every_nth` frame transmitted by `src` (to all of its
+    /// remote receivers), modelling a flaky sender NIC.  Counting starts at
+    /// the first frame `src` sends after the rule is installed.
+    TargetedCorrupt {
+        /// The faulty transmitter.
+        src: EndpointAddr,
+        /// Corrupt frames number `n, 2n, 3n, …` from `src` (must be ≥ 1).
+        every_nth: u64,
+    },
+}
+
+/// Why the fault plan dropped a delivery (maps to a `NetStats` counter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDrop {
+    /// A [`FaultRule::DirectedLoss`] coin came up tails.
+    Directed,
+    /// A [`FaultRule::OneWayCut`] is active on the link.
+    Cut,
+    /// The delivery fell inside a [`FaultRule::BurstLoss`] window.
+    Burst,
+}
+
+/// An ordered, deterministic schedule of targeted faults.
+///
+/// Rules are evaluated in insertion order; the first rule that drops a
+/// delivery wins (deterministic cuts and bursts are checked before
+/// probabilistic directed loss so that RNG consumption — and therefore
+/// replay — does not depend on rule order).
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    hits: Vec<u64>,
+    /// Frames transmitted per source since plan creation (for
+    /// [`FaultRule::TargetedCorrupt`] counting).
+    frames_from: BTreeMap<EndpointAddr, u64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no targeted faults; zero RNG consumption).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Installs a rule, returning its index for [`FaultPlan::hits`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed rules (`rate` outside `[0, 1]`, `every_nth == 0`,
+    /// or an empty burst window).
+    pub fn add(&mut self, rule: FaultRule) -> usize {
+        match &rule {
+            FaultRule::DirectedLoss { rate, .. } => {
+                assert!((0.0..=1.0).contains(rate), "loss rate must be in [0,1]");
+            }
+            FaultRule::TargetedCorrupt { every_nth, .. } => {
+                assert!(*every_nth >= 1, "every_nth must be >= 1");
+            }
+            FaultRule::BurstLoss { start, end, .. } => {
+                assert!(end > start, "burst window must be non-empty");
+            }
+            FaultRule::OneWayCut { .. } => {}
+        }
+        self.rules.push(rule);
+        self.hits.push(0);
+        self.rules.len() - 1
+    }
+
+    /// The installed rules, in insertion order.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Per-rule hit counts, parallel to [`FaultPlan::rules`].  Drop rules
+    /// count suppressed deliveries; [`FaultRule::TargetedCorrupt`] counts
+    /// corrupted *frames* (one frame may fan out to several receivers).
+    pub fn hits(&self) -> &[u64] {
+        &self.hits
+    }
+
+    /// Removes every rule (hit history and frame counters included).
+    pub fn clear(&mut self) {
+        self.rules.clear();
+        self.hits.clear();
+        self.frames_from.clear();
+    }
+
+    /// Whether the plan has no rules (the hot path skips evaluation).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Decides whether the delivery `from → to` at `now` is dropped by a
+    /// targeted rule.  Deterministic rules (cut, burst) are consulted before
+    /// probabilistic ones so RNG draws only happen for frames that reach a
+    /// `DirectedLoss` rule.
+    pub(crate) fn drop_verdict(
+        &mut self,
+        from: EndpointAddr,
+        to: EndpointAddr,
+        now: SimTime,
+        rng: &mut StdRng,
+    ) -> Option<FaultDrop> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            match *rule {
+                FaultRule::OneWayCut { from: f, to: t, start, end }
+                    if f == from && t == to && now >= start && end.is_none_or(|e| now < e) =>
+                {
+                    self.hits[i] += 1;
+                    return Some(FaultDrop::Cut);
+                }
+                FaultRule::BurstLoss { from: f, to: t, start, end }
+                    if f == from && t == to && now >= start && now < end =>
+                {
+                    self.hits[i] += 1;
+                    return Some(FaultDrop::Burst);
+                }
+                _ => {}
+            }
+        }
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let FaultRule::DirectedLoss { from: f, to: t, rate } = *rule {
+                if f == from && t == to && rate > 0.0 && rng.gen_bool(rate) {
+                    self.hits[i] += 1;
+                    return Some(FaultDrop::Directed);
+                }
+            }
+        }
+        None
+    }
+
+    /// Called once per transmitted frame: advances the per-source frame
+    /// counter and reports whether a [`FaultRule::TargetedCorrupt`] rule
+    /// corrupts this frame.
+    pub(crate) fn corrupt_frame(&mut self, from: EndpointAddr) -> bool {
+        if self.rules.iter().all(|r| !matches!(r, FaultRule::TargetedCorrupt { .. })) {
+            return false;
+        }
+        let n = self.frames_from.entry(from).or_insert(0);
+        *n += 1;
+        let count = *n;
+        let mut corrupt = false;
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let FaultRule::TargetedCorrupt { src, every_nth } = *rule {
+                if src == from && count.is_multiple_of(every_nth) {
+                    self.hits[i] += 1;
+                    corrupt = true;
+                }
+            }
+        }
+        corrupt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ep(i: u64) -> EndpointAddr {
+        EndpointAddr::new(i)
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn empty_plan_never_drops_and_never_draws() {
+        let mut p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.drop_verdict(ep(1), ep(2), SimTime::ZERO, &mut rng()), None);
+        assert!(!p.corrupt_frame(ep(1)));
+    }
+
+    #[test]
+    fn one_way_cut_is_directional_and_windowed() {
+        let mut p = FaultPlan::new();
+        let r = p.add(FaultRule::OneWayCut {
+            from: ep(1),
+            to: ep(2),
+            start: SimTime::from_millis(10),
+            end: Some(SimTime::from_millis(20)),
+        });
+        let mut g = rng();
+        // Before the window, and the reverse direction: untouched.
+        assert_eq!(p.drop_verdict(ep(1), ep(2), SimTime::from_millis(5), &mut g), None);
+        assert_eq!(p.drop_verdict(ep(2), ep(1), SimTime::from_millis(15), &mut g), None);
+        // Inside the window, forward direction: dropped.
+        assert_eq!(
+            p.drop_verdict(ep(1), ep(2), SimTime::from_millis(15), &mut g),
+            Some(FaultDrop::Cut)
+        );
+        // After the window: healed.
+        assert_eq!(p.drop_verdict(ep(1), ep(2), SimTime::from_millis(25), &mut g), None);
+        assert_eq!(p.hits()[r], 1);
+    }
+
+    #[test]
+    fn permanent_cut_has_no_end() {
+        let mut p = FaultPlan::new();
+        p.add(FaultRule::OneWayCut { from: ep(1), to: ep(2), start: SimTime::ZERO, end: None });
+        let mut g = rng();
+        assert_eq!(
+            p.drop_verdict(ep(1), ep(2), SimTime::from_millis(3_600_000), &mut g),
+            Some(FaultDrop::Cut)
+        );
+    }
+
+    #[test]
+    fn burst_loss_hits_only_inside_window() {
+        let mut p = FaultPlan::new();
+        let r = p.add(FaultRule::BurstLoss {
+            from: ep(3),
+            to: ep(1),
+            start: SimTime::from_millis(100),
+            end: SimTime::from_millis(200),
+        });
+        let mut g = rng();
+        assert_eq!(p.drop_verdict(ep(3), ep(1), SimTime::from_millis(99), &mut g), None);
+        assert_eq!(
+            p.drop_verdict(ep(3), ep(1), SimTime::from_millis(100), &mut g),
+            Some(FaultDrop::Burst)
+        );
+        assert_eq!(p.drop_verdict(ep(3), ep(1), SimTime::from_millis(200), &mut g), None);
+        assert_eq!(p.hits()[r], 1);
+    }
+
+    #[test]
+    fn directed_loss_is_per_link_and_probabilistic() {
+        let mut p = FaultPlan::new();
+        let r = p.add(FaultRule::DirectedLoss { from: ep(1), to: ep(2), rate: 1.0 });
+        let mut g = rng();
+        assert_eq!(p.drop_verdict(ep(1), ep(2), SimTime::ZERO, &mut g), Some(FaultDrop::Directed));
+        assert_eq!(p.drop_verdict(ep(2), ep(1), SimTime::ZERO, &mut g), None);
+        assert_eq!(p.drop_verdict(ep(1), ep(3), SimTime::ZERO, &mut g), None);
+        assert_eq!(p.hits()[r], 1);
+    }
+
+    #[test]
+    fn nth_frame_corruption_counts_per_source() {
+        let mut p = FaultPlan::new();
+        let r = p.add(FaultRule::TargetedCorrupt { src: ep(2), every_nth: 3 });
+        // Frames from other sources never corrupt and never advance ep2's count.
+        assert!(!p.corrupt_frame(ep(1)));
+        let pattern: Vec<bool> = (0..9).map(|_| p.corrupt_frame(ep(2))).collect();
+        assert_eq!(pattern, vec![false, false, true, false, false, true, false, false, true]);
+        assert_eq!(p.hits()[r], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "every_nth")]
+    fn zeroth_frame_rule_rejected() {
+        FaultPlan::new().add(FaultRule::TargetedCorrupt { src: ep(1), every_nth: 0 });
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut p = FaultPlan::new();
+        p.add(FaultRule::TargetedCorrupt { src: ep(1), every_nth: 1 });
+        assert!(p.corrupt_frame(ep(1)));
+        p.clear();
+        assert!(p.is_empty());
+        assert!(p.hits().is_empty());
+    }
+}

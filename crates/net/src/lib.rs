@@ -12,8 +12,10 @@
 //! and know which endpoints joined which transport-level group, exactly the
 //! service the COM layer adapts to the HCPI.
 
+pub mod fault;
 pub mod sim;
 pub mod threaded;
 
+pub use fault::{FaultDrop, FaultPlan, FaultRule};
 pub use sim::{Delivery, NetConfig, NetStats, SimNetwork};
 pub use threaded::LoopbackNet;

@@ -12,6 +12,7 @@
 //! be scheduled, with their virtual arrival times.  The discrete-event
 //! executor in `horus-sim` owns the calendar; this type owns the physics.
 
+use crate::fault::{FaultDrop, FaultPlan, FaultRule};
 use bytes::Bytes;
 use horus_core::addr::{EndpointAddr, GroupAddr};
 use horus_core::frame::WireFrame;
@@ -75,11 +76,21 @@ pub struct NetStats {
     pub frames_sent: u64,
     /// Point deliveries produced (one frame to N receivers counts N).
     pub deliveries: u64,
-    /// Deliveries suppressed by random loss.
+    /// Deliveries suppressed by *random* (uniform `NetConfig::loss`) loss.
+    /// Targeted fault-plan drops are counted separately below.
     pub dropped_loss: u64,
     /// Deliveries suppressed because sender and receiver are in different
     /// partitions.
     pub dropped_partition: u64,
+    /// Deliveries suppressed by a [`FaultRule::DirectedLoss`] rule.
+    pub dropped_directed: u64,
+    /// Deliveries suppressed by a [`FaultRule::OneWayCut`] rule.
+    pub dropped_cut: u64,
+    /// Deliveries suppressed inside a [`FaultRule::BurstLoss`] window.
+    pub dropped_burst: u64,
+    /// Deliveries corrupted by a [`FaultRule::TargetedCorrupt`] rule
+    /// (random garbling is counted in `garbled`, not here).
+    pub corrupted_targeted: u64,
     /// Frames dropped for exceeding the MTU.
     pub dropped_mtu: u64,
     /// Extra deliveries injected by duplication.
@@ -116,6 +127,8 @@ pub struct SimNetwork {
     member_of: BTreeMap<EndpointAddr, GroupAddr>,
     /// Partition region of each endpoint; unlisted endpoints are region 0.
     regions: BTreeMap<EndpointAddr, u32>,
+    /// Scripted targeted faults, composed with the global physics above.
+    faults: FaultPlan,
     stats: NetStats,
 }
 
@@ -127,6 +140,7 @@ impl SimNetwork {
             groups: BTreeMap::new(),
             member_of: BTreeMap::new(),
             regions: BTreeMap::new(),
+            faults: FaultPlan::new(),
             stats: NetStats::default(),
         }
     }
@@ -145,6 +159,28 @@ impl SimNetwork {
     /// Accumulated counters.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Installs a targeted fault rule, returning its index into
+    /// [`SimNetwork::fault_hits`].
+    pub fn add_fault(&mut self, rule: FaultRule) -> usize {
+        self.faults.add(rule)
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Mutable access to the fault plan (scenario scripts add or clear
+    /// rules mid-run).
+    pub fn fault_plan_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// Per-rule hit counts, parallel to the order rules were added.
+    pub fn fault_hits(&self) -> &[u64] {
+        self.faults.hits()
     }
 
     /// Registers `ep` as a transport-level receiver of `group` multicasts.
@@ -167,11 +203,7 @@ impl SimNetwork {
 
     /// Transport-level receivers of `ep`'s multicasts (including `ep`).
     pub fn cast_targets(&self, ep: EndpointAddr) -> Vec<EndpointAddr> {
-        self.member_of
-            .get(&ep)
-            .and_then(|g| self.groups.get(g))
-            .cloned()
-            .unwrap_or_default()
+        self.member_of.get(&ep).and_then(|g| self.groups.get(g)).cloned().unwrap_or_default()
     }
 
     /// Splits the network: each inner slice becomes one partition region.
@@ -239,10 +271,15 @@ impl SimNetwork {
             return Vec::new();
         }
         self.stats.bytes_sent += wire.len() as u64;
+        // Targeted nth-frame corruption is decided once per frame (the
+        // per-source frame counter must not depend on the receiver set).
+        let corrupt_frame = self.faults.corrupt_frame(from);
         let mut out = Vec::with_capacity(dests.len());
         for &to in dests {
             if to == from {
-                // Loopback: reliable, immune to loss/garbling/partitions.
+                // Loopback: reliable, immune to loss/garbling/partitions,
+                // and out of reach of the fault plan (a flaky NIC still
+                // hands the local copy up without touching the wire).
                 self.stats.deliveries += 1;
                 out.push(Delivery {
                     to,
@@ -257,6 +294,21 @@ impl SimNetwork {
                 self.stats.dropped_partition += 1;
                 continue;
             }
+            match self.faults.drop_verdict(from, to, now, rng) {
+                Some(FaultDrop::Cut) => {
+                    self.stats.dropped_cut += 1;
+                    continue;
+                }
+                Some(FaultDrop::Burst) => {
+                    self.stats.dropped_burst += 1;
+                    continue;
+                }
+                Some(FaultDrop::Directed) => {
+                    self.stats.dropped_directed += 1;
+                    continue;
+                }
+                None => {}
+            }
             if rng.gen_bool(self.config.loss) {
                 self.stats.dropped_loss += 1;
                 continue;
@@ -269,13 +321,16 @@ impl SimNetwork {
             };
             for _ in 0..copies {
                 let at = now + self.sample_latency(rng);
-                let payload =
-                    if self.config.garble > 0.0 && rng.gen_bool(self.config.garble) {
-                        self.stats.garbled += 1;
-                        garble(&wire, rng)
-                    } else {
-                        wire.clone()
-                    };
+                let mut payload = if self.config.garble > 0.0 && rng.gen_bool(self.config.garble) {
+                    self.stats.garbled += 1;
+                    garble(&wire, rng)
+                } else {
+                    wire.clone()
+                };
+                if corrupt_frame {
+                    self.stats.corrupted_targeted += 1;
+                    payload = garble(&payload, rng);
+                }
                 self.stats.deliveries += 1;
                 out.push(Delivery { to, from, cast, at, wire: payload });
             }
@@ -415,6 +470,60 @@ mod tests {
             assert!(d.at >= SimTime::ZERO + cfg.latency_min);
             assert!(d.at <= SimTime::ZERO + cfg.latency_max);
         }
+    }
+
+    #[test]
+    fn one_way_cut_blocks_only_forward_direction() {
+        let mut n = joined_net(NetConfig::reliable());
+        n.add_fault(FaultRule::OneWayCut {
+            from: ep(1),
+            to: ep(2),
+            start: SimTime::ZERO,
+            end: None,
+        });
+        let d = n.cast(ep(1), raw(b"x"), SimTime::ZERO, &mut rng());
+        assert!(d.iter().all(|d| d.to != ep(2)), "forward direction cut");
+        assert!(d.iter().any(|d| d.to == ep(3)), "other links untouched");
+        assert_eq!(n.stats().dropped_cut, 1);
+        assert_eq!(n.stats().dropped_loss, 0, "cut drops are not random loss");
+        let d = n.cast(ep(2), raw(b"y"), SimTime::ZERO, &mut rng());
+        assert!(d.iter().any(|d| d.to == ep(1)), "reverse direction flows");
+    }
+
+    #[test]
+    fn targeted_corruption_spares_loopback_and_counts_frames() {
+        let mut n = joined_net(NetConfig::reliable());
+        let r = n.add_fault(FaultRule::TargetedCorrupt { src: ep(1), every_nth: 1 });
+        let d = n.cast(ep(1), raw(b"abcd"), SimTime::ZERO, &mut rng());
+        let local = d.iter().find(|d| d.to == ep(1)).unwrap();
+        assert_eq!(&local.wire.to_bytes()[..], b"abcd", "loopback never corrupted");
+        for rd in d.iter().filter(|d| d.to != ep(1)) {
+            assert_ne!(&rd.wire.to_bytes()[..], b"abcd", "remote copy corrupted");
+        }
+        // Two corrupted deliveries from one corrupted frame.
+        assert_eq!(n.stats().corrupted_targeted, 2);
+        assert_eq!(n.stats().garbled, 0, "targeted corruption is not random garbling");
+        assert_eq!(n.fault_hits()[r], 1, "rule hit counted per frame");
+        // Frames from other sources are untouched and uncounted.
+        let d = n.cast(ep(2), raw(b"efgh"), SimTime::ZERO, &mut rng());
+        assert!(d.iter().all(|d| &d.wire.to_bytes()[..] == b"efgh"));
+        assert_eq!(n.fault_hits()[r], 1);
+    }
+
+    #[test]
+    fn directed_loss_composes_with_global_physics() {
+        let mut cfg = NetConfig::reliable();
+        cfg.duplicate = 1.0;
+        let mut n = joined_net(cfg);
+        let r = n.add_fault(FaultRule::DirectedLoss { from: ep(1), to: ep(2), rate: 1.0 });
+        let d = n.cast(ep(1), raw(b"x"), SimTime::ZERO, &mut rng());
+        // ep2's copies are all eaten by the targeted rule, before
+        // duplication; ep3 still gets its duplicated pair.
+        assert!(d.iter().all(|d| d.to != ep(2)));
+        assert_eq!(d.iter().filter(|d| d.to == ep(3)).count(), 2);
+        assert_eq!(n.stats().dropped_directed, 1);
+        assert_eq!(n.stats().dropped_loss, 0);
+        assert_eq!(n.fault_hits()[r], 1);
     }
 
     #[test]

@@ -49,8 +49,21 @@ impl Error for StackError {}
 /// semantics, and inherit everything.  The checker treats them as
 /// identity rows.
 const TRANSPARENT: &[&str] = &[
-    "SIGN", "ENCRYPT", "COMPRESS", "FLOW", "TRACE", "ACCT", "LOGGER", "DROP", "SEQNO", "NOP",
-    "NOP_OPAQUE", "RPC", "CLOCKSYNC", "SECURE", "MUX",
+    "SIGN",
+    "ENCRYPT",
+    "COMPRESS",
+    "FLOW",
+    "TRACE",
+    "ACCT",
+    "LOGGER",
+    "DROP",
+    "SEQNO",
+    "NOP",
+    "NOP_OPAQUE",
+    "RPC",
+    "CLOCKSYNC",
+    "SECURE",
+    "MUX",
 ];
 
 /// Derives the property set a stack provides to its application, checking
@@ -189,9 +202,7 @@ mod tests {
     #[test]
     fn full_feature_stack_derives() {
         let net = PropSet::of(&[Prop::BestEffort]);
-        let stack = &[
-            "SAFE", "STABLE", "TOTAL", "MERGE", "MBRSHIP", "FRAG", "NAK", "COM",
-        ];
+        let stack = &["SAFE", "STABLE", "TOTAL", "MERGE", "MBRSHIP", "FRAG", "NAK", "COM"];
         let got = derive_stack(stack, net).unwrap();
         for p in [Prop::Safe, Prop::Stability, Prop::TotalOrder, Prop::AutoMerge] {
             assert!(got.contains(p), "missing {p} in {got}");

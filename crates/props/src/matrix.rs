@@ -39,9 +39,9 @@
 //! against FRAG's 2; reference layers cost more than their production
 //! twins (go-back-N bandwidth, fixed-sequencer hops).
 
-use crate::props::PropSet;
 #[cfg(test)]
 use crate::props::Prop;
+use crate::props::PropSet;
 
 /// One row of Table 3.
 #[derive(Debug, Clone, Copy)]
@@ -80,6 +80,7 @@ pub const MATRIX: &[LayerMeta] = &[
     row!("NAK_REF",   req:[1, 10, 11],                  prov:[3, 4],      mask:[1], cost:5),
     row!("FRAG",      req:[3, 4, 10, 11],               prov:[12],        mask:[],  cost:2),
     row!("PACK",      req:[3, 4, 10, 11],               prov:[],          mask:[],  cost:1),
+    row!("FD",        req:[3, 4, 10, 11],               prov:[],          mask:[],  cost:1),
     row!("MBRSHIP",   req:[3, 4, 10, 11, 12],           prov:[8, 9, 15],  mask:[],  cost:6),
     row!("BMS",       req:[3, 4, 10, 11, 12],           prov:[15],        mask:[],  cost:3),
     row!("VSS",       req:[3, 10, 11, 12, 15],          prov:[8],         mask:[],  cost:2),
@@ -160,8 +161,7 @@ mod tests {
         // Each property of Table 4 except the base network property P1
         // (supplied by the network itself) has at least one providing
         // layer... for those properties that any layer targets.
-        let provided: PropSet =
-            MATRIX.iter().fold(PropSet::EMPTY, |s, m| s.union(m.provides));
+        let provided: PropSet = MATRIX.iter().fold(PropSet::EMPTY, |s, m| s.union(m.provides));
         for p in [
             Prop::Prioritized,
             Prop::FifoUnicast,

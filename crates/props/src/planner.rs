@@ -106,12 +106,12 @@ pub fn plan_minimal_stack(
             continue;
         }
         let set = PropSet::from_bits(state);
-        best_coverage = if set.intersection(required).len() > best_coverage.intersection(required).len()
-        {
-            set
-        } else {
-            best_coverage
-        };
+        best_coverage =
+            if set.intersection(required).len() > best_coverage.intersection(required).len() {
+                set
+            } else {
+                best_coverage
+            };
         if set.is_superset(required) {
             // Reconstruct the path (bottom-up), then flip to top-first.
             let mut stack = Vec::new();
@@ -193,11 +193,8 @@ mod tests {
     fn keeping_best_effort_and_fifo_is_impossible() {
         // P1 is masked by every FIFO layer: asking for both P1 and P4 must
         // fail — the algebra knows upgrades are not additive.
-        let err = plan_minimal_stack(
-            PropSet::of(&[Prop::BestEffort, Prop::FifoMulticast]),
-            p1(),
-        )
-        .unwrap_err();
+        let err = plan_minimal_stack(PropSet::of(&[Prop::BestEffort, Prop::FifoMulticast]), p1())
+            .unwrap_err();
         assert!(matches!(err, PlanError::Unsatisfiable { .. }));
     }
 
@@ -224,15 +221,10 @@ mod tests {
         // Stability: PINWHEEL (cost 2, fewer requirements) and STABLE
         // (cost 2) both qualify; whichever is chosen, the total cost must
         // not exceed hand-built alternatives.
-        let stack =
-            plan_minimal_stack(PropSet::of(&[Prop::Stability]), p1()).unwrap();
-        let cost: u32 = stack
-            .iter()
-            .map(|n| crate::matrix::layer_meta(n).unwrap().cost)
-            .sum();
+        let stack = plan_minimal_stack(PropSet::of(&[Prop::Stability]), p1()).unwrap();
+        let cost: u32 = stack.iter().map(|n| crate::matrix::layer_meta(n).unwrap().cost).sum();
         let hand = ["STABLE", "MBRSHIP", "FRAG", "NAK", "COM"];
-        let hand_cost: u32 =
-            hand.iter().map(|n| crate::matrix::layer_meta(n).unwrap().cost).sum();
+        let hand_cost: u32 = hand.iter().map(|n| crate::matrix::layer_meta(n).unwrap().cost).sum();
         assert!(cost <= hand_cost, "planned {stack:?} (cost {cost}) vs hand {hand_cost}");
     }
 

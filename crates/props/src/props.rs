@@ -120,10 +120,7 @@ impl PropSet {
     /// Builds a set from paper numbers (1..=16); unknown numbers are
     /// ignored.
     pub fn from_numbers(numbers: &[u8]) -> Self {
-        numbers
-            .iter()
-            .filter_map(|&n| Prop::from_number(n))
-            .fold(PropSet::EMPTY, |s, p| s.with(p))
+        numbers.iter().filter_map(|&n| Prop::from_number(n)).fold(PropSet::EMPTY, |s, p| s.with(p))
     }
 
     /// The raw bitmask (bit `n-1` is property Pn).

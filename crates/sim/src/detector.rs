@@ -1,0 +1,129 @@
+//! The scripted failure detector promised by §5.
+//!
+//! MBRSHIP "receives failure notifications from a failure-detector object"
+//! and must tolerate *inaccurate* detectors: a suspicion may name a member
+//! that is perfectly alive.  [`FailureDetector`] is that object for the
+//! simulated world — a deterministic schedule of `(time, observer, target)`
+//! suspicions, installed into a [`SimWorld`](crate::SimWorld) before (or
+//! during) a run.  Because the calendar breaks ties by insertion order, a
+//! `(seed, script)` pair still identifies exactly one execution.
+//!
+//! For an *adaptive* in-stack detector driven by real message arrivals, see
+//! the FD heartbeat layer in `horus-layers`; this type is its scripted,
+//! adversarial counterpart for scenario tests.
+
+use crate::world::SimWorld;
+use horus_core::addr::EndpointAddr;
+use horus_core::time::SimTime;
+
+/// One scripted suspicion: at `at`, `observer` is told `target` failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Suspicion {
+    /// When the detector fires.
+    pub at: SimTime,
+    /// The member receiving the (possibly false) notification.
+    pub observer: EndpointAddr,
+    /// The member being accused.
+    pub target: EndpointAddr,
+}
+
+/// A deterministic schedule of failure-detector notifications (§5).
+///
+/// ```
+/// use horus_sim::{FailureDetector, SimWorld};
+/// use horus_net::NetConfig;
+/// use horus_core::prelude::*;
+///
+/// let mut w = SimWorld::new(1, NetConfig::reliable());
+/// let script = FailureDetector::new()
+///     .suspect(SimTime::from_millis(10), EndpointAddr::new(1), EndpointAddr::new(3))
+///     .suspect(SimTime::from_millis(10), EndpointAddr::new(2), EndpointAddr::new(3));
+/// assert_eq!(script.len(), 2);
+/// script.install(&mut w); // endpoints need not exist yet at install time
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FailureDetector {
+    schedule: Vec<Suspicion>,
+}
+
+impl FailureDetector {
+    /// An empty script.
+    pub fn new() -> Self {
+        FailureDetector::default()
+    }
+
+    /// Appends one suspicion to the script (builder style).
+    pub fn suspect(mut self, at: SimTime, observer: EndpointAddr, target: EndpointAddr) -> Self {
+        self.schedule.push(Suspicion { at, observer, target });
+        self
+    }
+
+    /// Appends the same accusation delivered to several observers at once —
+    /// a correlated false-positive burst, the §5 worst case.
+    pub fn suspect_all(
+        mut self,
+        at: SimTime,
+        observers: &[EndpointAddr],
+        target: EndpointAddr,
+    ) -> Self {
+        for &observer in observers {
+            self.schedule.push(Suspicion { at, observer, target });
+        }
+        self
+    }
+
+    /// The scripted suspicions, in script order.
+    pub fn suspicions(&self) -> &[Suspicion] {
+        &self.schedule
+    }
+
+    /// Number of scripted suspicions.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// Schedules every suspicion into the world's calendar.  Entries keep
+    /// script order at equal times, so installation is deterministic.
+    pub fn install(&self, w: &mut SimWorld) {
+        for s in &self.schedule {
+            w.suspect_at(s.at, s.observer, s.target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(i: u64) -> EndpointAddr {
+        EndpointAddr::new(i)
+    }
+
+    #[test]
+    fn builder_accumulates_in_order() {
+        let fd = FailureDetector::new().suspect(SimTime::from_millis(5), ep(1), ep(2)).suspect_all(
+            SimTime::from_millis(9),
+            &[ep(1), ep(3)],
+            ep(2),
+        );
+        assert_eq!(fd.len(), 3);
+        assert_eq!(fd.suspicions()[0].target, ep(2));
+        assert_eq!(fd.suspicions()[1].observer, ep(1));
+        assert_eq!(fd.suspicions()[2].observer, ep(3));
+        assert!(!fd.is_empty());
+    }
+
+    #[test]
+    fn install_populates_the_calendar() {
+        use horus_net::NetConfig;
+        let mut w = SimWorld::new(1, NetConfig::reliable());
+        let fd = FailureDetector::new().suspect(SimTime::from_millis(5), ep(1), ep(2));
+        fd.install(&mut w);
+        assert_eq!(w.pending_events(), 1);
+    }
+}

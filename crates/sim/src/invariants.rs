@@ -277,10 +277,8 @@ pub fn check_total_order(logs: &[DeliveryLog]) -> Vec<Violation> {
             let (ep_a, pos_a) = &indexed[a];
             let (ep_b, pos_b) = &indexed[b];
             type CommonEntry<'k> = (&'k (EndpointAddr, Vec<u8>), usize, usize);
-            let mut common: Vec<CommonEntry<'_>> = pos_a
-                .iter()
-                .filter_map(|(k, &ia)| pos_b.get(k).map(|&ib| (k, ia, ib)))
-                .collect();
+            let mut common: Vec<CommonEntry<'_>> =
+                pos_a.iter().filter_map(|(k, &ia)| pos_b.get(k).map(|&ib| (k, ia, ib))).collect();
             common.sort_by_key(|&(_, ia, _)| ia);
             for w in common.windows(2) {
                 let (k1, _, ib1) = &w[0];
@@ -366,10 +364,7 @@ mod tests {
         let v = view_abc();
         let v2 = v.successor(ep(1), &[ep(3)], &[]);
         let logs = vec![
-            log(
-                ep(1),
-                vec![LogEvent::View(v.clone()), cast(2, b"m"), LogEvent::View(v2.clone())],
-            ),
+            log(ep(1), vec![LogEvent::View(v.clone()), cast(2, b"m"), LogEvent::View(v2.clone())]),
             log(ep(2), vec![LogEvent::View(v.clone()), LogEvent::View(v2.clone())]),
         ];
         let violations = check_virtual_synchrony(&logs);
@@ -381,14 +376,8 @@ mod tests {
         let v = view_abc();
         let v2 = v.successor(ep(1), &[ep(3)], &[]);
         let logs = vec![
-            log(
-                ep(1),
-                vec![LogEvent::View(v.clone()), cast(2, b"m"), LogEvent::View(v2.clone())],
-            ),
-            log(
-                ep(2),
-                vec![LogEvent::View(v.clone()), cast(2, b"m"), LogEvent::View(v2.clone())],
-            ),
+            log(ep(1), vec![LogEvent::View(v.clone()), cast(2, b"m"), LogEvent::View(v2.clone())]),
+            log(ep(2), vec![LogEvent::View(v.clone()), cast(2, b"m"), LogEvent::View(v2.clone())]),
             // ep(3) crashed mid-view having delivered less: fine.
             log(ep(3), vec![LogEvent::View(v.clone())]),
         ];

@@ -6,7 +6,10 @@
 //!
 //! * [`world::SimWorld`] — the event calendar: endpoints with stacks,
 //!   the simulated network of `horus-net`, virtual time, scripted crashes,
-//!   partitions, and merges.  One seed ⇒ one execution, always.
+//!   suspicions, targeted faults, partitions, and merges.  One seed ⇒ one
+//!   execution, always.
+//! * [`detector::FailureDetector`] — the scripted (possibly inaccurate)
+//!   failure detector of §5, a deterministic suspicion schedule.
 //! * [`invariants`] — checkers for the virtual-synchrony guarantees of §5
 //!   (view agreement, same-view delivery agreement, FIFO and total order),
 //!   applied to the upcall logs a `SimWorld` records.
@@ -14,11 +17,13 @@
 //! * [`threaded`] — a real-time, really-threaded executor over the loopback
 //!   transport, for the §10 dispatch-model ablation.
 
+pub mod detector;
 pub mod invariants;
 pub mod threaded;
 pub mod workload;
 pub mod world;
 
+pub use detector::{FailureDetector, Suspicion};
 pub use invariants::{check_fifo, check_total_order, check_virtual_synchrony, DeliveryLog};
 pub use workload::{Workload, WorkloadKind};
 pub use world::SimWorld;

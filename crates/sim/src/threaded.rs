@@ -247,12 +247,7 @@ impl ThreadedEndpoint {
 
     /// Number of CAST upcalls delivered so far.
     pub fn cast_count(&self) -> usize {
-        self.shared
-            .upcalls
-            .lock()
-            .iter()
-            .filter(|u| matches!(u, Up::Cast { .. }))
-            .count()
+        self.shared.upcalls.lock().iter().filter(|u| matches!(u, Up::Cast { .. })).count()
     }
 
     /// Drains the delivered upcalls.

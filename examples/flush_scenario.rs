@@ -18,15 +18,12 @@ use std::time::Duration;
 
 fn main() -> Result<(), HorusError> {
     let group = GroupAddr::new(1);
-    let (a, b, c, d) = (
-        EndpointAddr::new(1),
-        EndpointAddr::new(2),
-        EndpointAddr::new(3),
-        EndpointAddr::new(4),
-    );
+    let (a, b, c, d) =
+        (EndpointAddr::new(1), EndpointAddr::new(2), EndpointAddr::new(3), EndpointAddr::new(4));
     let mut world = SimWorld::new(7, NetConfig::reliable());
     for &ep in &[a, b, c, d] {
-        let stack = build_stack(ep, "MBRSHIP:FRAG:NAK:COM(promiscuous=true)", StackConfig::default())?;
+        let stack =
+            build_stack(ep, "MBRSHIP:FRAG:NAK:COM(promiscuous=true)", StackConfig::default())?;
         world.add_endpoint(stack);
         world.join(ep, group);
     }
@@ -34,10 +31,7 @@ fn main() -> Result<(), HorusError> {
         world.down(ep, Down::Merge { contact: a });
     }
     world.run_for(Duration::from_secs(2));
-    println!(
-        "group formed: {}",
-        world.installed_views(a).last().expect("view")
-    );
+    println!("group formed: {}", world.installed_views(a).last().expect("view"));
 
     // The Figure 2 moment: isolate D with C (so only C gets M), let D
     // cast M, crash D, heal.

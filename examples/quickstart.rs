@@ -33,11 +33,7 @@ fn main() -> Result<(), HorusError> {
     }
     world.run_for(Duration::from_secs(2));
 
-    let view = world
-        .installed_views(EndpointAddr::new(1))
-        .last()
-        .expect("view installed")
-        .clone();
+    let view = world.installed_views(EndpointAddr::new(1)).last().expect("view installed").clone();
     println!("group formed: {view}");
 
     // Concurrent casts from all members: TOTAL orders them identically

@@ -41,10 +41,7 @@ fn main() -> Result<(), HorusError> {
     // Client ep3 asks the time server (ep1, the senior member) via RPC.
     let mut req = world.stack(EndpointAddr::new(3)).unwrap().new_message(&b"time?"[..]);
     req.meta.rpc = Some((0, false));
-    world.down(
-        EndpointAddr::new(3),
-        Down::Send { dests: vec![EndpointAddr::new(1)], msg: req },
-    );
+    world.down(EndpointAddr::new(3), Down::Send { dests: vec![EndpointAddr::new(1)], msg: req });
     world.run_for(Duration::from_millis(50));
 
     // The "server application": answer every pending request with the
@@ -53,9 +50,9 @@ fn main() -> Result<(), HorusError> {
         .upcalls(EndpointAddr::new(1))
         .iter()
         .filter_map(|(_, up)| match up {
-            Up::Send { src, msg } => msg.meta.rpc.and_then(|(id, is_reply)| {
-                (!is_reply).then_some((*src, id))
-            }),
+            Up::Send { src, msg } => {
+                msg.meta.rpc.and_then(|(id, is_reply)| (!is_reply).then_some((*src, id)))
+            }
             _ => None,
         })
         .collect();
@@ -86,11 +83,8 @@ fn main() -> Result<(), HorusError> {
         .next()
         .expect("RPC reply");
     let server_time: i64 = reply.parse().expect("numeric reply");
-    let cs: &ClockSync = world
-        .stack(EndpointAddr::new(3))
-        .unwrap()
-        .focus_as("CLOCKSYNC")
-        .expect("clocksync layer");
+    let cs: &ClockSync =
+        world.stack(EndpointAddr::new(3)).unwrap().focus_as("CLOCKSYNC").expect("clocksync layer");
     let corrected = cs.corrected_clock_us(world.now());
     // The world ran on after the server answered; account for the elapsed
     // virtual time when comparing.
@@ -102,10 +96,7 @@ fn main() -> Result<(), HorusError> {
         skews_us[2],
         cs.estimated_offset_us().unwrap_or(0)
     );
-    assert!(
-        (corrected - server_time - elapsed).abs() < 1_000,
-        "clocks agree to within ~RTT"
-    );
+    assert!((corrected - server_time - elapsed).abs() < 1_000, "clocks agree to within ~RTT");
     println!("\nRPC + CLOCKSYNC + SECURE composed over the membership stack ✓");
     Ok(())
 }

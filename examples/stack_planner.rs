@@ -55,11 +55,7 @@ fn main() {
         PropSet::of(&[Prop::TotalOrder, Prop::Stability, Prop::AutoMerge]),
         p1,
     );
-    plan_and_print(
-        "ALL sixteen properties at once",
-        PropSet::ALL,
-        p1,
-    );
+    plan_and_print("ALL sixteen properties at once", PropSet::ALL, p1);
     plan_and_print(
         "anything over a dead network",
         PropSet::of(&[Prop::FifoUnicast]),

@@ -85,13 +85,10 @@ impl GroupSocket {
     /// The most recent view observed, if the stack runs membership.
     pub fn current_view(&mut self) -> Option<View> {
         self.drain();
-        self.events
-            .iter()
-            .rev()
-            .find_map(|up| match up {
-                Up::View(v) => Some(v.clone()),
-                _ => None,
-            })
+        self.events.iter().rev().find_map(|up| match up {
+            Up::View(v) => Some(v.clone()),
+            _ => None,
+        })
     }
 
     /// Blocks until the view reaches `n` members or `timeout` elapses.
@@ -178,9 +175,8 @@ mod tests {
     fn sendto_recvfrom_roundtrip() {
         let net = LoopbackNet::new();
         let g = GroupAddr::new(7);
-        let mut socks: Vec<GroupSocket> = (1..=3)
-            .map(|i| GroupSocket::bind(&net, ep(i), "CHKSUM:NAK:COM").unwrap())
-            .collect();
+        let mut socks: Vec<GroupSocket> =
+            (1..=3).map(|i| GroupSocket::bind(&net, ep(i), "CHKSUM:NAK:COM").unwrap()).collect();
         for s in &socks {
             s.join(g);
         }

@@ -188,10 +188,6 @@ fn every_catalogue_layer_participates_in_some_working_stack() {
         }
         w.cast_bytes(ep(1), &b"smoke"[..]);
         w.run_for(Duration::from_secs(2));
-        assert_eq!(
-            w.delivered_casts(ep(2)).len(),
-            1,
-            "stack {desc} must deliver end to end"
-        );
+        assert_eq!(w.delivered_casts(ep(2)).len(), 1, "stack {desc} must deliver end to end");
     }
 }

@@ -16,7 +16,12 @@ use std::time::Duration;
 
 const DECOMPOSED: &str = "FLUSH:VSS:BMS:FRAG:NAK:COM(promiscuous=true)";
 
-fn run_decomposed(seed: u64, n: u64, loss_pct: u8, crash: Option<u64>) -> Result<(), TestCaseError> {
+fn run_decomposed(
+    seed: u64,
+    n: u64,
+    loss_pct: u8,
+    crash: Option<u64>,
+) -> Result<(), TestCaseError> {
     let net = if loss_pct == 0 {
         NetConfig::reliable()
     } else {
@@ -71,7 +76,6 @@ fn run_decomposed(seed: u64, n: u64, loss_pct: u8, crash: Option<u64>) -> Result
     }
     Ok(())
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]

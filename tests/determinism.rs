@@ -33,7 +33,7 @@ fn scripted_run(seed: u64) -> Vec<String> {
     wl.schedule(&mut w, t + Duration::from_millis(1));
     w.crash_at(t + Duration::from_millis(11), ep(2));
     w.partition_at(t + Duration::from_millis(400), &[&[ep(1)], &[ep(3), ep(4)]]);
-    w.heal_at(t + Duration::from_millis(900), );
+    w.heal_at(t + Duration::from_millis(900));
     w.run_for(Duration::from_secs(6));
 
     let mut out = Vec::new();

@@ -49,10 +49,7 @@ fn figure2(stack: &str, seed: u64, net: NetConfig, mode: HeaderMode) {
             .collect();
         assert_eq!(from_d.len(), 1, "{stack} seed {seed}: {m} delivers M exactly once");
         if m == a || m == b {
-            assert!(
-                from_d[0],
-                "{stack} seed {seed}: {m} can only have gotten M through the flush"
-            );
+            assert!(from_d[0], "{stack} seed {seed}: {m} can only have gotten M through the flush");
         }
     }
     let survivors_view = w.installed_views(a).last().unwrap().clone();

@@ -59,7 +59,7 @@ fn every_downcall_is_issuable_and_upcalls_flow() {
             Up::MergeRequest { id, .. } => Some(*id),
             _ => None,
         })
-        .last()
+        .next_back()
         .expect("second merge request");
     w.down(ep(1), Down::MergeDenied(req3));
     w.run_for(Duration::from_secs(1));
@@ -78,7 +78,7 @@ fn every_downcall_is_issuable_and_upcalls_flow() {
             Up::MergeRequest { id, .. } => Some(*id),
             _ => None,
         })
-        .last()
+        .next_back()
         .unwrap();
     w.down(ep(1), Down::MergeGranted(req3b));
     w.run_for(Duration::from_secs(1));
@@ -151,12 +151,8 @@ fn problem_and_lost_message_upcalls_surface() {
     // placeholder (driven via a tiny retransmission buffer + partition).
     let mut w = SimWorld::new(2, NetConfig::reliable());
     for i in 1..=2 {
-        let s = build_stack(
-            ep(i),
-            "NAK(buffer=2,fail_timeout=120):COM",
-            StackConfig::default(),
-        )
-        .unwrap();
+        let s = build_stack(ep(i), "NAK(buffer=2,fail_timeout=120):COM", StackConfig::default())
+            .unwrap();
         w.add_endpoint(s);
         w.join(ep(i), group());
     }

@@ -1,0 +1,111 @@
+//! Malformed-frame robustness: arbitrary and corrupted bytes aimed at the
+//! wire codec and at the receive path of **every** registered layer.  The
+//! contract everywhere is error-not-panic — a garbage frame is dropped
+//! (decode drop, fingerprint drop, or a layer-level discard), never a
+//! crash.  This is the §2 claim that layers tolerate whatever the network
+//! hands them, tested at the trust boundary.
+
+use bytes::Bytes;
+use horus::layers::registry::{build_stack, layer_names};
+use horus::prelude::*;
+use horus_core::wire::WireReader;
+use horus_core::WireFrame;
+use proptest::prelude::*;
+
+/// Drives every `WireReader` getter over the buffer until exhaustion;
+/// each must return an error (never panic) on truncated or nonsense input.
+fn chew(buf: &[u8]) {
+    let mut r = WireReader::new(buf);
+    loop {
+        let before = r.remaining();
+        let _ = r.get_u8();
+        let _ = r.get_u16();
+        let _ = r.get_u32();
+        let _ = r.get_u64();
+        let _ = r.get_addr();
+        let _ = r.get_group();
+        let _ = r.get_bytes();
+        let _ = r.get_addrs();
+        let _ = r.get_u64s();
+        let _ = r.get_view();
+        if r.remaining() == 0 || r.remaining() == before {
+            break;
+        }
+    }
+}
+
+/// One single-layer stack per registered layer name, receiver side.
+fn receiver(name: &str) -> Stack {
+    let mut s = build_stack(EndpointAddr::new(2), name, StackConfig::default())
+        .unwrap_or_else(|e| panic!("{name}: single-layer stack builds: {e}"));
+    let _ = s.init();
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The wire codec itself: every getter is total over arbitrary bytes.
+    #[test]
+    fn wire_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        chew(&bytes);
+    }
+
+    /// Arbitrary bytes straight off the network, at every layer: the frame
+    /// decoder rejects garbage and nothing below it panics.
+    #[test]
+    fn every_layer_survives_arbitrary_frames(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        cast in any::<bool>(),
+    ) {
+        for name in layer_names() {
+            let mut s = receiver(name);
+            let _ = s.handle(StackInput::FromNet {
+                from: EndpointAddr::new(1),
+                cast,
+                wire: WireFrame::raw(Bytes::from(bytes.clone())),
+            });
+        }
+    }
+
+    /// A validly framed message, then bit-flipped and truncated at random:
+    /// whatever survives the fingerprint check reaches the layer's header
+    /// parser and body handlers with garbage values — still no panic.
+    #[test]
+    fn every_layer_survives_mutated_valid_frames(
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..8),
+        cut in any::<u16>(),
+        cast in any::<bool>(),
+    ) {
+        for name in layer_names() {
+            // Sender-side twin stamps a real frame for this layer.
+            let mut tx = build_stack(EndpointAddr::new(1), name, StackConfig::default()).unwrap();
+            let _ = tx.init();
+            let msg = tx.new_message(Bytes::from(body.clone()));
+            let fx = tx.handle(StackInput::FromApp(Down::Cast(msg)));
+            let Some(wire) = fx.iter().find_map(|e| match e {
+                Effect::NetCast { wire } => Some(wire.clone()),
+                Effect::NetSend { wire, .. } => Some(wire.clone()),
+                _ => None,
+            }) else {
+                continue; // layer queued or consumed the cast — nothing on the wire
+            };
+            let mut bytes = wire.to_bytes().to_vec();
+            if bytes.is_empty() {
+                continue;
+            }
+            for (pos, val) in &flips {
+                let i = *pos as usize % bytes.len();
+                bytes[i] ^= *val;
+            }
+            bytes.truncate(cut as usize % (bytes.len() + 1));
+            let mut rx = receiver(name);
+            let _ = rx.handle(StackInput::FromNet {
+                from: EndpointAddr::new(1),
+                cast,
+                wire: WireFrame::raw(Bytes::from(bytes)),
+            });
+        }
+    }
+}

@@ -36,11 +36,8 @@ fn build_layout(spec: &[Vec<usize>], mode: HeaderMode) -> Arc<HeaderLayout> {
     for per_layer in spec {
         field_store.push(per_layer.iter().map(|&i| FIELD_POOL[i]).collect());
     }
-    let layers: Vec<(&'static str, &[FieldSpec])> = field_store
-        .iter()
-        .enumerate()
-        .map(|(i, f)| (LAYER_NAMES[i], f.as_slice()))
-        .collect();
+    let layers: Vec<(&'static str, &[FieldSpec])> =
+        field_store.iter().enumerate().map(|(i, f)| (LAYER_NAMES[i], f.as_slice())).collect();
     let layout = HeaderLayout::build(&layers, mode).expect("valid layout");
     // field_store values were copied into the layout (FieldSpec: Copy).
     Arc::new(layout)

@@ -59,10 +59,7 @@ fn both_sides_progress_and_remerge() {
     w.cast_bytes(ep(1), &b"reunited"[..]);
     w.run_for(Duration::from_secs(1));
     for i in 1..=4 {
-        assert!(
-            w.delivered_casts(ep(i)).iter().any(|(_, b, _)| &b[..] == b"reunited"),
-            "ep{i}"
-        );
+        assert!(w.delivered_casts(ep(i)).iter().any(|(_, b, _)| &b[..] == b"reunited"), "ep{i}");
     }
     assert!(check_virtual_synchrony(&logs(&w, 4)).is_empty());
 }
@@ -101,10 +98,7 @@ fn primary_partition_blocks_minority_and_majority_continues() {
     }
     w.cast_bytes(ep(1), &b"primary still serving"[..]);
     w.run_for(Duration::from_secs(1));
-    assert!(w
-        .delivered_casts(ep(3))
-        .iter()
-        .any(|(_, b, _)| &b[..] == b"primary still serving"));
+    assert!(w.delivered_casts(ep(3)).iter().any(|(_, b, _)| &b[..] == b"primary still serving"));
     // Minority: blocked with a SYSTEM_ERROR, views unchanged.
     for i in 4..=5 {
         let blocked = w

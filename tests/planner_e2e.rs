@@ -63,9 +63,8 @@ fn run_planned(required: PropSet, seed: u64) -> Result<(), TestCaseError> {
     let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3)], 12);
     wl.schedule(&mut w, t + Duration::from_millis(1));
     w.run_for(Duration::from_secs(3));
-    let logs: Vec<DeliveryLog> = (1..=3)
-        .map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i))))
-        .collect();
+    let logs: Vec<DeliveryLog> =
+        (1..=3).map(|i| DeliveryLog::from_upcalls(ep(i), w.upcalls(ep(i)))).collect();
 
     // Observe what was promised.
     for i in 1..=3 {

@@ -42,11 +42,9 @@ fn every_registered_layer_is_classified() {
 fn planner_output_builds_and_runs() {
     // Close the loop of §6: request properties, plan the stack, build it
     // through the registry, run it, observe the property.
-    let stack = plan_minimal_stack(
-        PropSet::of(&[Prop::TotalOrder]),
-        PropSet::of(&[Prop::BestEffort]),
-    )
-    .unwrap();
+    let stack =
+        plan_minimal_stack(PropSet::of(&[Prop::TotalOrder]), PropSet::of(&[Prop::BestEffort]))
+            .unwrap();
     // Promiscuous COM so the group can assemble by merging.
     let desc: String = stack
         .iter()
@@ -82,14 +80,11 @@ fn ill_formed_stacks_fail_fast_in_the_algebra() {
     // run-time "can I have these properties?" check of §6.
     let p1 = PropSet::of(&[Prop::BestEffort]);
     for bad in [
-        vec!["TOTAL", "FRAG", "NAK", "COM"],       // no membership under TOTAL
-        vec!["MBRSHIP", "NAK", "COM"],             // no FRAG: large messages missing
+        vec!["TOTAL", "FRAG", "NAK", "COM"], // no membership under TOTAL
+        vec!["MBRSHIP", "NAK", "COM"],       // no FRAG: large messages missing
         vec!["SAFE", "MBRSHIP", "FRAG", "NAK", "COM"], // no stability under SAFE
-        vec!["COM", "NAK"],                        // upside down
+        vec!["COM", "NAK"],                  // upside down
     ] {
-        assert!(
-            derive_stack(&bad, p1).is_err(),
-            "{bad:?} must be rejected by the property check"
-        );
+        assert!(derive_stack(&bad, p1).is_err(), "{bad:?} must be rejected by the property check");
     }
 }

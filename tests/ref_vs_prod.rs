@@ -26,11 +26,7 @@ fn run(desc: &str, seed: u64, loss: f64) -> (SimWorld, Vec<(u64, Vec<u8>)>) {
     let wl = Workload::round_robin(vec![ep(1), ep(2), ep(3)], 21);
     wl.schedule(&mut w, t + Duration::from_millis(1));
     w.run_for(Duration::from_secs(5));
-    let seq = w
-        .delivered_casts(ep(2))
-        .iter()
-        .map(|(s, b, _)| (s.raw(), b.to_vec()))
-        .collect();
+    let seq = w.delivered_casts(ep(2)).iter().map(|(s, b, _)| (s.raw(), b.to_vec())).collect();
     (w, seq)
 }
 
@@ -45,11 +41,8 @@ fn all_four_flavours_meet_the_same_contract() {
         assert!(check_virtual_synchrony(&logs).is_empty(), "{desc}");
         // All members identical.
         for i in [1u64, 3] {
-            let other: Vec<_> = w
-                .delivered_casts(ep(i))
-                .iter()
-                .map(|(s, b, _)| (s.raw(), b.to_vec()))
-                .collect();
+            let other: Vec<_> =
+                w.delivered_casts(ep(i)).iter().map(|(s, b, _)| (s.raw(), b.to_vec())).collect();
             assert_eq!(seq, other, "{desc} ep{i}");
         }
     }

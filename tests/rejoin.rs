@@ -33,10 +33,7 @@ fn falsely_excluded_member_merges_back() {
     w.cast_bytes(ep(3), &b"i am back"[..]);
     w.run_for(Duration::from_secs(1));
     for i in 1..=3 {
-        assert!(w
-            .delivered_casts(ep(i))
-            .iter()
-            .any(|(_, b, _)| &b[..] == b"i am back"));
+        assert!(w.delivered_casts(ep(i)).iter().any(|(_, b, _)| &b[..] == b"i am back"));
     }
     assert!(check_virtual_synchrony(&logs(&w, 3)).is_empty());
 }

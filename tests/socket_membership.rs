@@ -17,9 +17,8 @@ const STACK: &str = "TOTAL:MBRSHIP:FRAG:NAK:COM(promiscuous=true)";
 fn sockets_form_a_virtually_synchronous_group() {
     let net = LoopbackNet::new();
     let g = GroupAddr::new(1);
-    let mut socks: Vec<GroupSocket> = (1..=3)
-        .map(|i| GroupSocket::bind(&net, ep(i), STACK).unwrap())
-        .collect();
+    let mut socks: Vec<GroupSocket> =
+        (1..=3).map(|i| GroupSocket::bind(&net, ep(i), STACK).unwrap()).collect();
     for s in &socks {
         s.join(g);
     }
@@ -27,10 +26,7 @@ fn sockets_form_a_virtually_synchronous_group() {
     std::thread::sleep(Duration::from_millis(30));
     socks[1].merge(ep(1));
     for s in &mut socks[..2] {
-        assert!(
-            s.wait_for_view(2, Duration::from_secs(10)).is_some(),
-            "2-member view forms"
-        );
+        assert!(s.wait_for_view(2, Duration::from_secs(10)).is_some(), "2-member view forms");
     }
     socks[2].merge(ep(1));
     for s in &mut socks {
@@ -57,9 +53,7 @@ fn sockets_form_a_virtually_synchronous_group() {
     let leaver = socks.pop().expect("three sockets");
     leaver.close();
     for s in &mut socks {
-        let v = s
-            .wait_for_view(0, Duration::from_secs(10))
-            .expect("views keep flowing");
+        let v = s.wait_for_view(0, Duration::from_secs(10)).expect("views keep flowing");
         // Wait specifically for the 2-member view.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         let mut v = v;

@@ -40,11 +40,7 @@ fn run_total(seed: u64, n: u64, loss_pct: u8, crash_rank0: bool, slots: u64) {
     if !crash_rank0 {
         // Without failures, everyone delivers every message.
         for i in 1..=n {
-            assert_eq!(
-                w.delivered_casts(ep(i)).len() as u64,
-                total,
-                "seed {seed} ep{i}"
-            );
+            assert_eq!(w.delivered_casts(ep(i)).len() as u64, total, "seed {seed} ep{i}");
         }
     } else {
         // Liveness after the token holder died: survivors deliver
@@ -85,7 +81,6 @@ fn token_holder_crash_under_loss() {
         run_total(300 + seed, 3, 10, true, 20);
     }
 }
-
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]

@@ -71,14 +71,7 @@ fn run_scenario(
     let expect: Vec<EndpointAddr> = alive.iter().map(|&i| ep(i)).collect();
     for &i in &alive {
         let v = w.installed_views(ep(i)).last().unwrap().clone();
-        prop_assert_eq!(
-            v.members(),
-            &expect[..],
-            "seed {} ep{} final view {}",
-            seed,
-            i,
-            v
-        );
+        prop_assert_eq!(v.members(), &expect[..], "seed {} ep{} final view {}", seed, i, v);
     }
     Ok(())
 }

@@ -11,7 +11,7 @@
 
 pub mod strategy {
     use rand::rngs::StdRng;
-    use rand::{Rng, RngCore, SampleRange};
+    use rand::{Rng, RngCore};
 
     /// A source of random values of one type.  Unlike upstream there is no
     /// value tree and no shrinking: `pick` draws one sample.
