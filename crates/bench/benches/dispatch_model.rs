@@ -8,15 +8,22 @@
 //! Real threads, real time, in-process loopback transport: a 2-member
 //! group floods N casts through the `NAK:COM` stack under
 //! * `event_queue` — one scheduler thread per stack (the model the paper
-//!   adopts), and
+//!   adopts),
 //! * `locked_threads` — four workers contending on a stack lock (the
-//!   model it abandons).
+//!   model it abandons), and
+//! * `sharded` — the sharded run-to-completion executor with batched
+//!   dispatch and direct shard delivery (PR 3).
+//!
+//! E23 rides along: the `batch_size` sweep holds the sharded executor
+//! fixed and varies only `batch_max`, isolating what batching at the
+//! dispatch boundary is worth.
 
 use bench::ep;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use horus_core::prelude::*;
 use horus_layers::registry::build_stack;
 use horus_net::LoopbackNet;
+use horus_sim::shard::{ShardConfig, ShardExecutor};
 use horus_sim::threaded::{DispatchModel, ThreadedEndpoint};
 use std::time::Duration;
 
@@ -45,6 +52,24 @@ fn flood(model: DispatchModel) {
     }
 }
 
+fn flood_sharded(shards: usize, batch_max: usize) {
+    let cfg = ShardConfig::with_shards(shards).batch_max(batch_max).record_upcalls(false);
+    let mut ex = ShardExecutor::new(LoopbackNet::new(), cfg);
+    let g = GroupAddr::new(1);
+    for i in 1..=2 {
+        let s = build_stack(ep(i), "NAK:COM", StackConfig::default()).unwrap();
+        ex.add_stack(s);
+        ex.down(ep(i), Down::Join { group: g });
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    for k in 0..FLOOD {
+        ex.cast_bytes(ep(1), vec![(k % 251) as u8; 32]);
+    }
+    let ok = ex.wait_until(Duration::from_secs(30), |ex| ex.cast_count(ep(2)) >= FLOOD);
+    assert!(ok, "receiver saw {}/{FLOOD}", ex.cast_count(ep(2)));
+    ex.stop();
+}
+
 fn bench_dispatch(c: &mut Criterion) {
     let mut g = c.benchmark_group("dispatch_model");
     // Whole-scenario benches with threads: keep samples small.
@@ -57,8 +82,26 @@ fn bench_dispatch(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("locked_threads", FLOOD), |b| {
         b.iter(|| flood(DispatchModel::LockedThreads(4)));
     });
+    g.bench_function(BenchmarkId::new("sharded", FLOOD), |b| {
+        b.iter(|| flood_sharded(2, 64));
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_dispatch);
+/// E23 — batch-size sweep: same executor, same workload, only the
+/// dispatch burst limit varies.
+fn bench_batch_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_size");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    g.throughput(Throughput::Elements(FLOOD as u64));
+    for batch_max in [1usize, 16, 64] {
+        g.bench_function(BenchmarkId::new("sharded", batch_max), |b| {
+            b.iter(|| flood_sharded(2, batch_max));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_batch_size);
 criterion_main!(benches);

@@ -67,7 +67,7 @@ pub use event::{Down, Effect, MergeId, MsgId, StabilityMatrix, StackInput, Up};
 pub use frame::WireFrame;
 pub use layer::{Layer, LayerCtx};
 pub use message::{FieldSpec, HeaderLayout, HeaderMode, Message};
-pub use stack::{Stack, StackBuilder, StackConfig};
+pub use stack::{EffectSink, Stack, StackBuilder, StackConfig, StackStats};
 pub use time::SimTime;
 pub use view::{View, ViewId};
 
@@ -79,7 +79,7 @@ pub mod prelude {
     pub use crate::frame::WireFrame;
     pub use crate::layer::{Layer, LayerCtx};
     pub use crate::message::{FieldSpec, HeaderLayout, HeaderMode, Message};
-    pub use crate::stack::{Stack, StackBuilder, StackConfig};
+    pub use crate::stack::{EffectSink, Stack, StackBuilder, StackConfig, StackStats};
     pub use crate::time::SimTime;
     pub use crate::view::{View, ViewId};
 }

@@ -84,6 +84,127 @@ pub struct StackStats {
     /// the transport.  Zero on the plain cast/send hot path: the scatter-
     /// gather framing ships the application's `Bytes` by reference.
     pub payload_copies: u64,
+    /// Inputs processed through [`Stack::handle_batch`].
+    pub batched_inputs: u64,
+    /// Calls to [`Stack::handle_batch`] (so `batched_inputs / batches` is the
+    /// achieved batch size).
+    pub batches: u64,
+    /// Times a reused dispatch buffer (scratch queue or emission buffer) had
+    /// to grow during an input's processing.  Zero in steady state: the
+    /// buffers warm up and every further event dispatches allocation-free.
+    pub dispatch_buf_grows: u64,
+}
+
+impl StackStats {
+    /// Adds `other`'s counters into `self` — per-shard and per-worker
+    /// aggregation for the sharded executor.
+    pub fn merge(&mut self, other: &StackStats) {
+        let StackStats {
+            msgs_sent,
+            msgs_received,
+            bytes_sent,
+            bytes_received,
+            header_bytes_sent,
+            dispatches,
+            skipped,
+            fingerprint_drops,
+            decode_drops,
+            frames_packed,
+            msgs_packed,
+            bytes_saved_packing,
+            payload_copies,
+            batched_inputs,
+            batches,
+            dispatch_buf_grows,
+        } = other;
+        self.msgs_sent += msgs_sent;
+        self.msgs_received += msgs_received;
+        self.bytes_sent += bytes_sent;
+        self.bytes_received += bytes_received;
+        self.header_bytes_sent += header_bytes_sent;
+        self.dispatches += dispatches;
+        self.skipped += skipped;
+        self.fingerprint_drops += fingerprint_drops;
+        self.decode_drops += decode_drops;
+        self.frames_packed += frames_packed;
+        self.msgs_packed += msgs_packed;
+        self.bytes_saved_packing += bytes_saved_packing;
+        self.payload_copies += payload_copies;
+        self.batched_inputs += batched_inputs;
+        self.batches += batches;
+        self.dispatch_buf_grows += dispatch_buf_grows;
+    }
+}
+
+/// A reusable effect emission buffer: the zero-allocation counterpart of the
+/// `Vec<Effect>` that [`Stack::handle`] returns.
+///
+/// Executors on the hot path keep one `EffectSink` per worker, pass it to
+/// [`Stack::handle_into`] / [`Stack::handle_batch`], drain it, and pass it
+/// again: once warm, no allocation happens per dispatched event — the
+/// per-call `Vec` return of `handle` was the last steady-state allocation on
+/// the cast path.
+#[derive(Debug, Default)]
+pub struct EffectSink {
+    effects: Vec<Effect>,
+}
+
+impl EffectSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        EffectSink::default()
+    }
+
+    /// An empty sink with room for `cap` effects before any growth.
+    pub fn with_capacity(cap: usize) -> Self {
+        EffectSink { effects: Vec::with_capacity(cap) }
+    }
+
+    /// Number of effects currently buffered.
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// Whether the sink holds no effects.
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+
+    /// The buffered effects, oldest first.
+    pub fn as_slice(&self) -> &[Effect] {
+        &self.effects
+    }
+
+    /// Removes and yields the buffered effects, keeping the allocation.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Effect> {
+        self.effects.drain(..)
+    }
+
+    /// Drops the buffered effects, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.effects.clear();
+    }
+
+    /// Consumes the sink, returning the buffered effects.
+    pub fn into_effects(self) -> Vec<Effect> {
+        self.effects
+    }
+
+    pub(crate) fn buf(&mut self) -> &mut Vec<Effect> {
+        &mut self.effects
+    }
+}
+
+impl Extend<Effect> for EffectSink {
+    fn extend<I: IntoIterator<Item = Effect>>(&mut self, iter: I) {
+        self.effects.extend(iter);
+    }
+}
+
+impl From<EffectSink> for Vec<Effect> {
+    fn from(sink: EffectSink) -> Vec<Effect> {
+        sink.effects
+    }
 }
 
 /// Builds a [`Stack`] from layers given top-first — the run-time `endpoint`
@@ -344,13 +465,49 @@ impl Stack {
 
     /// Feeds one input through the stack, returning the effects to perform.
     ///
-    /// This is the single scheduler of the event-queue execution model: the
-    /// internal work queue drains completely before `handle` returns, so one
-    /// input's processing is never interleaved with another's.
+    /// Thin shim over [`Stack::handle_into`] that allocates a fresh effect
+    /// vector per call.  Convenient for tests and cold paths; executors on
+    /// the hot path should keep a reusable [`EffectSink`] instead.
     pub fn handle(&mut self, input: StackInput) -> Vec<Effect> {
-        let mut effects = Vec::new();
+        let mut sink = EffectSink::new();
+        self.handle_into(input, &mut sink);
+        sink.into_effects()
+    }
+
+    /// Drains a burst of inputs through the stack in one pass, appending all
+    /// effects to `sink` in order.
+    ///
+    /// Exactly equivalent to calling [`Stack::handle_into`] once per input in
+    /// sequence — each input still runs to completion before the next starts,
+    /// so batching is observationally invisible (the batch differential test
+    /// holds this to byte-identical effects).  What the batch buys is
+    /// amortization: one warm effect sink, warm scratch and emission buffers,
+    /// and one executor round-trip for the whole burst instead of a
+    /// `Vec<Effect>` allocation and effect walk per event.
+    pub fn handle_batch(
+        &mut self,
+        inputs: impl IntoIterator<Item = StackInput>,
+        sink: &mut EffectSink,
+    ) {
+        self.stats.batches += 1;
+        for input in inputs {
+            self.stats.batched_inputs += 1;
+            self.handle_into(input, sink);
+        }
+    }
+
+    /// Feeds one input through the stack, appending the effects to perform
+    /// to `sink` (which is *not* cleared first — executors drain it).
+    ///
+    /// This is the single scheduler of the event-queue execution model: the
+    /// internal work queue drains completely before `handle_into` returns, so
+    /// one input's processing is never interleaved with another's.
+    pub fn handle_into(&mut self, input: StackInput, sink: &mut EffectSink) {
+        let scratch_cap = self.scratch.capacity();
+        let emit_cap = self.emit_buf.capacity();
+        let effects = sink.buf();
         if self.destroyed {
-            return effects;
+            return;
         }
         match input {
             StackInput::FromApp(Down::Dump) => {
@@ -359,7 +516,7 @@ impl Stack {
                 for l in &self.layers {
                     effects.push(Effect::Deliver(Up::DumpInfo { layer: l.name(), info: l.dump() }));
                 }
-                return effects;
+                return;
             }
             StackInput::FromApp(down) => {
                 if let Down::Join { group } = &down {
@@ -367,7 +524,7 @@ impl Stack {
                 }
                 match self.first_active_down(0) {
                     Some(i) => self.scratch.push_back((i, Item::Down(down))),
-                    None => self.bottom_out(down, &mut effects),
+                    None => self.bottom_out(down, effects),
                 }
             }
             StackInput::FromNet { from, cast, wire } => {
@@ -384,7 +541,7 @@ impl Stack {
                         let n = self.layers.len();
                         match self.first_active_up(n - 1) {
                             Some(i) => self.scratch.push_back((i, Item::Up(up))),
-                            None => self.top_out(up, &mut effects),
+                            None => self.top_out(up, effects),
                         }
                     }
                     Err(e) => {
@@ -410,8 +567,10 @@ impl Stack {
                 self.set_now(now);
             }
         }
-        self.drain(&mut effects);
-        effects
+        self.drain(effects);
+        if self.scratch.capacity() > scratch_cap || self.emit_buf.capacity() > emit_cap {
+            self.stats.dispatch_buf_grows += 1;
+        }
     }
 
     /// Index of the first non-skipped layer at or below `i` (toward the

@@ -18,4 +18,4 @@ pub mod threaded;
 
 pub use fault::{FaultDrop, FaultPlan, FaultRule};
 pub use sim::{Delivery, NetConfig, NetStats, SimNetwork};
-pub use threaded::LoopbackNet;
+pub use threaded::{FrameSink, LoopbackNet, LoopbackStatsSnapshot};

@@ -4,12 +4,26 @@
 //! ablation): frames move between endpoint threads over lock-free channels
 //! with no simulated physics — the closest in-process analogue to the
 //! paper's "almost no overhead at all" ATM configuration.
+//!
+//! Two hot-path properties matter for the sharded executor built on top:
+//!
+//! * **Short critical sections** — `cast`/`send` snapshot the destination
+//!   sinks under the registry lock and deliver *outside* it, under a
+//!   per-group fan-out lock.  A slow receiver sink can only stall senders
+//!   in its own group, never unrelated ones — while members of one group
+//!   still observe concurrent casts in a single consistent order (the
+//!   transport-level atomic-multicast property the membership and flush
+//!   protocols rely on).
+//! * **Batched fan-out** — [`LoopbackNet::cast_batch`] amortizes the
+//!   registry snapshot over a whole burst of frames: one lock acquisition
+//!   per burst instead of one per frame.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use horus_core::addr::{EndpointAddr, GroupAddr};
 use horus_core::frame::WireFrame;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A frame as delivered by the loopback transport.
@@ -23,11 +37,102 @@ pub struct Frame {
     pub wire: WireFrame,
 }
 
-#[derive(Debug, Default)]
+/// Where a registered endpoint's frames go.
+///
+/// The default [`LoopbackNet::register`] installs a channel sender, but an
+/// executor can install anything — the sharded executor registers a sink
+/// that pushes frames straight into the owning shard's input queue, removing
+/// the per-endpoint pump thread (and its extra wake-up per frame) from the
+/// receive path.
+pub trait FrameSink: Send + Sync {
+    /// Delivers one frame; `false` means the receiver is gone (its frames
+    /// are counted as dropped-on-closed-channel).
+    fn deliver(&self, frame: Frame) -> bool;
+
+    /// Delivers a burst, draining `frames`; returns how many were queued.
+    /// The default delivers one at a time; queue-backed sinks override it
+    /// to publish the whole burst under a single lock acquisition and a
+    /// single consumer wake-up.
+    fn deliver_many(&self, frames: &mut Vec<Frame>) -> usize {
+        frames.drain(..).map(|f| usize::from(self.deliver(f))).sum()
+    }
+}
+
+impl FrameSink for Sender<Frame> {
+    fn deliver(&self, frame: Frame) -> bool {
+        self.send(frame).is_ok()
+    }
+
+    fn deliver_many(&self, frames: &mut Vec<Frame>) -> usize {
+        self.send_iter(frames.drain(..)).unwrap_or(0)
+    }
+}
+
+impl<F: Fn(Frame) -> bool + Send + Sync> FrameSink for F {
+    fn deliver(&self, frame: Frame) -> bool {
+        self(frame)
+    }
+}
+
+#[derive(Default)]
+struct Group {
+    members: Vec<EndpointAddr>,
+    /// Serializes fan-outs *within* this group (held outside the registry
+    /// lock).  Guarantees every member observes concurrent casts in the same
+    /// relative order — the transport-level atomic-multicast property the
+    /// membership/flush protocols rely on — without letting one group's slow
+    /// receiver sink stall senders in unrelated groups.
+    fanout: Arc<Mutex<()>>,
+}
+
+#[derive(Default)]
 struct Registry {
-    endpoints: BTreeMap<EndpointAddr, Sender<Frame>>,
-    groups: BTreeMap<GroupAddr, Vec<EndpointAddr>>,
+    endpoints: BTreeMap<EndpointAddr, Arc<dyn FrameSink>>,
+    groups: BTreeMap<GroupAddr, Group>,
     member_of: BTreeMap<EndpointAddr, GroupAddr>,
+}
+
+/// Transport counters — the `horus-net::sim` [`crate::NetStats`] counterpart
+/// for the threaded loopback (there is no physics here, so the only drop
+/// class is a closed/deregistered receiver).
+///
+/// Counters are atomics: they are bumped outside the registry lock, on the
+/// lock-free section of the fan-out.
+#[derive(Debug, Default)]
+pub struct LoopbackStats {
+    /// Frames handed to `cast`.
+    pub frames_cast: AtomicU64,
+    /// Frames handed to `send`.
+    pub frames_sent: AtomicU64,
+    /// Point deliveries queued (one cast to N members counts N).
+    pub deliveries: AtomicU64,
+    /// Deliveries dropped because the receiver's sink was closed
+    /// (deregistered between snapshot and delivery).
+    pub dropped_closed: AtomicU64,
+}
+
+/// A plain-integer copy of [`LoopbackStats`], for assertions and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoopbackStatsSnapshot {
+    /// Frames handed to `cast`.
+    pub frames_cast: u64,
+    /// Frames handed to `send`.
+    pub frames_sent: u64,
+    /// Point deliveries queued (one cast to N members counts N).
+    pub deliveries: u64,
+    /// Deliveries dropped on a closed/deregistered receiver.
+    pub dropped_closed: u64,
+}
+
+impl LoopbackStats {
+    fn snapshot(&self) -> LoopbackStatsSnapshot {
+        LoopbackStatsSnapshot {
+            frames_cast: self.frames_cast.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            deliveries: self.deliveries.load(Ordering::Relaxed),
+            dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A shared in-process transport; clone handles freely across threads.
@@ -49,9 +154,16 @@ struct Registry {
 /// assert_eq!(&rx_b.recv().unwrap().wire.to_bytes()[..], b"hello");
 /// assert_eq!(&rx_a.recv().unwrap().wire.to_bytes()[..], b"hello"); // loopback to self
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct LoopbackNet {
     inner: Arc<Mutex<Registry>>,
+    stats: Arc<LoopbackStats>,
+}
+
+impl std::fmt::Debug for LoopbackNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoopbackNet").field("stats", &self.stats.snapshot()).finish()
+    }
 }
 
 impl LoopbackNet {
@@ -60,12 +172,23 @@ impl LoopbackNet {
         LoopbackNet::default()
     }
 
+    /// Transport counters (frames cast/sent, deliveries, drops).
+    pub fn stats(&self) -> LoopbackStatsSnapshot {
+        self.stats.snapshot()
+    }
+
     /// Registers an endpoint, returning the channel its frames arrive on.
     /// Re-registering an address replaces the previous receiver.
     pub fn register(&self, ep: EndpointAddr) -> Receiver<Frame> {
         let (tx, rx) = unbounded();
-        self.inner.lock().endpoints.insert(ep, tx);
+        self.inner.lock().endpoints.insert(ep, Arc::new(tx));
         rx
+    }
+
+    /// Registers an endpoint with a custom frame sink instead of a channel
+    /// (e.g. a shard queue).  Re-registering replaces the previous sink.
+    pub fn register_sink(&self, ep: EndpointAddr, sink: Arc<dyn FrameSink>) {
+        self.inner.lock().endpoints.insert(ep, sink);
     }
 
     /// Removes an endpoint entirely (its channel closes).
@@ -73,8 +196,8 @@ impl LoopbackNet {
         let mut reg = self.inner.lock();
         reg.endpoints.remove(&ep);
         if let Some(g) = reg.member_of.remove(&ep) {
-            if let Some(members) = reg.groups.get_mut(&g) {
-                members.retain(|&m| m != ep);
+            if let Some(group) = reg.groups.get_mut(&g) {
+                group.members.retain(|&m| m != ep);
             }
         }
     }
@@ -82,9 +205,9 @@ impl LoopbackNet {
     /// Adds `ep` to the transport-level multicast group.
     pub fn join(&self, group: GroupAddr, ep: EndpointAddr) {
         let mut reg = self.inner.lock();
-        let members = reg.groups.entry(group).or_default();
-        if !members.contains(&ep) {
-            members.push(ep);
+        let entry = reg.groups.entry(group).or_default();
+        if !entry.members.contains(&ep) {
+            entry.members.push(ep);
         }
         reg.member_of.insert(ep, group);
     }
@@ -93,46 +216,120 @@ impl LoopbackNet {
     pub fn leave(&self, ep: EndpointAddr) {
         let mut reg = self.inner.lock();
         if let Some(g) = reg.member_of.remove(&ep) {
-            if let Some(members) = reg.groups.get_mut(&g) {
-                members.retain(|&m| m != ep);
+            if let Some(group) = reg.groups.get_mut(&g) {
+                group.members.retain(|&m| m != ep);
             }
         }
+    }
+
+    /// Snapshots the sinks of `from`'s group members (and the group's
+    /// fan-out lock) under the registry lock.
+    #[allow(clippy::type_complexity)]
+    fn cast_targets(
+        &self,
+        from: EndpointAddr,
+    ) -> Option<(Vec<Arc<dyn FrameSink>>, Arc<Mutex<()>>)> {
+        let reg = self.inner.lock();
+        let group = reg.member_of.get(&from)?;
+        let group = reg.groups.get(group)?;
+        let sinks = group.members.iter().filter_map(|to| reg.endpoints.get(to).cloned()).collect();
+        Some((sinks, Arc::clone(&group.fanout)))
     }
 
     /// Multicasts a frame to `from`'s group, including a loopback copy.
     /// Returns the number of endpoints the frame was queued for.
+    ///
+    /// The registry lock is held only to snapshot the member sinks; the
+    /// sends happen outside it under the group's own fan-out lock, so one
+    /// slow receiver sink cannot stall senders in unrelated groups — while
+    /// members of the *same* group still observe concurrent casts in one
+    /// consistent order (fan-outs within a group are atomic).
     pub fn cast(&self, from: EndpointAddr, wire: WireFrame) -> usize {
-        let reg = self.inner.lock();
-        let Some(group) = reg.member_of.get(&from) else { return 0 };
-        let Some(members) = reg.groups.get(group) else { return 0 };
+        self.stats.frames_cast.fetch_add(1, Ordering::Relaxed);
+        let Some((targets, fanout)) = self.cast_targets(from) else { return 0 };
         let mut queued = 0;
-        for &to in members {
-            if let Some(tx) = reg.endpoints.get(&to) {
-                if tx.send(Frame { from, cast: true, wire: wire.clone() }).is_ok() {
+        {
+            let _order = fanout.lock();
+            for sink in &targets {
+                if sink.deliver(Frame { from, cast: true, wire: wire.clone() }) {
                     queued += 1;
+                } else {
+                    self.stats.dropped_closed.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+        self.stats.deliveries.fetch_add(queued as u64, Ordering::Relaxed);
         queued
     }
 
-    /// Sends a frame to explicit destinations.
-    pub fn send(&self, from: EndpointAddr, dests: &[EndpointAddr], wire: WireFrame) -> usize {
-        let reg = self.inner.lock();
+    /// Multicasts a burst of frames to `from`'s group with a single registry
+    /// snapshot — the dispatch-boundary batching of the sharded executor.
+    /// Each member sink receives the whole burst through
+    /// [`FrameSink::deliver_many`]: one lock acquisition and one wake-up per
+    /// member per burst, instead of one per frame.
+    pub fn cast_batch(
+        &self,
+        from: EndpointAddr,
+        wires: impl IntoIterator<Item = WireFrame>,
+    ) -> usize {
+        let batch: Vec<WireFrame> = wires.into_iter().collect();
+        self.stats.frames_cast.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        if batch.is_empty() {
+            return 0;
+        }
+        let Some((targets, fanout)) = self.cast_targets(from) else { return 0 };
         let mut queued = 0;
-        for &to in dests {
-            if let Some(tx) = reg.endpoints.get(&to) {
-                if tx.send(Frame { from, cast: false, wire: wire.clone() }).is_ok() {
-                    queued += 1;
-                }
+        let mut burst: Vec<Frame> = Vec::with_capacity(batch.len());
+        {
+            let _order = fanout.lock();
+            for sink in &targets {
+                burst.extend(batch.iter().map(|w| Frame { from, cast: true, wire: w.clone() }));
+                let delivered = sink.deliver_many(&mut burst);
+                queued += delivered;
+                self.stats
+                    .dropped_closed
+                    .fetch_add((batch.len() - delivered) as u64, Ordering::Relaxed);
+                burst.clear();
             }
         }
+        self.stats.deliveries.fetch_add(queued as u64, Ordering::Relaxed);
+        queued
+    }
+
+    /// Sends a frame to explicit destinations.  As with [`LoopbackNet::cast`],
+    /// the destination sinks are snapshotted under the registry lock and the
+    /// sends performed outside it; when the sender belongs to a group, the
+    /// delivery runs under that group's fan-out lock so point-to-point
+    /// control traffic stays ordered with the group's multicasts.
+    pub fn send(&self, from: EndpointAddr, dests: &[EndpointAddr], wire: WireFrame) -> usize {
+        self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        let (targets, fanout) = {
+            let reg = self.inner.lock();
+            let targets: Vec<Arc<dyn FrameSink>> =
+                dests.iter().filter_map(|to| reg.endpoints.get(to).cloned()).collect();
+            let fanout = reg
+                .member_of
+                .get(&from)
+                .and_then(|g| reg.groups.get(g))
+                .map(|group| Arc::clone(&group.fanout));
+            (targets, fanout)
+        };
+        let _order = fanout.as_ref().map(|f| f.lock());
+        let mut queued = 0;
+        for sink in &targets {
+            if sink.deliver(Frame { from, cast: false, wire: wire.clone() }) {
+                queued += 1;
+            } else {
+                self.stats.dropped_closed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.stats.deliveries.fetch_add(queued as u64, Ordering::Relaxed);
         queued
     }
 
     /// Current transport-level members of a group.
     pub fn members(&self, group: GroupAddr) -> Vec<EndpointAddr> {
-        self.inner.lock().groups.get(&group).cloned().unwrap_or_default()
+        self.inner.lock().groups.get(&group).map(|g| g.members.clone()).unwrap_or_default()
     }
 }
 
@@ -140,6 +337,7 @@ impl LoopbackNet {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use std::time::{Duration, Instant};
 
     fn ep(i: u64) -> EndpointAddr {
         EndpointAddr::new(i)
@@ -166,6 +364,34 @@ mod tests {
             assert_eq!(f.from, ep(1));
             assert!(f.cast);
         }
+        let s = net.stats();
+        assert_eq!(s.frames_cast, 1);
+        assert_eq!(s.deliveries, 3);
+    }
+
+    #[test]
+    fn cast_batch_amortizes_the_snapshot() {
+        let net = LoopbackNet::new();
+        let g = GroupAddr::new(1);
+        let rxs: Vec<_> = (1..=2)
+            .map(|i| {
+                let r = net.register(ep(i));
+                net.join(g, ep(i));
+                r
+            })
+            .collect();
+        let wires: Vec<WireFrame> = (0..10).map(|_| raw(b"b")).collect();
+        assert_eq!(net.cast_batch(ep(1), wires), 20);
+        for rx in &rxs {
+            let mut got = 0;
+            while rx.try_recv().is_ok() {
+                got += 1;
+            }
+            assert_eq!(got, 10);
+        }
+        let s = net.stats();
+        assert_eq!(s.frames_cast, 10);
+        assert_eq!(s.deliveries, 20);
     }
 
     #[test]
@@ -176,6 +402,7 @@ mod tests {
         assert_eq!(net.send(ep(1), &[ep(2)], raw(b"s")), 1);
         assert!(!rx2.recv().unwrap().cast);
         assert!(rx2.try_recv().is_err());
+        assert_eq!(net.stats().frames_sent, 1);
     }
 
     #[test]
@@ -190,6 +417,86 @@ mod tests {
         assert_eq!(net.cast(ep(1), raw(b"m")), 1);
         drop(net);
         assert!(rx2.try_recv().is_err());
+    }
+
+    #[test]
+    fn delivery_to_dropped_receiver_counts_as_closed_drop() {
+        let net = LoopbackNet::new();
+        let g = GroupAddr::new(1);
+        let _rx1 = net.register(ep(1));
+        let rx2 = net.register(ep(2));
+        net.join(g, ep(1));
+        net.join(g, ep(2));
+        // The receiver half is gone but ep(2) is still registered: the send
+        // fails at the channel, which is the dropped-on-closed-channel class.
+        drop(rx2);
+        assert_eq!(net.cast(ep(1), raw(b"m")), 1);
+        let s = net.stats();
+        assert_eq!(s.deliveries, 1);
+        assert_eq!(s.dropped_closed, 1);
+    }
+
+    #[test]
+    fn custom_sink_receives_frames() {
+        let net = LoopbackNet::new();
+        let g = GroupAddr::new(1);
+        let _rx1 = net.register(ep(1));
+        let got = Arc::new(AtomicU64::new(0));
+        let got2 = Arc::clone(&got);
+        net.register_sink(
+            ep(2),
+            Arc::new(move |_f: Frame| {
+                got2.fetch_add(1, Ordering::Relaxed);
+                true
+            }),
+        );
+        net.join(g, ep(1));
+        net.join(g, ep(2));
+        assert_eq!(net.cast(ep(1), raw(b"m")), 2);
+        assert_eq!(got.load(Ordering::Relaxed), 1);
+    }
+
+    /// The regression the snapshot-then-send discipline exists for: a
+    /// receiver whose sink is slow (blocking in `deliver`) must not hold the
+    /// registry lock and thereby stall senders between unrelated endpoints.
+    #[test]
+    fn slow_receiver_does_not_stall_unrelated_senders() {
+        let net = LoopbackNet::new();
+        let g = GroupAddr::new(1);
+        let _rx1 = net.register(ep(1));
+        net.register_sink(
+            ep(2),
+            Arc::new(|_f: Frame| {
+                std::thread::sleep(Duration::from_millis(200));
+                true
+            }),
+        );
+        net.join(g, ep(1));
+        net.join(g, ep(2));
+        // Unrelated pair in its own group.
+        let _rx3 = net.register(ep(3));
+        let rx4 = net.register(ep(4));
+        let g2 = GroupAddr::new(2);
+        net.join(g2, ep(3));
+        net.join(g2, ep(4));
+
+        // A cast into the slow sink, running on another thread, holds no lock
+        // while it sleeps...
+        let slow_net = net.clone();
+        let slow = std::thread::spawn(move || {
+            slow_net.cast(ep(1), raw(b"slow"));
+        });
+        std::thread::sleep(Duration::from_millis(20)); // let it enter the sleep
+                                                       // ...so the unrelated sender completes immediately.
+        let t0 = Instant::now();
+        assert_eq!(net.cast(ep(3), raw(b"fast")), 2);
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "unrelated cast stalled behind a slow receiver: {elapsed:?}"
+        );
+        assert_eq!(rx4.recv().unwrap().from, ep(3));
+        slow.join().unwrap();
     }
 
     #[test]
@@ -213,5 +520,8 @@ mod tests {
             got += 1;
         }
         assert_eq!(got, 100);
+        let s = net.stats();
+        assert_eq!(s.frames_cast, 100);
+        assert_eq!(s.deliveries, 200);
     }
 }

@@ -16,14 +16,20 @@
 //! * [`workload`] — message workload generators for the benchmarks.
 //! * [`threaded`] — a real-time, really-threaded executor over the loopback
 //!   transport, for the §10 dispatch-model ablation.
+//! * [`shard`] — the sharded run-to-completion executor: N workers, each
+//!   owning a disjoint set of stacks, batched dispatch through one reusable
+//!   [`horus_core::EffectSink`], frames delivered straight into the owning
+//!   shard's queue.
 
 pub mod detector;
 pub mod invariants;
+pub mod shard;
 pub mod threaded;
 pub mod workload;
 pub mod world;
 
 pub use detector::{FailureDetector, Suspicion};
 pub use invariants::{check_fifo, check_total_order, check_virtual_synchrony, DeliveryLog};
+pub use shard::{ShardConfig, ShardExecutor};
 pub use workload::{Workload, WorkloadKind};
 pub use world::SimWorld;

@@ -1,0 +1,101 @@
+//! End-to-end coverage of the sharded run-to-completion executor plus the
+//! accounting-parity contract between the transport's `LoopbackStats` and
+//! the per-stack `StackStats`: every frame the transport claims to have
+//! queued must show up in exactly one stack's counters (or in the
+//! dropped-on-closed-channel counter), with nothing invented and nothing
+//! lost — the satellite-2 counterpart of the simulated net's `NetStats`
+//! parity tests.
+
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus_net::LoopbackNet;
+use horus_sim::shard::{ShardConfig, ShardExecutor};
+use std::time::Duration;
+
+fn ep(i: u64) -> EndpointAddr {
+    EndpointAddr::new(i)
+}
+
+const GROUPS: u64 = 3;
+const CASTS: usize = 25;
+
+/// 3 disjoint 2-member groups over single-layer NOP stacks (which add no
+/// protocol chatter, so transport and stack counters can be equated
+/// exactly), spread across 2 shards.
+#[test]
+fn multi_group_delivery_with_accounting_parity() {
+    let net = LoopbackNet::new();
+    let mut ex = ShardExecutor::new(net.clone(), ShardConfig::with_shards(2).batch_max(16));
+    for gi in 0..GROUPS {
+        let g = GroupAddr::new(gi + 1);
+        for m in 0..2 {
+            let e = ep(gi * 2 + m + 1);
+            let s = build_stack(e, "NOP", StackConfig::default()).unwrap();
+            ex.add_stack(s);
+            ex.down(e, Down::Join { group: g });
+        }
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    for k in 0..CASTS {
+        for gi in 0..GROUPS {
+            ex.cast_bytes(ep(gi * 2 + 1), vec![(k % 251) as u8; 8]);
+        }
+    }
+    // Every member — senders included, loopback delivers to the whole
+    // group — sees every cast of its own group and none of the others'.
+    let done = ex.wait_until(Duration::from_secs(10), |ex| {
+        (1..=GROUPS * 2).all(|i| ex.cast_count(ep(i)) >= CASTS)
+    });
+    assert!(done, "all members see their group's casts");
+    for i in 1..=GROUPS * 2 {
+        assert_eq!(ex.cast_count(ep(i)), CASTS, "ep {i}: exactly its own group's casts");
+    }
+
+    // Accounting parity: transport counters vs stack counters.
+    let total_casts = GROUPS * CASTS as u64;
+    let by_ep = ex.stats_by_endpoint();
+    let sent: u64 = by_ep.values().map(|s| s.msgs_sent).sum();
+    let received: u64 = by_ep.values().map(|s| s.msgs_received).sum();
+    let net_stats = net.stats();
+    assert_eq!(sent, total_casts, "stacks sent exactly the app casts");
+    assert_eq!(net_stats.frames_cast, total_casts, "transport saw each cast once");
+    assert_eq!(net_stats.dropped_closed, 0, "no receiver went away");
+    assert_eq!(net_stats.deliveries, total_casts * 2, "each cast fans out to both group members");
+    assert_eq!(received, net_stats.deliveries, "every queued frame reached a stack");
+    assert_eq!(net_stats.frames_sent, 0, "no point-to-point sends in this workload");
+
+    // Work landed on both shards and went through the batch path.
+    let per_shard = ex.shard_stats();
+    assert_eq!(per_shard.len(), 2);
+    assert!(per_shard.iter().all(|s| s.msgs_received > 0), "both shards processed frames");
+    let total = ex.aggregate_stats();
+    assert!(total.batches > 0 && total.batched_inputs >= total_casts);
+    ex.stop();
+}
+
+/// Frames aimed at an endpoint whose receiver is gone are dropped and
+/// *counted*, not lost silently — and don't disturb live members.
+#[test]
+fn dropped_receiver_is_counted_not_silent() {
+    let net = LoopbackNet::new();
+    let mut ex = ShardExecutor::new(net.clone(), ShardConfig::default());
+    let g = GroupAddr::new(1);
+    for i in 1..=2 {
+        let s = build_stack(ep(i), "NOP", StackConfig::default()).unwrap();
+        ex.add_stack(s);
+        ex.down(ep(i), Down::Join { group: g });
+    }
+    // A bare transport endpoint joins the group, then its receiver drops.
+    let rx = net.register(ep(99));
+    net.join(g, ep(99));
+    drop(rx);
+    std::thread::sleep(Duration::from_millis(20));
+
+    ex.cast_bytes(ep(1), &b"gone"[..]);
+    assert!(ex.wait_until(Duration::from_secs(5), |ex| ex.cast_count(ep(2)) >= 1));
+    let s = net.stats();
+    assert_eq!(s.dropped_closed, 1, "the dead endpoint's copy is accounted as dropped");
+    assert_eq!(s.deliveries, 2, "the live members still got theirs");
+    net.deregister(ep(99));
+    ex.stop();
+}

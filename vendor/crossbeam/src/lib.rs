@@ -61,6 +61,26 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
     /// The sending half; cloneable (multi-producer).
     pub struct Sender<T> {
         inner: Arc<Inner<T>>,
@@ -104,6 +124,28 @@ pub mod channel {
             self.inner.cond.notify_one();
             Ok(())
         }
+
+        /// Enqueues every item of `items` under one lock acquisition and
+        /// one wake-up; returns how many were enqueued (`Err` with the
+        /// count `0` if every receiver has dropped, consuming the items).
+        ///
+        /// Not part of upstream crossbeam's API, but the batched-dispatch
+        /// executors need a way to publish a burst without paying the
+        /// mutex/condvar tax per element.
+        pub fn send_iter(&self, items: impl IntoIterator<Item = T>) -> Result<usize, SendError<()>> {
+            let mut st = self.inner.queue.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(SendError(()));
+            }
+            let before = st.items.len();
+            st.items.extend(items);
+            let n = st.items.len() - before;
+            drop(st);
+            if n > 0 {
+                self.inner.cond.notify_all();
+            }
+            Ok(n)
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -137,6 +179,26 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.inner.cond.wait(st).unwrap();
+            }
+        }
+
+        /// Blocks until an item arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut st = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(item) = st.items.pop_front() {
+                    return Ok(item);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self.inner.cond.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
             }
         }
 
@@ -193,6 +255,32 @@ pub mod channel {
     mod tests {
         use super::*;
         use std::thread;
+
+        #[test]
+        fn recv_timeout_times_out_and_delivers() {
+            let (tx, rx) = unbounded();
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(42).unwrap();
+            assert_eq!(rx.recv_timeout(std::time::Duration::from_millis(5)), Ok(42));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(std::time::Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn send_iter_batches_under_one_lock() {
+            let (tx, rx) = unbounded();
+            assert_eq!(tx.send_iter(0..5), Ok(5));
+            assert_eq!((0..5).map(|_| rx.recv().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+            assert_eq!(tx.send_iter(std::iter::empty::<i32>()), Ok(0));
+            drop(rx);
+            assert_eq!(tx.send_iter(0..5), Err(SendError(())));
+        }
 
         #[test]
         fn fifo_and_try_recv() {
