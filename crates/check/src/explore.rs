@@ -1,0 +1,389 @@
+//! The bounded depth-first schedule explorer.
+//!
+//! The search is *stateless* (replay-based): a world cannot be cloned (its
+//! stacks hold boxed layers), so a search node is not a snapshot but a
+//! **choice prefix** — the run is re-executed from the scenario's settled
+//! state, consuming the prefix at each branch point, and continuing with
+//! choice 0 (calendar order) once the prefix is spent.  Branch points
+//! encountered past the prefix report how many options they offered; their
+//! untaken siblings become new prefixes on the DFS stack.
+//!
+//! Three bounds keep the space finite:
+//!
+//! * **depth** — only the first `max_depth` branch points of a run offer
+//!   alternatives; beyond that the run is deterministic calendar order.
+//! * **drops** — at most `max_drops` induced message drops per run.
+//! * **states** — a global budget on distinct world fingerprints; reaching a
+//!   fingerprint seen before prunes the subtree (the continuation from an
+//!   identical state was, or will be, explored elsewhere).
+//!
+//! The *reduction* skips commuting reorderings: two ready events aimed at
+//! different endpoints touch disjoint stacks, so only orderings among events
+//! sharing the next event's target are branched.  This is aggressive — it
+//! also skips reorderings that would matter via messages created in
+//! between — which is why `--no-reduction` exists and E24 measures the
+//! difference.
+
+use crate::scenario::{Oracle, Scenario};
+use horus_sim::sched::{RunOutcome, Scheduler, Step};
+use horus_sim::{ReadyEvent, SimWorld};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// Bounds and knobs for one exploration.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Concurrency window: ready events within this much of the earliest
+    /// pending event may be reordered.  Zero means exact ties only.
+    pub window: Duration,
+    /// Skip reorderings of deliveries to different endpoints.
+    pub reduction: bool,
+    /// Branch points per run that offer alternatives.
+    pub max_depth: usize,
+    /// Induced message drops per run.
+    pub max_drops: u32,
+    /// Global distinct-fingerprint budget.
+    pub max_states: u64,
+    /// Global executed-run budget.
+    pub max_runs: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            window: Duration::from_micros(100),
+            reduction: true,
+            max_depth: 6,
+            max_drops: 0,
+            max_states: 200_000,
+            max_runs: 20_000,
+        }
+    }
+}
+
+/// A violation the explorer found, with the schedule that reaches it.
+#[derive(Debug, Clone)]
+pub struct FoundViolation {
+    /// Which oracle failed.
+    pub oracle: &'static str,
+    /// The oracle's first complaint.
+    pub message: String,
+    /// Choice list reaching the violation (replayable).
+    pub choices: Vec<u16>,
+}
+
+/// What one re-execution observed.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Choice taken at each branch point, in order.
+    pub taken: Vec<u16>,
+    /// Option count at each branch point *eligible for expansion* (within
+    /// `max_depth`); parallel prefix of `taken`.
+    pub branch_options: Vec<u16>,
+    /// Events fired during the explored window.
+    pub steps: u64,
+    /// Violation observed (at a view change or at the terminal), if any.
+    pub violation: Option<FoundViolation>,
+    /// Whether the run was cut by visited-state pruning.
+    pub pruned: bool,
+}
+
+/// Aggregate exploration result.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Runs executed.
+    pub runs: u64,
+    /// Distinct fingerprints recorded.
+    pub states: u64,
+    /// Events fired across all runs.
+    pub steps: u64,
+    /// Branch points expanded.
+    pub branch_points: u64,
+    /// Runs cut by visited-state pruning.
+    pub pruned: u64,
+    /// True when the frontier drained within the budgets — the bounded
+    /// space is exhausted.
+    pub exhausted: bool,
+    /// First violation found, if any (search stops on it).
+    pub violation: Option<FoundViolation>,
+}
+
+/// The scheduler that turns a choice list into a schedule.
+///
+/// At each step it enumerates the deterministic option list for the current
+/// ready set; when more than one option exists it is a *branch point* and
+/// the next choice (or 0 past the end of the list) selects.  Because option
+/// enumeration is a pure function of the world and the config, the same
+/// choices replay the same run, byte for byte.
+struct ControlledScheduler<'a> {
+    cfg: &'a CheckConfig,
+    oracles: &'a [Oracle],
+    scenario: &'a Scenario,
+    choices: &'a [u16],
+    cursor: usize,
+    drops_left: u32,
+    rec: RunRecord,
+    /// Shared visited-fingerprint set; `None` disables pruning (replay).
+    visited: Option<&'a mut HashSet<u64>>,
+    state_budget_hit: bool,
+    /// View-install count at the last oracle check.
+    views_seen: usize,
+}
+
+impl<'a> ControlledScheduler<'a> {
+    fn options(&self, ready: &[ReadyEvent]) -> Vec<Step> {
+        let candidates: Vec<usize> = if self.cfg.reduction {
+            let class = ready[0].kind.target();
+            ready
+                .iter()
+                .enumerate()
+                .filter(|(_, ev)| ev.kind.target() == class)
+                .map(|(i, _)| i)
+                .collect()
+        } else {
+            (0..ready.len()).collect()
+        };
+        let mut opts: Vec<Step> = candidates.iter().map(|&i| Step::Fire(i)).collect();
+        if self.drops_left > 0 {
+            opts.extend(
+                candidates.iter().filter(|&&i| ready[i].kind.droppable()).map(|&i| Step::Drop(i)),
+            );
+        }
+        opts
+    }
+
+    fn total_views(&self, world: &SimWorld) -> usize {
+        (1..=self.scenario.members)
+            .map(|i| world.installed_views(horus_core::prelude::EndpointAddr::new(i)).len())
+            .sum()
+    }
+
+    fn check_oracles(&mut self, world: &SimWorld) -> bool {
+        match first_violation(self.scenario, self.oracles, world, &self.rec.taken) {
+            Some(v) => {
+                self.rec.violation = Some(v);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Runs every oracle over the world's delivery logs; the first complaint
+/// becomes a [`FoundViolation`] carrying the choices that reached it.
+fn first_violation(
+    scenario: &Scenario,
+    oracles: &[Oracle],
+    world: &SimWorld,
+    taken: &[u16],
+) -> Option<FoundViolation> {
+    let logs = scenario.logs(world);
+    for oracle in oracles {
+        if let Some(v) = oracle.check(&logs).first() {
+            return Some(FoundViolation {
+                oracle: oracle.name(),
+                message: v.to_string(),
+                choices: taken.to_vec(),
+            });
+        }
+    }
+    None
+}
+
+impl Scheduler for ControlledScheduler<'_> {
+    fn next_step(&mut self, world: &SimWorld, ready: &[ReadyEvent]) -> Step {
+        // Oracle check whenever a view installed since the last look — a
+        // violation visible mid-run should be caught (and attributed) at the
+        // earliest branch, not only at the horizon.
+        let views = self.total_views(world);
+        if views != self.views_seen {
+            self.views_seen = views;
+            if self.check_oracles(world) {
+                return Step::Halt;
+            }
+        }
+        let opts = self.options(ready);
+        if opts.len() <= 1 {
+            self.rec.steps += 1;
+            return opts.first().copied().unwrap_or(Step::Fire(0));
+        }
+
+        // A real branch point.  Past the replayed prefix, consult the
+        // visited set: an already-seen fingerprint means this subtree is
+        // covered.  (Within the prefix the states were necessarily seen —
+        // that is what replaying is — so pruning there would cut every run.)
+        let beyond_prefix = self.cursor >= self.choices.len();
+        if beyond_prefix {
+            if let Some(visited) = self.visited.as_deref_mut() {
+                if visited.len() as u64 >= self.cfg.max_states {
+                    self.state_budget_hit = true;
+                    return Step::Halt;
+                }
+                if !visited.insert(world.fingerprint()) {
+                    self.rec.pruned = true;
+                    return Step::Halt;
+                }
+            }
+        }
+
+        let expandable = self.rec.branch_options.len() < self.cfg.max_depth;
+        let choice = if self.cursor < self.choices.len() {
+            let c = self.choices[self.cursor];
+            usize::from(c).min(opts.len() - 1)
+        } else {
+            0
+        };
+        self.cursor += 1;
+        self.rec.taken.push(choice as u16);
+        if expandable {
+            self.rec.branch_options.push(opts.len() as u16);
+        }
+        let step = opts[choice];
+        if matches!(step, Step::Drop(_)) {
+            self.drops_left -= 1;
+        }
+        self.rec.steps += 1;
+        step
+    }
+}
+
+/// Re-executes the scenario under `choices`, calendar order past the end.
+/// `visited` enables cross-run pruning (exploration); pass `None` to replay
+/// a schedule in full.
+pub fn run_one(
+    scenario: &Scenario,
+    choices: &[u16],
+    cfg: &CheckConfig,
+    visited: Option<&mut HashSet<u64>>,
+) -> RunRecord {
+    let mut world = scenario.build();
+    let mut ctl = ControlledScheduler {
+        cfg,
+        oracles: scenario.oracles,
+        scenario,
+        choices,
+        cursor: 0,
+        drops_left: cfg.max_drops,
+        rec: RunRecord {
+            taken: Vec::new(),
+            branch_options: Vec::new(),
+            steps: 0,
+            violation: None,
+            pruned: false,
+        },
+        visited,
+        state_budget_hit: false,
+        views_seen: 0,
+    };
+    ctl.views_seen = ctl.total_views(&world);
+    let outcome = world.run_scheduled(&mut ctl, cfg.window, scenario.deadline());
+    let mut rec = ctl.rec;
+    // Terminal oracle pass: quiescence and horizon are where agreement
+    // properties are fully judgeable.  Skip it for halted runs — a halt is
+    // either an oracle hit (violation already recorded) or a prune/budget
+    // cut, whose continuation is judged from the identical state elsewhere.
+    if rec.violation.is_none() && outcome != RunOutcome::Halted {
+        rec.violation = first_violation(scenario, scenario.oracles, &world, &rec.taken);
+    }
+    rec
+}
+
+/// Replays a choice list with pruning disabled (the verdict-stable path used
+/// by `horus-check replay` and the committed fixtures).
+pub fn replay_choices(scenario: &Scenario, choices: &[u16], cfg: &CheckConfig) -> RunRecord {
+    run_one(scenario, choices, cfg, None)
+}
+
+/// Explores the scenario's bounded schedule space depth-first.  Stops at the
+/// first violation (callers shrink it), or when the frontier drains
+/// (`exhausted`), or when a budget runs out.
+pub fn explore(scenario: &Scenario, cfg: &CheckConfig) -> CheckReport {
+    let mut report = CheckReport {
+        scenario: scenario.name,
+        runs: 0,
+        states: 0,
+        steps: 0,
+        branch_points: 0,
+        pruned: 0,
+        exhausted: false,
+        violation: None,
+    };
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut frontier: Vec<Vec<u16>> = vec![Vec::new()];
+    while let Some(prefix) = frontier.pop() {
+        if report.runs >= cfg.max_runs || visited.len() as u64 >= cfg.max_states {
+            return report;
+        }
+        let rec = run_one(scenario, &prefix, cfg, Some(&mut visited));
+        report.runs += 1;
+        report.steps += rec.steps;
+        report.branch_points += rec.branch_options.len() as u64;
+        if rec.pruned {
+            report.pruned += 1;
+        }
+        report.states = visited.len() as u64;
+        if let Some(v) = rec.violation {
+            report.violation = Some(v);
+            return report;
+        }
+        // Untaken siblings of every expandable branch point at or past the
+        // prefix become new DFS nodes.  (Branch points *inside* the prefix
+        // were expanded when the prefix itself was generated.)
+        for (i, &opts) in rec.branch_options.iter().enumerate().skip(prefix.len()) {
+            for alt in 1..opts {
+                let mut p: Vec<u16> = rec.taken[..i].to_vec();
+                p.push(alt);
+                frontier.push(p);
+            }
+        }
+    }
+    report.exhausted = true;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    fn tiny_cfg() -> CheckConfig {
+        CheckConfig { max_depth: 3, max_states: 5_000, max_runs: 500, ..CheckConfig::default() }
+    }
+
+    #[test]
+    fn fifo2_calendar_order_is_clean() {
+        let s = Scenario::by_name("fifo2").unwrap();
+        let rec = replay_choices(s, &[], &tiny_cfg());
+        assert!(rec.violation.is_none(), "default schedule should satisfy FIFO");
+    }
+
+    #[test]
+    fn fifo2_explorer_finds_the_planted_bug() {
+        let s = Scenario::by_name("fifo2").unwrap();
+        let report = explore(s, &tiny_cfg());
+        let v = report.violation.expect("explorer must find the FIFO violation");
+        assert_eq!(v.oracle, "fifo");
+        // And the counterexample replays to the same verdict.
+        let rec = replay_choices(s, &v.choices, &tiny_cfg());
+        let rv = rec.violation.expect("counterexample must replay");
+        assert_eq!(rv.message, v.message);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let s = Scenario::by_name("fifo2").unwrap();
+        let cfg = tiny_cfg();
+        let report = explore(s, &cfg);
+        let choices = report.violation.unwrap().choices;
+        let a = replay_choices(s, &choices, &cfg);
+        let b = replay_choices(s, &choices, &cfg);
+        assert_eq!(a.taken, b.taken);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(
+            a.violation.as_ref().map(|v| &v.message),
+            b.violation.as_ref().map(|v| &v.message)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # horus-check
+//!
+//! Bounded model checking for Horus protocol stacks.
+//!
+//! The paper's central claim is compositional: independently written layers
+//! stack into protocols that still satisfy end-to-end properties (virtual
+//! synchrony, ordering — §5, Tables 3–4).  The repository's evidence for
+//! that claim used to be randomized soak testing over the deterministic
+//! simulator.  This crate turns the same simulator into a *systematic*
+//! search: every source of nondeterminism in a run is either network physics
+//! (extracted behind `horus_net::NetScheduler`, pinned by
+//! [`horus_net::FixedScheduler`]) or the schedule itself (extracted behind
+//! `horus_sim::Scheduler`), so a run is exactly a list of choices — and the
+//! explorer enumerates choice lists.
+//!
+//! The pieces:
+//!
+//! * [`scenario`] — small, bounded protocol situations (the Figure 2
+//!   flush/merge story, concurrent casts under an unordered stack, a merge
+//!   interrupted by a false suspicion) with the invariant oracles each must
+//!   satisfy.
+//! * [`explore`] — the depth-first schedule explorer: replay-based
+//!   (stateless) search over choice prefixes, visited-state pruning on
+//!   [`horus_sim::SimWorld::fingerprint`], and a commutativity reduction
+//!   that skips reorderings of deliveries to different endpoints.
+//! * [`schedule`] — the serialized schedule format: scenario + bounds +
+//!   choice list, replayable byte-identically with `horus-check replay`.
+//! * [`shrink`] — delta-debugging (`ddmin`) of violating choice lists down
+//!   to minimal counterexamples.
+//!
+//! A found violation is therefore not a flaky failure but a *file*: commit
+//! it under `tests/fixtures/` and it replays forever.
+
+pub mod explore;
+pub mod scenario;
+pub mod schedule;
+pub mod shrink;
+
+pub use explore::{explore, replay_choices, CheckConfig, CheckReport, FoundViolation, RunRecord};
+pub use scenario::{Oracle, Scenario};
+pub use schedule::Schedule;
+pub use shrink::shrink;

@@ -1,0 +1,162 @@
+//! `horus-check`: bounded model checking of Horus protocol stacks.
+//!
+//! ```text
+//! horus-check scenarios
+//! horus-check explore <scenario> [--depth N] [--drops N] [--states N]
+//!                     [--runs N] [--window-us N] [--no-reduction] [--out FILE]
+//! horus-check replay <schedule-file>
+//! ```
+//!
+//! `explore` exits 0 when the bounded space is clean, 3 when a violation was
+//! found (after shrinking and printing/writing the schedule).  `replay` exits
+//! 0 when the re-executed verdict matches the one recorded in the file, 2 on
+//! a mismatch.
+
+use horus_check::schedule::verdict_line;
+use horus_check::{explore, replay_choices, CheckConfig, Scenario, Schedule};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  horus-check scenarios\n  horus-check explore <scenario> [--depth N] \
+         [--drops N] [--states N] [--runs N] [--window-us N] [--no-reduction] [--out FILE]\n  \
+         horus-check replay <schedule-file>"
+    );
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("scenarios") => {
+            for s in Scenario::all() {
+                println!("{:<10} {} members, stack {} — {}", s.name, s.members, s.stack, s.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("explore") => cmd_explore(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_explore(args: &[String]) -> ExitCode {
+    let Some(name) = args.first() else { return usage() };
+    let Some(scenario) = Scenario::by_name(name) else {
+        eprintln!("unknown scenario {name:?}; try `horus-check scenarios`");
+        return ExitCode::from(1);
+    };
+    let mut cfg = CheckConfig::default();
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut grab = |what: &str| -> Option<String> {
+            let v = it.next().cloned();
+            if v.is_none() {
+                eprintln!("{what} needs a value");
+            }
+            v
+        };
+        match flag.as_str() {
+            "--depth" => match grab("--depth").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_depth = v,
+                None => return ExitCode::from(1),
+            },
+            "--drops" => match grab("--drops").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_drops = v,
+                None => return ExitCode::from(1),
+            },
+            "--states" => match grab("--states").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_states = v,
+                None => return ExitCode::from(1),
+            },
+            "--runs" => match grab("--runs").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_runs = v,
+                None => return ExitCode::from(1),
+            },
+            "--window-us" => match grab("--window-us").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.window = Duration::from_micros(v),
+                None => return ExitCode::from(1),
+            },
+            "--no-reduction" => cfg.reduction = false,
+            "--out" => match grab("--out") {
+                Some(v) => out = Some(v),
+                None => return ExitCode::from(1),
+            },
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
+
+    let started = std::time::Instant::now();
+    let report = explore(scenario, &cfg);
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "scenario {}: {} runs, {} states, {} steps, {} branch points, {} pruned in {:.2}s ({})",
+        report.scenario,
+        report.runs,
+        report.states,
+        report.steps,
+        report.branch_points,
+        report.pruned,
+        secs,
+        if report.exhausted { "exhausted" } else { "budget reached" },
+    );
+    let Some(v) = report.violation else {
+        println!("no violations within bounds");
+        return ExitCode::SUCCESS;
+    };
+    println!("VIOLATION ({}): {}", v.oracle, v.message);
+    println!("shrinking {} choices...", v.choices.len());
+    let small = horus_check::shrink(scenario, &cfg, v.oracle, &v.choices);
+    let rec = replay_choices(scenario, &small, &cfg);
+    let schedule = Schedule::new(scenario, &cfg, &small, verdict_line(&rec));
+    let text = schedule.serialize();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::from(1);
+            }
+            println!("schedule written to {path} ({} choices)", small.len());
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::from(3)
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { return usage() };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let schedule = match Schedule::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let Some(scenario) = Scenario::by_name(&schedule.scenario) else {
+        eprintln!("schedule references unknown scenario {:?}", schedule.scenario);
+        return ExitCode::from(1);
+    };
+    let cfg = schedule.to_config();
+    let rec = replay_choices(scenario, &schedule.choices, &cfg);
+    let verdict = verdict_line(&rec);
+    println!("replayed {} with {} choices: {verdict}", schedule.scenario, schedule.choices.len());
+    if verdict == schedule.verdict {
+        println!("verdict matches the recorded one");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("VERDICT DRIFT\n  recorded: {}\n  replayed: {verdict}", schedule.verdict);
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,131 @@
+//! Counterexample minimization by delta debugging.
+//!
+//! The explorer's first violating schedule is rarely minimal: it carries the
+//! zero-choices of every branch point passed along the way plus whatever
+//! detours the DFS happened to take.  [`shrink`] reduces it with classic
+//! `ddmin` (remove chunks of the choice list while the violation persists),
+//! then a zeroing pass (replace surviving non-zero choices with calendar
+//! order), then trims trailing zeros — choices past the end of the list are
+//! implicitly zero at replay.
+//!
+//! Because a shorter or zeroed list is still a *complete* schedule (replay
+//! pads with calendar order), every candidate is just another replay, and
+//! the predicate is "does the same oracle still complain".
+
+use crate::explore::{replay_choices, CheckConfig};
+use crate::scenario::Scenario;
+
+/// How many candidate replays a shrink may spend.
+const SHRINK_BUDGET: u32 = 2_000;
+
+struct Shrinker<'a> {
+    scenario: &'a Scenario,
+    cfg: &'a CheckConfig,
+    oracle: &'a str,
+    budget: u32,
+}
+
+impl Shrinker<'_> {
+    /// Does this choice list still trip the same oracle?
+    fn fails(&mut self, choices: &[u16]) -> bool {
+        if self.budget == 0 {
+            return false;
+        }
+        self.budget -= 1;
+        replay_choices(self.scenario, choices, self.cfg)
+            .violation
+            .is_some_and(|v| v.oracle == self.oracle)
+    }
+}
+
+/// Minimizes a violating choice list.  `oracle` names the oracle that must
+/// keep failing (from the original [`crate::explore::FoundViolation`]).
+/// Returns the smallest failing list found within the shrink budget — at
+/// worst, the input itself.
+pub fn shrink(scenario: &Scenario, cfg: &CheckConfig, oracle: &str, choices: &[u16]) -> Vec<u16> {
+    let mut sh = Shrinker { scenario, cfg, oracle, budget: SHRINK_BUDGET };
+    let mut best = choices.to_vec();
+    debug_assert!(sh.fails(&best), "shrink input must fail");
+
+    // ddmin: try removing complements at increasing granularity.
+    let mut n = 2usize;
+    while best.len() >= 2 {
+        let chunk = best.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < best.len() {
+            let end = (start + chunk).min(best.len());
+            let mut candidate = Vec::with_capacity(best.len() - (end - start));
+            candidate.extend_from_slice(&best[..start]);
+            candidate.extend_from_slice(&best[end..]);
+            if sh.fails(&candidate) {
+                best = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk == 1 {
+                break;
+            }
+            n = (n * 2).min(best.len());
+        }
+    }
+
+    // Zeroing pass: calendar order wherever it still fails.
+    for i in 0..best.len() {
+        if best[i] != 0 {
+            let saved = best[i];
+            best[i] = 0;
+            if !sh.fails(&best) {
+                best[i] = saved;
+            }
+        }
+    }
+
+    // Trailing zeros are implicit.
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    if best.is_empty() {
+        // Re-establish that the empty schedule really fails (it should,
+        // given the passes above only kept failing candidates, unless the
+        // trim removed load-bearing explicit zeros — impossible, since
+        // replay pads with zeros — so this is just a debug guard).
+        debug_assert!(sh.fails(&best));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::explore;
+    use crate::scenario::Scenario;
+    use std::time::Duration;
+
+    #[test]
+    fn shrinks_fifo2_counterexample_to_minimum() {
+        let s = Scenario::by_name("fifo2").unwrap();
+        let cfg = CheckConfig {
+            max_depth: 4,
+            max_states: 5_000,
+            max_runs: 500,
+            window: Duration::from_micros(100),
+            ..CheckConfig::default()
+        };
+        let report = explore(s, &cfg);
+        let v = report.violation.expect("fifo2 must produce a violation");
+        let small = shrink(s, &cfg, v.oracle, &v.choices);
+        assert!(small.len() <= v.choices.len());
+        // Still fails, and with the same oracle.
+        let rec = replay_choices(s, &small, &cfg);
+        assert_eq!(rec.violation.map(|x| x.oracle), Some("fifo"));
+        // Minimal for this scenario: a single non-zero choice (position
+        // matters, so leading zeros up to that branch point remain).
+        assert_eq!(small.iter().filter(|&&c| c != 0).count(), 1, "got {small:?}");
+        assert!(small.len() <= 3, "expected a tiny counterexample, got {small:?}");
+    }
+}

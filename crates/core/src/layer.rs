@@ -212,6 +212,18 @@ pub trait Layer: Send {
         String::new()
     }
 
+    /// Feeds this layer's delivery-relevant state into a model-checking
+    /// state digest (visited-state pruning in `horus-check`).
+    ///
+    /// The default digests the [`Layer::dump`] report, which every stateful
+    /// layer in this repository already keeps current.  Override when the
+    /// dump omits state that changes future behaviour — an
+    /// under-discriminating digest makes the explorer merge states it
+    /// should distinguish and skip schedules it should search.
+    fn digest_state(&self, d: &mut crate::digest::StateDigest) {
+        d.write_str(&self.dump());
+    }
+
     /// Optional downcast hook so tests and tools can reach layer-specific
     /// state through [`crate::stack::Stack::focus_as`].
     fn as_any(&self) -> Option<&dyn Any> {

@@ -51,6 +51,7 @@
 //! ```
 
 pub mod addr;
+pub mod digest;
 pub mod error;
 pub mod event;
 pub mod frame;
@@ -62,6 +63,7 @@ pub mod view;
 pub mod wire;
 
 pub use addr::{EndpointAddr, GroupAddr, Rank};
+pub use digest::StateDigest;
 pub use error::HorusError;
 pub use event::{Down, Effect, MergeId, MsgId, StabilityMatrix, StackInput, Up};
 pub use frame::WireFrame;

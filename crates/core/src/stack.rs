@@ -439,6 +439,36 @@ impl Stack {
         self.layers.iter().map(|l| (l.name(), l.dump())).collect()
     }
 
+    /// Feeds this stack's protocol state into a model-checking digest: the
+    /// endpoint identity, lifecycle flags, current view, and every layer's
+    /// [`Layer::digest_state`] contribution, top first.
+    ///
+    /// Two caveats the checker documents: the per-stack jitter RNG is not
+    /// part of the digest (two merged states may diverge in future jitter
+    /// draws), and layers that rely on the default `dump`-based digest are
+    /// only as discriminating as their dump string.
+    pub fn state_digest_into(&self, d: &mut crate::digest::StateDigest) {
+        d.write_u64(self.local.raw());
+        d.write_u64(self.fingerprint as u64);
+        d.write_u64(self.destroyed as u64);
+        d.write_u64(self.group.map(|g| g.raw()).unwrap_or(0));
+        match &self.view {
+            Some(v) => d.write_str(&v.to_string()),
+            None => d.write_str("-"),
+        }
+        for l in &self.layers {
+            d.write_str(l.name());
+            l.digest_state(d);
+        }
+    }
+
+    /// The 64-bit state digest ([`Stack::state_digest_into`] finished).
+    pub fn state_digest(&self) -> u64 {
+        let mut d = crate::digest::StateDigest::new();
+        self.state_digest_into(&mut d);
+        d.finish()
+    }
+
     /// Runs every layer's [`Layer::on_init`].  Executors must call this
     /// exactly once, before any input, and perform the returned effects
     /// (layers arm their periodic timers here).

@@ -15,10 +15,9 @@
 //! etc.), so a chaos test can assert that the injection it scripted actually
 //! fired — and that nothing else did.
 
+use crate::sched::{ChanceKind, NetScheduler};
 use horus_core::addr::EndpointAddr;
 use horus_core::time::SimTime;
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::collections::BTreeMap;
 
 /// One targeted fault, aimed at a directed link or a source endpoint.
@@ -163,7 +162,7 @@ impl FaultPlan {
         from: EndpointAddr,
         to: EndpointAddr,
         now: SimTime,
-        rng: &mut StdRng,
+        sched: &mut dyn NetScheduler,
     ) -> Option<FaultDrop> {
         for (i, rule) in self.rules.iter().enumerate() {
             match *rule {
@@ -184,7 +183,11 @@ impl FaultPlan {
         }
         for (i, rule) in self.rules.iter().enumerate() {
             if let FaultRule::DirectedLoss { from: f, to: t, rate } = *rule {
-                if f == from && t == to && rate > 0.0 && rng.gen_bool(rate) {
+                if f == from
+                    && t == to
+                    && rate > 0.0
+                    && sched.chance(ChanceKind::DirectedLoss, rate)
+                {
                     self.hits[i] += 1;
                     return Some(FaultDrop::Directed);
                 }
@@ -219,6 +222,7 @@ impl FaultPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn ep(i: u64) -> EndpointAddr {

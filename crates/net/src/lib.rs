@@ -13,9 +13,11 @@
 //! service the COM layer adapts to the HCPI.
 
 pub mod fault;
+pub mod sched;
 pub mod sim;
 pub mod threaded;
 
 pub use fault::{FaultDrop, FaultPlan, FaultRule};
+pub use sched::{ChanceKind, FixedScheduler, NetScheduler, RandomScheduler};
 pub use sim::{Delivery, NetConfig, NetStats, SimNetwork};
 pub use threaded::{FrameSink, LoopbackNet, LoopbackStatsSnapshot};

@@ -13,12 +13,11 @@
 //! executor in `horus-sim` owns the calendar; this type owns the physics.
 
 use crate::fault::{FaultDrop, FaultPlan, FaultRule};
+use crate::sched::{ChanceKind, NetScheduler};
 use bytes::Bytes;
 use horus_core::addr::{EndpointAddr, GroupAddr};
 use horus_core::frame::WireFrame;
 use horus_core::time::SimTime;
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -93,6 +92,9 @@ pub struct NetStats {
     pub corrupted_targeted: u64,
     /// Frames dropped for exceeding the MTU.
     pub dropped_mtu: u64,
+    /// Pending deliveries removed by an explorer/test via controlled drop
+    /// (`SimWorld::drop_pending`), as opposed to the network's own physics.
+    pub dropped_induced: u64,
     /// Extra deliveries injected by duplication.
     pub duplicated: u64,
     /// Deliveries whose payload was corrupted.
@@ -159,6 +161,31 @@ impl SimNetwork {
     /// Accumulated counters.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Mutable counters (executors account induced drops here).
+    pub fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    /// Feeds the network's delivery-relevant state — group membership and
+    /// partition regions — into a model-checking state digest.  Statistics
+    /// counters are deliberately excluded (they are monotonic observers, not
+    /// behaviour), but fault-rule hit counters are included because rules
+    /// like `BurstLoss` change behaviour as they accumulate hits.
+    pub fn digest_into(&self, d: &mut horus_core::digest::StateDigest) {
+        for (g, members) in &self.groups {
+            d.write_u64(g.raw());
+            for m in members {
+                d.write_u64(m.raw());
+            }
+            d.write_bytes(&[0xfd]);
+        }
+        for (ep, region) in &self.regions {
+            d.write_u64(ep.raw());
+            d.write_u64(*region as u64);
+        }
+        d.write_str(&format!("{:?}", self.faults.rules()));
     }
 
     /// Installs a targeted fault rule, returning its index into
@@ -238,10 +265,10 @@ impl SimNetwork {
         from: EndpointAddr,
         wire: WireFrame,
         now: SimTime,
-        rng: &mut StdRng,
+        sched: &mut dyn NetScheduler,
     ) -> Vec<Delivery> {
         let targets = self.cast_targets(from);
-        self.transmit(from, &targets, true, wire, now, rng)
+        self.transmit(from, &targets, true, wire, now, sched)
     }
 
     /// Transmits a point-to-point frame to explicit destinations.
@@ -251,9 +278,9 @@ impl SimNetwork {
         dests: &[EndpointAddr],
         wire: WireFrame,
         now: SimTime,
-        rng: &mut StdRng,
+        sched: &mut dyn NetScheduler,
     ) -> Vec<Delivery> {
-        self.transmit(from, dests, false, wire, now, rng)
+        self.transmit(from, dests, false, wire, now, sched)
     }
 
     fn transmit(
@@ -263,7 +290,7 @@ impl SimNetwork {
         cast: bool,
         wire: WireFrame,
         now: SimTime,
-        rng: &mut StdRng,
+        sched: &mut dyn NetScheduler,
     ) -> Vec<Delivery> {
         self.stats.frames_sent += 1;
         if wire.len() > self.config.mtu {
@@ -294,7 +321,7 @@ impl SimNetwork {
                 self.stats.dropped_partition += 1;
                 continue;
             }
-            match self.faults.drop_verdict(from, to, now, rng) {
+            match self.faults.drop_verdict(from, to, now, sched) {
                 Some(FaultDrop::Cut) => {
                     self.stats.dropped_cut += 1;
                     continue;
@@ -309,27 +336,31 @@ impl SimNetwork {
                 }
                 None => {}
             }
-            if rng.gen_bool(self.config.loss) {
+            if sched.chance(ChanceKind::Loss, self.config.loss) {
                 self.stats.dropped_loss += 1;
                 continue;
             }
-            let copies = if self.config.duplicate > 0.0 && rng.gen_bool(self.config.duplicate) {
+            let copies = if self.config.duplicate > 0.0
+                && sched.chance(ChanceKind::Duplicate, self.config.duplicate)
+            {
                 self.stats.duplicated += 1;
                 2
             } else {
                 1
             };
             for _ in 0..copies {
-                let at = now + self.sample_latency(rng);
-                let mut payload = if self.config.garble > 0.0 && rng.gen_bool(self.config.garble) {
+                let at = now + self.sample_latency(sched);
+                let mut payload = if self.config.garble > 0.0
+                    && sched.chance(ChanceKind::Garble, self.config.garble)
+                {
                     self.stats.garbled += 1;
-                    garble(&wire, rng)
+                    garble(&wire, sched)
                 } else {
                     wire.clone()
                 };
                 if corrupt_frame {
                     self.stats.corrupted_targeted += 1;
-                    payload = garble(&payload, rng);
+                    payload = garble(&payload, sched);
                 }
                 self.stats.deliveries += 1;
                 out.push(Delivery { to, from, cast, at, wire: payload });
@@ -338,13 +369,13 @@ impl SimNetwork {
         out
     }
 
-    fn sample_latency(&self, rng: &mut StdRng) -> Duration {
+    fn sample_latency(&self, sched: &mut dyn NetScheduler) -> Duration {
         let lo = self.config.latency_min.as_nanos() as u64;
         let hi = self.config.latency_max.as_nanos() as u64;
         if hi <= lo {
             return self.config.latency_min;
         }
-        Duration::from_nanos(rng.gen_range(lo..=hi))
+        Duration::from_nanos(sched.latency_nanos(lo, hi))
     }
 }
 
@@ -352,11 +383,11 @@ impl SimNetwork {
 /// this is the one network path that flattens a frame; the corrupted copy is
 /// re-split at the canonical boundary (the checksum rejects it regardless of
 /// where the flip landed).
-fn garble(wire: &WireFrame, rng: &mut StdRng) -> WireFrame {
+fn garble(wire: &WireFrame, sched: &mut dyn NetScheduler) -> WireFrame {
     let mut v = wire.to_bytes().to_vec();
     if !v.is_empty() {
-        let i = rng.gen_range(0..v.len());
-        v[i] ^= 1u8 << rng.gen_range(0u32..8);
+        let i = sched.pick(v.len());
+        v[i] ^= 1u8 << sched.pick(8);
     }
     WireFrame::from_bytes(Bytes::from(v))
 }
@@ -364,6 +395,7 @@ fn garble(wire: &WireFrame, rng: &mut StdRng) -> WireFrame {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn ep(i: u64) -> EndpointAddr {

@@ -96,8 +96,9 @@ struct Registry {
 /// for the threaded loopback (there is no physics here, so the only drop
 /// class is a closed/deregistered receiver).
 ///
-/// Counters are atomics: they are bumped outside the registry lock, on the
-/// lock-free section of the fan-out.
+/// Counters are atomics: delivery counters are bumped outside the registry
+/// lock, on the lock-free section of the fan-out; `dropped_unregistered` is
+/// bumped during the snapshot (where the gap is observed).
 #[derive(Debug, Default)]
 pub struct LoopbackStats {
     /// Frames handed to `cast`.
@@ -109,6 +110,9 @@ pub struct LoopbackStats {
     /// Deliveries dropped because the receiver's sink was closed
     /// (deregistered between snapshot and delivery).
     pub dropped_closed: AtomicU64,
+    /// Deliveries skipped because the destination was never registered (a
+    /// group member or explicit `send` target with no sink installed).
+    pub dropped_unregistered: AtomicU64,
 }
 
 /// A plain-integer copy of [`LoopbackStats`], for assertions and reports.
@@ -122,6 +126,8 @@ pub struct LoopbackStatsSnapshot {
     pub deliveries: u64,
     /// Deliveries dropped on a closed/deregistered receiver.
     pub dropped_closed: u64,
+    /// Deliveries skipped because the destination was never registered.
+    pub dropped_unregistered: u64,
 }
 
 impl LoopbackStats {
@@ -131,6 +137,7 @@ impl LoopbackStats {
             frames_sent: self.frames_sent.load(Ordering::Relaxed),
             deliveries: self.deliveries.load(Ordering::Relaxed),
             dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
+            dropped_unregistered: self.dropped_unregistered.load(Ordering::Relaxed),
         }
     }
 }
@@ -223,7 +230,10 @@ impl LoopbackNet {
     }
 
     /// Snapshots the sinks of `from`'s group members (and the group's
-    /// fan-out lock) under the registry lock.
+    /// fan-out lock) under the registry lock.  Members with no registered
+    /// sink are skipped — counted, not silently dropped — so a misconfigured
+    /// harness (join before register) shows up in the stats instead of as a
+    /// mystery hang.
     #[allow(clippy::type_complexity)]
     fn cast_targets(
         &self,
@@ -232,7 +242,15 @@ impl LoopbackNet {
         let reg = self.inner.lock();
         let group = reg.member_of.get(&from)?;
         let group = reg.groups.get(group)?;
-        let sinks = group.members.iter().filter_map(|to| reg.endpoints.get(to).cloned()).collect();
+        let mut sinks = Vec::with_capacity(group.members.len());
+        for to in &group.members {
+            match reg.endpoints.get(to) {
+                Some(sink) => sinks.push(Arc::clone(sink)),
+                None => {
+                    self.stats.dropped_unregistered.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         Some((sinks, Arc::clone(&group.fanout)))
     }
 
@@ -305,8 +323,15 @@ impl LoopbackNet {
         self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
         let (targets, fanout) = {
             let reg = self.inner.lock();
-            let targets: Vec<Arc<dyn FrameSink>> =
-                dests.iter().filter_map(|to| reg.endpoints.get(to).cloned()).collect();
+            let mut targets: Vec<Arc<dyn FrameSink>> = Vec::with_capacity(dests.len());
+            for to in dests {
+                match reg.endpoints.get(to) {
+                    Some(sink) => targets.push(Arc::clone(sink)),
+                    None => {
+                        self.stats.dropped_unregistered.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             let fanout = reg
                 .member_of
                 .get(&from)
@@ -434,6 +459,21 @@ mod tests {
         let s = net.stats();
         assert_eq!(s.deliveries, 1);
         assert_eq!(s.dropped_closed, 1);
+    }
+
+    #[test]
+    fn unregistered_destination_counts_as_unregistered_drop() {
+        let net = LoopbackNet::new();
+        let g = GroupAddr::new(1);
+        let _rx1 = net.register(ep(1));
+        net.join(g, ep(1));
+        // ep(2) joined but never registered: a harness ordering bug.
+        net.join(g, ep(2));
+        assert_eq!(net.cast(ep(1), raw(b"m")), 1);
+        assert_eq!(net.send(ep(1), &[ep(2), ep(3)], raw(b"s")), 0);
+        let s = net.stats();
+        assert_eq!(s.dropped_unregistered, 3);
+        assert_eq!(s.dropped_closed, 0);
     }
 
     #[test]

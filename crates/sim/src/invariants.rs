@@ -115,6 +115,7 @@ impl fmt::Display for Violation {
 ///    messages while *v* is in force.
 /// 5. **Sender in view** — every delivery while *v* is in force comes from
 ///    a member of *v*.
+#[must_use = "a non-empty result means the run violated virtual synchrony"]
 pub fn check_virtual_synchrony(logs: &[DeliveryLog]) -> Vec<Violation> {
     let mut violations = Vec::new();
 
@@ -233,6 +234,7 @@ pub fn check_virtual_synchrony(logs: &[DeliveryLog]) -> Vec<Violation> {
 /// `seq_of` decodes a body into `(logical sender, sequence)` — see
 /// [`crate::workload::Workload::parse`] — and returns `None` for bodies the
 /// check should skip.
+#[must_use = "a non-empty result means the run broke per-source FIFO"]
 pub fn check_fifo(
     logs: &[DeliveryLog],
     seq_of: impl Fn(&Bytes) -> Option<(u64, u64)>,
@@ -258,6 +260,7 @@ pub fn check_fifo(
 
 /// Checks total order: for every pair of logs, messages delivered by both
 /// appear in the same relative order.
+#[must_use = "a non-empty result means the run broke total order"]
 pub fn check_total_order(logs: &[DeliveryLog]) -> Vec<Violation> {
     let mut violations = Vec::new();
     let indexed: Vec<(EndpointAddr, PositionIndex)> = logs

@@ -13,6 +13,9 @@
 //! * [`invariants`] — checkers for the virtual-synchrony guarantees of §5
 //!   (view agreement, same-view delivery agreement, FIFO and total order),
 //!   applied to the upcall logs a `SimWorld` records.
+//! * [`sched`] — the schedule-level choice point: a [`sched::Scheduler`]
+//!   picks which ready event fires next, which is how `horus-check`
+//!   systematically explores delivery/timer/failure orderings.
 //! * [`workload`] — message workload generators for the benchmarks.
 //! * [`threaded`] — a real-time, really-threaded executor over the loopback
 //!   transport, for the §10 dispatch-model ablation.
@@ -23,6 +26,7 @@
 
 pub mod detector;
 pub mod invariants;
+pub mod sched;
 pub mod shard;
 pub mod threaded;
 pub mod workload;
@@ -30,6 +34,7 @@ pub mod world;
 
 pub use detector::{FailureDetector, Suspicion};
 pub use invariants::{check_fifo, check_total_order, check_virtual_synchrony, DeliveryLog};
+pub use sched::{CalendarScheduler, RunOutcome, Scheduler, Step};
 pub use shard::{ShardConfig, ShardExecutor};
 pub use workload::{Workload, WorkloadKind};
-pub use world::SimWorld;
+pub use world::{EventId, ReadyEvent, ReadyKind, SimWorld};

@@ -278,19 +278,10 @@ impl Worker {
     }
 
     fn fire_due_timers(&mut self) {
-        loop {
-            match self.timers.peek() {
-                Some(t) if t.due <= Instant::now() => {
-                    let t = self.timers.pop().expect("peeked timer");
-                    let now = self.now();
-                    self.dispatch(
-                        t.ep,
-                        StackInput::Timer { layer: t.layer, token: t.token, now },
-                        now,
-                    );
-                }
-                _ => break,
-            }
+        while self.timers.peek().is_some_and(|t| t.due <= Instant::now()) {
+            let Some(t) = self.timers.pop() else { break };
+            let now = self.now();
+            self.dispatch(t.ep, StackInput::Timer { layer: t.layer, token: t.token, now }, now);
         }
         self.flush_casts();
     }

@@ -157,19 +157,27 @@ impl ThreadedEndpoint {
             let shared = Arc::clone(&shared);
             let tx = input_tx.clone();
             Some(std::thread::spawn(move || loop {
-                let next_due = shared.timers.lock().peek().map(|t| t.due);
+                // Pop a due timer (or learn the next deadline) under a single
+                // lock acquisition — never peek under one lock and pop under
+                // another, which would panic if a second popper ever appeared.
+                // The channel send happens outside the lock.
+                let (fire, next_due) = {
+                    let mut timers = shared.timers.lock();
+                    match timers.peek().map(|t| t.due) {
+                        Some(due) if due <= Instant::now() => (timers.pop(), None),
+                        other => (None, other),
+                    }
+                };
+                if let Some(entry) = fire {
+                    if tx.send(In::Timer { layer: entry.layer, token: entry.token }).is_err() {
+                        return;
+                    }
+                    continue;
+                }
                 match next_due {
                     Some(due) => {
                         let now = Instant::now();
-                        if due <= now {
-                            let entry = shared.timers.lock().pop().expect("peeked timer");
-                            if tx
-                                .send(In::Timer { layer: entry.layer, token: entry.token })
-                                .is_err()
-                            {
-                                return;
-                            }
-                        } else {
+                        if due > now {
                             std::thread::sleep((due - now).min(Duration::from_millis(1)));
                         }
                     }

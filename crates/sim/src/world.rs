@@ -9,12 +9,10 @@
 //! shrink failing schedules.
 
 use bytes::Bytes;
+use horus_core::digest::StateDigest;
 use horus_core::prelude::*;
-use horus_net::{FaultRule, NetConfig, SimNetwork};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use horus_net::{FaultRule, FixedScheduler, NetConfig, NetScheduler, RandomScheduler, SimNetwork};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// Safety valve: a single `run_until` may not process more events than this
@@ -45,34 +43,99 @@ enum Ev {
     Fault { rule: FaultRule },
 }
 
-struct Entry {
-    at: SimTime,
-    seq: u64,
-    ev: Ev,
+/// Identifies one pending calendar entry: `(scheduled time, insertion
+/// sequence)`.  The pair is the calendar's total order, so iterating the
+/// calendar *is* the legacy earliest-first, insertion-order-tie-break
+/// dispatch order.
+pub type EventId = (SimTime, u64);
+
+/// What a pending calendar entry will do when fired — the read-only view a
+/// [`crate::sched::Scheduler`] picks from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadyKind {
+    /// A wire frame delivery into `to`'s stack.
+    Deliver {
+        /// Receiving endpoint.
+        to: EndpointAddr,
+        /// Transport-level sender.
+        from: EndpointAddr,
+        /// Multicast or point-to-point.
+        cast: bool,
+    },
+    /// A stack timer expiry at `ep`.
+    Timer {
+        /// The endpoint whose stack armed the timer.
+        ep: EndpointAddr,
+        /// Arming layer index.
+        layer: usize,
+        /// Timer token.
+        token: u64,
+    },
+    /// A scripted application downcall at `ep`.
+    App {
+        /// The endpoint receiving the downcall.
+        ep: EndpointAddr,
+    },
+    /// A scripted fail-stop crash of `ep`.
+    Crash {
+        /// The crashing endpoint.
+        ep: EndpointAddr,
+    },
+    /// A scripted (possibly inaccurate) suspicion.
+    Suspect {
+        /// The endpoint being told.
+        observer: EndpointAddr,
+        /// The endpoint it will suspect.
+        target: EndpointAddr,
+    },
+    /// A scripted partition change.
+    Partition,
+    /// A scripted heal of all partitions.
+    Heal,
+    /// A scripted fault-rule installation.
+    Fault,
 }
 
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl ReadyKind {
+    /// The endpoint whose stack this event dispatches into, if any.
+    /// Events touching only world/network state return `None`.
+    pub fn target(&self) -> Option<EndpointAddr> {
+        match *self {
+            ReadyKind::Deliver { to, .. } => Some(to),
+            ReadyKind::Timer { ep, .. } | ReadyKind::App { ep } | ReadyKind::Crash { ep } => {
+                Some(ep)
+            }
+            ReadyKind::Suspect { observer, .. } => Some(observer),
+            ReadyKind::Partition | ReadyKind::Heal | ReadyKind::Fault => None,
+        }
+    }
+
+    /// Whether this is a remote frame delivery (the only event class the
+    /// explorer may convert into an induced drop — loopback is reliable).
+    pub fn droppable(&self) -> bool {
+        matches!(self, ReadyKind::Deliver { to, from, .. } if to != from)
     }
 }
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert for earliest-first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+
+/// One entry of the ready set handed to a scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyEvent {
+    /// Calendar key; pass back to [`SimWorld::fire`] / [`SimWorld::drop_pending`].
+    pub id: EventId,
+    /// Scheduled firing time.
+    pub at: SimTime,
+    /// What firing it will do.
+    pub kind: ReadyKind,
 }
 
 struct Slot {
     stack: Stack,
     upcalls: Vec<(SimTime, Up)>,
     alive: bool,
+    /// Incremental digest of the delivery-relevant upcall history, so the
+    /// world fingerprint distinguishes states whose stacks converged but
+    /// whose observable histories diverged.
+    log_digest: StateDigest,
 }
 
 /// The discrete-event world: endpoints, network, calendar, virtual clock.
@@ -107,25 +170,42 @@ pub struct SimWorld {
     seq: u64,
     steps: u64,
     step_limit: u64,
-    calendar: BinaryHeap<Entry>,
+    calendar: BTreeMap<EventId, Ev>,
     net: SimNetwork,
     endpoints: BTreeMap<EndpointAddr, Slot>,
-    rng: StdRng,
+    sched: Box<dyn NetScheduler + Send>,
     traces: Vec<(SimTime, String)>,
 }
 
 impl SimWorld {
-    /// Creates a world with a deterministic seed and network physics.
+    /// Creates a world with a deterministic seed and network physics.  The
+    /// network's probabilistic choice points are resolved by a
+    /// [`RandomScheduler`] over that seed — exactly the RNG stream earlier
+    /// revisions drew from directly, so `(seed, script)` replays are
+    /// byte-identical across the scheduler extraction.
     pub fn new(seed: u64, config: NetConfig) -> Self {
+        Self::with_net_scheduler(config, Box::new(RandomScheduler::new(seed)))
+    }
+
+    /// Creates a fully deterministic world for bounded model checking: a
+    /// [`FixedScheduler`] pins latency to `latency_min` and never fires a
+    /// probabilistic fault, so the only nondeterminism left is the schedule
+    /// itself — which the explorer controls through [`SimWorld::fire`].
+    pub fn deterministic(config: NetConfig) -> Self {
+        Self::with_net_scheduler(config, Box::new(FixedScheduler))
+    }
+
+    /// Creates a world with an explicit network-choice scheduler.
+    pub fn with_net_scheduler(config: NetConfig, sched: Box<dyn NetScheduler + Send>) -> Self {
         SimWorld {
             time: SimTime::ZERO,
             seq: 0,
             steps: 0,
             step_limit: MAX_STEPS_PER_RUN,
-            calendar: BinaryHeap::new(),
+            calendar: BTreeMap::new(),
             net: SimNetwork::new(config),
             endpoints: BTreeMap::new(),
-            rng: StdRng::seed_from_u64(seed),
+            sched,
             traces: Vec::new(),
         }
     }
@@ -155,7 +235,10 @@ impl SimWorld {
         assert!(!self.endpoints.contains_key(&ep), "endpoint {ep} already exists in this world");
         stack.set_now(self.time);
         let effects = stack.init();
-        self.endpoints.insert(ep, Slot { stack, upcalls: Vec::new(), alive: true });
+        self.endpoints.insert(
+            ep,
+            Slot { stack, upcalls: Vec::new(), alive: true, log_digest: StateDigest::new() },
+        );
         self.apply_effects(ep, effects);
         ep
     }
@@ -227,7 +310,7 @@ impl SimWorld {
     fn schedule(&mut self, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.time, "cannot schedule into the past");
         self.seq += 1;
-        self.calendar.push(Entry { at, seq: self.seq, ev });
+        self.calendar.insert((at, self.seq), ev);
     }
 
     /// Lowers (or raises) the event-count safety valve.  The default is 50
@@ -248,13 +331,13 @@ impl SimWorld {
     /// the offending protocol loop can be identified from the failure alone.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut processed = 0;
-        while let Some(head) = self.calendar.peek() {
-            if head.at > deadline {
+        while let Some((&(at, _), _)) = self.calendar.first_key_value() {
+            if at > deadline {
                 break;
             }
-            let entry = self.calendar.pop().expect("peeked entry");
-            self.time = entry.at;
-            self.dispatch(entry.ev);
+            let ((at, _), ev) = self.calendar.pop_first().expect("peeked entry");
+            self.time = at;
+            self.dispatch(ev);
             processed += 1;
             self.steps += 1;
             if self.steps >= self.step_limit {
@@ -270,8 +353,8 @@ impl SimWorld {
     /// busiest `(endpoint, event kind)` pair names the culprit.
     fn storm_report(&self) -> String {
         let mut by_source: BTreeMap<(String, &'static str), u64> = BTreeMap::new();
-        for entry in self.calendar.iter() {
-            let (ep, kind) = match &entry.ev {
+        for ev in self.calendar.values() {
+            let (ep, kind) = match ev {
                 Ev::Net { to, .. } => (to.to_string(), "net delivery"),
                 Ev::Timer { ep, .. } => (ep.to_string(), "timer"),
                 Ev::App { ep, .. } => (ep.to_string(), "app downcall"),
@@ -368,11 +451,20 @@ impl SimWorld {
             match fx {
                 Effect::Deliver(up) => {
                     if let Some(slot) = self.endpoints.get_mut(&ep) {
+                        match &up {
+                            Up::View(v) => slot.log_digest.write_str(&v.to_string()),
+                            Up::Cast { src, msg } => {
+                                slot.log_digest.write_u64(src.raw());
+                                slot.log_digest.write_bytes(msg.body());
+                                slot.log_digest.write_bytes(&[0xfe]);
+                            }
+                            _ => {}
+                        }
                         slot.upcalls.push((self.time, up));
                     }
                 }
                 Effect::NetCast { wire } => {
-                    let deliveries = self.net.cast(ep, wire, self.time, &mut self.rng);
+                    let deliveries = self.net.cast(ep, wire, self.time, self.sched.as_mut());
                     for d in deliveries {
                         self.schedule(
                             d.at,
@@ -381,7 +473,8 @@ impl SimWorld {
                     }
                 }
                 Effect::NetSend { dests, wire } => {
-                    let deliveries = self.net.send(ep, &dests, wire, self.time, &mut self.rng);
+                    let deliveries =
+                        self.net.send(ep, &dests, wire, self.time, self.sched.as_mut());
                     for d in deliveries {
                         self.schedule(
                             d.at,
@@ -460,6 +553,161 @@ impl SimWorld {
     /// Pending calendar entries (diagnostics).
     pub fn pending_events(&self) -> usize {
         self.calendar.len()
+    }
+
+    /// Advances the clock to `deadline` without dispatching anything (used
+    /// by scheduled drives once the calendar drains).
+    pub fn advance_to(&mut self, deadline: SimTime) {
+        self.time = self.time.max(deadline);
+    }
+
+    // ------------------------------------------------------------------
+    // Controlled stepping (the bounded model checker's interface)
+    // ------------------------------------------------------------------
+
+    fn ready_kind(ev: &Ev) -> ReadyKind {
+        match ev {
+            Ev::Net { to, from, cast, .. } => {
+                ReadyKind::Deliver { to: *to, from: *from, cast: *cast }
+            }
+            Ev::Timer { ep, layer, token } => {
+                ReadyKind::Timer { ep: *ep, layer: *layer, token: *token }
+            }
+            Ev::App { ep, .. } => ReadyKind::App { ep: *ep },
+            Ev::Crash { ep } => ReadyKind::Crash { ep: *ep },
+            Ev::Partition { .. } => ReadyKind::Partition,
+            Ev::Heal => ReadyKind::Heal,
+            Ev::Suspect { observer, target } => {
+                ReadyKind::Suspect { observer: *observer, target: *target }
+            }
+            Ev::Fault { .. } => ReadyKind::Fault,
+        }
+    }
+
+    /// The earliest pending calendar time, if any.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.calendar.first_key_value().map(|(&(at, _), _)| at)
+    }
+
+    /// The *ready set*: every pending event scheduled within `window` of the
+    /// earliest pending event, in calendar order (so index 0 is what
+    /// [`SimWorld::run_until`] would fire next).
+    ///
+    /// Events inside one window are concurrent for exploration purposes: an
+    /// asynchronous network may legally deliver them in any relative order,
+    /// which the explorer realizes by firing a later-scheduled event first
+    /// (delaying the others — legal, since delivery delays are unbounded).
+    /// A zero window degenerates to exact-tie concurrency only.
+    pub fn ready_events(&self, window: Duration) -> Vec<ReadyEvent> {
+        let Some((&(first_at, _), _)) = self.calendar.first_key_value() else {
+            return Vec::new();
+        };
+        let horizon = first_at + window;
+        self.calendar
+            .iter()
+            .take_while(|(&(at, _), _)| at <= horizon)
+            .map(|(&id, ev)| ReadyEvent { id, at: id.0, kind: Self::ready_kind(ev) })
+            .collect()
+    }
+
+    /// Fires one pending event out of calendar order, advancing virtual time
+    /// to `max(now, scheduled)` — time never runs backwards; an event pulled
+    /// ahead of an earlier one simply means the earlier one is *delayed*.
+    /// Returns `false` if the id is no longer pending.
+    pub fn fire(&mut self, id: EventId) -> bool {
+        let Some(ev) = self.calendar.remove(&id) else {
+            return false;
+        };
+        self.time = self.time.max(id.0);
+        self.dispatch(ev);
+        self.steps += 1;
+        if self.steps >= self.step_limit {
+            panic!("{}", self.storm_report());
+        }
+        true
+    }
+
+    /// Removes a pending *remote frame delivery* without firing it — the
+    /// explorer's controlled message drop (choice point for lossy-network
+    /// exploration).  Refuses anything that is not a remote `Deliver`:
+    /// timers, scripted events and loopback deliveries always happen.
+    pub fn drop_pending(&mut self, id: EventId) -> bool {
+        let droppable = matches!(
+            self.calendar.get(&id),
+            Some(Ev::Net { to, from, .. }) if to != from
+        );
+        if droppable {
+            self.calendar.remove(&id);
+            self.net.stats_mut().dropped_induced += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Crashes `ep` at the current instant (explorer-injected fail-stop, the
+    /// same transition a scripted [`SimWorld::crash_at`] performs).
+    pub fn inject_crash(&mut self, ep: EndpointAddr) {
+        self.dispatch(Ev::Crash { ep });
+    }
+
+    /// Tells `observer`'s stack to suspect `target` at the current instant
+    /// (explorer-injected, possibly inaccurate, failure suspicion).
+    pub fn inject_suspect(&mut self, observer: EndpointAddr, target: EndpointAddr) {
+        self.dispatch(Ev::Suspect { observer, target });
+    }
+
+    /// A 64-bit fingerprint of the world's explorable state: per-endpoint
+    /// stack digests and liveness, observable delivery histories, network
+    /// membership/partition state, and the pending-event multiset with times
+    /// taken *relative to now* (so two runs reaching the same configuration
+    /// at different absolute instants merge).
+    ///
+    /// Insertion sequence numbers are deliberately excluded — they encode
+    /// arrival order history, not future behaviour.  Collisions make the
+    /// explorer skip states it should visit (missed coverage), never report
+    /// phantom violations.
+    pub fn fingerprint(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for (ep, slot) in &self.endpoints {
+            d.write_u64(ep.raw());
+            d.write_u64(slot.alive as u64);
+            d.write_u64(slot.log_digest.finish());
+            slot.stack.state_digest_into(&mut d);
+        }
+        self.net.digest_into(&mut d);
+        // Pending events: an order-independent combine (wrapping add of
+        // per-entry digests) because two interleavings that converge on the
+        // same pending set are the same state regardless of how the calendar
+        // was populated.
+        let mut pending: u64 = 0;
+        for (&(at, _), ev) in &self.calendar {
+            let mut e = StateDigest::new();
+            e.write_u64(at.as_nanos().saturating_sub(self.time.as_nanos()));
+            match ev {
+                Ev::Net { to, from, cast, wire } => {
+                    e.write_u64(1);
+                    e.write_u64(to.raw());
+                    e.write_u64(from.raw());
+                    e.write_u64(*cast as u64);
+                    e.write_bytes(wire.head());
+                    e.write_bytes(wire.body());
+                }
+                Ev::Timer { ep, layer, token } => {
+                    e.write_u64(2);
+                    e.write_u64(ep.raw());
+                    e.write_u64(*layer as u64);
+                    e.write_u64(*token);
+                }
+                other => {
+                    e.write_u64(3);
+                    e.write_str(&format!("{other:?}"));
+                }
+            }
+            pending = pending.wrapping_add(e.finish());
+        }
+        d.write_u64(pending);
+        d.finish()
     }
 }
 

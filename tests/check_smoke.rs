@@ -1,0 +1,83 @@
+//! Model-checking smoke benchmark — the headline numbers for the
+//! `horus-check` subsystem, recorded in `BENCH_check.json` (style of
+//! `BENCH_packing.json` / `BENCH_dispatch.json`).
+//!
+//! Three claims, measured on the `flush3` scenario (the Figure 2
+//! flush/merge story at 3 endpoints with a 1-drop budget):
+//!
+//! 1. **The bounded space is exhaustible**: the explorer drains the
+//!    frontier within the budgets instead of merely sampling it.
+//! 2. **Exploration is fast enough for CI**: states/second is recorded so
+//!    regressions in fingerprinting or re-execution cost show up as a
+//!    number, not as a mysteriously slower pipeline.
+//! 3. **The reduction earns its keep**: runs with the commutativity
+//!    reduction on and off are both recorded; off must explore at least as
+//!    many runs (it considers strictly more interleavings).
+//!
+//! Ignored by default: it is a timing test and only means anything in
+//! release mode.  Run with
+//! `cargo test --release --test check_smoke -- --ignored`.
+
+use horus_check::{explore, CheckConfig, Scenario};
+use std::time::{Duration, Instant};
+
+#[test]
+#[ignore = "timing smoke; run explicitly in release"]
+fn check_explorer_smoke() {
+    let scenario = Scenario::by_name("flush3").expect("registered scenario");
+    let cfg = CheckConfig {
+        window: Duration::from_micros(100),
+        max_depth: 5,
+        max_drops: 1,
+        max_states: 50_000,
+        max_runs: 5_000,
+        ..CheckConfig::default()
+    };
+
+    let t0 = Instant::now();
+    let on = explore(scenario, &cfg);
+    let secs_on = t0.elapsed().as_secs_f64();
+    assert!(on.violation.is_none(), "flush3 must be clean: {:?}", on.violation);
+    assert!(on.exhausted, "bounded space must be exhausted, not sampled");
+
+    let t1 = Instant::now();
+    let off = explore(scenario, &CheckConfig { reduction: false, ..cfg.clone() });
+    let secs_off = t1.elapsed().as_secs_f64();
+    assert!(off.violation.is_none(), "flush3 must be clean without reduction too");
+    assert!(
+        off.runs >= on.runs,
+        "reduction off considers strictly more interleavings ({} vs {})",
+        off.runs,
+        on.runs
+    );
+
+    let states_per_sec = (on.states as f64 / secs_on.max(1e-9)) as u64;
+    let json = format!(
+        "{{\n  \"experiment\": \"check_explorer_smoke\",\n  \"scenario\": \"{}\",\n  \
+         \"max_depth\": {},\n  \"max_drops\": {},\n  \"window_us\": {},\n  \
+         \"reduction_on\": {{ \"runs\": {}, \"states\": {}, \"steps\": {}, \"pruned\": {}, \
+         \"exhausted\": {}, \"secs\": {:.3} }},\n  \
+         \"reduction_off\": {{ \"runs\": {}, \"states\": {}, \"steps\": {}, \"pruned\": {}, \
+         \"exhausted\": {}, \"secs\": {:.3} }},\n  \"states_per_sec\": {}\n}}\n",
+        scenario.name,
+        cfg.max_depth,
+        cfg.max_drops,
+        cfg.window.as_micros(),
+        on.runs,
+        on.states,
+        on.steps,
+        on.pruned,
+        on.exhausted,
+        secs_on,
+        off.runs,
+        off.states,
+        off.steps,
+        off.pruned,
+        off.exhausted,
+        secs_off,
+        states_per_sec,
+    );
+    let path = format!("{}/BENCH_check.json", env!("CARGO_MANIFEST_DIR"));
+    std::fs::write(&path, &json).expect("write BENCH_check.json");
+    println!("wrote {path}:\n{json}");
+}
