@@ -1,12 +1,22 @@
 //! The bounded depth-first schedule explorer.
 //!
-//! The search is *stateless* (replay-based): a world cannot be cloned (its
-//! stacks hold boxed layers), so a search node is not a snapshot but a
-//! **choice prefix** — the run is re-executed from the scenario's settled
-//! state, consuming the prefix at each branch point, and continuing with
-//! choice 0 (calendar order) once the prefix is spent.  Branch points
-//! encountered past the prefix report how many options they offered; their
-//! untaken siblings become new prefixes on the DFS stack.
+//! The search space is a tree of **choice prefixes**: a run consumes its
+//! prefix at each branch point and continues with choice 0 (calendar order)
+//! once the prefix is spent; branch points encountered past the prefix
+//! report how many options they offered, and their untaken siblings become
+//! new DFS nodes.  Two execution strategies realize the same tree:
+//!
+//! * **Snapshot resume** (default): at each expandable branch point the
+//!   world is cloned ([`SimWorld::snapshot`]) once per untaken sibling, and
+//!   the sibling's run later *resumes* from that clone — no settle phase,
+//!   no prefix re-execution.  This is where the incremental fingerprints
+//!   and the snapshot machinery earn their throughput (E25).
+//! * **Stateless replay** (fallback, and the replay path for committed
+//!   schedules): the run re-executes from `Scenario::build`, consuming the
+//!   prefix choice by choice.  Used automatically when a stack layer opts
+//!   out of snapshotting, and on demand via `--no-snapshot` /
+//!   [`CheckConfig::snapshot_resume`] — the equivalence tests hold the two
+//!   strategies to identical runs, states, and verdicts.
 //!
 //! Three bounds keep the space finite:
 //!
@@ -25,10 +35,34 @@
 //! difference.
 
 use crate::scenario::{Oracle, Scenario};
+use horus_core::prelude::{EndpointAddr, Up};
 use horus_sim::sched::{RunOutcome, Scheduler, Step};
 use horus_sim::{ReadyEvent, SimWorld};
 use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Pass-through hasher for the visited set: its keys are world fingerprints,
+/// already FNV-mixed 64-bit digests, so hashing them again buys nothing —
+/// the digest *is* the hash.
+#[derive(Default)]
+pub struct FpHasher(u64);
+
+impl Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("fingerprint sets hash u64 keys via write_u64")
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+/// The visited-fingerprint set: one bit of truth per distinct world state.
+pub type FpSet = HashSet<u64, BuildHasherDefault<FpHasher>>;
 
 /// Bounds and knobs for one exploration.
 #[derive(Debug, Clone)]
@@ -42,10 +76,30 @@ pub struct CheckConfig {
     pub max_depth: usize,
     /// Induced message drops per run.
     pub max_drops: u32,
+    /// Explorer-injected fail-stop crashes per run.  When non-zero, every
+    /// branch point additionally offers `Step::Crash` of each still-alive
+    /// member — crash options are appended *after* fire/drop options, so a
+    /// zero budget leaves legacy choice indices (and committed fixtures)
+    /// untouched.
+    pub max_crashes: u32,
     /// Global distinct-fingerprint budget.
     pub max_states: u64,
     /// Global executed-run budget.
     pub max_runs: u64,
+    /// Serve fingerprints from the world's incremental caches.  Off means
+    /// every branch point re-digests every stack and the whole calendar from
+    /// scratch ([`SimWorld::fingerprint_fresh`]) — the honest pre-cache
+    /// baseline the E25 benchmark arm measures against.  The two paths are
+    /// bit-identical, so coverage is unaffected either way.
+    pub incremental_fp: bool,
+    /// Resume sibling runs from world snapshots taken at their branch
+    /// points instead of re-executing the settle phase and choice prefix
+    /// from scratch.  Falls back to stateless replay per-branch when a
+    /// layer does not support snapshotting.  The explored tree, the visited
+    /// states, and the verdict are identical either way (the equivalence
+    /// test holds them equal); only `steps` — events actually executed —
+    /// shrinks, which is the point.
+    pub snapshot_resume: bool,
 }
 
 impl Default for CheckConfig {
@@ -55,10 +109,41 @@ impl Default for CheckConfig {
             reduction: true,
             max_depth: 6,
             max_drops: 0,
+            max_crashes: 0,
             max_states: 200_000,
             max_runs: 20_000,
+            incremental_fp: true,
+            snapshot_resume: true,
         }
     }
+}
+
+/// One DFS node: how to bring a world to the state where its next choice
+/// diverges.
+enum Job {
+    /// Build the scenario world and replay this choice prefix from scratch.
+    Fresh(Vec<u16>),
+    /// Resume from a snapshot taken at the diverging branch point.
+    Resume(Box<ResumeJob>),
+}
+
+/// A snapshot-resume DFS node (boxed: a `SimWorld` is large next to a
+/// prefix vector).
+struct ResumeJob {
+    /// The world as it stood at the branch point, *before* any option ran.
+    world: SimWorld,
+    /// Full from-scratch choice path; the last entry is the sibling option
+    /// to take at the resumed branch point.  Kept complete so violation
+    /// reports and shrinking always carry schedules replayable by
+    /// [`replay_choices`].
+    choices: Vec<u16>,
+    /// Option counts of the branch points already on the path (depth
+    /// accounting continues from the parent run).
+    branch_base: Vec<u16>,
+    /// Drop budget remaining at the branch point.
+    drops_left: u32,
+    /// Crash budget remaining at the branch point.
+    crashes_left: u32,
 }
 
 /// A violation the explorer found, with the schedule that reaches it.
@@ -124,40 +209,68 @@ struct ControlledScheduler<'a> {
     choices: &'a [u16],
     cursor: usize,
     drops_left: u32,
+    crashes_left: u32,
     rec: RunRecord,
     /// Shared visited-fingerprint set; `None` disables pruning (replay).
-    visited: Option<&'a mut HashSet<u64>>,
+    visited: Option<&'a mut FpSet>,
+    /// DFS frontier to push untaken siblings onto as branch points are
+    /// encountered; `None` disables expansion (replay).
+    spawn: Option<&'a mut Vec<Job>>,
     state_budget_hit: bool,
-    /// View-install count at the last oracle check.
-    views_seen: usize,
+    /// Per-member upcall counts at the last view scan; only upcalls
+    /// appended past these cursors are examined, so watching for view
+    /// installs costs O(new upcalls) per step instead of O(all upcalls).
+    upcalls_seen: Vec<usize>,
+    /// Reused option buffer — `next_step` runs for every event, so the
+    /// option list must not cost an allocation per step.
+    opts_buf: Vec<Step>,
 }
 
 impl<'a> ControlledScheduler<'a> {
-    fn options(&self, ready: &[ReadyEvent]) -> Vec<Step> {
-        let candidates: Vec<usize> = if self.cfg.reduction {
-            let class = ready[0].kind.target();
-            ready
-                .iter()
-                .enumerate()
-                .filter(|(_, ev)| ev.kind.target() == class)
-                .map(|(i, _)| i)
-                .collect()
-        } else {
-            (0..ready.len()).collect()
-        };
-        let mut opts: Vec<Step> = candidates.iter().map(|&i| Step::Fire(i)).collect();
+    /// Fills `opts` with the deterministic option list for the ready set.
+    /// Taken out of `self` (callers `mem::take` the buffer) so the borrow
+    /// of the option list stays disjoint from the scheduler's other fields.
+    fn fill_options(&self, world: &SimWorld, ready: &[ReadyEvent], opts: &mut Vec<Step>) {
+        opts.clear();
+        let class = if self.cfg.reduction { Some(ready[0].kind.target()) } else { None };
+        let in_class = |ev: &ReadyEvent| class.as_ref().is_none_or(|c| ev.kind.target() == *c);
+        opts.extend(
+            ready.iter().enumerate().filter(|(_, ev)| in_class(ev)).map(|(i, _)| Step::Fire(i)),
+        );
         if self.drops_left > 0 {
             opts.extend(
-                candidates.iter().filter(|&&i| ready[i].kind.droppable()).map(|&i| Step::Drop(i)),
+                ready
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, ev)| in_class(ev) && ev.kind.droppable())
+                    .map(|(i, _)| Step::Drop(i)),
             );
         }
-        opts
+        // Crash choice points (appended last so legacy indices survive a
+        // zero budget): with budget left, any still-alive member may
+        // fail-stop *here*, before anything in the ready set fires.
+        if self.crashes_left > 0 {
+            opts.extend(
+                (1..=self.scenario.members)
+                    .map(EndpointAddr::new)
+                    .filter(|&m| world.is_alive(m))
+                    .map(Step::Crash),
+            );
+        }
     }
 
-    fn total_views(&self, world: &SimWorld) -> usize {
-        (1..=self.scenario.members)
-            .map(|i| world.installed_views(horus_core::prelude::EndpointAddr::new(i)).len())
-            .sum()
+    /// Advances the per-member upcall cursors; true when any upcall appended
+    /// since the last scan installed a view.
+    fn saw_new_view(&mut self, world: &SimWorld) -> bool {
+        let mut saw = false;
+        for m in 1..=self.scenario.members {
+            let ups = world.upcalls(EndpointAddr::new(m));
+            let seen = &mut self.upcalls_seen[m as usize - 1];
+            *seen = (*seen).min(ups.len());
+            saw |= ups[*seen..].iter().any(|(_, up)| matches!(up, Up::View(_)));
+            *seen = ups.len();
+        }
+        saw
     }
 
     fn check_oracles(&mut self, world: &SimWorld) -> bool {
@@ -197,23 +310,30 @@ impl Scheduler for ControlledScheduler<'_> {
         // Oracle check whenever a view installed since the last look — a
         // violation visible mid-run should be caught (and attributed) at the
         // earliest branch, not only at the horizon.
-        let views = self.total_views(world);
-        if views != self.views_seen {
-            self.views_seen = views;
-            if self.check_oracles(world) {
-                return Step::Halt;
-            }
+        if self.saw_new_view(world) && self.check_oracles(world) {
+            return Step::Halt;
         }
-        let opts = self.options(ready);
-        if opts.len() <= 1 {
-            self.rec.steps += 1;
-            return opts.first().copied().unwrap_or(Step::Fire(0));
-        }
+        // The dirty-marking invariant, policed in debug builds: the cached
+        // and the from-scratch fingerprint must agree at every step — which
+        // turns every debug replay of a committed fixture into a
+        // differential test of the incremental caches.
+        debug_assert_eq!(
+            world.fingerprint(),
+            world.fingerprint_fresh(),
+            "incremental fingerprint diverged from fresh recomputation (missed dirty mark?)"
+        );
 
-        // A real branch point.  Past the replayed prefix, consult the
-        // visited set: an already-seen fingerprint means this subtree is
-        // covered.  (Within the prefix the states were necessarily seen —
-        // that is what replaying is — so pruning there would cut every run.)
+        // Past the replayed prefix, consult the visited set at *every* step,
+        // not just at branch points: an already-seen fingerprint means the
+        // continuation from here was (or will be) explored from the run that
+        // first reached it — that run kept executing and recorded every
+        // branch point downstream, so sibling expansion covers this subtree.
+        // Per-step granularity is what the incremental fingerprint buys:
+        // the check costs O(one dirty slot), not a full state walk, and it
+        // cuts redundant runs hundreds of steps before the next branch
+        // point would.  (Within the prefix the states were necessarily seen
+        // — that is what replaying is — so pruning there would cut every
+        // run.)
         let beyond_prefix = self.cursor >= self.choices.len();
         if beyond_prefix {
             if let Some(visited) = self.visited.as_deref_mut() {
@@ -221,14 +341,57 @@ impl Scheduler for ControlledScheduler<'_> {
                     self.state_budget_hit = true;
                     return Step::Halt;
                 }
-                if !visited.insert(world.fingerprint()) {
+                let fp = if self.cfg.incremental_fp {
+                    world.fingerprint()
+                } else {
+                    world.fingerprint_fresh()
+                };
+                if !visited.insert(fp) {
                     self.rec.pruned = true;
                     return Step::Halt;
                 }
             }
         }
 
+        let mut opts = std::mem::take(&mut self.opts_buf);
+        self.fill_options(world, ready, &mut opts);
+        if opts.len() <= 1 {
+            self.rec.steps += 1;
+            let step = opts.first().copied().unwrap_or(Step::Fire(0));
+            self.opts_buf = opts;
+            return step;
+        }
+
+        // A real branch point.
         let expandable = self.rec.branch_options.len() < self.cfg.max_depth;
+
+        // Expansion happens *here*, while the branch point's world exists:
+        // each untaken sibling becomes a DFS node, preferably a snapshot of
+        // this world (so the sibling run resumes in place) and otherwise a
+        // full replay prefix.  Only beyond the replayed prefix — the
+        // resumed branch point's own siblings were pushed by the run that
+        // discovered it.  Past the prefix the taken choice is always 0, so
+        // the untaken siblings are exactly options `1..`.
+        if expandable && beyond_prefix {
+            if let Some(spawn) = self.spawn.as_deref_mut() {
+                for alt in 1..opts.len() as u16 {
+                    let mut choices = self.rec.taken.clone();
+                    choices.push(alt);
+                    let snap = if self.cfg.snapshot_resume { world.snapshot() } else { None };
+                    spawn.push(match snap {
+                        Some(w) => Job::Resume(Box::new(ResumeJob {
+                            world: w,
+                            choices,
+                            branch_base: self.rec.branch_options.clone(),
+                            drops_left: self.drops_left,
+                            crashes_left: self.crashes_left,
+                        })),
+                        None => Job::Fresh(choices),
+                    });
+                }
+            }
+        }
+
         let choice = if self.cursor < self.choices.len() {
             let c = self.choices[self.cursor];
             usize::from(c).min(opts.len() - 1)
@@ -241,43 +404,68 @@ impl Scheduler for ControlledScheduler<'_> {
             self.rec.branch_options.push(opts.len() as u16);
         }
         let step = opts[choice];
-        if matches!(step, Step::Drop(_)) {
-            self.drops_left -= 1;
+        self.opts_buf = opts;
+        match step {
+            Step::Drop(_) => self.drops_left -= 1,
+            Step::Crash(_) => self.crashes_left -= 1,
+            _ => {}
         }
         self.rec.steps += 1;
         step
     }
 }
 
-/// Re-executes the scenario under `choices`, calendar order past the end.
-/// `visited` enables cross-run pruning (exploration); pass `None` to replay
-/// a schedule in full.
-pub fn run_one(
+/// Executes one DFS node: a fresh build-and-replay, or a resume from a
+/// branch-point snapshot.  `visited` enables cross-run pruning; `spawn`
+/// receives the untaken siblings of every expandable branch point
+/// encountered past the node's prefix.
+fn run_job(
     scenario: &Scenario,
-    choices: &[u16],
     cfg: &CheckConfig,
-    visited: Option<&mut HashSet<u64>>,
+    job: Job,
+    visited: Option<&mut FpSet>,
+    spawn: Option<&mut Vec<Job>>,
 ) -> RunRecord {
-    let mut world = scenario.build();
+    let (mut world, choices, taken, branch_base, cursor, drops_left, crashes_left) = match job {
+        Job::Fresh(prefix) => {
+            (scenario.build(), prefix, Vec::new(), Vec::new(), 0, cfg.max_drops, cfg.max_crashes)
+        }
+        Job::Resume(r) => {
+            // The resumed run starts at its branch point with the path up
+            // to (but not including) the sibling choice already "taken";
+            // the first `next_step` consumes that last choice exactly as a
+            // stateless replay's final prefix step would.
+            let cursor = r.choices.len() - 1;
+            let taken = r.choices[..cursor].to_vec();
+            (r.world, r.choices, taken, r.branch_base, cursor, r.drops_left, r.crashes_left)
+        }
+    };
     let mut ctl = ControlledScheduler {
         cfg,
         oracles: scenario.oracles,
         scenario,
-        choices,
-        cursor: 0,
-        drops_left: cfg.max_drops,
+        choices: &choices,
+        cursor,
+        drops_left,
+        crashes_left,
         rec: RunRecord {
-            taken: Vec::new(),
-            branch_options: Vec::new(),
+            taken,
+            branch_options: branch_base,
             steps: 0,
             violation: None,
             pruned: false,
         },
         visited,
+        spawn,
         state_budget_hit: false,
-        views_seen: 0,
+        upcalls_seen: Vec::new(),
+        opts_buf: Vec::new(),
     };
-    ctl.views_seen = ctl.total_views(&world);
+    // Prime the view-watch cursors past whatever the settle phase (or the
+    // snapshotted prefix) already delivered: those views were judged by the
+    // run that produced them.
+    ctl.upcalls_seen =
+        (1..=scenario.members).map(|m| world.upcalls(EndpointAddr::new(m)).len()).collect();
     let outcome = world.run_scheduled(&mut ctl, cfg.window, scenario.deadline());
     let mut rec = ctl.rec;
     // Terminal oracle pass: quiescence and horizon are where agreement
@@ -288,6 +476,18 @@ pub fn run_one(
         rec.violation = first_violation(scenario, scenario.oracles, &world, &rec.taken);
     }
     rec
+}
+
+/// Re-executes the scenario under `choices` from scratch, calendar order
+/// past the end.  `visited` enables cross-run pruning; pass `None` to
+/// replay a schedule in full.
+pub fn run_one(
+    scenario: &Scenario,
+    choices: &[u16],
+    cfg: &CheckConfig,
+    visited: Option<&mut FpSet>,
+) -> RunRecord {
+    run_job(scenario, cfg, Job::Fresh(choices.to_vec()), visited, None)
 }
 
 /// Replays a choice list with pruning disabled (the verdict-stable path used
@@ -310,13 +510,16 @@ pub fn explore(scenario: &Scenario, cfg: &CheckConfig) -> CheckReport {
         exhausted: false,
         violation: None,
     };
-    let mut visited: HashSet<u64> = HashSet::new();
-    let mut frontier: Vec<Vec<u16>> = vec![Vec::new()];
-    while let Some(prefix) = frontier.pop() {
+    let mut visited = FpSet::default();
+    let mut frontier: Vec<Job> = vec![Job::Fresh(Vec::new())];
+    while let Some(job) = frontier.pop() {
         if report.runs >= cfg.max_runs || visited.len() as u64 >= cfg.max_states {
             return report;
         }
-        let rec = run_one(scenario, &prefix, cfg, Some(&mut visited));
+        // Untaken siblings of every expandable branch point past the node's
+        // prefix are pushed onto `frontier` *during* the run, while each
+        // branch point's world is live and can be snapshotted.
+        let rec = run_job(scenario, cfg, job, Some(&mut visited), Some(&mut frontier));
         report.runs += 1;
         report.steps += rec.steps;
         report.branch_points += rec.branch_options.len() as u64;
@@ -328,18 +531,158 @@ pub fn explore(scenario: &Scenario, cfg: &CheckConfig) -> CheckReport {
             report.violation = Some(v);
             return report;
         }
-        // Untaken siblings of every expandable branch point at or past the
-        // prefix become new DFS nodes.  (Branch points *inside* the prefix
-        // were expanded when the prefix itself was generated.)
-        for (i, &opts) in rec.branch_options.iter().enumerate().skip(prefix.len()) {
-            for alt in 1..opts {
-                let mut p: Vec<u16> = rec.taken[..i].to_vec();
-                p.push(alt);
-                frontier.push(p);
-            }
-        }
     }
     report.exhausted = true;
+    report
+}
+
+/// What one parallel subtree task observed.
+struct TaskOutcome {
+    runs: u64,
+    states: u64,
+    steps: u64,
+    branch_points: u64,
+    pruned: u64,
+    exhausted: bool,
+    violation: Option<FoundViolation>,
+}
+
+/// Sequential DFS over the subtree rooted at `seed`, with a task-private
+/// visited set.  Budgets are enforced against the *shared* counters so the
+/// whole exploration respects `max_runs`/`max_states`, but pruning never
+/// crosses task boundaries — which is what makes the set of runs a task
+/// executes a pure function of its seed, independent of worker count or
+/// timing (as long as no shared budget binds).
+fn explore_task(
+    scenario: &Scenario,
+    cfg: &CheckConfig,
+    seed: Job,
+    shared_runs: &AtomicU64,
+    shared_states: &AtomicU64,
+) -> TaskOutcome {
+    let mut out = TaskOutcome {
+        runs: 0,
+        states: 0,
+        steps: 0,
+        branch_points: 0,
+        pruned: 0,
+        exhausted: false,
+        violation: None,
+    };
+    let mut visited = FpSet::default();
+    let mut frontier: Vec<Job> = vec![seed];
+    while let Some(job) = frontier.pop() {
+        if shared_runs.load(Ordering::Relaxed) >= cfg.max_runs
+            || shared_states.load(Ordering::Relaxed) >= cfg.max_states
+        {
+            return out;
+        }
+        let states_before = visited.len() as u64;
+        let rec = run_job(scenario, cfg, job, Some(&mut visited), Some(&mut frontier));
+        out.runs += 1;
+        out.steps += rec.steps;
+        out.branch_points += rec.branch_options.len() as u64;
+        if rec.pruned {
+            out.pruned += 1;
+        }
+        out.states = visited.len() as u64;
+        shared_runs.fetch_add(1, Ordering::Relaxed);
+        shared_states.fetch_add(visited.len() as u64 - states_before, Ordering::Relaxed);
+        if let Some(v) = rec.violation {
+            out.violation = Some(v);
+            return out;
+        }
+    }
+    out.exhausted = true;
+    out
+}
+
+/// [`explore`] with the DFS frontier sharded across `workers` OS threads.
+///
+/// The root (empty-prefix) run executes first; each untaken sibling of its
+/// branch points seeds an independent *task* — a choice-prefix subtree
+/// explored sequentially with a task-private visited set.  Tasks are dealt
+/// to workers round-robin by index, so the partition is a pure function of
+/// the task list, not of thread timing.  Per-task visited sets trade some
+/// cross-subtree pruning for a determinism guarantee: as long as no global
+/// budget binds, `runs`, `states`, `steps` and the reported violation are
+/// identical for every worker count (the determinism test holds
+/// `--workers 1` against `--workers 4`).  A task that finds a violation
+/// stops *itself* — other tasks still run to completion, and the report
+/// carries the violation with the lexicographically-least choice prefix,
+/// again independent of timing.
+///
+/// `states` is the sum of per-task distinct fingerprints; states discovered
+/// by several tasks count once per task.
+pub fn explore_parallel(scenario: &Scenario, cfg: &CheckConfig, workers: usize) -> CheckReport {
+    let workers = workers.max(1);
+    let mut report = CheckReport {
+        scenario: scenario.name,
+        runs: 0,
+        states: 0,
+        steps: 0,
+        branch_points: 0,
+        pruned: 0,
+        exhausted: false,
+        violation: None,
+    };
+    let shared_runs = AtomicU64::new(0);
+    let shared_states = AtomicU64::new(0);
+
+    // Root run: seeds the task list (one job per untaken sibling of its
+    // branch points, snapshots included), and catches calendar-order
+    // violations before any thread spawns.
+    let mut root_visited = FpSet::default();
+    let mut tasks: Vec<Job> = Vec::new();
+    let root =
+        run_job(scenario, cfg, Job::Fresh(Vec::new()), Some(&mut root_visited), Some(&mut tasks));
+    report.runs = 1;
+    report.steps = root.steps;
+    report.branch_points = root.branch_options.len() as u64;
+    report.pruned = u64::from(root.pruned);
+    report.states = root_visited.len() as u64;
+    shared_runs.store(1, Ordering::Relaxed);
+    shared_states.store(report.states, Ordering::Relaxed);
+    if let Some(v) = root.violation {
+        report.violation = Some(v);
+        return report;
+    }
+
+    let outcomes: Vec<TaskOutcome> = std::thread::scope(|s| {
+        // Deal tasks round-robin by index: worker w takes tasks w, w+N, ...
+        // Collected up front so each spawned worker owns its jobs (a job
+        // may hold a world snapshot — moved, never shared).
+        let mut dealt: Vec<Vec<Job>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, t) in tasks.into_iter().enumerate() {
+            dealt[i % workers].push(t);
+        }
+        let handles: Vec<_> = dealt
+            .into_iter()
+            .map(|my_tasks| {
+                let (shared_runs, shared_states) = (&shared_runs, &shared_states);
+                s.spawn(move || {
+                    my_tasks
+                        .into_iter()
+                        .map(|t| explore_task(scenario, cfg, t, shared_runs, shared_states))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut exhausted = true;
+    for o in &outcomes {
+        report.runs += o.runs;
+        report.states += o.states;
+        report.steps += o.steps;
+        report.branch_points += o.branch_points;
+        report.pruned += o.pruned;
+        exhausted &= o.exhausted;
+    }
+    report.violation =
+        outcomes.into_iter().filter_map(|o| o.violation).min_by(|a, b| a.choices.cmp(&b.choices));
+    report.exhausted = exhausted && report.violation.is_none();
     report
 }
 
@@ -369,6 +712,138 @@ mod tests {
         let rec = replay_choices(s, &v.choices, &tiny_cfg());
         let rv = rec.violation.expect("counterexample must replay");
         assert_eq!(rv.message, v.message);
+    }
+
+    #[test]
+    fn zero_crash_budget_leaves_option_indices_untouched() {
+        // Committed fixtures rely on choice indices; a zero crash budget
+        // must enumerate exactly the legacy options.
+        let s = Scenario::by_name("fifo2").unwrap();
+        let cfg = tiny_cfg();
+        assert_eq!(cfg.max_crashes, 0);
+        let a = replay_choices(s, &[1], &cfg);
+        let b = replay_choices(s, &[1], &CheckConfig { max_crashes: 0, ..cfg.clone() });
+        assert_eq!(a.taken, b.taken);
+        assert_eq!(a.branch_options, b.branch_options);
+    }
+
+    #[test]
+    fn crash_budget_widens_branch_points_and_bug_is_still_found() {
+        let s = Scenario::by_name("fifo2").unwrap();
+        let cfg = CheckConfig { max_crashes: 1, ..tiny_cfg() };
+        // Every branch point now offers the legacy options plus one crash
+        // per alive member.
+        let plain = replay_choices(s, &[], &tiny_cfg());
+        let wide = replay_choices(s, &[], &cfg);
+        assert!(
+            wide.branch_options.first().unwrap() > plain.branch_options.first().unwrap_or(&1),
+            "crash options must widen the first branch point ({:?} vs {:?})",
+            wide.branch_options,
+            plain.branch_options
+        );
+        // The planted FIFO bug lives on a crash-free path, so it must
+        // survive the widened space.
+        let report = explore(s, &cfg);
+        assert_eq!(report.violation.expect("still found").oracle, "fifo");
+    }
+
+    #[test]
+    fn crash_choice_actually_crashes_a_member() {
+        // Steering the run into the *last* option of the first branch point
+        // (choices clamp) selects the crash of the highest-numbered alive
+        // member — ep:2, fifo2's only remote receiver.
+        let s = Scenario::by_name("fifo2").unwrap();
+        let cfg = CheckConfig { max_crashes: 1, ..tiny_cfg() };
+        let legacy = replay_choices(s, &[], &tiny_cfg());
+        let rec = replay_choices(s, &[u16::MAX], &cfg);
+        let first_opts = *rec.branch_options.first().expect("a branch point");
+        assert_eq!(rec.taken[0], first_opts - 1, "choice clamps to the last option");
+        assert!(
+            first_opts > legacy.branch_options.first().copied().unwrap_or(1),
+            "the last option lies in the appended crash range"
+        );
+        // With the receiver dead there is no delivery pair left to misorder,
+        // so this path is clean even though the space holds a planted bug.
+        assert!(rec.violation.is_none(), "got {:?}", rec.violation);
+    }
+
+    #[test]
+    fn parallel_report_is_worker_count_independent() {
+        // The determinism contract: per-task visited sets and round-robin
+        // task dealing make the report a pure function of the scenario and
+        // config — 1 worker and 4 must agree on everything, including the
+        // (lex-least) counterexample.
+        let s = Scenario::by_name("fifo2").unwrap();
+        let cfg = tiny_cfg();
+        let one = explore_parallel(s, &cfg, 1);
+        let four = explore_parallel(s, &cfg, 4);
+        assert_eq!(one.runs, four.runs);
+        assert_eq!(one.states, four.states);
+        assert_eq!(one.steps, four.steps);
+        assert_eq!(one.branch_points, four.branch_points);
+        assert_eq!(one.exhausted, four.exhausted);
+        let (va, vb) = (one.violation.expect("found"), four.violation.expect("found"));
+        assert_eq!(va.choices, vb.choices);
+        assert_eq!(va.oracle, vb.oracle);
+        assert_eq!(va.message, vb.message);
+    }
+
+    #[test]
+    fn fresh_fingerprints_explore_the_same_space() {
+        // incremental_fp only changes *how* fingerprints are computed, never
+        // their values — coverage must be identical.
+        let s = Scenario::by_name("fifo2").unwrap();
+        let cfg = tiny_cfg();
+        let inc = explore(s, &cfg);
+        let fresh = explore(s, &CheckConfig { incremental_fp: false, ..cfg });
+        assert_eq!(inc.runs, fresh.runs);
+        assert_eq!(inc.states, fresh.states);
+        assert_eq!(inc.violation.map(|v| v.choices), fresh.violation.map(|v| v.choices));
+    }
+
+    #[test]
+    fn snapshot_resume_explores_the_same_space() {
+        // Snapshot-resume only changes *how* a branch sibling is reached
+        // (cloned world vs rebuild-and-replay), never which runs exist or
+        // what they conclude.  Only `steps` may differ: resumed runs count
+        // just their suffix.
+        for name in ["fifo2", "flush3"] {
+            let s = Scenario::by_name(name).unwrap();
+            let cfg = tiny_cfg();
+            let snap = explore(s, &cfg);
+            let fresh = explore(s, &CheckConfig { snapshot_resume: false, ..cfg });
+            assert_eq!(snap.runs, fresh.runs, "{name}: run set diverged");
+            assert_eq!(snap.states, fresh.states, "{name}: state set diverged");
+            assert_eq!(snap.branch_points, fresh.branch_points, "{name}");
+            assert_eq!(snap.exhausted, fresh.exhausted, "{name}");
+            assert_eq!(
+                snap.violation.map(|v| (v.oracle, v.choices)),
+                fresh.violation.map(|v| (v.oracle, v.choices)),
+                "{name}: verdict diverged"
+            );
+            assert!(
+                snap.steps <= fresh.steps,
+                "{name}: resumed runs must not re-execute prefixes ({} vs {})",
+                snap.steps,
+                fresh.steps
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_matches_live_world_step_for_step() {
+        // A snapshot taken mid-run must be indistinguishable from the live
+        // world: drive both to the deadline and compare fingerprints.
+        let s = Scenario::by_name("flush3").unwrap();
+        let mut live = s.build();
+        live.run_for(Duration::from_millis(1));
+        let mut snap = live.snapshot().expect("canonical stacks are cloneable");
+        assert_eq!(live.fingerprint(), snap.fingerprint(), "at the fork");
+        live.run_for(Duration::from_millis(30));
+        snap.run_for(Duration::from_millis(30));
+        assert_eq!(live.fingerprint(), snap.fingerprint(), "after the fork");
+        assert_eq!(live.fingerprint(), live.fingerprint_fresh());
+        assert_eq!(snap.fingerprint(), snap.fingerprint_fresh());
     }
 
     #[test]

@@ -36,7 +36,9 @@ pub mod scenario;
 pub mod schedule;
 pub mod shrink;
 
-pub use explore::{explore, replay_choices, CheckConfig, CheckReport, FoundViolation, RunRecord};
+pub use explore::{
+    explore, explore_parallel, replay_choices, CheckConfig, CheckReport, FoundViolation, RunRecord,
+};
 pub use scenario::{Oracle, Scenario};
 pub use schedule::Schedule;
 pub use shrink::shrink;

@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! horus-check scenarios
-//! horus-check explore <scenario> [--depth N] [--drops N] [--states N]
-//!                     [--runs N] [--window-us N] [--no-reduction] [--out FILE]
+//! horus-check explore <scenario> [--depth N] [--drops N] [--max-crashes N]
+//!                     [--states N] [--runs N] [--window-us N] [--workers N]
+//!                     [--no-reduction] [--fresh-fp] [--no-snapshot] [--out FILE]
 //! horus-check replay <schedule-file>
 //! ```
 //!
@@ -13,14 +14,15 @@
 //! a mismatch.
 
 use horus_check::schedule::verdict_line;
-use horus_check::{explore, replay_choices, CheckConfig, Scenario, Schedule};
+use horus_check::{explore, explore_parallel, replay_choices, CheckConfig, Scenario, Schedule};
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  horus-check scenarios\n  horus-check explore <scenario> [--depth N] \
-         [--drops N] [--states N] [--runs N] [--window-us N] [--no-reduction] [--out FILE]\n  \
+         [--drops N] [--max-crashes N] [--states N] [--runs N] [--window-us N] [--workers N] \
+         [--no-reduction] [--fresh-fp] [--no-snapshot] [--out FILE]\n  \
          horus-check replay <schedule-file>"
     );
     ExitCode::from(1)
@@ -49,6 +51,7 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     };
     let mut cfg = CheckConfig::default();
     let mut out: Option<String> = None;
+    let mut workers: Option<usize> = None;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         let mut grab = |what: &str| -> Option<String> {
@@ -67,6 +70,14 @@ fn cmd_explore(args: &[String]) -> ExitCode {
                 Some(v) => cfg.max_drops = v,
                 None => return ExitCode::from(1),
             },
+            "--max-crashes" => match grab("--max-crashes").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_crashes = v,
+                None => return ExitCode::from(1),
+            },
+            "--workers" => match grab("--workers").and_then(|v| v.parse().ok()) {
+                Some(v) if v >= 1 => workers = Some(v),
+                _ => return ExitCode::from(1),
+            },
             "--states" => match grab("--states").and_then(|v| v.parse().ok()) {
                 Some(v) => cfg.max_states = v,
                 None => return ExitCode::from(1),
@@ -80,6 +91,8 @@ fn cmd_explore(args: &[String]) -> ExitCode {
                 None => return ExitCode::from(1),
             },
             "--no-reduction" => cfg.reduction = false,
+            "--fresh-fp" => cfg.incremental_fp = false,
+            "--no-snapshot" => cfg.snapshot_resume = false,
             "--out" => match grab("--out") {
                 Some(v) => out = Some(v),
                 None => return ExitCode::from(1),
@@ -92,11 +105,18 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     }
 
     let started = std::time::Instant::now();
-    let report = explore(scenario, &cfg);
+    let report = match workers {
+        Some(n) => explore_parallel(scenario, &cfg, n),
+        None => explore(scenario, &cfg),
+    };
     let secs = started.elapsed().as_secs_f64();
     println!(
-        "scenario {}: {} runs, {} states, {} steps, {} branch points, {} pruned in {:.2}s ({})",
+        "scenario {} ({}): {} runs, {} states, {} steps, {} branch points, {} pruned in {:.2}s ({})",
         report.scenario,
+        match workers {
+            Some(n) => format!("{n} workers"),
+            None => "sequential".to_string(),
+        },
         report.runs,
         report.states,
         report.steps,

@@ -194,6 +194,19 @@ fn script_wedge(w: &mut SimWorld, base: SimTime) {
     w.suspect_at(base + Duration::from_millis(2), b, a);
 }
 
+fn script_token3(w: &mut SimWorld, base: SimTime) {
+    // Token loss at the TOTAL holder.  Two members cast under the canonical
+    // totally-ordered stack, so the ordering token is in motion between
+    // them; explored with a crash budget (`--max-crashes 1`) the explorer
+    // may fail-stop whichever member holds the token at any instant.  §4 of
+    // the paper waves this off — "in case of a failure, the token may be
+    // lost.  This, however, is not a problem" — because the membership
+    // change regenerates it; the oracles hold the survivors to that: views
+    // must agree and the common casts must deliver in one order.
+    w.cast_bytes_at(base + Duration::from_millis(1), ep(2), &b"2:1"[..]);
+    w.cast_bytes_at(base + Duration::from_millis(2), ep(3), &b"3:1"[..]);
+}
+
 static SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "flush3",
@@ -234,6 +247,16 @@ static SCENARIOS: &[Scenario] = &[
         script: script_fifo2,
         horizon: Duration::from_millis(50),
         oracles: &[Oracle::Fifo],
+    },
+    Scenario {
+        name: "token3",
+        summary: "token loss at the TOTAL holder: crash budget races two ordered casts",
+        stack: CANONICAL,
+        members: 3,
+        settle: Duration::from_millis(400),
+        script: script_token3,
+        horizon: Duration::from_millis(2500),
+        oracles: &[Oracle::VirtualSynchrony, Oracle::TotalOrder],
     },
     Scenario {
         name: "wedge",

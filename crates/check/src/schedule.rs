@@ -13,9 +13,14 @@
 //! reduction: on
 //! max_depth: 6
 //! max_drops: 0
+//! max_crashes: 0
 //! choices: 1
 //! verdict: violation fifo: FIFO: ep:2 ...
 //! ```
+//!
+//! `max_crashes` is optional on input and defaults to 0, so fixtures
+//! recorded before the crash choice point existed parse (and replay)
+//! unchanged; serialization always writes it.
 
 use crate::explore::{CheckConfig, RunRecord};
 use crate::scenario::Scenario;
@@ -37,6 +42,9 @@ pub struct Schedule {
     pub max_depth: usize,
     /// Induced-drop budget the run was found under.
     pub max_drops: u32,
+    /// Injected-crash budget the run was found under (0 for fixtures that
+    /// predate the crash choice point).
+    pub max_crashes: u32,
     /// The choice list.
     pub choices: Vec<u16>,
     /// Expected verdict line (see [`verdict_line`]).
@@ -60,6 +68,7 @@ impl Schedule {
             reduction: cfg.reduction,
             max_depth: cfg.max_depth,
             max_drops: cfg.max_drops,
+            max_crashes: cfg.max_crashes,
             choices: choices.to_vec(),
             verdict,
         }
@@ -73,6 +82,7 @@ impl Schedule {
             reduction: self.reduction,
             max_depth: self.max_depth,
             max_drops: self.max_drops,
+            max_crashes: self.max_crashes,
             ..CheckConfig::default()
         }
     }
@@ -81,12 +91,13 @@ impl Schedule {
     pub fn serialize(&self) -> String {
         let choices = self.choices.iter().map(u16::to_string).collect::<Vec<_>>().join(" ");
         format!(
-            "{HEADER}\nscenario: {}\nwindow_us: {}\nreduction: {}\nmax_depth: {}\nmax_drops: {}\nchoices: {}\nverdict: {}\n",
+            "{HEADER}\nscenario: {}\nwindow_us: {}\nreduction: {}\nmax_depth: {}\nmax_drops: {}\nmax_crashes: {}\nchoices: {}\nverdict: {}\n",
             self.scenario,
             self.window_us,
             if self.reduction { "on" } else { "off" },
             self.max_depth,
             self.max_drops,
+            self.max_crashes,
             choices,
             self.verdict,
         )
@@ -108,6 +119,7 @@ impl Schedule {
         let mut reduction = None;
         let mut max_depth = None;
         let mut max_drops = None;
+        let mut max_crashes = None;
         let mut choices = None;
         let mut verdict = None;
         for line in lines {
@@ -137,6 +149,10 @@ impl Schedule {
                 "max_drops" => {
                     max_drops = Some(val.parse().map_err(|e| format!("max_drops {val:?}: {e}"))?);
                 }
+                "max_crashes" => {
+                    max_crashes =
+                        Some(val.parse().map_err(|e| format!("max_crashes {val:?}: {e}"))?);
+                }
                 "choices" => {
                     choices = Some(
                         val.split_whitespace()
@@ -154,6 +170,9 @@ impl Schedule {
             reduction: reduction.ok_or("missing reduction")?,
             max_depth: max_depth.ok_or("missing max_depth")?,
             max_drops: max_drops.ok_or("missing max_drops")?,
+            // Optional with a zero default: fixtures recorded before the
+            // crash choice point replay under exactly the old option lists.
+            max_crashes: max_crashes.unwrap_or(0),
             choices: choices.ok_or("missing choices")?,
             verdict: verdict.ok_or("missing verdict")?,
         })
@@ -171,6 +190,7 @@ mod tests {
             reduction: true,
             max_depth: 6,
             max_drops: 0,
+            max_crashes: 0,
             choices: vec![1, 0, 2],
             verdict: "violation fifo: FIFO: something".into(),
         }
@@ -196,5 +216,27 @@ mod tests {
         let mut s = sample();
         s.choices.clear();
         assert_eq!(Schedule::parse(&s.serialize()).unwrap(), s);
+    }
+
+    #[test]
+    fn pre_crash_point_files_parse_with_zero_budget() {
+        // A v1 file without the max_crashes key (everything committed before
+        // the crash choice point existed) defaults to 0.
+        let old = format!(
+            "{HEADER}\nscenario: fifo2\nwindow_us: 100\nreduction: on\n\
+             max_depth: 6\nmax_drops: 0\nchoices: 1\nverdict: clean\n"
+        );
+        let s = Schedule::parse(&old).unwrap();
+        assert_eq!(s.max_crashes, 0);
+        assert_eq!(s.to_config().max_crashes, 0);
+    }
+
+    #[test]
+    fn crash_budget_roundtrips() {
+        let mut s = sample();
+        s.max_crashes = 2;
+        let text = s.serialize();
+        assert!(text.contains("max_crashes: 2"));
+        assert_eq!(Schedule::parse(&text).unwrap(), s);
     }
 }

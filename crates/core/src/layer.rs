@@ -229,6 +229,20 @@ pub trait Layer: Send {
     fn as_any(&self) -> Option<&dyn Any> {
         None
     }
+
+    /// Duplicates this layer's full state, if the layer supports it.
+    ///
+    /// Snapshot support is *opt-in*: the default `None` makes
+    /// [`crate::stack::Stack::try_clone`] (and therefore world snapshotting
+    /// in the simulator) fail gracefully, and callers fall back to
+    /// re-execution.  A layer that opts in must clone **everything** that
+    /// affects future behaviour — the model checker resumes exploration
+    /// from cloned worlds, so a shallow or partial clone silently corrupts
+    /// the search.  For layers whose state is plain data this is just
+    /// `Some(Box::new(self.clone()))`.
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        None
+    }
 }
 
 #[cfg(test)]

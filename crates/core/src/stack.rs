@@ -29,6 +29,7 @@ use crate::view::View;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
@@ -302,6 +303,10 @@ impl StackBuilder {
             destroyed: false,
             scratch: VecDeque::with_capacity(n * 2),
             emit_buf: Vec::with_capacity(4),
+            layer_digests: (0..n).map(|_| Cell::new(0)).collect(),
+            layer_dirty: (0..n).map(|_| Cell::new(true)).collect(),
+            view_digest: Cell::new(0),
+            view_dirty: Cell::new(true),
         })
     }
 }
@@ -358,6 +363,20 @@ pub struct Stack {
     /// Reusable per-dispatch emission buffer: one allocation per stack, not
     /// one per layer dispatch.
     emit_buf: Vec<Emit>,
+    /// Cached per-layer state digests, parallel to `layers`.  The dirty bit
+    /// is the caching invariant: **every dispatch into a layer marks it
+    /// dirty** (in [`Stack::drain`] and [`Stack::init`]) before the layer
+    /// runs, so a stale cache entry can only describe a layer no event has
+    /// touched since the digest was taken.  Marking is conservative — a
+    /// dispatch that mutates nothing still invalidates — which is what makes
+    /// the scheme sound without trusting each of the 37 layer
+    /// implementations to track its own mutations.
+    layer_digests: Vec<Cell<u64>>,
+    layer_dirty: Vec<Cell<bool>>,
+    /// Cached digest of the current view string (the one `format!` in the
+    /// stack's digest path), refreshed only when a view installs.
+    view_digest: Cell<u64>,
+    view_dirty: Cell<bool>,
 }
 
 impl Stack {
@@ -394,6 +413,43 @@ impl Stack {
     /// Whether `destroy` has completed; a destroyed stack ignores inputs.
     pub fn is_destroyed(&self) -> bool {
         self.destroyed
+    }
+
+    /// Duplicates the stack's full runtime state, if every layer supports
+    /// snapshotting ([`Layer::clone_box`]).
+    ///
+    /// The clone is *behaviourally exact*: layers, RNG stream position,
+    /// armed-timer bookkeeping, view, stats, and the digest caches all come
+    /// along, so a cloned stack fed the same events produces the same
+    /// effects — which is what lets the model checker resume exploration
+    /// from snapshotted worlds instead of re-executing prefixes.  Returns
+    /// `None` when any layer opts out.
+    pub fn try_clone(&self) -> Option<Stack> {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for l in &self.layers {
+            layers.push(l.clone_box()?);
+        }
+        Some(Stack {
+            local: self.local,
+            layers,
+            layout: Arc::clone(&self.layout),
+            fingerprint: self.fingerprint,
+            config: self.config.clone(),
+            now: self.now,
+            rng: self.rng.clone(),
+            group: self.group,
+            view: self.view.clone(),
+            stats: self.stats.clone(),
+            destroyed: self.destroyed,
+            // Dispatch scratch space is drained to empty before any public
+            // entry point returns, so the clone starts with fresh buffers.
+            scratch: VecDeque::new(),
+            emit_buf: Vec::new(),
+            layer_digests: self.layer_digests.clone(),
+            layer_dirty: self.layer_dirty.clone(),
+            view_digest: self.view_digest.clone(),
+            view_dirty: self.view_dirty.clone(),
+        })
     }
 
     /// Layer names, top first.
@@ -440,25 +496,20 @@ impl Stack {
     }
 
     /// Feeds this stack's protocol state into a model-checking digest: the
-    /// endpoint identity, lifecycle flags, current view, and every layer's
-    /// [`Layer::digest_state`] contribution, top first.
+    /// endpoint identity, lifecycle flags, current view, and one 64-bit
+    /// digest per layer (the layer's name plus its [`Layer::digest_state`]
+    /// contribution), top first.  This is the **from-scratch** path; it must
+    /// stay bit-identical to [`Stack::state_digest_cached`], which the
+    /// differential test in `tests/check_fingerprint.rs` enforces.
     ///
     /// Two caveats the checker documents: the per-stack jitter RNG is not
     /// part of the digest (two merged states may diverge in future jitter
     /// draws), and layers that rely on the default `dump`-based digest are
     /// only as discriminating as their dump string.
     pub fn state_digest_into(&self, d: &mut crate::digest::StateDigest) {
-        d.write_u64(self.local.raw());
-        d.write_u64(self.fingerprint as u64);
-        d.write_u64(self.destroyed as u64);
-        d.write_u64(self.group.map(|g| g.raw()).unwrap_or(0));
-        match &self.view {
-            Some(v) => d.write_str(&v.to_string()),
-            None => d.write_str("-"),
-        }
-        for l in &self.layers {
-            d.write_str(l.name());
-            l.digest_state(d);
+        self.digest_meta(d, self.view_digest_fresh());
+        for i in 0..self.layers.len() {
+            d.write_u64(self.layer_digest_fresh(i));
         }
     }
 
@@ -469,12 +520,63 @@ impl Stack {
         d.finish()
     }
 
+    /// The incremental counterpart of [`Stack::state_digest`]: per-layer
+    /// digests are served from the cache and only layers dispatched into
+    /// since the last call are re-digested.  Bit-identical to the
+    /// from-scratch path by construction — both combine the same per-layer
+    /// digests in the same order — provided the dirty-marking invariant
+    /// holds (see the `layer_digests` field).
+    pub fn state_digest_cached(&self) -> u64 {
+        if self.view_dirty.get() {
+            self.view_digest.set(self.view_digest_fresh());
+            self.view_dirty.set(false);
+        }
+        let mut d = crate::digest::StateDigest::new();
+        self.digest_meta(&mut d, self.view_digest.get());
+        for i in 0..self.layers.len() {
+            if self.layer_dirty[i].get() {
+                self.layer_digests[i].set(self.layer_digest_fresh(i));
+                self.layer_dirty[i].set(false);
+            }
+            d.write_u64(self.layer_digests[i].get());
+        }
+        d.finish()
+    }
+
+    /// The scalar stack fields every digest starts with.  `group` and
+    /// `destroyed` are plain integers, so they are digested fresh each time;
+    /// only the view (a `format!`) is worth caching.
+    fn digest_meta(&self, d: &mut crate::digest::StateDigest, view_digest: u64) {
+        d.write_u64(self.local.raw());
+        d.write_u64(self.fingerprint as u64);
+        d.write_u64(self.destroyed as u64);
+        d.write_u64(self.group.map(|g| g.raw()).unwrap_or(0));
+        d.write_u64(view_digest);
+    }
+
+    fn view_digest_fresh(&self) -> u64 {
+        let mut vd = crate::digest::StateDigest::new();
+        match &self.view {
+            Some(v) => vd.write_str(&v.to_string()),
+            None => vd.write_str("-"),
+        }
+        vd.finish()
+    }
+
+    fn layer_digest_fresh(&self, i: usize) -> u64 {
+        let mut ld = crate::digest::StateDigest::new();
+        ld.write_str(self.layers[i].name());
+        self.layers[i].digest_state(&mut ld);
+        ld.finish()
+    }
+
     /// Runs every layer's [`Layer::on_init`].  Executors must call this
     /// exactly once, before any input, and perform the returned effects
     /// (layers arm their periodic timers here).
     pub fn init(&mut self) -> Vec<Effect> {
         let mut effects = Vec::new();
         for i in 0..self.layers.len() {
+            self.layer_dirty[i].set(true);
             let mut emitted = std::mem::take(&mut self.emit_buf);
             let mut ctx = LayerCtx {
                 layer: i,
@@ -624,6 +726,7 @@ impl Stack {
     fn drain(&mut self, effects: &mut Vec<Effect>) {
         while let Some((idx, item)) = self.scratch.pop_front() {
             self.stats.dispatches += 1;
+            self.layer_dirty[idx].set(true);
             let mut emitted = std::mem::take(&mut self.emit_buf);
             let mut ctx = LayerCtx {
                 layer: idx,
@@ -725,6 +828,7 @@ impl Stack {
     fn top_out(&mut self, ev: Up, effects: &mut Vec<Effect>) {
         if let Up::View(v) = &ev {
             self.view = Some(v.clone());
+            self.view_dirty.set(true);
         }
         effects.push(Effect::Deliver(ev));
     }
@@ -1028,6 +1132,30 @@ mod tests {
         let c = StackBuilder::new(ep(1)).push(Box::new(Nop)).build().unwrap().fingerprint();
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cached_digest_matches_fresh_across_mutations() {
+        let mut a = two_layer_stack(HeaderMode::Compact);
+        let mut b = StackBuilder::new(ep(2))
+            .push(Box::new(Seq::default()))
+            .push(Box::new(Nop))
+            .build()
+            .unwrap();
+        assert_eq!(a.state_digest_cached(), a.state_digest(), "fresh build");
+        let before = a.state_digest_cached();
+        let m = a.new_message(&b"hi"[..]);
+        let fx = a.handle(StackInput::FromApp(Down::Cast(m)));
+        assert_eq!(a.state_digest_cached(), a.state_digest(), "after a cast");
+        assert_ne!(a.state_digest_cached(), before, "SEQ state advanced");
+        let wire = match &fx[0] {
+            Effect::NetCast { wire } => wire.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let _ = b.handle(StackInput::FromNet { from: ep(1), cast: true, wire });
+        assert_eq!(b.state_digest_cached(), b.state_digest(), "after a receive");
+        let _ = b.handle(StackInput::FromApp(Down::Destroy));
+        assert_eq!(b.state_digest_cached(), b.state_digest(), "after destroy");
     }
 
     #[test]

@@ -52,7 +52,7 @@ const CAUSAL_FIELDS: &[FieldSpec] = &[
 ];
 
 /// The causal ordering layer.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Causal {
     view: Option<View>,
     /// Our vector clock: deliveries per member rank.
@@ -132,6 +132,10 @@ impl Causal {
 }
 
 impl Layer for Causal {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "CAUSAL"
     }
@@ -222,7 +226,7 @@ impl Layer for Causal {
 const TS_FIELDS: &[FieldSpec] = &[FieldSpec::new("lamport", 48)];
 
 /// The causal-timestamp layer: stamps a Lamport clock, delays nothing.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Ts {
     clock: u64,
     /// Last timestamp seen per source (exposed through `dump`).
@@ -242,6 +246,10 @@ impl Ts {
 }
 
 impl Layer for Ts {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "TS"
     }

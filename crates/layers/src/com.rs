@@ -22,7 +22,7 @@ const FIELDS_NONE: &[FieldSpec] = &[];
 /// The COM layer.  Providing properties P10 (byte re-ordering detection is
 /// delegated to the frame decoder and fingerprint) and P11 (source
 /// address).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Com {
     push_src: bool,
     /// Filter casts whose source is outside the installed member set.
@@ -61,6 +61,10 @@ impl Com {
 }
 
 impl Layer for Com {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "COM"
     }

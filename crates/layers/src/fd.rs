@@ -82,7 +82,7 @@ impl FdConfig {
 }
 
 /// Per-monitored-member detector state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PeerFd {
     /// Last heartbeat (or initial grace) arrival time.
     last: SimTime,
@@ -100,7 +100,7 @@ impl PeerFd {
 }
 
 /// The adaptive heartbeat failure detector.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Fd {
     cfg: FdConfig,
     me: Option<EndpointAddr>,
@@ -223,6 +223,10 @@ impl Fd {
 }
 
 impl Layer for Fd {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "FD"
     }

@@ -31,7 +31,7 @@ const FRAG_FIELDS: &[FieldSpec] = &[FieldSpec::new("last", 1), FieldSpec::new("w
 type StreamKey = (EndpointAddr, bool);
 
 /// The FIFO-dependent fragmentation layer of §7.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Frag {
     /// Fragment payload size.
     frag_size: usize,
@@ -143,6 +143,10 @@ impl Frag {
 }
 
 impl Layer for Frag {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "FRAG"
     }
@@ -193,7 +197,7 @@ const NFRAG_FIELDS: &[FieldSpec] = &[
 const NFRAG_GC: u64 = 0;
 
 /// Reorder-tolerant fragmentation (sits below the FIFO layer).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NFrag {
     frag_size: usize,
     /// Incomplete-reassembly garbage-collection timeout.
@@ -204,7 +208,7 @@ pub struct NFrag {
     reassembled: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PartialMsg {
     chunks: BTreeMap<u16, Bytes>,
     count: u16,
@@ -326,6 +330,10 @@ impl NFrag {
 }
 
 impl Layer for NFrag {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "NFRAG"
     }

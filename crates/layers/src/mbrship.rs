@@ -117,7 +117,7 @@ impl Default for MbrshipConfig {
 }
 
 /// State of one flush round.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FlushRound {
     epoch: u16,
     coordinator: EndpointAddr,
@@ -160,7 +160,7 @@ impl FlushRound {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Phase {
     /// Before `join`.
     Idle,
@@ -177,6 +177,7 @@ enum Phase {
 }
 
 /// The production membership layer.
+#[derive(Clone)]
 pub struct Mbrship {
     cfg: MbrshipConfig,
     me: Option<EndpointAddr>,
@@ -1146,6 +1147,10 @@ impl Default for Mbrship {
 }
 
 impl Layer for Mbrship {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "MBRSHIP"
     }

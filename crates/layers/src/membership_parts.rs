@@ -56,7 +56,7 @@ const B_JOIN: u64 = 5;
 
 const BMS_TICK: u64 = 0;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum BmsPhase {
     Idle,
     Normal,
@@ -77,6 +77,7 @@ enum BmsPhase {
 }
 
 /// The basic membership service: consistent views, nothing more.
+#[derive(Clone)]
 pub struct Bms {
     tick: Duration,
     timeout: Duration,
@@ -290,6 +291,10 @@ impl Bms {
 }
 
 impl Layer for Bms {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "BMS"
     }
@@ -462,7 +467,7 @@ const VSS_FIELDS: &[FieldSpec] = &[FieldSpec::new("vc", 32)];
 /// when no FLUSH layer sits above to do real recovery first.  The
 /// registry sets it automatically from the composition; when building by
 /// hand, pass `false` iff a [`FlushLayer`] is stacked above.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Vss {
     auto_ok: bool,
     view_counter: u32,
@@ -486,6 +491,10 @@ impl Vss {
 }
 
 impl Layer for Vss {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "VSS"
     }
@@ -566,7 +575,7 @@ const F_DATA: u64 = 0;
 const F_ANNOUNCE: u64 = 1;
 
 /// Full virtual synchrony on top of VSS/BMS: all-to-all flush recovery.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FlushLayer {
     me: Option<EndpointAddr>,
     view: Option<View>,
@@ -581,7 +590,7 @@ pub struct FlushLayer {
     pub recovered: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FlushWork {
     failed: BTreeSet<EndpointAddr>,
     cuts: BTreeMap<EndpointAddr, u32>,
@@ -659,6 +668,10 @@ impl FlushLayer {
 }
 
 impl Layer for FlushLayer {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "FLUSH"
     }

@@ -17,7 +17,7 @@ use std::time::Duration;
 const TIMER_PROBE: u64 = 0;
 
 /// The automatic-merge layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Merge {
     /// Endpoints this group should coalesce around.
     contacts: Vec<EndpointAddr>,
@@ -51,6 +51,10 @@ impl Merge {
 }
 
 impl Layer for Merge {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "MERGE"
     }

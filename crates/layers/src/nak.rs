@@ -81,7 +81,7 @@ impl Default for NakConfig {
 }
 
 /// One unacked outgoing point-to-point message awaiting (re)transmission.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct UniOut {
     msg: Message,
     /// Time of the most recent transmission.
@@ -91,7 +91,7 @@ struct UniOut {
 }
 
 /// Per-source multicast receive state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct PeerRx {
     /// Next expected sequence number (seqs start at 1; 0 = nothing yet).
     expected: u32,
@@ -106,7 +106,7 @@ struct PeerRx {
 }
 
 /// Per-peer point-to-point channel state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct UniChan {
     /// Next seq to assign for sends to this peer.
     next: u32,
@@ -121,7 +121,7 @@ struct UniChan {
 }
 
 /// The production NAK layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Nak {
     cfg: NakConfig,
     /// Next multicast seq to assign (first message gets 1).
@@ -465,6 +465,10 @@ impl Nak {
 }
 
 impl Layer for Nak {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "NAK"
     }

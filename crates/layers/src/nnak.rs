@@ -25,7 +25,7 @@ const KIND_ACK: u64 = 1;
 
 const TIMER_TICK: u64 = 0;
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Chan {
     /// Next sequence to assign.
     next: u32,
@@ -40,7 +40,7 @@ struct Chan {
 }
 
 /// The prioritized unicast reliability layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Nnak {
     /// Maximum unacked messages per destination before queueing.
     window: u32,
@@ -96,6 +96,10 @@ impl Nnak {
 }
 
 impl Layer for Nnak {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "NNAK"
     }

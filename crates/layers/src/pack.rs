@@ -45,7 +45,7 @@ enum PackKey {
 }
 
 /// The message-packing layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Pack {
     /// Flush when this many messages are queued.
     max_msgs: usize,
@@ -254,6 +254,10 @@ impl Pack {
 }
 
 impl Layer for Pack {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "PACK"
     }

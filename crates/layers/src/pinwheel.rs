@@ -27,7 +27,7 @@ const KIND_WHEEL: u64 = 1;
 const TIMER_SLOT: u64 = 0;
 
 /// The rotating stability layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Pinwheel {
     auto_ack: bool,
     /// Length of one rotation slot.
@@ -117,6 +117,10 @@ impl Pinwheel {
 }
 
 impl Layer for Pinwheel {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "PINWHEEL"
     }

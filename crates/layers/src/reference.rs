@@ -49,7 +49,7 @@ const TICK: u64 = 0;
 /// everything else; each periodic status tells every sender how far this
 /// receiver got, and senders simply re-multicast their whole unacked tail.
 /// Obviously correct, obviously wasteful.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NakRef {
     period: Duration,
     fail_timeout: Duration,
@@ -138,6 +138,10 @@ impl NakRef {
 }
 
 impl Layer for NakRef {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "NAK_REF"
     }
@@ -354,7 +358,7 @@ const TR_ORDER: u64 = 1;
 /// numbers; there is no token movement and no oracle.  Every ordering
 /// decision costs a round through the sequencer, but the algorithm fits
 /// in a page.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TotalRef {
     me: Option<EndpointAddr>,
     view: Option<View>,
@@ -425,6 +429,10 @@ impl TotalRef {
 }
 
 impl Layer for TotalRef {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "TOTAL_REF"
     }

@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 /// The safe-delivery layer.  No header fields: it reacts to the metadata
 /// and STABLE upcalls of the stability layer beneath it — a zero-byte
 /// layer, the paper's "cost ... as low as a few instructions".
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Safe {
     /// Deliveries waiting for their stability horizon.
     held: VecDeque<(EndpointAddr, Message)>,
@@ -53,6 +53,10 @@ impl Safe {
 }
 
 impl Layer for Safe {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "SAFE"
     }

@@ -47,7 +47,7 @@ const R_REPLY: u64 = 2;
 
 const RPC_TICK: u64 = 0;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PendingCall {
     dest: EndpointAddr,
     msg: Message,
@@ -62,7 +62,7 @@ struct PendingCall {
 /// and times out.  The server's delivery carries `rpc = Some((id, false))`;
 /// replying with `rpc = Some((id, true))` routes the response back, and
 /// the client's delivery carries `rpc = Some((id, true))`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Rpc {
     timeout: Duration,
     max_retries: u32,
@@ -96,6 +96,10 @@ impl Default for Rpc {
 }
 
 impl Layer for Rpc {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "RPC"
     }
@@ -229,7 +233,7 @@ const CS_TICK: u64 = 0;
 /// Each endpoint simulates a skewed local clock (`skew` may be negative);
 /// the layer estimates its offset *to the master* from request/response
 /// timestamps and exposes the corrected clock.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ClockSync {
     /// Simulated local clock skew relative to true (virtual) time, in
     /// microseconds (signed).
@@ -276,6 +280,10 @@ impl Default for ClockSync {
 }
 
 impl Layer for ClockSync {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "CLOCKSYNC"
     }
@@ -399,7 +407,7 @@ const S_PLAIN: u64 = 2;
 /// from the view never see the new key — forward secrecy at view
 /// granularity, the "combines security features with fault-tolerance"
 /// idea.  **Toy cryptography** (FNV MAC, XOR keystream).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Secure {
     master: u64,
     me: Option<EndpointAddr>,
@@ -551,6 +559,10 @@ impl Secure {
 }
 
 impl Layer for Secure {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "SECURE"
     }
@@ -666,7 +678,7 @@ const MUX_FIELDS: &[FieldSpec] = &[FieldSpec::new("chan", 6)];
 
 /// Cactus-stack multiplexing (§4): several logical applications share one
 /// protocol stack, distinguished by `msg.meta.channel`.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Mux {
     per_channel: BTreeMap<u8, u64>,
 }
@@ -684,6 +696,10 @@ impl Mux {
 }
 
 impl Layer for Mux {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "MUX"
     }

@@ -32,7 +32,7 @@ const KIND_ROW: u64 = 1;
 const TIMER_TICK: u64 = 0;
 
 /// The eager stability-gossip layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Stable {
     /// Acknowledge on delivery instead of waiting for the `ack` downcall.
     auto_ack: bool,
@@ -124,6 +124,10 @@ impl Stable {
 }
 
 impl Layer for Stable {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "STABLE"
     }

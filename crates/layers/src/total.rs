@@ -47,6 +47,7 @@ const KIND_DATA: u64 = 0;
 const KIND_ORDER: u64 = 1;
 
 /// The token-based total ordering layer.
+#[derive(Clone)]
 pub struct Total {
     me: Option<EndpointAddr>,
     view: Option<View>,
@@ -290,6 +291,10 @@ impl Total {
 }
 
 impl Layer for Total {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "TOTAL"
     }

@@ -26,10 +26,14 @@ use std::time::Duration;
 /// A do-nothing pass-through layer; the unit of layer-crossing cost in the
 /// §10 benchmarks, and a skip-optimization target (it declares itself
 /// passive).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Nop;
 
 impl Layer for Nop {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "NOP"
     }
@@ -40,10 +44,14 @@ impl Layer for Nop {
 
 /// A do-nothing layer that *hides* its passivity, so the runtime cannot
 /// skip it: the §10 problem-1 baseline.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct NopOpaque;
 
 impl Layer for NopOpaque {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "NOP_OPAQUE"
     }
@@ -66,13 +74,17 @@ const CHKSUM_FIELDS: &[FieldSpec] = &[FieldSpec::new("sum", 32)];
 
 /// Garbling detection (§2's first example layer): a 32-bit checksum over
 /// the body, verified on delivery.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Chksum {
     /// Messages dropped for checksum mismatch.
     pub dropped: u64,
 }
 
 impl Layer for Chksum {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "CHKSUM"
     }
@@ -137,7 +149,7 @@ const SIGN_FIELDS: &[FieldSpec] = &[FieldSpec::new("mac", 64)];
 
 /// The "cryptographic checksum" of §2: a keyed MAC making impersonation by
 /// non-key-holders (in the toy model) detectable.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Sign {
     key: u64,
     /// Messages rejected for MAC mismatch.
@@ -152,6 +164,10 @@ impl Sign {
 }
 
 impl Layer for Sign {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "SIGN"
     }
@@ -199,7 +215,7 @@ impl Layer for Sign {
 const ENCRYPT_FIELDS: &[FieldSpec] = &[FieldSpec::new("nonce", 32)];
 
 /// Private communication (Figure 1): a toy XOR keystream over the body.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Encrypt {
     key: u64,
     nonce: u32,
@@ -225,6 +241,10 @@ impl Encrypt {
 }
 
 impl Layer for Encrypt {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "ENCRYPT"
     }
@@ -271,7 +291,7 @@ const COMPRESS_FIELDS: &[FieldSpec] = &[FieldSpec::new("packed", 1)];
 
 /// Bandwidth improvement (Figure 1): run-length encoding, applied only
 /// when it actually shrinks the body.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Compress {
     /// Bodies that were worth compressing.
     pub packed: u64,
@@ -311,6 +331,10 @@ fn rle_decode(data: &[u8]) -> Option<Vec<u8>> {
 }
 
 impl Layer for Compress {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "COMPRESS"
     }
@@ -369,7 +393,7 @@ const FLOW_REFILL: u64 = 0;
 
 /// Congestion prevention (Figure 1): a token-bucket rate limiter on
 /// outgoing casts.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Flow {
     /// Casts allowed per refill period.
     rate: u32,
@@ -394,6 +418,10 @@ impl Default for Flow {
 }
 
 impl Layer for Flow {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "FLOW"
     }
@@ -446,7 +474,7 @@ const PRIO_FLUSH: u64 = 0;
 /// Prioritized effort delivery (P2): casts accumulate briefly and leave in
 /// priority order (highest [`horus_core::message::MessageMeta::priority`]
 /// first).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Prio {
     window: Duration,
     queue: Vec<Message>,
@@ -467,6 +495,10 @@ impl Default for Prio {
 }
 
 impl Layer for Prio {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "PRIO"
     }
@@ -504,7 +536,7 @@ impl Layer for Prio {
 
 /// Debugging and statistics (Figure 1): counts every event crossing the
 /// layer and optionally emits trace records.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Trace {
     verbose: bool,
     downs: BTreeMap<&'static str, u64>,
@@ -536,6 +568,10 @@ impl Default for Trace {
 }
 
 impl Layer for Trace {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "TRACE"
     }
@@ -566,7 +602,7 @@ impl Layer for Trace {
 // ---------------------------------------------------------------------
 
 /// Usage accounting (Figure 1): bytes and messages per source.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Acct {
     by_source: BTreeMap<EndpointAddr, (u64, u64)>,
     sent_msgs: u64,
@@ -586,6 +622,10 @@ impl Acct {
 }
 
 impl Layer for Acct {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "ACCT"
     }
@@ -619,7 +659,7 @@ impl Layer for Acct {
 /// Tolerance of total crash failures (Figure 1): journals every delivered
 /// cast, emulating a disk log an operator could replay after a
 /// whole-group restart.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Logger {
     journal: Vec<(EndpointAddr, Bytes)>,
 }
@@ -637,6 +677,10 @@ impl Logger {
 }
 
 impl Layer for Logger {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "LOGGER"
     }
@@ -660,7 +704,7 @@ impl Layer for Logger {
 
 /// Fault injection for tests: deterministically drops every `nth`
 /// outgoing cast.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DropEvery {
     nth: u64,
     count: u64,
@@ -681,6 +725,10 @@ impl DropEvery {
 }
 
 impl Layer for DropEvery {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "DROP"
     }
@@ -714,7 +762,7 @@ const SEQNO_FIELDS: &[FieldSpec] = &[FieldSpec::new("seq", 32)];
 /// The minimal sequence-number layer of §2's class-hierarchy story: stamps
 /// a per-sender sequence number and *detects* loss and reordering (PROBLEM
 /// upcall) without repairing it — the didactic little sibling of NAK.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Seqno {
     next: u32,
     expected: BTreeMap<EndpointAddr, u32>,
@@ -723,6 +771,10 @@ pub struct Seqno {
 }
 
 impl Layer for Seqno {
+    fn clone_box(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn name(&self) -> &'static str {
         "SEQNO"
     }

@@ -73,6 +73,48 @@ pub enum FaultRule {
     },
 }
 
+impl FaultRule {
+    /// Feeds the rule's identity into a state digest, field-direct (no
+    /// `Debug` formatting, no allocation; the probability digests as its
+    /// bit pattern).
+    pub fn digest_into(&self, d: &mut horus_core::digest::StateDigest) {
+        match *self {
+            FaultRule::DirectedLoss { from, to, rate } => {
+                d.write_u64(1);
+                d.write_u64(from.raw());
+                d.write_u64(to.raw());
+                d.write_u64(rate.to_bits());
+            }
+            FaultRule::OneWayCut { from, to, start, end } => {
+                d.write_u64(2);
+                d.write_u64(from.raw());
+                d.write_u64(to.raw());
+                d.write_u64(start.as_nanos());
+                // Disambiguate "permanent" from any finite end time.
+                match end {
+                    Some(e) => {
+                        d.write_u64(1);
+                        d.write_u64(e.as_nanos());
+                    }
+                    None => d.write_u64(0),
+                }
+            }
+            FaultRule::BurstLoss { from, to, start, end } => {
+                d.write_u64(3);
+                d.write_u64(from.raw());
+                d.write_u64(to.raw());
+                d.write_u64(start.as_nanos());
+                d.write_u64(end.as_nanos());
+            }
+            FaultRule::TargetedCorrupt { src, every_nth } => {
+                d.write_u64(4);
+                d.write_u64(src.raw());
+                d.write_u64(every_nth);
+            }
+        }
+    }
+}
+
 /// Why the fault plan dropped a delivery (maps to a `NetStats` counter).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultDrop {
@@ -90,7 +132,7 @@ pub enum FaultDrop {
 /// delivery wins (deterministic cuts and bursts are checked before
 /// probabilistic directed loss so that RNG consumption — and therefore
 /// replay — does not depend on rule order).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FaultPlan {
     rules: Vec<FaultRule>,
     hits: Vec<u64>,
@@ -139,6 +181,21 @@ impl FaultPlan {
     /// corrupted *frames* (one frame may fan out to several receivers).
     pub fn hits(&self) -> &[u64] {
         &self.hits
+    }
+
+    /// Feeds the plan's behavioural state into a state digest: every rule
+    /// with its hit counter (rules like [`FaultRule::TargetedCorrupt`]
+    /// change behaviour as hits accumulate), plus the per-source frame
+    /// counters the corrupt rules count against.
+    pub fn digest_into(&self, d: &mut horus_core::digest::StateDigest) {
+        for (rule, hits) in self.rules.iter().zip(&self.hits) {
+            rule.digest_into(d);
+            d.write_u64(*hits);
+        }
+        for (ep, frames) in &self.frames_from {
+            d.write_u64(ep.raw());
+            d.write_u64(*frames);
+        }
     }
 
     /// Removes every rule (hit history and frame counters included).

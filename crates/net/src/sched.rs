@@ -45,6 +45,13 @@ pub trait NetScheduler {
 
     /// Picks an index in `[0, n)` (garble positions / bit choices).
     fn pick(&mut self, n: usize) -> usize;
+
+    /// Duplicates this scheduler's full state (RNG position included), if
+    /// supported.  Opt-in, like `Layer::clone_box`: the default `None`
+    /// makes world snapshotting fall back to re-execution.
+    fn clone_box(&self) -> Option<Box<dyn NetScheduler + Send>> {
+        None
+    }
 }
 
 impl NetScheduler for StdRng {
@@ -76,6 +83,10 @@ impl RandomScheduler {
 }
 
 impl NetScheduler for RandomScheduler {
+    fn clone_box(&self) -> Option<Box<dyn NetScheduler + Send>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn chance(&mut self, kind: ChanceKind, p: f64) -> bool {
         self.rng.chance(kind, p)
     }
@@ -97,6 +108,10 @@ impl NetScheduler for RandomScheduler {
 pub struct FixedScheduler;
 
 impl NetScheduler for FixedScheduler {
+    fn clone_box(&self) -> Option<Box<dyn NetScheduler + Send>> {
+        Some(Box::new(*self))
+    }
+
     fn chance(&mut self, _kind: ChanceKind, _p: f64) -> bool {
         false
     }

@@ -120,7 +120,7 @@ pub struct Delivery {
 
 /// The simulated datagram network: transport-level group membership,
 /// partition state, and per-frame physics.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimNetwork {
     config: NetConfig,
     /// Transport-level group membership (who receives casts to a group).
@@ -132,6 +132,12 @@ pub struct SimNetwork {
     /// Scripted targeted faults, composed with the global physics above.
     faults: FaultPlan,
     stats: NetStats,
+    /// Cached membership/partition digest (see
+    /// [`SimNetwork::digest_cached_into`]), cleared on every join, leave,
+    /// partition, and heal.  Fault state is never cached: rule hit counters
+    /// advance on the frame hot path, where a digest would be invalidated
+    /// far more often than it is read.
+    membership_digest: std::cell::Cell<Option<u64>>,
 }
 
 impl SimNetwork {
@@ -144,6 +150,7 @@ impl SimNetwork {
             regions: BTreeMap::new(),
             faults: FaultPlan::new(),
             stats: NetStats::default(),
+            membership_digest: std::cell::Cell::new(None),
         }
     }
 
@@ -174,18 +181,40 @@ impl SimNetwork {
     /// behaviour), but fault-rule hit counters are included because rules
     /// like `BurstLoss` change behaviour as they accumulate hits.
     pub fn digest_into(&self, d: &mut horus_core::digest::StateDigest) {
-        for (g, members) in &self.groups {
-            d.write_u64(g.raw());
-            for m in members {
-                d.write_u64(m.raw());
+        d.write_u64(self.membership_digest_fresh());
+        self.faults.digest_into(d);
+    }
+
+    /// [`SimNetwork::digest_into`] with the membership/partition part served
+    /// from a cache — bit-identical by construction, since both paths write
+    /// the same sub-digest value followed by the same fault-plan writes.
+    pub fn digest_cached_into(&self, d: &mut horus_core::digest::StateDigest) {
+        let m = match self.membership_digest.get() {
+            Some(v) => v,
+            None => {
+                let v = self.membership_digest_fresh();
+                self.membership_digest.set(Some(v));
+                v
             }
-            d.write_bytes(&[0xfd]);
+        };
+        d.write_u64(m);
+        self.faults.digest_into(d);
+    }
+
+    fn membership_digest_fresh(&self) -> u64 {
+        let mut e = horus_core::digest::StateDigest::new();
+        for (g, members) in &self.groups {
+            e.write_u64(g.raw());
+            for m in members {
+                e.write_u64(m.raw());
+            }
+            e.write_bytes(&[0xfd]);
         }
         for (ep, region) in &self.regions {
-            d.write_u64(ep.raw());
-            d.write_u64(*region as u64);
+            e.write_u64(ep.raw());
+            e.write_u64(*region as u64);
         }
-        d.write_str(&format!("{:?}", self.faults.rules()));
+        e.finish()
     }
 
     /// Installs a targeted fault rule, returning its index into
@@ -212,6 +241,7 @@ impl SimNetwork {
 
     /// Registers `ep` as a transport-level receiver of `group` multicasts.
     pub fn join(&mut self, group: GroupAddr, ep: EndpointAddr) {
+        self.membership_digest.set(None);
         let members = self.groups.entry(group).or_default();
         if !members.contains(&ep) {
             members.push(ep);
@@ -221,6 +251,7 @@ impl SimNetwork {
 
     /// Deregisters `ep` from its group (leave, destroy, or crash).
     pub fn leave(&mut self, ep: EndpointAddr) {
+        self.membership_digest.set(None);
         if let Some(group) = self.member_of.remove(&ep) {
             if let Some(members) = self.groups.get_mut(&group) {
                 members.retain(|&m| m != ep);
@@ -236,6 +267,7 @@ impl SimNetwork {
     /// Splits the network: each inner slice becomes one partition region.
     /// Endpoints not mentioned keep their previous region.
     pub fn partition(&mut self, regions: &[&[EndpointAddr]]) {
+        self.membership_digest.set(None);
         for (i, eps) in regions.iter().enumerate() {
             for &ep in *eps {
                 self.regions.insert(ep, i as u32 + 1);
@@ -245,6 +277,7 @@ impl SimNetwork {
 
     /// Heals all partitions: every endpoint returns to region 0.
     pub fn heal(&mut self) {
+        self.membership_digest.set(None);
         self.regions.clear();
     }
 

@@ -84,12 +84,13 @@ impl SimWorld {
         window: Duration,
         deadline: SimTime,
     ) -> RunOutcome {
+        let mut ready: Vec<ReadyEvent> = Vec::new();
         let outcome = loop {
             match self.next_event_at() {
                 Some(at) if at <= deadline => {}
                 _ => break RunOutcome::Quiescent,
             }
-            let ready = self.ready_events(window);
+            self.ready_events_into(window, &mut ready);
             match sched.next_step(self, &ready) {
                 Step::Fire(i) => {
                     let Some(ev) = ready.get(i) else { break RunOutcome::Rejected };

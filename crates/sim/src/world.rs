@@ -12,6 +12,7 @@ use bytes::Bytes;
 use horus_core::digest::StateDigest;
 use horus_core::prelude::*;
 use horus_net::{FaultRule, FixedScheduler, NetConfig, NetScheduler, RandomScheduler, SimNetwork};
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -22,7 +23,7 @@ const MAX_STEPS_PER_RUN: u64 = 50_000_000;
 // Net deliveries dominate the calendar; boxing them would cost an
 // allocation per simulated packet.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Ev {
     /// A wire frame arrives at `to`.
     Net { to: EndpointAddr, from: EndpointAddr, cast: bool, wire: WireFrame },
@@ -41,6 +42,16 @@ enum Ev {
     Suspect { observer: EndpointAddr, target: EndpointAddr },
     /// A targeted fault rule is installed in the network.
     Fault { rule: FaultRule },
+}
+
+/// One calendar entry: the event plus its time-independent payload digest,
+/// computed once at insertion when pending tracking is on (see
+/// [`SimWorld::fingerprint`]) so the pending-set combine never has to
+/// re-digest wire frames on removal.
+#[derive(Debug, Clone)]
+struct Pending {
+    ev: Ev,
+    digest: u64,
 }
 
 /// Identifies one pending calendar entry: `(scheduled time, insertion
@@ -136,6 +147,10 @@ struct Slot {
     /// world fingerprint distinguishes states whose stacks converged but
     /// whose observable histories diverged.
     log_digest: StateDigest,
+    /// Cached endpoint contribution to [`SimWorld::fingerprint`], cleared
+    /// whenever an event dispatches into this endpoint (stack input, crash)
+    /// — so untouched endpoints cost one `Cell` read per branch point.
+    digest: Cell<Option<u64>>,
 }
 
 /// The discrete-event world: endpoints, network, calendar, virtual clock.
@@ -170,11 +185,25 @@ pub struct SimWorld {
     seq: u64,
     steps: u64,
     step_limit: u64,
-    calendar: BTreeMap<EventId, Ev>,
+    calendar: BTreeMap<EventId, Pending>,
     net: SimNetwork,
     endpoints: BTreeMap<EndpointAddr, Slot>,
     sched: Box<dyn NetScheduler + Send>,
     traces: Vec<(SimTime, String)>,
+    /// When set, per-entry payload digests are computed at insertion and the
+    /// pending-set sums below are maintained at every insert/remove, making
+    /// the pending part of [`SimWorld::fingerprint`] O(1).  Enabled by
+    /// [`SimWorld::deterministic`] (the model checker fingerprints at every
+    /// branch point); plain simulations skip the digest-at-insert cost.
+    track_pending: bool,
+    /// `Σ h_e` over pending entries (wrapping), where `h_e` is the entry's
+    /// time-independent payload digest.
+    pending_s1: u64,
+    /// `Σ h_e · t_e` (wrapping), `t_e` the entry's absolute firing time in
+    /// nanoseconds.  Because this is *linear* in absolute time, the
+    /// relative-to-now combine the fingerprint needs is just
+    /// `S2 - now·S1` — no walk required when the clock advances.
+    pending_s2: u64,
 }
 
 impl SimWorld {
@@ -192,7 +221,9 @@ impl SimWorld {
     /// probabilistic fault, so the only nondeterminism left is the schedule
     /// itself — which the explorer controls through [`SimWorld::fire`].
     pub fn deterministic(config: NetConfig) -> Self {
-        Self::with_net_scheduler(config, Box::new(FixedScheduler))
+        let mut w = Self::with_net_scheduler(config, Box::new(FixedScheduler));
+        w.set_pending_tracking(true);
+        w
     }
 
     /// Creates a world with an explicit network-choice scheduler.
@@ -207,6 +238,26 @@ impl SimWorld {
             endpoints: BTreeMap::new(),
             sched,
             traces: Vec::new(),
+            track_pending: false,
+            pending_s1: 0,
+            pending_s2: 0,
+        }
+    }
+
+    /// Turns incremental pending-set digesting on or off.  Entries already
+    /// in the calendar are (re)digested so the maintained sums stay exact;
+    /// turning tracking off zeroes them.
+    pub fn set_pending_tracking(&mut self, on: bool) {
+        self.track_pending = on;
+        self.pending_s1 = 0;
+        self.pending_s2 = 0;
+        for (&(at, _), p) in self.calendar.iter_mut() {
+            p.digest = if on { ev_digest(&p.ev) } else { 0 };
+            if on {
+                self.pending_s1 = self.pending_s1.wrapping_add(p.digest);
+                self.pending_s2 =
+                    self.pending_s2.wrapping_add(p.digest.wrapping_mul(at.as_nanos()));
+            }
         }
     }
 
@@ -237,7 +288,13 @@ impl SimWorld {
         let effects = stack.init();
         self.endpoints.insert(
             ep,
-            Slot { stack, upcalls: Vec::new(), alive: true, log_digest: StateDigest::new() },
+            Slot {
+                stack,
+                upcalls: Vec::new(),
+                alive: true,
+                log_digest: StateDigest::new(),
+                digest: Cell::new(None),
+            },
         );
         self.apply_effects(ep, effects);
         ep
@@ -310,7 +367,20 @@ impl SimWorld {
     fn schedule(&mut self, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.time, "cannot schedule into the past");
         self.seq += 1;
-        self.calendar.insert((at, self.seq), ev);
+        let digest = if self.track_pending { ev_digest(&ev) } else { 0 };
+        if self.track_pending {
+            self.pending_s1 = self.pending_s1.wrapping_add(digest);
+            self.pending_s2 = self.pending_s2.wrapping_add(digest.wrapping_mul(at.as_nanos()));
+        }
+        self.calendar.insert((at, self.seq), Pending { ev, digest });
+    }
+
+    /// Reverses the [`SimWorld::schedule`] bookkeeping for a removed entry.
+    fn untrack_pending(&mut self, at: SimTime, p: &Pending) {
+        if self.track_pending {
+            self.pending_s1 = self.pending_s1.wrapping_sub(p.digest);
+            self.pending_s2 = self.pending_s2.wrapping_sub(p.digest.wrapping_mul(at.as_nanos()));
+        }
     }
 
     /// Lowers (or raises) the event-count safety valve.  The default is 50
@@ -335,9 +405,10 @@ impl SimWorld {
             if at > deadline {
                 break;
             }
-            let ((at, _), ev) = self.calendar.pop_first().expect("peeked entry");
+            let ((at, _), p) = self.calendar.pop_first().expect("peeked entry");
+            self.untrack_pending(at, &p);
             self.time = at;
-            self.dispatch(ev);
+            self.dispatch(p.ev);
             processed += 1;
             self.steps += 1;
             if self.steps >= self.step_limit {
@@ -353,8 +424,8 @@ impl SimWorld {
     /// busiest `(endpoint, event kind)` pair names the culprit.
     fn storm_report(&self) -> String {
         let mut by_source: BTreeMap<(String, &'static str), u64> = BTreeMap::new();
-        for ev in self.calendar.values() {
-            let (ep, kind) = match ev {
+        for p in self.calendar.values() {
+            let (ep, kind) = match &p.ev {
                 Ev::Net { to, .. } => (to.to_string(), "net delivery"),
                 Ev::Timer { ep, .. } => (ep.to_string(), "timer"),
                 Ev::App { ep, .. } => (ep.to_string(), "app downcall"),
@@ -392,6 +463,7 @@ impl SimWorld {
                 if !slot.alive {
                     return;
                 }
+                slot.digest.set(None);
                 slot.stack.set_now(self.time);
                 let fx = slot.stack.handle(StackInput::FromNet { from, cast, wire });
                 self.apply_effects(to, fx);
@@ -401,6 +473,7 @@ impl SimWorld {
                 if !slot.alive {
                     return;
                 }
+                slot.digest.set(None);
                 let fx = slot.stack.handle(StackInput::Timer { layer, token, now: self.time });
                 self.apply_effects(ep, fx);
             }
@@ -409,12 +482,14 @@ impl SimWorld {
                 if !slot.alive {
                     return;
                 }
+                slot.digest.set(None);
                 slot.stack.set_now(self.time);
                 let fx = slot.stack.handle(StackInput::FromApp(down));
                 self.apply_effects(ep, fx);
             }
             Ev::Crash { ep } => {
                 if let Some(slot) = self.endpoints.get_mut(&ep) {
+                    slot.digest.set(None);
                     slot.alive = false;
                     self.net.leave(ep);
                     self.traces.push((self.time, format!("{ep} crashed")));
@@ -434,6 +509,7 @@ impl SimWorld {
                 if !slot.alive {
                     return;
                 }
+                slot.digest.set(None);
                 slot.stack.set_now(self.time);
                 let fx = slot.stack.handle(StackInput::FromApp(Down::Suspect { member: target }));
                 self.apply_effects(observer, fx);
@@ -506,6 +582,14 @@ impl SimWorld {
     /// The recorded upcalls of an endpoint, in delivery order.
     pub fn upcalls(&self, ep: EndpointAddr) -> &[(SimTime, Up)] {
         self.endpoints.get(&ep).map(|s| s.upcalls.as_slice()).unwrap_or(&[])
+    }
+
+    /// How many views an endpoint has installed — a count-only variant of
+    /// [`installed_views`](Self::installed_views) that clones nothing, for
+    /// callers (like the model checker's per-step oracle trigger) that only
+    /// need to notice *that* a view landed, not which.
+    pub fn installed_view_count(&self, ep: EndpointAddr) -> usize {
+        self.upcalls(ep).iter().filter(|(_, up)| matches!(up, Up::View(_))).count()
     }
 
     /// Removes and returns an endpoint's recorded upcalls.
@@ -599,15 +683,26 @@ impl SimWorld {
     /// (delaying the others — legal, since delivery delays are unbounded).
     /// A zero window degenerates to exact-tie concurrency only.
     pub fn ready_events(&self, window: Duration) -> Vec<ReadyEvent> {
+        let mut out = Vec::new();
+        self.ready_events_into(window, &mut out);
+        out
+    }
+
+    /// [`ready_events`](Self::ready_events) into a caller-owned buffer.  The
+    /// schedule executor asks for the ready set before every step, so it must
+    /// not cost a fresh allocation each time.
+    pub fn ready_events_into(&self, window: Duration, out: &mut Vec<ReadyEvent>) {
+        out.clear();
         let Some((&(first_at, _), _)) = self.calendar.first_key_value() else {
-            return Vec::new();
+            return;
         };
         let horizon = first_at + window;
-        self.calendar
-            .iter()
-            .take_while(|(&(at, _), _)| at <= horizon)
-            .map(|(&id, ev)| ReadyEvent { id, at: id.0, kind: Self::ready_kind(ev) })
-            .collect()
+        out.extend(
+            self.calendar
+                .iter()
+                .take_while(|(&(at, _), _)| at <= horizon)
+                .map(|(&id, p)| ReadyEvent { id, at: id.0, kind: Self::ready_kind(&p.ev) }),
+        );
     }
 
     /// Fires one pending event out of calendar order, advancing virtual time
@@ -615,11 +710,12 @@ impl SimWorld {
     /// ahead of an earlier one simply means the earlier one is *delayed*.
     /// Returns `false` if the id is no longer pending.
     pub fn fire(&mut self, id: EventId) -> bool {
-        let Some(ev) = self.calendar.remove(&id) else {
+        let Some(p) = self.calendar.remove(&id) else {
             return false;
         };
+        self.untrack_pending(id.0, &p);
         self.time = self.time.max(id.0);
-        self.dispatch(ev);
+        self.dispatch(p.ev);
         self.steps += 1;
         if self.steps >= self.step_limit {
             panic!("{}", self.storm_report());
@@ -633,11 +729,12 @@ impl SimWorld {
     /// timers, scripted events and loopback deliveries always happen.
     pub fn drop_pending(&mut self, id: EventId) -> bool {
         let droppable = matches!(
-            self.calendar.get(&id),
+            self.calendar.get(&id).map(|p| &p.ev),
             Some(Ev::Net { to, from, .. }) if to != from
         );
         if droppable {
-            self.calendar.remove(&id);
+            let p = self.calendar.remove(&id).expect("checked entry");
+            self.untrack_pending(id.0, &p);
             self.net.stats_mut().dropped_induced += 1;
             true
         } else {
@@ -657,6 +754,48 @@ impl SimWorld {
         self.dispatch(Ev::Suspect { observer, target });
     }
 
+    /// Duplicates the entire world — clock, calendar, network, endpoint
+    /// stacks, logs, pending-digest sums — if every stack layer and the net
+    /// scheduler support snapshotting (`Layer::clone_box` /
+    /// `NetScheduler::clone_box`).
+    ///
+    /// The clone is behaviourally exact: firing the same schedule against
+    /// the original and the snapshot produces identical effects, upcalls,
+    /// and fingerprints.  The model checker leans on this to resume
+    /// exploration from a branch point instead of re-executing the settle
+    /// phase and the choice prefix; anything less than an exact clone
+    /// corrupts the search, which is why unsupported layers make this
+    /// return `None` rather than best-effort copying.
+    pub fn snapshot(&self) -> Option<SimWorld> {
+        let mut endpoints = BTreeMap::new();
+        for (ep, slot) in &self.endpoints {
+            endpoints.insert(
+                *ep,
+                Slot {
+                    stack: slot.stack.try_clone()?,
+                    upcalls: slot.upcalls.clone(),
+                    alive: slot.alive,
+                    log_digest: slot.log_digest.clone(),
+                    digest: slot.digest.clone(),
+                },
+            );
+        }
+        Some(SimWorld {
+            time: self.time,
+            seq: self.seq,
+            steps: self.steps,
+            step_limit: self.step_limit,
+            calendar: self.calendar.clone(),
+            net: self.net.clone(),
+            endpoints,
+            sched: self.sched.clone_box()?,
+            traces: self.traces.clone(),
+            track_pending: self.track_pending,
+            pending_s1: self.pending_s1,
+            pending_s2: self.pending_s2,
+        })
+    }
+
     /// A 64-bit fingerprint of the world's explorable state: per-endpoint
     /// stack digests and liveness, observable delivery histories, network
     /// membership/partition state, and the pending-event multiset with times
@@ -670,45 +809,206 @@ impl SimWorld {
     pub fn fingerprint(&self) -> u64 {
         let mut d = StateDigest::new();
         for (ep, slot) in &self.endpoints {
-            d.write_u64(ep.raw());
-            d.write_u64(slot.alive as u64);
-            d.write_u64(slot.log_digest.finish());
-            slot.stack.state_digest_into(&mut d);
+            d.write_u64(Self::slot_digest_cached(*ep, slot));
         }
-        self.net.digest_into(&mut d);
-        // Pending events: an order-independent combine (wrapping add of
-        // per-entry digests) because two interleavings that converge on the
-        // same pending set are the same state regardless of how the calendar
-        // was populated.
-        let mut pending: u64 = 0;
-        for (&(at, _), ev) in &self.calendar {
-            let mut e = StateDigest::new();
-            e.write_u64(at.as_nanos().saturating_sub(self.time.as_nanos()));
-            match ev {
-                Ev::Net { to, from, cast, wire } => {
-                    e.write_u64(1);
-                    e.write_u64(to.raw());
-                    e.write_u64(from.raw());
-                    e.write_u64(*cast as u64);
-                    e.write_bytes(wire.head());
-                    e.write_bytes(wire.body());
-                }
-                Ev::Timer { ep, layer, token } => {
-                    e.write_u64(2);
-                    e.write_u64(ep.raw());
-                    e.write_u64(*layer as u64);
-                    e.write_u64(*token);
-                }
-                other => {
-                    e.write_u64(3);
-                    e.write_str(&format!("{other:?}"));
-                }
-            }
-            pending = pending.wrapping_add(e.finish());
-        }
-        d.write_u64(pending);
+        self.net.digest_cached_into(&mut d);
+        let (n, s1, s2) = if self.track_pending {
+            (self.calendar.len() as u64, self.pending_s1, self.pending_s2)
+        } else {
+            self.pending_sums_fresh()
+        };
+        Self::write_pending_combine(&mut d, self.time, n, s1, s2);
         d.finish()
     }
+
+    /// [`SimWorld::fingerprint`] with every cache bypassed: stacks, network
+    /// and calendar are all re-digested from scratch.  Bit-identical to the
+    /// cached path by construction — the differential tests call both at
+    /// every step to police the dirty-marking invariant, and the explorer's
+    /// incremental-off benchmark arm uses it as the honest baseline.
+    pub fn fingerprint_fresh(&self) -> u64 {
+        let mut d = StateDigest::new();
+        for (ep, slot) in &self.endpoints {
+            d.write_u64(Self::slot_digest_fresh(*ep, slot));
+        }
+        self.net.digest_into(&mut d);
+        let (n, s1, s2) = self.pending_sums_fresh();
+        Self::write_pending_combine(&mut d, self.time, n, s1, s2);
+        d.finish()
+    }
+
+    fn slot_digest_fresh(ep: EndpointAddr, slot: &Slot) -> u64 {
+        let mut e = StateDigest::new();
+        e.write_u64(ep.raw());
+        e.write_u64(slot.alive as u64);
+        e.write_u64(slot.log_digest.finish());
+        e.write_u64(slot.stack.state_digest());
+        e.finish()
+    }
+
+    fn slot_digest_cached(ep: EndpointAddr, slot: &Slot) -> u64 {
+        if let Some(v) = slot.digest.get() {
+            return v;
+        }
+        let mut e = StateDigest::new();
+        e.write_u64(ep.raw());
+        e.write_u64(slot.alive as u64);
+        e.write_u64(slot.log_digest.finish());
+        e.write_u64(slot.stack.state_digest_cached());
+        let v = e.finish();
+        slot.digest.set(Some(v));
+        v
+    }
+
+    /// Pending events enter the fingerprint as an order-independent combine
+    /// — `(count, Σ h_e, Σ h_e·(t_e − now))` over the pending multiset —
+    /// because two interleavings that converge on the same pending set are
+    /// the same state regardless of how the calendar was populated, and two
+    /// runs reaching the same configuration at different absolute instants
+    /// should merge (times are taken relative to now; the shift falls out
+    /// of the maintained absolute-time sums as `S2 − now·S1` since the
+    /// combine is linear in time).
+    fn write_pending_combine(d: &mut StateDigest, now: SimTime, n: u64, s1: u64, s2: u64) {
+        d.write_u64(n);
+        d.write_u64(s1);
+        d.write_u64(s2.wrapping_sub(now.as_nanos().wrapping_mul(s1)));
+    }
+
+    /// Walks the calendar computing the pending combine from scratch
+    /// (untracked worlds, and the fresh fingerprint path).
+    fn pending_sums_fresh(&self) -> (u64, u64, u64) {
+        let mut s1: u64 = 0;
+        let mut s2: u64 = 0;
+        for (&(at, _), p) in &self.calendar {
+            let h = ev_digest(&p.ev);
+            s1 = s1.wrapping_add(h);
+            s2 = s2.wrapping_add(h.wrapping_mul(at.as_nanos()));
+        }
+        (self.calendar.len() as u64, s1, s2)
+    }
+}
+
+/// The time-independent payload digest of one calendar entry, with every
+/// variant's fields digested directly — no `format!` in the per-event path.
+fn ev_digest(ev: &Ev) -> u64 {
+    let mut e = StateDigest::new();
+    match ev {
+        Ev::Net { to, from, cast, wire } => {
+            e.write_u64(1);
+            e.write_u64(to.raw());
+            e.write_u64(from.raw());
+            e.write_u64(*cast as u64);
+            e.write_bytes(wire.head());
+            e.write_bytes(wire.body());
+        }
+        Ev::Timer { ep, layer, token } => {
+            e.write_u64(2);
+            e.write_u64(ep.raw());
+            e.write_u64(*layer as u64);
+            e.write_u64(*token);
+        }
+        Ev::App { ep, down } => {
+            e.write_u64(3);
+            e.write_u64(ep.raw());
+            down_digest(&mut e, down);
+        }
+        Ev::Crash { ep } => {
+            e.write_u64(4);
+            e.write_u64(ep.raw());
+        }
+        Ev::Partition { regions } => {
+            e.write_u64(5);
+            for r in regions {
+                e.write_u64(r.len() as u64);
+                for m in r {
+                    e.write_u64(m.raw());
+                }
+            }
+        }
+        Ev::Heal => e.write_u64(6),
+        Ev::Suspect { observer, target } => {
+            e.write_u64(7);
+            e.write_u64(observer.raw());
+            e.write_u64(target.raw());
+        }
+        Ev::Fault { rule } => {
+            e.write_u64(8);
+            rule.digest_into(&mut e);
+        }
+    }
+    e.finish()
+}
+
+fn down_digest(e: &mut StateDigest, down: &Down) {
+    match down {
+        Down::Join { group } => {
+            e.write_u64(1);
+            e.write_u64(group.raw());
+        }
+        Down::Cast(msg) => {
+            e.write_u64(2);
+            msg_digest(e, msg);
+        }
+        Down::Send { dests, msg } => {
+            e.write_u64(3);
+            e.write_u64(dests.len() as u64);
+            for dst in dests {
+                e.write_u64(dst.raw());
+            }
+            msg_digest(e, msg);
+        }
+        Down::Ack(id) => {
+            e.write_u64(4);
+            e.write_u64(id.origin.raw());
+            e.write_u64(id.seq);
+        }
+        Down::Stable(id) => {
+            e.write_u64(5);
+            e.write_u64(id.origin.raw());
+            e.write_u64(id.seq);
+        }
+        Down::InstallView(v) => {
+            e.write_u64(6);
+            e.write_str(&v.to_string());
+        }
+        Down::Flush { failed } => {
+            e.write_u64(7);
+            for m in failed {
+                e.write_u64(m.raw());
+            }
+        }
+        Down::FlushOk => e.write_u64(8),
+        Down::Merge { contact } => {
+            e.write_u64(9);
+            e.write_u64(contact.raw());
+        }
+        Down::MergeGranted(id) => {
+            e.write_u64(10);
+            e.write_u64(id.0);
+        }
+        Down::MergeDenied(id) => {
+            e.write_u64(11);
+            e.write_u64(id.0);
+        }
+        Down::Leave => e.write_u64(12),
+        Down::Destroy => e.write_u64(13),
+        Down::Suspect { member } => {
+            e.write_u64(14);
+            e.write_u64(member.raw());
+        }
+        Down::Dump => e.write_u64(15),
+        // `Down` is non_exhaustive; future variants at least digest their
+        // kind until a field-direct arm is added.
+        other => {
+            e.write_u64(99);
+            e.write_str(other.kind());
+        }
+    }
+}
+
+fn msg_digest(e: &mut StateDigest, m: &Message) {
+    e.write_bytes(m.header_area());
+    e.write_bytes(m.body());
 }
 
 #[cfg(test)]
@@ -849,6 +1149,61 @@ mod tests {
         assert!(w.pending_events() >= 1);
         w.run_until(SimTime::from_millis(100));
         assert_eq!(w.pending_events(), 0);
+    }
+
+    #[test]
+    fn cached_fingerprint_matches_fresh_through_a_run() {
+        let mut w = world_of(3);
+        assert_eq!(w.fingerprint(), w.fingerprint_fresh());
+        w.cast_bytes(ep(1), &b"a"[..]);
+        w.crash_at(SimTime::from_millis(2), ep(3));
+        w.suspect_at(SimTime::from_millis(3), ep(1), ep(3));
+        w.partition_at(SimTime::from_millis(4), &[&[ep(1)], &[ep(2)]]);
+        w.heal_at(SimTime::from_millis(5));
+        assert_eq!(w.fingerprint(), w.fingerprint_fresh(), "with a populated calendar");
+        for step in 1..=8u64 {
+            w.run_until(SimTime::from_millis(step));
+            assert_eq!(w.fingerprint(), w.fingerprint_fresh(), "after step {step}");
+        }
+    }
+
+    #[test]
+    fn tracked_pending_sums_match_a_fresh_walk() {
+        // A deterministic world maintains the pending combine incrementally;
+        // the fingerprint must not depend on which path computed it.
+        let mut w = SimWorld::deterministic(NetConfig::reliable());
+        for i in 1..=2 {
+            let s = StackBuilder::new(ep(i)).push(Box::new(Nop)).build().unwrap();
+            w.add_endpoint(s);
+            w.join(ep(i), GroupAddr::new(1));
+        }
+        w.cast_bytes_at(SimTime::from_millis(1), ep(1), &b"x"[..]);
+        w.run_until(SimTime::from_micros(1500));
+        let tracked = w.fingerprint();
+        assert_eq!(tracked, w.fingerprint_fresh());
+        w.set_pending_tracking(false);
+        assert_eq!(w.fingerprint(), tracked, "untracked walk agrees");
+        w.set_pending_tracking(true);
+        assert_eq!(w.fingerprint(), tracked, "re-enabling rebuilds exact sums");
+    }
+
+    #[test]
+    fn fingerprint_merges_time_shifted_equal_states() {
+        // Two runs that reach the same configuration at different absolute
+        // instants must fingerprint identically: pending times are relative.
+        let build = |offset_ms: u64| {
+            let mut w = SimWorld::deterministic(NetConfig::reliable());
+            let s = StackBuilder::new(ep(1)).push(Box::new(Nop)).build().unwrap();
+            w.add_endpoint(s);
+            w.join(ep(1), GroupAddr::new(1));
+            w.run_until(SimTime::from_millis(offset_ms));
+            w.cast_bytes_at(SimTime::from_millis(offset_ms + 7), ep(1), &b"p"[..]);
+            w
+        };
+        let a = build(10);
+        let b = build(25);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint_fresh(), b.fingerprint_fresh());
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! Differential and determinism tests for the incremental fingerprints and
+//! the parallel explorer.
+//!
+//! The incremental fingerprint (`SimWorld::fingerprint`) exists purely as a
+//! performance optimization over the from-scratch walk
+//! (`SimWorld::fingerprint_fresh`) — the two must be *bit-identical* at
+//! every observable instant, or visited-state pruning silently changes the
+//! explored space.  These tests drive every registered scenario and every
+//! committed fixture through both paths and compare.
+//!
+//! The parallel explorer's contract is worker-count independence: the same
+//! scenario and config must produce the same exhaustion verdict and the
+//! same minimized counterexample whether explored with 1 worker or 4.
+
+use horus_check::schedule::verdict_line;
+use horus_check::{explore_parallel, replay_choices, shrink, CheckConfig, Scenario, Schedule};
+use horus_sim::{ReadyEvent, Scheduler, SimWorld, Step};
+use std::time::Duration;
+
+/// A scheduler that follows calendar order while asserting, at every single
+/// step, that the cached fingerprint matches a fresh recomputation.
+struct DiffScheduler {
+    steps: u64,
+}
+
+impl Scheduler for DiffScheduler {
+    fn next_step(&mut self, world: &SimWorld, _ready: &[ReadyEvent]) -> Step {
+        assert_eq!(
+            world.fingerprint(),
+            world.fingerprint_fresh(),
+            "incremental fingerprint diverged from fresh recomputation at step {}",
+            self.steps
+        );
+        self.steps += 1;
+        Step::Fire(0)
+    }
+}
+
+#[test]
+fn incremental_fingerprint_matches_fresh_on_every_scenario() {
+    // Calendar-order drive of every registered scenario, checking the
+    // differential at each step.  This exercises the full mutation surface
+    // the scenarios reach: dispatch into stacks, timer churn, membership
+    // changes, partitions, heals, crashes, and suspicions.
+    for scenario in Scenario::all() {
+        let mut w = scenario.build();
+        let mut sched = DiffScheduler { steps: 0 };
+        w.run_scheduled(&mut sched, Duration::ZERO, scenario.deadline());
+        assert!(sched.steps > 0, "scenario {} executed no steps", scenario.name);
+        assert_eq!(
+            w.fingerprint(),
+            w.fingerprint_fresh(),
+            "divergence at the deadline of scenario {}",
+            scenario.name
+        );
+    }
+}
+
+fn fixtures() -> Vec<(String, Schedule)> {
+    let dir = format!("{}/tests/fixtures", env!("CARGO_MANIFEST_DIR"));
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("fixtures directory exists") {
+        let path = entry.expect("readable entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("check") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().to_string();
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        let schedule = Schedule::parse(&text).unwrap_or_else(|e| panic!("parse {name}: {e}"));
+        out.push((name, schedule));
+    }
+    assert!(out.len() >= 4, "fixture corpus unexpectedly small: {}", out.len());
+    out
+}
+
+#[test]
+fn fixtures_replay_identically_under_incremental_and_fresh_fingerprints() {
+    // Every committed fixture, replayed twice: once with the incremental
+    // fingerprint (the default) and once forcing the from-scratch walk.
+    // Both the verdict and the taken-choice trace must agree — fingerprints
+    // feed visited-set pruning, and pruning must not depend on which
+    // implementation computed the hash.  (In debug builds the replay itself
+    // also asserts cached == fresh at every branch point.)
+    for (name, schedule) in fixtures() {
+        let scenario = Scenario::by_name(&schedule.scenario)
+            .unwrap_or_else(|| panic!("{name}: unknown scenario {:?}", schedule.scenario));
+        let incremental = schedule.to_config();
+        let fresh = CheckConfig { incremental_fp: false, ..schedule.to_config() };
+        let ri = replay_choices(scenario, &schedule.choices, &incremental);
+        let rf = replay_choices(scenario, &schedule.choices, &fresh);
+        assert_eq!(verdict_line(&ri), verdict_line(&rf), "{name}: verdict differs");
+        assert_eq!(ri.taken, rf.taken, "{name}: taken trace differs");
+        assert_eq!(verdict_line(&ri), schedule.verdict, "{name}: verdict drift");
+    }
+}
+
+#[test]
+fn parallel_exploration_is_worker_count_independent_end_to_end() {
+    // fifo2 holds a real violation the explorer must find.  Worker count
+    // must not change what is found: same stats, same violation, and — the
+    // part users actually consume — the same *minimized* schedule file after
+    // shrinking, replaying to the same verdict.
+    let scenario = Scenario::by_name("fifo2").unwrap();
+    let cfg =
+        CheckConfig { max_depth: 6, window: Duration::from_micros(100), ..CheckConfig::default() };
+    let one = explore_parallel(scenario, &cfg, 1);
+    let four = explore_parallel(scenario, &cfg, 4);
+
+    assert_eq!(one.exhausted, four.exhausted);
+    assert_eq!(one.runs, four.runs, "run counts differ across worker counts");
+    assert_eq!(one.states, four.states, "state counts differ across worker counts");
+    let v1 = one.violation.expect("fifo2 violation with 1 worker");
+    let v4 = four.violation.expect("fifo2 violation with 4 workers");
+    assert_eq!(v1.oracle, v4.oracle);
+    assert_eq!(v1.choices, v4.choices, "counterexample prefix differs");
+
+    let s1 = shrink(scenario, &cfg, v1.oracle, &v1.choices);
+    let s4 = shrink(scenario, &cfg, v4.oracle, &v4.choices);
+    assert_eq!(s1, s4, "minimized counterexamples differ");
+    let r1 = replay_choices(scenario, &s1, &cfg);
+    let r4 = replay_choices(scenario, &s4, &cfg);
+    assert_eq!(verdict_line(&r1), verdict_line(&r4));
+    assert!(r1.violation.is_some(), "shrunk schedule must still violate");
+}

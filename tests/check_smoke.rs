@@ -2,24 +2,54 @@
 //! `horus-check` subsystem, recorded in `BENCH_check.json` (style of
 //! `BENCH_packing.json` / `BENCH_dispatch.json`).
 //!
-//! Three claims, measured on the `flush3` scenario (the Figure 2
+//! Six claims, measured on the `flush3` scenario (the Figure 2
 //! flush/merge story at 3 endpoints with a 1-drop budget):
 //!
 //! 1. **The bounded space is exhaustible**: the explorer drains the
 //!    frontier within the budgets instead of merely sampling it.
-//! 2. **Exploration is fast enough for CI**: states/second is recorded so
-//!    regressions in fingerprinting or re-execution cost show up as a
-//!    number, not as a mysteriously slower pipeline.
+//! 2. **Exploration is fast enough for CI**: states/second is recorded and
+//!    gated, so regressions in fingerprinting or re-execution cost show up
+//!    as a failed test, not as a mysteriously slower pipeline.
 //! 3. **The reduction earns its keep**: runs with the commutativity
 //!    reduction on and off are both recorded; off must explore at least as
 //!    many runs (it considers strictly more interleavings).
+//! 4. **Incremental fingerprints earn their keep**: the same space explored
+//!    with from-scratch fingerprints must be at least 3x slower per state.
+//! 5. **Snapshot resume earns its keep**: the same tree walked by stateless
+//!    replay re-executes strictly more events and more wall-clock.
+//! 6. **Parallel exploration is worker-count independent**: the 1/2/4-worker
+//!    arms reach the same exhaustion verdict over the same space, and on
+//!    multi-core hardware more workers finish no slower.
 //!
 //! Ignored by default: it is a timing test and only means anything in
 //! release mode.  Run with
 //! `cargo test --release --test check_smoke -- --ignored`.
 
-use horus_check::{explore, CheckConfig, Scenario};
+use horus_check::{explore, explore_parallel, CheckConfig, CheckReport, Scenario};
 use std::time::{Duration, Instant};
+
+/// Best-of-3 timing: exploration is deterministic, so the reports are
+/// identical across repetitions and the minimum wall-clock is the repetition
+/// least disturbed by scheduler noise (the standard benchmarking estimator).
+fn timed(f: impl Fn() -> CheckReport) -> (CheckReport, f64) {
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    (report.expect("ran at least once"), best)
+}
+
+fn arm_json(label: &str, r: &CheckReport, secs: f64) -> String {
+    format!(
+        "  \"{label}\": {{ \"runs\": {}, \"states\": {}, \"steps\": {}, \"pruned\": {}, \
+         \"exhausted\": {}, \"secs\": {:.3} }}",
+        r.runs, r.states, r.steps, r.pruned, r.exhausted, secs,
+    )
+}
 
 #[test]
 #[ignore = "timing smoke; run explicitly in release"]
@@ -29,20 +59,20 @@ fn check_explorer_smoke() {
         window: Duration::from_micros(100),
         max_depth: 5,
         max_drops: 1,
-        max_states: 50_000,
-        max_runs: 5_000,
+        max_states: 200_000,
+        max_runs: 20_000,
         ..CheckConfig::default()
     };
 
-    let t0 = Instant::now();
-    let on = explore(scenario, &cfg);
-    let secs_on = t0.elapsed().as_secs_f64();
+    // Arm 1: the default path — sequential, reduction on, incremental
+    // fingerprints.  This is the configuration whose throughput is gated.
+    let (on, secs_on) = timed(|| explore(scenario, &cfg));
     assert!(on.violation.is_none(), "flush3 must be clean: {:?}", on.violation);
     assert!(on.exhausted, "bounded space must be exhausted, not sampled");
 
-    let t1 = Instant::now();
-    let off = explore(scenario, &CheckConfig { reduction: false, ..cfg.clone() });
-    let secs_off = t1.elapsed().as_secs_f64();
+    // Arm 2: reduction off — strictly more interleavings.
+    let (off, secs_off) =
+        timed(|| explore(scenario, &CheckConfig { reduction: false, ..cfg.clone() }));
     assert!(off.violation.is_none(), "flush3 must be clean without reduction too");
     assert!(
         off.runs >= on.runs,
@@ -51,31 +81,98 @@ fn check_explorer_smoke() {
         on.runs
     );
 
-    let states_per_sec = (on.states as f64 / secs_on.max(1e-9)) as u64;
+    // Arm 3: incremental fingerprints off — same space, from-scratch hash at
+    // every step.  The whole point of the caches is this ratio.
+    let (fresh, secs_fresh) =
+        timed(|| explore(scenario, &CheckConfig { incremental_fp: false, ..cfg.clone() }));
+    assert!(fresh.violation.is_none());
+    assert_eq!(fresh.states, on.states, "fingerprint implementation changed the space");
+    assert_eq!(fresh.runs, on.runs, "fingerprint implementation changed the search");
+
+    // Arm 3b: snapshot resume off — same tree via stateless replay (build +
+    // prefix re-execution per run).  `steps` is the whole story: resumed
+    // runs execute only their suffix.
+    let (nosnap, secs_nosnap) =
+        timed(|| explore(scenario, &CheckConfig { snapshot_resume: false, ..cfg.clone() }));
+    assert!(nosnap.violation.is_none());
+    assert_eq!(nosnap.states, on.states, "snapshot resume changed the space");
+    assert_eq!(nosnap.runs, on.runs, "snapshot resume changed the search");
+    assert!(
+        on.steps <= nosnap.steps,
+        "snapshot resume must not re-execute prefixes ({} vs {} steps)",
+        on.steps,
+        nosnap.steps
+    );
+    assert!(
+        secs_on < secs_nosnap,
+        "snapshot resume must beat stateless replay ({secs_on:.3}s vs {secs_nosnap:.3}s)"
+    );
+    let sps_incremental = on.states as f64 / secs_on.max(1e-9);
+    let sps_fresh = fresh.states as f64 / secs_fresh.max(1e-9);
+    let speedup = sps_incremental / sps_fresh.max(1e-9);
+    assert!(
+        speedup >= 3.0,
+        "incremental fingerprints must be >= 3x fresh recomputation, got {speedup:.2}x \
+         ({sps_incremental:.0} vs {sps_fresh:.0} states/sec)"
+    );
+
+    // Throughput floor for the default path; see EXPERIMENTS.md E25 for the
+    // machine this was calibrated on.
+    let states_per_sec = sps_incremental as u64;
+    assert!(
+        states_per_sec >= 100_000,
+        "default-path throughput regressed below the floor: {states_per_sec} states/sec"
+    );
+
+    // Arms 4-6: parallel exploration with 1, 2, and 4 workers.  Worker count
+    // must not change the verdict; per-task visited sets mean `states`
+    // counts duplicates across tasks, so only the 2- and 4-worker arms are
+    // compared to each other (identical task decomposition, different
+    // dealing) while all arms must exhaust cleanly.
+    let (w1, secs_w1) = timed(|| explore_parallel(scenario, &cfg, 1));
+    let (w2, secs_w2) = timed(|| explore_parallel(scenario, &cfg, 2));
+    let (w4, secs_w4) = timed(|| explore_parallel(scenario, &cfg, 4));
+    for (label, r) in [("1", &w1), ("2", &w2), ("4", &w4)] {
+        assert!(r.violation.is_none(), "{label}-worker arm found a phantom violation");
+        assert!(r.exhausted, "{label}-worker arm failed to exhaust");
+    }
+    assert_eq!(w1.runs, w2.runs, "worker count changed the explored run set");
+    assert_eq!(w2.runs, w4.runs, "worker count changed the explored run set");
+    assert_eq!(w1.states, w2.states, "worker count changed per-task state accounting");
+    assert_eq!(w2.states, w4.states, "worker count changed per-task state accounting");
+
+    // Wall-clock gate only where the hardware can actually parallelize.
+    let hardware_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if hardware_threads > 1 {
+        assert!(
+            secs_w4 < secs_w1,
+            "4 workers must beat 1 on multi-core hardware ({secs_w4:.3}s vs {secs_w1:.3}s)"
+        );
+    }
+
+    let arms = [
+        arm_json("reduction_on", &on, secs_on),
+        arm_json("reduction_off", &off, secs_off),
+        arm_json("incremental_off", &fresh, secs_fresh),
+        arm_json("snapshot_off", &nosnap, secs_nosnap),
+        arm_json("workers_1", &w1, secs_w1),
+        arm_json("workers_2", &w2, secs_w2),
+        arm_json("workers_4", &w4, secs_w4),
+    ]
+    .join(",\n");
     let json = format!(
         "{{\n  \"experiment\": \"check_explorer_smoke\",\n  \"scenario\": \"{}\",\n  \
-         \"max_depth\": {},\n  \"max_drops\": {},\n  \"window_us\": {},\n  \
-         \"reduction_on\": {{ \"runs\": {}, \"states\": {}, \"steps\": {}, \"pruned\": {}, \
-         \"exhausted\": {}, \"secs\": {:.3} }},\n  \
-         \"reduction_off\": {{ \"runs\": {}, \"states\": {}, \"steps\": {}, \"pruned\": {}, \
-         \"exhausted\": {}, \"secs\": {:.3} }},\n  \"states_per_sec\": {}\n}}\n",
+         \"max_depth\": {},\n  \"max_drops\": {},\n  \"window_us\": {},\n\
+         {arms},\n  \
+         \"states_per_sec\": {},\n  \"incremental_speedup\": {:.2},\n  \
+         \"hardware_threads\": {}\n}}\n",
         scenario.name,
         cfg.max_depth,
         cfg.max_drops,
         cfg.window.as_micros(),
-        on.runs,
-        on.states,
-        on.steps,
-        on.pruned,
-        on.exhausted,
-        secs_on,
-        off.runs,
-        off.states,
-        off.steps,
-        off.pruned,
-        off.exhausted,
-        secs_off,
         states_per_sec,
+        speedup,
+        hardware_threads,
     );
     let path = format!("{}/BENCH_check.json", env!("CARGO_MANIFEST_DIR"));
     std::fs::write(&path, &json).expect("write BENCH_check.json");
