@@ -82,6 +82,20 @@ pub struct CheckConfig {
     /// zero budget leaves legacy choice indices (and committed fixtures)
     /// untouched.
     pub max_crashes: u32,
+    /// Explorer-injected (possibly false) suspicions per run.  When
+    /// non-zero, every branch point additionally offers `Step::Suspect` of
+    /// each ordered pair of distinct alive members — appended after the
+    /// crash options, so zero budgets of either kind leave earlier choice
+    /// indices untouched.
+    pub max_suspects: u32,
+    /// Judge terminal (non-halted) states with the quiescence oracle: a
+    /// run that ends with a member still holding
+    /// [`pending_work`](horus_core::stack::Stack::pending_work) after the
+    /// horizon's grace is reported as a `quiescence` violation — the
+    /// bounded-model-checking twin of the soak runner's progress watchdog.
+    /// Off by default: scenarios whose point is a legitimately wedged
+    /// shape (and the fixtures pinning them) stay clean.
+    pub wedge_oracle: bool,
     /// Global distinct-fingerprint budget.
     pub max_states: u64,
     /// Global executed-run budget.
@@ -110,6 +124,8 @@ impl Default for CheckConfig {
             max_depth: 6,
             max_drops: 0,
             max_crashes: 0,
+            max_suspects: 0,
+            wedge_oracle: false,
             max_states: 200_000,
             max_runs: 20_000,
             incremental_fp: true,
@@ -144,6 +160,8 @@ struct ResumeJob {
     drops_left: u32,
     /// Crash budget remaining at the branch point.
     crashes_left: u32,
+    /// Suspicion budget remaining at the branch point.
+    suspects_left: u32,
 }
 
 /// A violation the explorer found, with the schedule that reaches it.
@@ -210,6 +228,7 @@ struct ControlledScheduler<'a> {
     cursor: usize,
     drops_left: u32,
     crashes_left: u32,
+    suspects_left: u32,
     rec: RunRecord,
     /// Shared visited-fingerprint set; `None` disables pruning (replay).
     visited: Option<&'a mut FpSet>,
@@ -256,6 +275,24 @@ impl<'a> ControlledScheduler<'a> {
                     .filter(|&m| world.is_alive(m))
                     .map(Step::Crash),
             );
+        }
+        // Suspicion choice points (after the crash range, same index-
+        // stability contract): any alive member may be told — truthfully
+        // or not — to suspect any other alive member *here*.
+        if self.suspects_left > 0 {
+            let alive: Vec<EndpointAddr> = (1..=self.scenario.members)
+                .map(EndpointAddr::new)
+                .filter(|&m| world.is_alive(m))
+                .collect();
+            for &observer in &alive {
+                opts.extend(
+                    alive
+                        .iter()
+                        .copied()
+                        .filter(|&target| target != observer)
+                        .map(|target| Step::Suspect { observer, target }),
+                );
+            }
         }
     }
 
@@ -385,6 +422,7 @@ impl Scheduler for ControlledScheduler<'_> {
                             branch_base: self.rec.branch_options.clone(),
                             drops_left: self.drops_left,
                             crashes_left: self.crashes_left,
+                            suspects_left: self.suspects_left,
                         })),
                         None => Job::Fresh(choices),
                     });
@@ -408,6 +446,7 @@ impl Scheduler for ControlledScheduler<'_> {
         match step {
             Step::Drop(_) => self.drops_left -= 1,
             Step::Crash(_) => self.crashes_left -= 1,
+            Step::Suspect { .. } => self.suspects_left -= 1,
             _ => {}
         }
         self.rec.steps += 1;
@@ -426,20 +465,37 @@ fn run_job(
     visited: Option<&mut FpSet>,
     spawn: Option<&mut Vec<Job>>,
 ) -> RunRecord {
-    let (mut world, choices, taken, branch_base, cursor, drops_left, crashes_left) = match job {
-        Job::Fresh(prefix) => {
-            (scenario.build(), prefix, Vec::new(), Vec::new(), 0, cfg.max_drops, cfg.max_crashes)
-        }
-        Job::Resume(r) => {
-            // The resumed run starts at its branch point with the path up
-            // to (but not including) the sibling choice already "taken";
-            // the first `next_step` consumes that last choice exactly as a
-            // stateless replay's final prefix step would.
-            let cursor = r.choices.len() - 1;
-            let taken = r.choices[..cursor].to_vec();
-            (r.world, r.choices, taken, r.branch_base, cursor, r.drops_left, r.crashes_left)
-        }
-    };
+    let (mut world, choices, taken, branch_base, cursor, drops_left, crashes_left, suspects_left) =
+        match job {
+            Job::Fresh(prefix) => (
+                scenario.build(),
+                prefix,
+                Vec::new(),
+                Vec::new(),
+                0,
+                cfg.max_drops,
+                cfg.max_crashes,
+                cfg.max_suspects,
+            ),
+            Job::Resume(r) => {
+                // The resumed run starts at its branch point with the path
+                // up to (but not including) the sibling choice already
+                // "taken"; the first `next_step` consumes that last choice
+                // exactly as a stateless replay's final prefix step would.
+                let cursor = r.choices.len() - 1;
+                let taken = r.choices[..cursor].to_vec();
+                (
+                    r.world,
+                    r.choices,
+                    taken,
+                    r.branch_base,
+                    cursor,
+                    r.drops_left,
+                    r.crashes_left,
+                    r.suspects_left,
+                )
+            }
+        };
     let mut ctl = ControlledScheduler {
         cfg,
         oracles: scenario.oracles,
@@ -448,6 +504,7 @@ fn run_job(
         cursor,
         drops_left,
         crashes_left,
+        suspects_left,
         rec: RunRecord {
             taken,
             branch_options: branch_base,
@@ -475,7 +532,39 @@ fn run_job(
     if rec.violation.is_none() && outcome != RunOutcome::Halted {
         rec.violation = first_violation(scenario, scenario.oracles, &world, &rec.taken);
     }
+    if rec.violation.is_none() && outcome != RunOutcome::Halted && cfg.wedge_oracle {
+        rec.violation = wedge_violation(scenario, &world, &rec.taken);
+    }
     rec
+}
+
+/// The quiescence oracle: at a terminal state, no live member may still be
+/// holding pending protocol work — retransmission queues, unfinished flush
+/// rounds, reassembly gaps.  A member that does is wedged: the horizon gave
+/// every retry/timeout path time to drain, so leftover work means no
+/// schedule continuation can make progress (the "no progress possible"
+/// verdict the soak runner's watchdog reaches statistically, judged here at
+/// the end of a systematically explored schedule).
+fn wedge_violation(scenario: &Scenario, world: &SimWorld, taken: &[u16]) -> Option<FoundViolation> {
+    let mut wedged: Vec<String> = Vec::new();
+    for m in (1..=scenario.members).map(EndpointAddr::new) {
+        if !world.is_alive(m) {
+            continue;
+        }
+        let Some(stack) = world.stack(m) else { continue };
+        let pending = stack.pending_work();
+        if pending > 0 {
+            wedged.push(format!("{m} still holds {pending} unit(s) of pending work"));
+        }
+    }
+    if wedged.is_empty() {
+        return None;
+    }
+    Some(FoundViolation {
+        oracle: "quiescence",
+        message: format!("wedged at the horizon: {}", wedged.join("; ")),
+        choices: taken.to_vec(),
+    })
 }
 
 /// Re-executes the scenario under `choices` from scratch, calendar order
@@ -765,6 +854,91 @@ mod tests {
         // With the receiver dead there is no delivery pair left to misorder,
         // so this path is clean even though the space holds a planted bug.
         assert!(rec.violation.is_none(), "got {:?}", rec.violation);
+    }
+
+    #[test]
+    fn zero_suspect_budget_leaves_option_indices_untouched() {
+        // Same contract as the crash budget: committed fixtures rely on
+        // choice indices, so a zero suspect budget must enumerate exactly
+        // the legacy options.
+        let s = Scenario::by_name("fifo2").unwrap();
+        let cfg = tiny_cfg();
+        assert_eq!(cfg.max_suspects, 0);
+        let a = replay_choices(s, &[1], &cfg);
+        let b = replay_choices(s, &[1], &CheckConfig { max_suspects: 0, ..cfg.clone() });
+        assert_eq!(a.taken, b.taken);
+        assert_eq!(a.branch_options, b.branch_options);
+    }
+
+    #[test]
+    fn suspect_budget_widens_branch_points_by_ordered_pairs() {
+        // Three alive members → six ordered (observer, target) pairs
+        // appended after the fire/drop/crash ranges at every branch point.
+        let s = Scenario::by_name("wedge").unwrap();
+        let cfg = CheckConfig { max_depth: 6, ..CheckConfig::default() };
+        let plain = replay_choices(s, &[], &cfg);
+        let wide = replay_choices(s, &[], &CheckConfig { max_suspects: 1, ..cfg.clone() });
+        let p0 = *plain.branch_options.first().expect("a branch point");
+        let w0 = *wide.branch_options.first().expect("a branch point");
+        assert_eq!(w0, p0 + 6, "suspect block must add members*(members-1) options");
+    }
+
+    #[test]
+    fn suspect_choice_spends_the_budget_and_stays_clean() {
+        // Index p0+2 lands on Suspect{observer: ep:2, target: ep:1} — the
+        // false suspicion that wedges the trio into {a} / {b, c}.  Virtual
+        // synchrony holds within the components, and after a full horizon
+        // every retry path has drained, so even the quiescence oracle is
+        // silent: wedged *membership* is a liveness debate, wedged *work*
+        // is what the oracle indicts.
+        let s = Scenario::by_name("wedge").unwrap();
+        let cfg = CheckConfig { max_depth: 6, ..CheckConfig::default() };
+        let plain = replay_choices(s, &[], &cfg);
+        let idx = plain.branch_options.first().copied().unwrap_or(1) + 2;
+        let rec = replay_choices(
+            s,
+            &[idx],
+            &CheckConfig { max_suspects: 1, wedge_oracle: true, max_depth: 6, ..cfg.clone() },
+        );
+        assert_eq!(rec.taken.first(), Some(&idx), "the suspect option must be selectable");
+        assert!(rec.violation.is_none(), "got {:?}", rec.violation);
+        // The budget is 1: later branch points are back to the legacy width
+        // plus nothing — no second suspicion on this path.
+        let follow =
+            replay_choices(s, &[idx, u16::MAX], &CheckConfig { max_suspects: 1, ..cfg.clone() });
+        assert!(follow.violation.is_none());
+    }
+
+    #[test]
+    fn wedge_oracle_indicts_leftover_pending_work() {
+        // A cast handed down but never scheduled leaves retransmission
+        // state in the stack — exactly the "no continuation can drain
+        // this" terminal the oracle exists for.
+        let s = Scenario::by_name("wedge").unwrap();
+        let mut w = s.build();
+        let base = horus_core::prelude::SimTime::ZERO + s.settle;
+        let quiet = wedge_violation(s, &w, &[]);
+        // Settled world: every flush finished, nothing owed — silent.
+        assert!(quiet.is_none(), "got {quiet:?}");
+        // Inject a suspicion and stop the clock right after the exclusion
+        // flush starts: the observer is parked in Phase::Flushing with the
+        // round unfinished — owed view-change work the horizon never gave
+        // time to drain.
+        w.suspect_at(
+            base + std::time::Duration::from_millis(1),
+            EndpointAddr::new(2),
+            EndpointAddr::new(1),
+        );
+        let mut cal = horus_sim::CalendarScheduler;
+        w.run_scheduled(
+            &mut cal,
+            std::time::Duration::ZERO,
+            base + std::time::Duration::from_micros(1050),
+        );
+        let v = wedge_violation(s, &w, &[7]).expect("pending work must be indicted");
+        assert_eq!(v.oracle, "quiescence");
+        assert!(v.message.contains("pending work"), "got {}", v.message);
+        assert_eq!(v.choices, vec![7]);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! horus-check scenarios
 //! horus-check explore <scenario> [--depth N] [--drops N] [--max-crashes N]
+//!                     [--max-suspects N] [--wedge-oracle]
 //!                     [--states N] [--runs N] [--window-us N] [--workers N]
 //!                     [--no-reduction] [--fresh-fp] [--no-snapshot] [--out FILE]
 //! horus-check replay <schedule-file>
@@ -21,7 +22,8 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  horus-check scenarios\n  horus-check explore <scenario> [--depth N] \
-         [--drops N] [--max-crashes N] [--states N] [--runs N] [--window-us N] [--workers N] \
+         [--drops N] [--max-crashes N] [--max-suspects N] [--wedge-oracle] [--states N] \
+         [--runs N] [--window-us N] [--workers N] \
          [--no-reduction] [--fresh-fp] [--no-snapshot] [--out FILE]\n  \
          horus-check replay <schedule-file>"
     );
@@ -74,6 +76,11 @@ fn cmd_explore(args: &[String]) -> ExitCode {
                 Some(v) => cfg.max_crashes = v,
                 None => return ExitCode::from(1),
             },
+            "--max-suspects" => match grab("--max-suspects").and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.max_suspects = v,
+                None => return ExitCode::from(1),
+            },
+            "--wedge-oracle" => cfg.wedge_oracle = true,
             "--workers" => match grab("--workers").and_then(|v| v.parse().ok()) {
                 Some(v) if v >= 1 => workers = Some(v),
                 _ => return ExitCode::from(1),

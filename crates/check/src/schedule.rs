@@ -18,9 +18,9 @@
 //! verdict: violation fifo: FIFO: ep:2 ...
 //! ```
 //!
-//! `max_crashes` is optional on input and defaults to 0, so fixtures
-//! recorded before the crash choice point existed parse (and replay)
-//! unchanged; serialization always writes it.
+//! `max_crashes` and `max_suspects` are optional on input and default to
+//! 0, so fixtures recorded before those choice points existed parse (and
+//! replay) unchanged; serialization always writes them.
 
 use crate::explore::{CheckConfig, RunRecord};
 use crate::scenario::Scenario;
@@ -45,6 +45,9 @@ pub struct Schedule {
     /// Injected-crash budget the run was found under (0 for fixtures that
     /// predate the crash choice point).
     pub max_crashes: u32,
+    /// Injected-suspicion budget the run was found under (0 for fixtures
+    /// that predate the suspicion choice point).
+    pub max_suspects: u32,
     /// The choice list.
     pub choices: Vec<u16>,
     /// Expected verdict line (see [`verdict_line`]).
@@ -69,6 +72,7 @@ impl Schedule {
             max_depth: cfg.max_depth,
             max_drops: cfg.max_drops,
             max_crashes: cfg.max_crashes,
+            max_suspects: cfg.max_suspects,
             choices: choices.to_vec(),
             verdict,
         }
@@ -83,6 +87,7 @@ impl Schedule {
             max_depth: self.max_depth,
             max_drops: self.max_drops,
             max_crashes: self.max_crashes,
+            max_suspects: self.max_suspects,
             ..CheckConfig::default()
         }
     }
@@ -91,13 +96,14 @@ impl Schedule {
     pub fn serialize(&self) -> String {
         let choices = self.choices.iter().map(u16::to_string).collect::<Vec<_>>().join(" ");
         format!(
-            "{HEADER}\nscenario: {}\nwindow_us: {}\nreduction: {}\nmax_depth: {}\nmax_drops: {}\nmax_crashes: {}\nchoices: {}\nverdict: {}\n",
+            "{HEADER}\nscenario: {}\nwindow_us: {}\nreduction: {}\nmax_depth: {}\nmax_drops: {}\nmax_crashes: {}\nmax_suspects: {}\nchoices: {}\nverdict: {}\n",
             self.scenario,
             self.window_us,
             if self.reduction { "on" } else { "off" },
             self.max_depth,
             self.max_drops,
             self.max_crashes,
+            self.max_suspects,
             choices,
             self.verdict,
         )
@@ -120,6 +126,7 @@ impl Schedule {
         let mut max_depth = None;
         let mut max_drops = None;
         let mut max_crashes = None;
+        let mut max_suspects = None;
         let mut choices = None;
         let mut verdict = None;
         for line in lines {
@@ -153,6 +160,10 @@ impl Schedule {
                     max_crashes =
                         Some(val.parse().map_err(|e| format!("max_crashes {val:?}: {e}"))?);
                 }
+                "max_suspects" => {
+                    max_suspects =
+                        Some(val.parse().map_err(|e| format!("max_suspects {val:?}: {e}"))?);
+                }
                 "choices" => {
                     choices = Some(
                         val.split_whitespace()
@@ -170,9 +181,10 @@ impl Schedule {
             reduction: reduction.ok_or("missing reduction")?,
             max_depth: max_depth.ok_or("missing max_depth")?,
             max_drops: max_drops.ok_or("missing max_drops")?,
-            // Optional with a zero default: fixtures recorded before the
-            // crash choice point replay under exactly the old option lists.
+            // Optional with a zero default: fixtures recorded before these
+            // choice points replay under exactly the old option lists.
             max_crashes: max_crashes.unwrap_or(0),
+            max_suspects: max_suspects.unwrap_or(0),
             choices: choices.ok_or("missing choices")?,
             verdict: verdict.ok_or("missing verdict")?,
         })
@@ -191,6 +203,7 @@ mod tests {
             max_depth: 6,
             max_drops: 0,
             max_crashes: 0,
+            max_suspects: 0,
             choices: vec![1, 0, 2],
             verdict: "violation fifo: FIFO: something".into(),
         }
@@ -228,7 +241,18 @@ mod tests {
         );
         let s = Schedule::parse(&old).unwrap();
         assert_eq!(s.max_crashes, 0);
+        assert_eq!(s.max_suspects, 0);
         assert_eq!(s.to_config().max_crashes, 0);
+        assert_eq!(s.to_config().max_suspects, 0);
+    }
+
+    #[test]
+    fn suspect_budget_roundtrips() {
+        let mut s = sample();
+        s.max_suspects = 1;
+        let text = s.serialize();
+        assert!(text.contains("max_suspects: 1"));
+        assert_eq!(Schedule::parse(&text).unwrap(), s);
     }
 
     #[test]

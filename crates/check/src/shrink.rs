@@ -47,32 +47,10 @@ pub fn shrink(scenario: &Scenario, cfg: &CheckConfig, oracle: &str, choices: &[u
     let mut best = choices.to_vec();
     debug_assert!(sh.fails(&best), "shrink input must fail");
 
-    // ddmin: try removing complements at increasing granularity.
-    let mut n = 2usize;
-    while best.len() >= 2 {
-        let chunk = best.len().div_ceil(n);
-        let mut reduced = false;
-        let mut start = 0;
-        while start < best.len() {
-            let end = (start + chunk).min(best.len());
-            let mut candidate = Vec::with_capacity(best.len() - (end - start));
-            candidate.extend_from_slice(&best[..start]);
-            candidate.extend_from_slice(&best[end..]);
-            if sh.fails(&candidate) {
-                best = candidate;
-                n = n.saturating_sub(1).max(2);
-                reduced = true;
-                break;
-            }
-            start = end;
-        }
-        if !reduced {
-            if chunk == 1 {
-                break;
-            }
-            n = (n * 2).min(best.len());
-        }
-    }
+    // ddmin: try removing complements at increasing granularity.  The
+    // reduction itself is the generic one shared with the soak runner's
+    // fault-plan minimizer; the budget lives in the predicate.
+    best = horus_sim::soak::ddmin(&best, |candidate| sh.fails(candidate));
 
     // Zeroing pass: calendar order wherever it still fails.
     for i in 0..best.len() {

@@ -230,6 +230,21 @@ pub trait Layer: Send {
         None
     }
 
+    /// How many units of *pending work* this layer is still holding: state
+    /// that obliges it to act again before the protocol can be considered
+    /// quiescent — unacknowledged retransmit-queue entries, buffered
+    /// out-of-order gaps, an unflushed view change, a parked total-order
+    /// token.  `0` means "nothing owed".
+    ///
+    /// Liveness monitors (`horus-sim`'s progress watchdog, `horus-check`'s
+    /// quiescence oracle) sample this after faults heal: pending work that
+    /// never drains is a wedge.  The unit is deliberately coarse — monitors
+    /// only compare against zero and watch the trend — so layers just count
+    /// queue entries.  Passive layers owe nothing by construction.
+    fn pending_work(&self) -> u64 {
+        0
+    }
+
     /// Duplicates this layer's full state, if the layer supports it.
     ///
     /// Snapshot support is *opt-in*: the default `None` makes

@@ -495,6 +495,13 @@ impl Stack {
         self.layers.iter().map(|l| (l.name(), l.dump())).collect()
     }
 
+    /// Total [`Layer::pending_work`] across the stack: how much state still
+    /// obliges some layer to act.  `0` means the stack is fully drained —
+    /// the condition liveness monitors demand once the network is quiet.
+    pub fn pending_work(&self) -> u64 {
+        self.layers.iter().map(|l| l.pending_work()).sum()
+    }
+
     /// Feeds this stack's protocol state into a model-checking digest: the
     /// endpoint identity, lifecycle flags, current view, and one 64-bit
     /// digest per layer (the layer's name plus its [`Layer::digest_state`]

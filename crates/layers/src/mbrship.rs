@@ -615,8 +615,17 @@ impl Mbrship {
                 }
             }
             self.cur_epoch = self.cur_epoch.max(epoch);
-        } else if !matches!(self.phase, Phase::Merging { .. } | Phase::Flushing(_)) {
-            // Joiner-side members learn about the merge here.
+        } else if let Phase::Flushing(round) = &self.phase {
+            // Joiner side: the coordinator rebroadcasts the round every
+            // quarter-timeout for the benefit of members that missed it.
+            // We did not miss it — re-entering the round here would
+            // re-send our contribution and reset our (and, via that
+            // contribution, the coordinator's) stall clock every
+            // rebroadcast, so neither side's wedge recovery could ever
+            // fire (a livelock the chaos soak caught).
+            if round.coordinator == src && round.epoch >= epoch {
+                return;
+            }
         }
         self.last_progress = ctx.now();
         let round = FlushRound::new(epoch, src, failed.clone(), leaving, joiner_views);
@@ -688,18 +697,31 @@ impl Mbrship {
                 let Ok(inner) = r.get_bytes() else { return };
                 round.collected.insert((origin, seq), Bytes::copy_from_slice(inner));
             }
-            round.contribs.insert(src, vector);
+            // A re-delivered duplicate is not progress; letting it reset
+            // the stall clock would postpone wedge recovery forever under
+            // a steady drizzle of retransmissions.
+            if round.contribs.insert(src, vector.clone()) == Some(vector) {
+                return;
+            }
         }
         self.last_progress = ctx.now();
         self.try_sync(ctx);
     }
 
     /// All participants of the current round, main view and joiners alike.
-    fn round_participants(view: &View, round: &FlushRound) -> BTreeSet<EndpointAddr> {
+    /// Joiner-view members we already suspect are skipped: a crash
+    /// discovered after the grant will never contribute, and awaiting it
+    /// would wedge the whole round (main-view failures travel in
+    /// `round.failed` instead, so the exclusion is part of the round).
+    fn round_participants(
+        view: &View,
+        round: &FlushRound,
+        suspects: &BTreeSet<EndpointAddr>,
+    ) -> BTreeSet<EndpointAddr> {
         let mut set: BTreeSet<EndpointAddr> =
             view.members().iter().copied().filter(|m| !round.failed.contains(m)).collect();
         for jv in &round.joiner_views {
-            set.extend(jv.members().iter().copied());
+            set.extend(jv.members().iter().copied().filter(|m| !suspects.contains(m)));
         }
         set
     }
@@ -712,15 +734,38 @@ impl Mbrship {
             if round.coordinator != me || round.sync_sent {
                 return;
             }
-            let participants = Self::round_participants(&view, round);
+            let participants = Self::round_participants(&view, round, &self.suspects);
             if !participants.iter().all(|p| round.contribs.contains_key(p)) {
                 return;
             }
             // The cut: per sender, the highest message any participant
-            // holds.
+            // holds — computed within each epoch community.  Sequence
+            // numbers are view-scoped, so a member that follows a
+            // foreign joiner view (asymmetric partition: it is still
+            // listed in our view but moved on) reports counts in *its*
+            // epoch; folding those into our members' cut — or ours into
+            // theirs — produces a bar nobody's receive vector can ever
+            // reach (a flush wedge the chaos soak caught).
+            let my_id = view.id();
+            let mut community: BTreeMap<EndpointAddr, usize> = BTreeMap::new();
+            for m in view.members() {
+                community.insert(*m, 0);
+            }
+            for (i, jv) in round.joiner_views.iter().enumerate() {
+                if jv.id() == my_id {
+                    continue;
+                }
+                for m in jv.members() {
+                    community.insert(*m, i + 1); // joiner epoch wins over ours
+                }
+            }
             let mut cuts: BTreeMap<EndpointAddr, u32> = BTreeMap::new();
-            for vector in round.contribs.values() {
+            for (c, vector) in &round.contribs {
+                let cc = community.get(c).copied();
                 for (&m, &acked) in vector {
+                    if community.get(&m).copied() != cc {
+                        continue;
+                    }
                     let e = cuts.entry(m).or_insert(0);
                     *e = (*e).max(acked);
                 }
@@ -799,9 +844,26 @@ impl Mbrship {
             if round.flush_ok_sent {
                 return;
             }
+            // Members that also appear in a *foreign* joiner view stopped
+            // following our epoch (asymmetric partition: they excluded us
+            // and moved on) — their contributed cut is numbered in *their*
+            // view and can never be met from ours.  Skip them: nobody who
+            // still follows our view has a second log to disagree with,
+            // and the merged view re-establishes synchrony from scratch.
+            // Our own view showing up in `joiner_views` (we are the
+            // joiner side of somebody else's round) does NOT make our
+            // fellow members foreign — their cut is in our epoch and
+            // must be honoured.
+            let my_id = view.id();
+            let foreign: BTreeSet<EndpointAddr> = round
+                .joiner_views
+                .iter()
+                .filter(|jv| jv.id() != my_id)
+                .flat_map(|jv| jv.members().iter().copied())
+                .collect();
             let complete = view.members().iter().all(|m| {
                 let have = self.recv.get(m).copied().unwrap_or(0);
-                have >= cuts.get(m).copied().unwrap_or(0)
+                foreign.contains(m) || have >= cuts.get(m).copied().unwrap_or(0)
             });
             if !complete {
                 return;
@@ -834,7 +896,7 @@ impl Mbrship {
             if round.coordinator != me || !round.sync_sent {
                 return;
             }
-            let participants = Self::round_participants(&view, round);
+            let participants = Self::round_participants(&view, round, &self.suspects);
             if !participants.iter().all(|p| round.flush_oks.contains(p)) {
                 return;
             }
@@ -946,9 +1008,29 @@ impl Mbrship {
         let Ok(their_view) = r.get_view() else { return };
         let me = self.me();
         let Some(view) = self.view.clone() else { return };
-        if their_view.members().iter().all(|m| view.contains(*m)) {
-            return; // already merged (duplicate retry)
+        if their_view.id() == view.id() {
+            // The requester is in our very view — nothing to merge.  Say
+            // so explicitly: a silent drop parks the requester in
+            // `Merging` for the full retry budget, and while its
+            // coordinator waits there it will not start exclusion
+            // flushes for members that crash in the meantime (the chaos
+            // soak caught exactly that wedge).
+            self.control_send(
+                ctx,
+                src,
+                KIND_MERGE_DENY,
+                0,
+                Bytes::from_static(b"already in the same view"),
+            );
+            return;
         }
+        // NOTE: membership containment is NOT a duplicate test.  After an
+        // asymmetric partition (our failure detector rescinded its
+        // suspicions post-heal, theirs did not) we can sit in a view that
+        // still lists the requesters while they excluded us and moved on.
+        // Their view id differs, so they are provably not following our
+        // view — the merge must proceed or the divergence never heals
+        // (the chaos soak's convergence monitor caught this deadlock).
         let coordinator = view.coordinator_among(view.members());
         if coordinator != Some(me) {
             // Forward to our coordinator.
@@ -971,7 +1053,21 @@ impl Mbrship {
 
     fn grant_merge(&mut self, _from: EndpointAddr, their_view: View, ctx: &mut LayerCtx<'_>) {
         if !self.pending_joiners.iter().any(|jv| jv.id() == their_view.id()) {
-            self.pending_joiners.push(their_view);
+            self.pending_joiners.push(their_view.clone());
+        }
+        if let Phase::Merging { .. } = self.phase {
+            // We were courting another view when this one proposed to
+            // us.  Waiting out our own retry budget before flushing the
+            // grant adds seconds of post-heal latency, so abandon the
+            // outbound attempt and coordinate now — but only when we
+            // outrank their coordinator, so two views merging toward
+            // each other elect exactly one flush coordinator instead of
+            // dueling.
+            let me = self.me();
+            let their_coord = their_view.coordinator_among(their_view.members());
+            if their_coord.is_none_or(|c| me < c) {
+                self.phase = Phase::Normal;
+            }
         }
         if matches!(self.phase, Phase::Normal) {
             self.start_flush(ctx);
@@ -1009,6 +1105,7 @@ impl Mbrship {
             AbandonMerge,
             RetryLeave,
             Rebroadcast,
+            SweepFlush,
         }
 
         let waited = now.saturating_since(self.last_progress);
@@ -1023,16 +1120,17 @@ impl Mbrship {
                         // judging members by missing flush-oks then would
                         // condemn everyone, including live members whose
                         // contribution already arrived.
-                        let awaited: Vec<EndpointAddr> = Self::round_participants(&view, round)
-                            .into_iter()
-                            .filter(|p| {
-                                if round.sync_sent {
-                                    !round.flush_oks.contains(p)
-                                } else {
-                                    !round.contribs.contains_key(p)
-                                }
-                            })
-                            .collect();
+                        let awaited: Vec<EndpointAddr> =
+                            Self::round_participants(&view, round, &self.suspects)
+                                .into_iter()
+                                .filter(|p| {
+                                    if round.sync_sent {
+                                        !round.flush_oks.contains(p)
+                                    } else {
+                                        !round.contribs.contains_key(p)
+                                    }
+                                })
+                                .collect();
                         Action::RestartAsCoordinator { awaited }
                     } else if waited > self.cfg.flush_timeout / 4 {
                         Action::Rebroadcast
@@ -1077,26 +1175,40 @@ impl Mbrship {
                 self.last_progress = now;
                 Action::RetryLeave
             }
+            // Suspicions or granted joiners recorded while we were busy
+            // (Merging, or mid-flush for an unrelated round) have no
+            // event left to trigger the flush that acts on them — sweep
+            // them up here or the view never changes again.
+            Phase::Normal
+                if stalled && !(self.suspects.is_empty() && self.pending_joiners.is_empty()) =>
+            {
+                self.last_progress = now;
+                Action::SweepFlush
+            }
             _ => Action::None,
         };
 
         match action {
             Action::None => {}
             Action::RestartAsCoordinator { awaited } => {
-                // Participants that never answered are gone: fail main-view
-                // members, drop unresponsive joiners.
+                // Participants that never answered are gone: suspect them
+                // individually.  Dropping a joiner *view* because one of
+                // its members went silent would punish its live members —
+                // they re-request the merge, we re-grant, the new round
+                // wedges on the same corpse, and the cycle's flush traffic
+                // keeps resetting everyone's stall clocks (a livelock the
+                // chaos soak caught).  A joiner view is only abandoned
+                // once every member of it is suspected.
                 let me = self.me();
-                let view = self.view.clone().expect("flushing implies view");
                 for p in awaited {
                     if p == me {
                         continue;
                     }
-                    if view.contains(p) {
-                        self.suspects.insert(p);
-                    } else {
-                        self.pending_joiners.retain(|jv| !jv.contains(p));
-                    }
+                    self.suspects.insert(p);
                 }
+                let suspects = self.suspects.clone();
+                self.pending_joiners
+                    .retain(|jv| !jv.members().iter().all(|m| suspects.contains(m)));
                 self.last_progress = now;
                 self.start_flush(ctx);
             }
@@ -1128,6 +1240,7 @@ impl Mbrship {
                 self.phase = Phase::Normal;
                 ctx.up(Up::MergeDenied { why: "merge timed out".to_string() });
             }
+            Action::SweepFlush => self.start_flush(ctx),
         }
         ctx.set_timer(self.cfg.tick, TIMER_TICK);
     }
@@ -1374,6 +1487,25 @@ impl Layer for Mbrship {
             self.views_installed,
             self.suspects,
         )
+    }
+
+    fn pending_work(&self) -> u64 {
+        // An unfinished flush is owed work (the view change must
+        // terminate), as are casts held back during it and data buffered
+        // for views not yet installed.  Merging deliberately does NOT
+        // count: merge probes toward a dead or partitioned contact may
+        // legitimately retry forever (the contact could return), so the
+        // phase is background maintenance; a merge that *should* complete
+        // but doesn't is caught by the view-convergence liveness monitor
+        // instead.
+        let lifecycle = match self.phase {
+            Phase::Flushing(_) => 1,
+            _ => 0,
+        };
+        lifecycle
+            + self.pending.len() as u64
+            + self.future.len() as u64
+            + self.future_sends.len() as u64
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

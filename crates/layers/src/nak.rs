@@ -39,6 +39,7 @@ const KIND_NAK: u64 = 2;
 const KIND_LOST: u64 = 3;
 const KIND_UNI_DATA: u64 = 4;
 const KIND_UNI_ACK: u64 = 5;
+const KIND_UNI_SKIP: u64 = 6;
 
 const TIMER_TICK: u64 = 0;
 
@@ -65,6 +66,21 @@ pub struct NakConfig {
     /// exceeds this, so a long outage cannot push recovery arbitrarily far
     /// out once the peer returns.
     pub rto_max: Duration,
+    /// Give up on a point-to-point channel to a peer **outside the
+    /// installed view** after this much incoming silence: unacked messages
+    /// are abandoned (retransmission stops, pending work drains) and a SKIP
+    /// control heals the receiver-side sequence gap if the peer ever
+    /// reconnects.  Channels to current view members never expire — the
+    /// membership flush depends on them.  Without this, a single unacked
+    /// message to a departed member is retransmitted forever (the
+    /// liveness wedge the chaos soak surfaced).
+    pub uni_gc: Duration,
+    /// Disables every retransmission path (NAK-triggered multicast
+    /// recovery and point-to-point timer retransmits) when `false`.
+    /// **Deliberately breaks liveness** — this is the planted-bug knob the
+    /// soak's liveness monitors are validated against in CI; never disable
+    /// it in a real stack.
+    pub retransmit: bool,
 }
 
 impl Default for NakConfig {
@@ -76,6 +92,8 @@ impl Default for NakConfig {
             buffer_cap: 16384,
             rto: Duration::from_millis(40),
             rto_max: Duration::from_millis(320),
+            uni_gc: Duration::from_millis(1600),
+            retransmit: true,
         }
     }
 }
@@ -118,6 +136,14 @@ struct UniChan {
     ooo: BTreeMap<u32, Message>,
     /// Highest cumulative ack we sent (to re-ack duplicates).
     acked: u32,
+    /// Last time anything (data or ack) arrived from this peer; the
+    /// channel-GC idle clock.  Initialised to the channel's creation time
+    /// so a fresh channel gets a full `uni_gc` grace period.
+    last_in: SimTime,
+    /// Highest seq the channel GC abandoned unacked.  While the peer's
+    /// cumulative ack trails this, every ack triggers a SKIP control that
+    /// jumps the receiver past the abandoned range.
+    abandoned: u32,
 }
 
 /// The production NAK layer.
@@ -148,6 +174,7 @@ pub struct Nak {
     retransmissions: u64,
     lost_markers: u64,
     duplicates: u64,
+    channels_gcd: u64,
 }
 
 impl Default for Nak {
@@ -174,6 +201,7 @@ impl Nak {
             retransmissions: 0,
             lost_markers: 0,
             duplicates: 0,
+            channels_gcd: 0,
         }
     }
 
@@ -265,12 +293,19 @@ impl Nak {
             let step = {
                 let rx = self.peers.entry(src).or_default();
                 let next = rx.expected.max(1);
-                if rx.lost.remove(&next) {
-                    rx.expected = next + 1;
-                    Step::Lost
-                } else if let Some(msg) = rx.ooo.remove(&next) {
+                if let Some(msg) = rx.ooo.remove(&next) {
+                    // A LOST placeholder and a late retransmission of the
+                    // same seq can race; if the real data made it here,
+                    // deliver it and discard the marker.  (Checking `lost`
+                    // first orphaned the ooo entry *below* `expected`
+                    // forever — a permanent phantom unit of pending work
+                    // the chaos soak's progress watchdog caught.)
+                    rx.lost.remove(&next);
                     rx.expected = next + 1;
                     Step::Deliver(msg)
+                } else if rx.lost.remove(&next) {
+                    rx.expected = next + 1;
+                    Step::Lost
                 } else {
                     Step::Done
                 }
@@ -371,6 +406,9 @@ impl Nak {
         if from == 0 || to < from || to >= self.next_seq {
             return; // malformed or out of range
         }
+        if !self.cfg.retransmit {
+            return; // planted-bug mode: losses stay lost
+        }
         for seq in from..=to.min(from + MAX_NAK_RANGE - 1) {
             if let Some(buffered) = self.sendbuf.get(&seq) {
                 self.retransmissions += 1;
@@ -391,9 +429,16 @@ impl Nak {
         }
     }
 
+    /// The point-to-point channel to `peer`, created (with its GC idle
+    /// clock started at `now`) on first use.
+    fn chan(&mut self, peer: EndpointAddr, now: SimTime) -> &mut UniChan {
+        self.uni.entry(peer).or_insert_with(|| UniChan { last_in: now, ..UniChan::default() })
+    }
+
     fn send_uni_ack(&mut self, peer: EndpointAddr, ctx: &mut LayerCtx<'_>) {
+        let now = ctx.now();
         let cum = {
-            let chan = self.uni.entry(peer).or_default();
+            let chan = self.chan(peer, now);
             chan.acked = chan.expected.saturating_sub(1).max(chan.acked);
             chan.acked
         };
@@ -408,8 +453,10 @@ impl Nak {
         msg: Message,
         ctx: &mut LayerCtx<'_>,
     ) {
+        let now = ctx.now();
         let (deliveries, dup) = {
-            let chan = self.uni.entry(src).or_default();
+            let chan = self.chan(src, now);
+            chan.last_in = now;
             let expected = chan.expected.max(1);
             if seq >= expected {
                 chan.ooo.insert(seq, msg);
@@ -436,10 +483,43 @@ impl Nak {
         self.send_uni_ack(src, ctx);
     }
 
-    fn handle_uni_ack(&mut self, src: EndpointAddr, cum: u32) {
-        if let Some(chan) = self.uni.get_mut(&src) {
+    fn handle_uni_ack(&mut self, src: EndpointAddr, cum: u32, ctx: &mut LayerCtx<'_>) {
+        let now = ctx.now();
+        let skip_to = {
+            let Some(chan) = self.uni.get_mut(&src) else { return };
+            chan.last_in = now;
             chan.out.retain(|&s, _| s > cum);
+            (chan.abandoned > cum).then_some(chan.abandoned)
+        };
+        // The peer is stuck waiting for a seq the channel GC abandoned:
+        // jump it past the abandoned range (the uni cousin of the
+        // multicast LOST placeholder).
+        if let Some(seq) = skip_to {
+            let msg = self.control(ctx, KIND_UNI_SKIP, seq, bytes::Bytes::new());
+            ctx.down(Down::Send { dests: vec![src], msg });
         }
+    }
+
+    fn handle_uni_skip(&mut self, src: EndpointAddr, seq: u32, ctx: &mut LayerCtx<'_>) {
+        let now = ctx.now();
+        let deliveries = {
+            let chan = self.chan(src, now);
+            chan.last_in = now;
+            let mut out = Vec::new();
+            if seq >= chan.expected.max(1) {
+                chan.expected = seq + 1;
+                while let Some(m) = chan.ooo.remove(&chan.expected) {
+                    chan.expected += 1;
+                    out.push(m);
+                }
+                chan.ooo.retain(|&s, _| s > seq);
+            }
+            out
+        };
+        for m in deliveries {
+            ctx.up(Up::Send { src, msg: m });
+        }
+        self.send_uni_ack(src, ctx);
     }
 
     fn check_failures(&mut self, ctx: &mut LayerCtx<'_>) {
@@ -493,10 +573,11 @@ impl Layer for Nak {
             }
             Down::Send { dests, msg } => {
                 // One reliable FIFO channel per destination.
+                let now = ctx.now();
                 for dest in dests {
                     let mut m = msg.clone();
                     let seq = {
-                        let chan = self.uni.entry(dest).or_default();
+                        let chan = self.chan(dest, now);
                         chan.next += 1;
                         chan.next
                     };
@@ -539,7 +620,8 @@ impl Layer for Nak {
                     KIND_NAK => self.handle_nak(src, &msg.body().clone(), ctx),
                     KIND_LOST => self.handle_lost(src, seq, ctx),
                     KIND_UNI_DATA => self.handle_uni_data(src, seq, msg, ctx),
-                    KIND_UNI_ACK => self.handle_uni_ack(src, seq),
+                    KIND_UNI_ACK => self.handle_uni_ack(src, seq, ctx),
+                    KIND_UNI_SKIP => self.handle_uni_skip(src, seq, ctx),
                     _ => {}
                 }
             }
@@ -559,27 +641,51 @@ impl Layer for Nak {
         // retransmissions per message instead of a fixed-period stream,
         // while the cap keeps recovery prompt once the peer returns.
         let now = ctx.now();
-        let rto = self.cfg.rto;
-        let rto_max = self.cfg.rto_max.max(rto);
-        let mut to_resend: Vec<(EndpointAddr, u32)> = Vec::new();
-        for (&peer, chan) in &self.uni {
-            for (&seq, out) in &chan.out {
-                let backoff = rto
-                    .checked_mul(1u32 << out.attempts.min(16))
-                    .map_or(rto_max, |b| b.min(rto_max));
-                if now.saturating_since(out.sent_at) > backoff {
-                    to_resend.push((peer, seq));
+        // Channel GC: a peer outside the installed view that has been
+        // incoming-silent for `uni_gc` is gone (crashed, excluded, or
+        // behind a long partition the view change already resolved).
+        // Abandon its unacked messages — retransmitting to it forever is
+        // the wedge the progress watchdog flags — and remember the
+        // high-water mark so `handle_uni_ack` can SKIP the peer past the
+        // gap if it ever reconnects.  In-view channels never expire: the
+        // membership flush relies on their reliability.
+        if let Some(dests) = self.dests.clone() {
+            let gc = self.cfg.uni_gc;
+            for (peer, chan) in self.uni.iter_mut() {
+                if dests.contains(peer) || (chan.out.is_empty() && chan.ooo.is_empty()) {
+                    continue;
+                }
+                if now.saturating_since(chan.last_in) > gc {
+                    chan.abandoned = chan.abandoned.max(chan.next);
+                    chan.out.clear();
+                    chan.ooo.clear();
+                    self.channels_gcd += 1;
                 }
             }
         }
-        for (peer, seq) in to_resend {
-            if let Some(chan) = self.uni.get_mut(&peer) {
-                if let Some(out) = chan.out.get_mut(&seq) {
-                    out.sent_at = now;
-                    out.attempts = out.attempts.saturating_add(1);
-                    let m = out.msg.clone();
-                    self.retransmissions += 1;
-                    ctx.down(Down::Send { dests: vec![peer], msg: m });
+        if self.cfg.retransmit {
+            let rto = self.cfg.rto;
+            let rto_max = self.cfg.rto_max.max(rto);
+            let mut to_resend: Vec<(EndpointAddr, u32)> = Vec::new();
+            for (&peer, chan) in &self.uni {
+                for (&seq, out) in &chan.out {
+                    let backoff = rto
+                        .checked_mul(1u32 << out.attempts.min(16))
+                        .map_or(rto_max, |b| b.min(rto_max));
+                    if now.saturating_since(out.sent_at) > backoff {
+                        to_resend.push((peer, seq));
+                    }
+                }
+            }
+            for (peer, seq) in to_resend {
+                if let Some(chan) = self.uni.get_mut(&peer) {
+                    if let Some(out) = chan.out.get_mut(&seq) {
+                        out.sent_at = now;
+                        out.attempts = out.attempts.saturating_add(1);
+                        let m = out.msg.clone();
+                        self.retransmissions += 1;
+                        ctx.down(Down::Send { dests: vec![peer], msg: m });
+                    }
                 }
             }
         }
@@ -588,8 +694,13 @@ impl Layer for Nak {
     }
 
     fn dump(&self) -> String {
+        let uni_out: usize = self.uni.values().map(|c| c.out.len()).sum();
+        let uni_ooo: usize = self.uni.values().map(|c| c.ooo.len()).sum();
+        let rx_ooo: usize = self.peers.values().map(|r| r.ooo.len()).sum();
+        let rx_lost: usize = self.peers.values().map(|r| r.lost.len()).sum();
         format!(
-            "sent={} buffered={} pending={} naks={} retrans={} lost={} dups={} suspected={:?}",
+            "sent={} buffered={} pending={} naks={} retrans={} lost={} dups={} gcd={} \
+             uni={}/{} rx={}/{} suspected={:?}",
             self.next_seq - 1,
             self.sendbuf.len(),
             self.pending.len(),
@@ -597,8 +708,40 @@ impl Layer for Nak {
             self.retransmissions,
             self.lost_markers,
             self.duplicates,
+            self.channels_gcd,
+            uni_out,
+            uni_ooo,
+            rx_ooo,
+            rx_lost,
             self.suspected
         )
+    }
+
+    fn pending_work(&self) -> u64 {
+        // Work this layer still owes: flow-control-queued casts, unacked
+        // (or gap-buffered) point-to-point traffic, and multicast receive
+        // gaps — in both cases only for live in-view peers.  Gaps from
+        // excluded or suspected senders are *not* owed (virtual synchrony
+        // resolved their messages at the view change; the remnant buffer
+        // is inert), and uni traffic to out-of-view peers is the
+        // GC-managed merge-contact flow, background maintenance that may
+        // legitimately probe a dead contact forever.
+        let in_view = |p: &EndpointAddr| match &self.dests {
+            Some(d) => d.contains(p),
+            None => true,
+        };
+        let mut n = self.pending.len() as u64;
+        for (p, chan) in &self.uni {
+            if in_view(p) && !self.suspected.contains(p) {
+                n += (chan.out.len() + chan.ooo.len()) as u64;
+            }
+        }
+        for (p, rx) in &self.peers {
+            if in_view(p) && !self.suspected.contains(p) {
+                n += (rx.ooo.len() + rx.lost.len()) as u64;
+            }
+        }
+        n
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

@@ -171,6 +171,8 @@ pub fn build_layer(spec: &LayerSpec) -> Result<Box<dyn Layer>, HorusError> {
             buffer_cap: p.get_or("buffer", 16384)?,
             rto: p.millis_or("rto", Duration::from_millis(40))?,
             rto_max: p.millis_or("rto_max", Duration::from_millis(320))?,
+            uni_gc: p.millis_or("uni_gc", Duration::from_millis(1600))?,
+            retransmit: p.get_or("retransmit", true)?,
         })),
         "FD" => Box::new(Fd::new(FdConfig {
             period: p.millis_or("period", Duration::from_millis(25))?,

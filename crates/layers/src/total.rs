@@ -364,6 +364,12 @@ impl Layer for Total {
         )
     }
 
+    fn pending_work(&self) -> u64 {
+        // Buffered data awaiting a global sequence number (a parked token
+        // keeps this non-empty) plus casts held back during a flush.
+        (self.unordered.len() + self.held.len()) as u64
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }

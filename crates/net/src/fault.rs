@@ -71,6 +71,42 @@ pub enum FaultRule {
         /// Corrupt frames number `n, 2n, 3n, …` from `src` (must be ≥ 1).
         every_nth: u64,
     },
+    /// A set-based **symmetric** partition: while active, every frame
+    /// between endpoints on *different* sides is dropped, in both
+    /// directions.  Endpoints not listed on any side are unaffected (they
+    /// keep full connectivity).  Unlike [`crate::SimNetwork::partition`] —
+    /// which is a mutable region map with a single global
+    /// [`crate::SimNetwork::heal`] — a `Partition` rule is a declarative
+    /// window: it heals by itself when `end` passes, several rules can
+    /// overlap, and the rule (with its hit counter) participates in state
+    /// digests and `(seed, plan)` replay.
+    Partition {
+        /// The sides of the split (≥ 2 non-empty, mutually disjoint sets).
+        sides: Vec<Vec<EndpointAddr>>,
+        /// When the partition takes effect.
+        start: SimTime,
+        /// When the partition heals; `None` means it never heals.
+        end: Option<SimTime>,
+    },
+    /// A suspicion storm: every `observer` is made to suspect `target`
+    /// (as if its failure detector fired) the moment the rule is
+    /// installed.  This rule has no effect on frame delivery — the
+    /// simulation harness executes it by injecting `Down::Suspect` into
+    /// each observer's stack and records the injections via
+    /// [`FaultPlan::record_hits`] — but it lives in the plan so chaos
+    /// soaks can serialize, digest, shrink, and replay it alongside the
+    /// link rules.
+    SuspicionStorm {
+        /// The endpoints whose detectors fire.
+        observers: Vec<EndpointAddr>,
+        /// The endpoint they all suspect.
+        target: EndpointAddr,
+    },
+}
+
+/// Which side of a partition `ep` sits on, if any.
+fn side_of(sides: &[Vec<EndpointAddr>], ep: EndpointAddr) -> Option<usize> {
+    sides.iter().position(|s| s.contains(&ep))
 }
 
 impl FaultRule {
@@ -111,6 +147,32 @@ impl FaultRule {
                 d.write_u64(src.raw());
                 d.write_u64(every_nth);
             }
+            FaultRule::Partition { ref sides, start, end } => {
+                d.write_u64(5);
+                d.write_u64(sides.len() as u64);
+                for side in sides {
+                    d.write_u64(side.len() as u64);
+                    for ep in side {
+                        d.write_u64(ep.raw());
+                    }
+                }
+                d.write_u64(start.as_nanos());
+                match end {
+                    Some(e) => {
+                        d.write_u64(1);
+                        d.write_u64(e.as_nanos());
+                    }
+                    None => d.write_u64(0),
+                }
+            }
+            FaultRule::SuspicionStorm { ref observers, target } => {
+                d.write_u64(6);
+                d.write_u64(observers.len() as u64);
+                for ep in observers {
+                    d.write_u64(ep.raw());
+                }
+                d.write_u64(target.raw());
+            }
         }
     }
 }
@@ -124,6 +186,9 @@ pub enum FaultDrop {
     Cut,
     /// The delivery fell inside a [`FaultRule::BurstLoss`] window.
     Burst,
+    /// The two endpoints sit on different sides of an active
+    /// [`FaultRule::Partition`].
+    Partition,
 }
 
 /// An ordered, deterministic schedule of targeted faults.
@@ -164,6 +229,22 @@ impl FaultPlan {
             FaultRule::BurstLoss { start, end, .. } => {
                 assert!(end > start, "burst window must be non-empty");
             }
+            FaultRule::Partition { sides, start, end } => {
+                assert!(sides.len() >= 2, "a partition needs at least two sides");
+                assert!(sides.iter().all(|s| !s.is_empty()), "partition sides must be non-empty");
+                let mut seen = Vec::new();
+                for ep in sides.iter().flatten() {
+                    assert!(!seen.contains(ep), "endpoint {ep:?} appears on two partition sides");
+                    seen.push(*ep);
+                }
+                if let Some(e) = end {
+                    assert!(e > start, "partition window must be non-empty");
+                }
+            }
+            FaultRule::SuspicionStorm { observers, target } => {
+                assert!(!observers.is_empty(), "a suspicion storm needs observers");
+                assert!(!observers.contains(target), "an observer cannot suspect itself");
+            }
             FaultRule::OneWayCut { .. } => {}
         }
         self.rules.push(rule);
@@ -196,6 +277,15 @@ impl FaultPlan {
             d.write_u64(ep.raw());
             d.write_u64(*frames);
         }
+    }
+
+    /// Credits `n` hits to rule `idx`.  Used by executors for rules the
+    /// network itself cannot evaluate — e.g. the simulation harness bumps a
+    /// [`FaultRule::SuspicionStorm`]'s counter once per injected suspicion —
+    /// so chaos tests can assert those injections through the same
+    /// [`FaultPlan::hits`] channel as link drops.
+    pub fn record_hits(&mut self, idx: usize, n: u64) {
+        self.hits[idx] += n;
     }
 
     /// Removes every rule (hit history and frame counters included).
@@ -234,6 +324,17 @@ impl FaultPlan {
                 {
                     self.hits[i] += 1;
                     return Some(FaultDrop::Burst);
+                }
+                FaultRule::Partition { ref sides, start, end }
+                    if now >= start
+                        && end.is_none_or(|e| now < e)
+                        && matches!(
+                            (side_of(sides, from), side_of(sides, to)),
+                            (Some(a), Some(b)) if a != b
+                        ) =>
+                {
+                    self.hits[i] += 1;
+                    return Some(FaultDrop::Partition);
                 }
                 _ => {}
             }
@@ -377,6 +478,66 @@ mod tests {
     #[should_panic(expected = "every_nth")]
     fn zeroth_frame_rule_rejected() {
         FaultPlan::new().add(FaultRule::TargetedCorrupt { src: ep(1), every_nth: 0 });
+    }
+
+    #[test]
+    fn partition_is_symmetric_windowed_and_spares_outsiders() {
+        let mut p = FaultPlan::new();
+        let r = p.add(FaultRule::Partition {
+            sides: vec![vec![ep(1), ep(2)], vec![ep(3)]],
+            start: SimTime::from_millis(10),
+            end: Some(SimTime::from_millis(20)),
+        });
+        let mut g = rng();
+        let t = SimTime::from_millis(15);
+        // Both directions across the split are dropped.
+        assert_eq!(p.drop_verdict(ep(1), ep(3), t, &mut g), Some(FaultDrop::Partition));
+        assert_eq!(p.drop_verdict(ep(3), ep(2), t, &mut g), Some(FaultDrop::Partition));
+        // Same-side traffic flows.
+        assert_eq!(p.drop_verdict(ep(1), ep(2), t, &mut g), None);
+        // Endpoints on no side keep full connectivity.
+        assert_eq!(p.drop_verdict(ep(4), ep(3), t, &mut g), None);
+        assert_eq!(p.drop_verdict(ep(1), ep(4), t, &mut g), None);
+        // Outside the window the split heals by itself.
+        assert_eq!(p.drop_verdict(ep(1), ep(3), SimTime::from_millis(5), &mut g), None);
+        assert_eq!(p.drop_verdict(ep(1), ep(3), SimTime::from_millis(20), &mut g), None);
+        assert_eq!(p.hits()[r], 2);
+    }
+
+    #[test]
+    fn permanent_partition_has_no_end() {
+        let mut p = FaultPlan::new();
+        p.add(FaultRule::Partition {
+            sides: vec![vec![ep(1)], vec![ep(2)]],
+            start: SimTime::ZERO,
+            end: None,
+        });
+        let mut g = rng();
+        assert_eq!(
+            p.drop_verdict(ep(2), ep(1), SimTime::from_millis(3_600_000), &mut g),
+            Some(FaultDrop::Partition)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two partition sides")]
+    fn overlapping_partition_sides_rejected() {
+        FaultPlan::new().add(FaultRule::Partition {
+            sides: vec![vec![ep(1), ep(2)], vec![ep(2)]],
+            start: SimTime::ZERO,
+            end: None,
+        });
+    }
+
+    #[test]
+    fn suspicion_storm_never_drops_frames_but_records_executor_hits() {
+        let mut p = FaultPlan::new();
+        let r = p.add(FaultRule::SuspicionStorm { observers: vec![ep(1), ep(2)], target: ep(3) });
+        let mut g = rng();
+        assert_eq!(p.drop_verdict(ep(1), ep(3), SimTime::ZERO, &mut g), None);
+        assert!(!p.corrupt_frame(ep(1)));
+        p.record_hits(r, 2);
+        assert_eq!(p.hits()[r], 2);
     }
 
     #[test]

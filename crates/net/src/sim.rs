@@ -83,6 +83,9 @@ pub struct NetStats {
     pub dropped_partition: u64,
     /// Deliveries suppressed by a [`FaultRule::DirectedLoss`] rule.
     pub dropped_directed: u64,
+    /// Deliveries suppressed by a set-based [`FaultRule::Partition`] rule
+    /// (the declarative, windowed cousin of `dropped_partition` above).
+    pub dropped_fault_partition: u64,
     /// Deliveries suppressed by a [`FaultRule::OneWayCut`] rule.
     pub dropped_cut: u64,
     /// Deliveries suppressed inside a [`FaultRule::BurstLoss`] window.
@@ -367,6 +370,10 @@ impl SimNetwork {
                     self.stats.dropped_directed += 1;
                     continue;
                 }
+                Some(FaultDrop::Partition) => {
+                    self.stats.dropped_fault_partition += 1;
+                    continue;
+                }
                 None => {}
             }
             if sched.chance(ChanceKind::Loss, self.config.loss) {
@@ -553,6 +560,27 @@ mod tests {
         assert_eq!(n.stats().dropped_loss, 0, "cut drops are not random loss");
         let d = n.cast(ep(2), raw(b"y"), SimTime::ZERO, &mut rng());
         assert!(d.iter().any(|d| d.to == ep(1)), "reverse direction flows");
+    }
+
+    #[test]
+    fn partition_rule_cuts_both_directions_and_heals_on_window_end() {
+        let mut n = joined_net(NetConfig::reliable());
+        n.add_fault(FaultRule::Partition {
+            sides: vec![vec![ep(1)], vec![ep(2), ep(3)]],
+            start: SimTime::ZERO,
+            end: Some(SimTime::from_millis(50)),
+        });
+        let d = n.cast(ep(1), raw(b"x"), SimTime::ZERO, &mut rng());
+        assert!(d.iter().all(|d| d.to == ep(1)), "only the loopback survives");
+        let d = n.cast(ep(2), raw(b"y"), SimTime::ZERO, &mut rng());
+        assert!(d.iter().all(|d| d.to != ep(1)), "symmetric: reverse direction cut too");
+        assert!(d.iter().any(|d| d.to == ep(3)), "same-side traffic flows");
+        assert_eq!(n.stats().dropped_fault_partition, 3);
+        // Past the window the rule heals without any explicit heal() call.
+        let t = SimTime::from_millis(50);
+        let d = n.cast(ep(1), raw(b"z"), t, &mut rng());
+        assert_eq!(d.iter().filter(|d| d.to != ep(1)).count(), 2, "healed");
+        assert_eq!(n.stats().dropped_fault_partition, 3);
     }
 
     #[test]

@@ -7,12 +7,27 @@
 //! by a [`crate::world::SimWorld`] and return a list of violations (empty =
 //! the run satisfied the property).  They are the oracles for the
 //! randomized/property tests of experiment E6.
+//!
+//! The checkers split into two families:
+//!
+//! * **Safety** ([`check_virtual_synchrony`], [`check_fifo`],
+//!   [`check_total_order`]): "nothing bad happened".  A stack that
+//!   partitions, wedges, and never delivers another message passes all of
+//!   them vacuously.
+//! * **Liveness** ([`check_view_convergence`], [`check_final_view_delivery`],
+//!   [`ProgressWatchdog`]): "the good thing eventually happened".  §5/§9's
+//!   merge-back lifecycle and TOTAL's token regeneration are liveness
+//!   claims: once the last fault heals, the correct members must converge
+//!   on one agreed view within a bounded quiet period, traffic in that
+//!   final view must deliver everywhere, and each stack's pending work
+//!   (NAK gaps, unflushed views, a parked token) must drain to zero.
 
 use bytes::Bytes;
 use horus_core::prelude::*;
 use horus_core::view::ViewId;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::time::Duration;
 
 /// One endpoint's delivery-relevant history: view installations and cast
 /// deliveries, in order.
@@ -25,8 +40,8 @@ pub struct DeliveryLog {
 
 #[derive(Debug, Clone)]
 enum LogEvent {
-    View(View),
-    Cast { src: EndpointAddr, key: Bytes },
+    View { at: SimTime, view: View },
+    Cast { at: SimTime, src: EndpointAddr, key: Bytes },
 }
 
 /// Deliveries observed in one epoch: `(source, body)` in order.
@@ -44,10 +59,10 @@ impl DeliveryLog {
     pub fn from_upcalls(ep: EndpointAddr, upcalls: &[(SimTime, Up)]) -> Self {
         let events = upcalls
             .iter()
-            .filter_map(|(_, up)| match up {
-                Up::View(v) => Some(LogEvent::View(v.clone())),
+            .filter_map(|(at, up)| match up {
+                Up::View(v) => Some(LogEvent::View { at: *at, view: v.clone() }),
                 Up::Cast { src, msg } => {
-                    Some(LogEvent::Cast { src: *src, key: msg.body().clone() })
+                    Some(LogEvent::Cast { at: *at, src: *src, key: msg.body().clone() })
                 }
                 _ => None,
             })
@@ -60,7 +75,37 @@ impl DeliveryLog {
         self.events
             .iter()
             .filter_map(|e| match e {
-                LogEvent::View(v) => Some(v),
+                LogEvent::View { view, .. } => Some(view),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Views installed with their installation times, in order.
+    pub fn views_timed(&self) -> Vec<(SimTime, &View)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                LogEvent::View { at, view } => Some((*at, view)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The last view this endpoint installed, with its installation time.
+    pub fn final_view(&self) -> Option<(SimTime, &View)> {
+        self.events.iter().rev().find_map(|e| match e {
+            LogEvent::View { at, view } => Some((*at, view)),
+            _ => None,
+        })
+    }
+
+    /// All cast deliveries with their delivery times, in order.
+    pub fn casts_timed(&self) -> Vec<(SimTime, EndpointAddr, &Bytes)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                LogEvent::Cast { at, src, key } => Some((*at, *src, key)),
                 _ => None,
             })
             .collect()
@@ -71,7 +116,7 @@ impl DeliveryLog {
         self.events
             .iter()
             .filter_map(|e| match e {
-                LogEvent::Cast { src, key } => Some((*src, key)),
+                LogEvent::Cast { src, key, .. } => Some((*src, key)),
                 _ => None,
             })
             .collect()
@@ -83,8 +128,8 @@ impl DeliveryLog {
         let mut out: Vec<Epoch<'_>> = vec![(None, Vec::new())];
         for e in &self.events {
             match e {
-                LogEvent::View(v) => out.push((Some(v), Vec::new())),
-                LogEvent::Cast { src, key } => {
+                LogEvent::View { view, .. } => out.push((Some(view), Vec::new())),
+                LogEvent::Cast { src, key, .. } => {
                     out.last_mut().expect("epoch list non-empty").1.push((*src, key))
                 }
             }
@@ -299,6 +344,201 @@ pub fn check_total_order(logs: &[DeliveryLog]) -> Vec<Violation> {
     violations
 }
 
+/// **Liveness**: after the last fault heals at `heal_at`, every correct
+/// member must converge on one agreed final view — containing exactly the
+/// correct members — within the `quiet` period.
+///
+/// Violations name members that never installed a view, installed their
+/// final view after the `heal_at + quiet` deadline, disagree about what
+/// the final view is, or agreed on a view whose membership is not the
+/// correct set (a wedged sub-group that never merged back).
+///
+/// Only pass logs of *correct* (never-crashed) members, and only call once
+/// the run has been driven past the deadline — an early call reports
+/// convergence the run simply has not had time for yet.
+#[must_use = "a non-empty result means the run failed to converge (liveness violation)"]
+pub fn check_view_convergence(
+    logs: &[DeliveryLog],
+    correct: &[EndpointAddr],
+    heal_at: SimTime,
+    quiet: Duration,
+) -> Vec<Violation> {
+    let deadline = heal_at + quiet;
+    let mut violations = Vec::new();
+    let mut finals: Vec<(EndpointAddr, SimTime, &View)> = Vec::new();
+    for &m in correct {
+        let Some(log) = logs.iter().find(|l| l.ep == m) else {
+            violations.push(Violation(format!("no delivery log for correct member {m}")));
+            continue;
+        };
+        match log.final_view() {
+            None => {
+                violations.push(Violation(format!(
+                    "liveness: {m} never installed any view (deadline {deadline})"
+                )));
+            }
+            Some((at, v)) => {
+                if at > deadline {
+                    violations.push(Violation(format!(
+                        "liveness: {m} installed its final view {} at {at}, after the \
+                         convergence deadline {deadline} (heal {heal_at} + quiet {quiet:?})",
+                        v.id()
+                    )));
+                }
+                finals.push((m, at, v));
+            }
+        }
+    }
+    // Agreement on the final view, by id and membership.
+    if let Some((first_ep, _, first)) = finals.first() {
+        for (m, _, v) in &finals[1..] {
+            if v.id() != first.id() || v.members() != first.members() {
+                violations.push(Violation(format!(
+                    "liveness: correct members never converged on one view: \
+                     {first_ep} ended in {} {:?}, {m} ended in {} {:?}",
+                    first.id(),
+                    first.members(),
+                    v.id(),
+                    v.members()
+                )));
+            }
+        }
+        let mut want: Vec<EndpointAddr> = correct.to_vec();
+        want.sort();
+        want.dedup();
+        let mut got: Vec<EndpointAddr> = first.members().to_vec();
+        got.sort();
+        if got != want && violations.is_empty() {
+            violations.push(Violation(format!(
+                "liveness: agreed final view {} has members {:?}, but the correct \
+                 members are {:?} (group never merged back whole)",
+                first.id(),
+                first.members(),
+                want
+            )));
+        }
+    }
+    violations
+}
+
+/// **Liveness**: every cast delivered by some correct member in the agreed
+/// final view must be delivered by *all* correct members.  (Because every
+/// sender loops its own casts back, this is exactly "every cast sent in
+/// the final view delivers at all its members".)
+///
+/// Assumes [`check_view_convergence`] already passed: if the correct
+/// members' final views disagree, this check reports nothing and leaves
+/// the story to the convergence checker.
+#[must_use = "a non-empty result means final-view traffic was lost (liveness violation)"]
+pub fn check_final_view_delivery(logs: &[DeliveryLog], correct: &[EndpointAddr]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let relevant: Vec<&DeliveryLog> =
+        correct.iter().filter_map(|m| logs.iter().find(|l| l.ep == *m)).collect();
+    let ids: Vec<ViewId> =
+        relevant.iter().filter_map(|l| l.final_view().map(|(_, v)| v.id())).collect();
+    if ids.len() != relevant.len() || ids.windows(2).any(|w| w[0] != w[1]) {
+        return violations; // no agreed final view: convergence reports it
+    }
+    let mut sets: Vec<(EndpointAddr, DeliveryMultiset)> = Vec::new();
+    for log in &relevant {
+        let epochs = log.epochs();
+        let Some((_, deliveries)) = epochs.last() else { continue };
+        let mut multiset: DeliveryMultiset = BTreeMap::new();
+        for (src, key) in deliveries {
+            *multiset.entry((*src, key.to_vec())).or_insert(0) += 1;
+        }
+        sets.push((log.ep, multiset));
+    }
+    if let Some((first_ep, first_set)) = sets.first() {
+        for (m, set) in &sets[1..] {
+            if set != first_set {
+                let only_first: Vec<_> =
+                    first_set.keys().filter(|k| !set.contains_key(*k)).collect();
+                let only_this: Vec<_> =
+                    set.keys().filter(|k| !first_set.contains_key(*k)).collect();
+                violations.push(Violation(format!(
+                    "liveness: final-view delivery divergence between {first_ep} and {m}: \
+                     only-{first_ep}: {only_first:?}, only-{m}: {only_this:?}"
+                )));
+            }
+        }
+    }
+    violations
+}
+
+/// **Liveness**, reported continuously: a per-stack progress watchdog.
+///
+/// Feed it every disturbance (fault injected *or* healed) via
+/// [`ProgressWatchdog::disturb`] and sample each correct stack's
+/// [pending work](horus_core::stack::Stack::pending_work) via
+/// [`ProgressWatchdog::observe`] as the run advances.  A stack whose
+/// pending work sits *unchanged and non-zero* for a full quiet period —
+/// measured from the later of its last change and the last disturbance —
+/// is wedged: retransmissions that never succeed, a flush that never
+/// completes, a token that never regenerates.
+///
+/// The watchdog never flags a stack that is still draining (its count
+/// keeps changing) or that is disturbed faster than it can drain.
+#[derive(Debug, Clone)]
+pub struct ProgressWatchdog {
+    quiet: Duration,
+    last_disturbance: SimTime,
+    /// Per-endpoint: (value at last change, time of last change, last
+    /// sample time).
+    state: BTreeMap<EndpointAddr, (u64, SimTime, SimTime)>,
+}
+
+impl ProgressWatchdog {
+    /// A watchdog that declares a stack wedged after `quiet` of
+    /// unchanged non-zero pending work.
+    pub fn new(quiet: Duration) -> Self {
+        ProgressWatchdog { quiet, last_disturbance: SimTime::ZERO, state: BTreeMap::new() }
+    }
+
+    /// Records a disturbance (fault injected or healed) at `at`: stalls
+    /// are excused until `at + quiet`.
+    pub fn disturb(&mut self, at: SimTime) {
+        self.last_disturbance = self.last_disturbance.max(at);
+    }
+
+    /// Samples one stack's pending-work count at `now`.
+    pub fn observe(&mut self, now: SimTime, ep: EndpointAddr, pending: u64) {
+        match self.state.get_mut(&ep) {
+            None => {
+                self.state.insert(ep, (pending, now, now));
+            }
+            Some((value, changed_at, sampled_at)) => {
+                if *value != pending {
+                    *value = pending;
+                    *changed_at = now;
+                }
+                *sampled_at = now;
+            }
+        }
+    }
+
+    /// The stalls observed so far: stacks whose pending work has sat
+    /// unchanged and non-zero for a full quiet period with no disturbance.
+    #[must_use = "a non-empty result means a stack is wedged (liveness violation)"]
+    pub fn violations(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (&ep, &(value, changed_at, sampled_at)) in &self.state {
+            if value == 0 {
+                continue;
+            }
+            let since = changed_at.max(self.last_disturbance);
+            if sampled_at.saturating_since(since) > self.quiet {
+                out.push(Violation(format!(
+                    "liveness: {ep} is wedged — {value} unit(s) of pending work unchanged \
+                     since {since} (observed through {sampled_at}, quiet {:?})",
+                    self.quiet
+                )));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,7 +557,15 @@ mod tests {
     }
 
     fn cast(src: u64, body: &[u8]) -> LogEvent {
-        LogEvent::Cast { src: ep(src), key: Bytes::copy_from_slice(body) }
+        LogEvent::Cast { at: SimTime::ZERO, src: ep(src), key: Bytes::copy_from_slice(body) }
+    }
+
+    fn view_ev(v: View) -> LogEvent {
+        LogEvent::View { at: SimTime::ZERO, view: v }
+    }
+
+    fn view_at(at: SimTime, v: View) -> LogEvent {
+        LogEvent::View { at, view: v }
     }
 
     #[test]
@@ -325,15 +573,7 @@ mod tests {
         let v = view_abc();
         let v2 = v.successor(ep(1), &[ep(3)], &[]);
         let mk = |e: u64| {
-            log(
-                ep(e),
-                vec![
-                    LogEvent::View(v.clone()),
-                    cast(1, b"a"),
-                    cast(2, b"b"),
-                    LogEvent::View(v2.clone()),
-                ],
-            )
+            log(ep(e), vec![view_ev(v.clone()), cast(1, b"a"), cast(2, b"b"), view_ev(v2.clone())])
         };
         let logs = vec![mk(1), mk(2)];
         assert!(check_virtual_synchrony(&logs).is_empty());
@@ -347,10 +587,10 @@ mod tests {
         other = other.successor(ep(1), &[ep(3)], &[]);
         // Same id, different membership: forge by reusing v's id via logs.
         let logs = vec![
-            log(ep(1), vec![LogEvent::View(v.clone())]),
+            log(ep(1), vec![view_ev(v.clone())]),
             log(
                 ep(2),
-                vec![LogEvent::View(View::from_parts(
+                vec![view_ev(View::from_parts(
                     v.group(),
                     v.id(),
                     other.members().to_vec(),
@@ -367,8 +607,8 @@ mod tests {
         let v = view_abc();
         let v2 = v.successor(ep(1), &[ep(3)], &[]);
         let logs = vec![
-            log(ep(1), vec![LogEvent::View(v.clone()), cast(2, b"m"), LogEvent::View(v2.clone())]),
-            log(ep(2), vec![LogEvent::View(v.clone()), LogEvent::View(v2.clone())]),
+            log(ep(1), vec![view_ev(v.clone()), cast(2, b"m"), view_ev(v2.clone())]),
+            log(ep(2), vec![view_ev(v.clone()), view_ev(v2.clone())]),
         ];
         let violations = check_virtual_synchrony(&logs);
         assert!(violations.iter().any(|v| v.0.contains("delivery disagreement")));
@@ -379,10 +619,10 @@ mod tests {
         let v = view_abc();
         let v2 = v.successor(ep(1), &[ep(3)], &[]);
         let logs = vec![
-            log(ep(1), vec![LogEvent::View(v.clone()), cast(2, b"m"), LogEvent::View(v2.clone())]),
-            log(ep(2), vec![LogEvent::View(v.clone()), cast(2, b"m"), LogEvent::View(v2.clone())]),
+            log(ep(1), vec![view_ev(v.clone()), cast(2, b"m"), view_ev(v2.clone())]),
+            log(ep(2), vec![view_ev(v.clone()), cast(2, b"m"), view_ev(v2.clone())]),
             // ep(3) crashed mid-view having delivered less: fine.
-            log(ep(3), vec![LogEvent::View(v.clone())]),
+            log(ep(3), vec![view_ev(v.clone())]),
         ];
         assert!(check_virtual_synchrony(&logs).is_empty());
     }
@@ -391,10 +631,7 @@ mod tests {
     fn sender_outside_view_detected() {
         let v = view_abc();
         let v2 = v.successor(ep(1), &[ep(3)], &[]);
-        let logs = vec![log(
-            ep(1),
-            vec![LogEvent::View(v.clone()), cast(9, b"intruder"), LogEvent::View(v2)],
-        )];
+        let logs = vec![log(ep(1), vec![view_ev(v.clone()), cast(9, b"intruder"), view_ev(v2)])];
         let violations = check_virtual_synchrony(&logs);
         assert!(violations.iter().any(|v| v.0.contains("non-member")));
     }
@@ -438,8 +675,115 @@ mod tests {
     #[test]
     fn monotonic_views_enforced() {
         let v = view_abc();
-        let logs = vec![log(ep(1), vec![LogEvent::View(v.clone()), LogEvent::View(v.clone())])];
+        let logs = vec![log(ep(1), vec![view_ev(v.clone()), view_ev(v.clone())])];
         let violations = check_virtual_synchrony(&logs);
         assert!(violations.iter().any(|x| x.0.contains("non-monotonic")));
+    }
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::from_millis(n)
+    }
+
+    #[test]
+    fn convergence_passes_when_all_correct_members_agree_in_time() {
+        let v = view_abc();
+        let correct = [ep(1), ep(2), ep(3)];
+        let logs: Vec<DeliveryLog> =
+            correct.iter().map(|&m| log(m, vec![view_at(ms(150), v.clone())])).collect();
+        let viols = check_view_convergence(&logs, &correct, ms(100), Duration::from_millis(100));
+        assert!(viols.is_empty(), "{viols:?}");
+    }
+
+    #[test]
+    fn convergence_flags_disagreement_late_install_and_missing_member() {
+        let v = view_abc();
+        let small = v.successor(ep(1), &[ep(3)], &[]); // {1,2}
+        let correct = [ep(1), ep(2), ep(3)];
+        // ep3 is stuck in the old 3-member view while 1 and 2 moved on.
+        let logs = vec![
+            log(ep(1), vec![view_at(ms(150), small.clone())]),
+            log(ep(2), vec![view_at(ms(150), small.clone())]),
+            log(ep(3), vec![view_at(ms(10), v.clone())]),
+        ];
+        let viols = check_view_convergence(&logs, &correct, ms(100), Duration::from_millis(100));
+        assert!(viols.iter().any(|x| x.0.contains("never converged")), "{viols:?}");
+
+        // Everyone agrees, but on a view missing a correct member.
+        let logs = vec![
+            log(ep(1), vec![view_at(ms(150), small.clone())]),
+            log(ep(2), vec![view_at(ms(150), small.clone())]),
+            log(ep(3), vec![view_at(ms(150), small.clone())]),
+        ];
+        let viols = check_view_convergence(&logs, &correct, ms(100), Duration::from_millis(100));
+        assert!(!viols.is_empty(), "installer ep3 outside the view is flagged");
+
+        // Agreement reached, but only after the deadline.
+        let logs: Vec<DeliveryLog> =
+            correct.iter().map(|&m| log(m, vec![view_at(ms(500), v.clone())])).collect();
+        let viols = check_view_convergence(&logs, &correct, ms(100), Duration::from_millis(100));
+        assert!(viols.iter().any(|x| x.0.contains("after the convergence deadline")));
+
+        // A member that never installed anything.
+        let logs = vec![
+            log(ep(1), vec![view_at(ms(50), v.clone())]),
+            log(ep(2), vec![view_at(ms(50), v.clone())]),
+            log(ep(3), vec![]),
+        ];
+        let viols = check_view_convergence(&logs, &correct, ms(100), Duration::from_millis(100));
+        assert!(viols.iter().any(|x| x.0.contains("never installed any view")));
+    }
+
+    #[test]
+    fn final_view_delivery_divergence_detected() {
+        let v = view_abc();
+        let correct = [ep(1), ep(2), ep(3)];
+        let with = |extra: bool| {
+            let mut evs = vec![view_ev(v.clone()), cast(1, b"a")];
+            if extra {
+                evs.push(cast(2, b"b"));
+            }
+            evs
+        };
+        let logs = vec![
+            log(ep(1), with(true)),
+            log(ep(2), with(true)),
+            log(ep(3), with(false)), // ep3 never got ep2's cast
+        ];
+        let viols = check_final_view_delivery(&logs, &correct);
+        assert_eq!(viols.len(), 1);
+        assert!(viols[0].0.contains("final-view delivery divergence"));
+        let ok = vec![log(ep(1), with(true)), log(ep(2), with(true)), log(ep(3), with(true))];
+        assert!(check_final_view_delivery(&ok, &correct).is_empty());
+    }
+
+    #[test]
+    fn watchdog_flags_stuck_pending_work_but_tolerates_draining() {
+        let quiet = Duration::from_millis(100);
+        // Stuck: constant non-zero pending past the quiet period.
+        let mut dog = ProgressWatchdog::new(quiet);
+        for t in 0..=30 {
+            dog.observe(ms(t * 10), ep(1), 5);
+        }
+        assert_eq!(dog.violations().len(), 1);
+        assert!(dog.violations()[0].0.contains("wedged"));
+
+        // Draining: the count keeps moving, then reaches zero.
+        let mut dog = ProgressWatchdog::new(quiet);
+        for t in 0..=30u64 {
+            dog.observe(ms(t * 10), ep(1), 30 - t);
+        }
+        assert!(dog.violations().is_empty());
+
+        // A disturbance excuses the stall until quiet expires again.
+        let mut dog = ProgressWatchdog::new(quiet);
+        for t in 0..=30 {
+            dog.observe(ms(t * 10), ep(1), 5);
+        }
+        dog.disturb(ms(290));
+        assert!(dog.violations().is_empty(), "stall excused by fresh disturbance");
+        for t in 31..=45 {
+            dog.observe(ms(t * 10), ep(1), 5);
+        }
+        assert_eq!(dog.violations().len(), 1, "still stuck a full quiet period later");
     }
 }

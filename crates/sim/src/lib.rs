@@ -16,6 +16,9 @@
 //! * [`sched`] — the schedule-level choice point: a [`sched::Scheduler`]
 //!   picks which ready event fires next, which is how `horus-check`
 //!   systematically explores delivery/timer/failure orderings.
+//! * [`soak`] — seeded chaos-soak campaigns: random fault plans, safety
+//!   plus liveness oracles every quiet window, ddmin fault-plan
+//!   minimization, replayable `(seed, plan)` artifacts.
 //! * [`workload`] — message workload generators for the benchmarks.
 //! * [`threaded`] — a real-time, really-threaded executor over the loopback
 //!   transport, for the §10 dispatch-model ablation.
@@ -28,6 +31,7 @@ pub mod detector;
 pub mod invariants;
 pub mod sched;
 pub mod shard;
+pub mod soak;
 pub mod threaded;
 pub mod workload;
 pub mod world;
@@ -36,5 +40,6 @@ pub use detector::{FailureDetector, Suspicion};
 pub use invariants::{check_fifo, check_total_order, check_virtual_synchrony, DeliveryLog};
 pub use sched::{CalendarScheduler, RunOutcome, Scheduler, Step};
 pub use shard::{ShardConfig, ShardExecutor};
+pub use soak::{SoakAction, SoakConfig, SoakEvent, SoakOutcome, SoakPlan};
 pub use workload::{Workload, WorkloadKind};
 pub use world::{EventId, ReadyEvent, ReadyKind, SimWorld};

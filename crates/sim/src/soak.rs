@@ -1,0 +1,705 @@
+//! Chaos-soak campaigns: seeded random fault plans, safety **and**
+//! liveness oracles evaluated every quiet window, and delta-debugging
+//! minimization of violating plans into replayable `(seed, plan)`
+//! artifacts.
+//!
+//! The safety checkers of [`crate::invariants`] say a run never did the
+//! wrong thing; the soak runner exists to catch the other failure mode —
+//! the run that *stops doing anything at all*.  A campaign iteration:
+//!
+//! 1. [`gen_plan`] derives a random [`SoakPlan`] from the seed: set-based
+//!    partitions with built-in heals, fail-stop crashes, suspicion storms
+//!    and scripted merge nudges, scattered over a virtual-time horizon and
+//!    interleaved with a round-robin multicast workload.
+//! 2. [`run_soak`] executes the plan on a [`SimWorld`], sampling every
+//!    member's [`Stack::pending_work`] into a
+//!    [`ProgressWatchdog`][crate::invariants::ProgressWatchdog] each
+//!    half-quiet window and running the prefix-safe safety checkers as it
+//!    goes; after the last disturbance it requires post-heal view
+//!    convergence and final-view delivery agreement.
+//! 3. On violation, [`minimize_plan`] re-runs [`ddmin`] over the plan's
+//!    event list until no single chunk can be removed, and
+//!    [`serialize_artifact`] emits a line-oriented `(seed, plan)` file
+//!    that [`parse_artifact`] replays byte-identically.
+//!
+//! `horus-sim` cannot name concrete protocol layers (the dependency points
+//! the other way), so every entry point takes a *stack factory*; callers
+//! hand in `horus_layers::registry::build_stack` partially applied to a
+//! descriptor string, which the artifact records verbatim.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use horus_core::prelude::*;
+use horus_net::{FaultRule, NetConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::invariants::{
+    check_fifo, check_final_view_delivery, check_total_order, check_view_convergence,
+    check_virtual_synchrony, DeliveryLog, ProgressWatchdog, Violation,
+};
+use crate::workload::{Workload, WorkloadKind};
+use crate::world::SimWorld;
+
+/// Builds one endpoint's protocol stack.  Callers supply this because the
+/// layer library lives above `horus-sim` in the dependency graph.
+pub type StackFactory<'a> = &'a dyn Fn(EndpointAddr) -> Stack;
+
+/// Salt mixed into the seed for plan generation so the plan RNG and the
+/// world's network RNG draw from independent streams.
+const PLAN_SALT: u64 = 0x5A0C_CAFE;
+
+/// One chaos action scheduled by a soak plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoakAction {
+    /// Symmetric set-based partition over `sides`, healing after `dur`.
+    Partition { sides: Vec<Vec<EndpointAddr>>, dur: Duration },
+    /// Fail-stop crash.
+    Crash { ep: EndpointAddr },
+    /// Every listed observer simultaneously suspects `target`.
+    Storm { observers: Vec<EndpointAddr>, target: EndpointAddr },
+    /// A scripted merge nudge: `who` probes `contact`.
+    Merge { who: EndpointAddr, contact: EndpointAddr },
+}
+
+/// A chaos action with its virtual start time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakEvent {
+    /// Absolute virtual time the action fires.
+    pub at: SimTime,
+    /// What happens.
+    pub action: SoakAction,
+}
+
+/// An ordered list of chaos actions — the unit `ddmin` minimizes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SoakPlan {
+    /// Events in firing order.
+    pub events: Vec<SoakEvent>,
+}
+
+/// Campaign parameters.  Everything here plus the plan determines the
+/// execution bit-for-bit: same `(SoakConfig, SoakPlan)` ⇒ same transcript.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoakConfig {
+    /// World seed (network RNG) and, salted, the plan-generation seed.
+    pub seed: u64,
+    /// Endpoints `1..=members`.
+    pub members: u64,
+    /// Stack descriptor, recorded in artifacts.  The runner itself never
+    /// parses it — the stack factory does.
+    pub stack: String,
+    /// Number of chaos events [`gen_plan`] scatters over the horizon.
+    pub events: usize,
+    /// Length of the fault-injection phase (after `settle`).
+    pub horizon: Duration,
+    /// Quiet period: the convergence deadline after the last disturbance,
+    /// and the watchdog's stall threshold.
+    pub quiet: Duration,
+    /// Initial group-formation time before any fault fires.
+    pub settle: Duration,
+    /// Network frame-loss probability throughout the run.
+    pub loss: f64,
+    /// Workload slots (round-robin casts) spread over the horizon.
+    pub casts: u64,
+    /// Also run the total-order checker (stack must include TOTAL).
+    pub check_total: bool,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            seed: 1,
+            members: 4,
+            stack: "MERGE(contacts=1,period=50):MBRSHIP:FD:FRAG:NAK:COM(promiscuous=true)".into(),
+            events: 6,
+            horizon: Duration::from_secs(4),
+            quiet: Duration::from_millis(1500),
+            settle: Duration::from_secs(3),
+            loss: 0.02,
+            casts: 40,
+            check_total: false,
+        }
+    }
+}
+
+impl SoakConfig {
+    /// The endpoint addresses `1..=members`.
+    pub fn member_addrs(&self) -> Vec<EndpointAddr> {
+        (1..=self.members).map(EndpointAddr::new).collect()
+    }
+}
+
+/// What a soak run produced.
+#[derive(Debug, Clone)]
+pub struct SoakOutcome {
+    /// All violations, safety and liveness, tagged with the window time
+    /// they were detected at.  Empty ⇔ the run was clean.
+    pub violations: Vec<Violation>,
+    /// Members that never crashed (the set liveness is judged over).
+    pub correct: Vec<EndpointAddr>,
+    /// Total casts delivered across all members.
+    pub delivered: u64,
+    /// Quiet windows the oracles ran in.
+    pub windows: u64,
+    /// Virtual time the run ended at.
+    pub end: SimTime,
+    /// A rendered view/delivery transcript of every member, used for
+    /// byte-identical replay comparison.
+    pub transcript: String,
+    /// Per-member layer-state dumps at the end of the run (`pending` is
+    /// [`Stack::pending_work`]) — the first place to look when the
+    /// watchdog reports a wedge.
+    pub dumps: Vec<(EndpointAddr, u64, String)>,
+}
+
+/// Derives the random fault plan for `cfg` — deterministic in
+/// `cfg.seed` (salted so it does not correlate with the network RNG).
+pub fn gen_plan(cfg: &SoakConfig) -> SoakPlan {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ PLAN_SALT);
+    let members = cfg.member_addrs();
+    let horizon_ms = (cfg.horizon.as_millis() as u64).max(1);
+    // Keep at least two members alive so liveness has a subject, and
+    // never crash the first member: it doubles as the MERGE rendezvous
+    // contact in the default stack, and a group whose only contact is
+    // dead cannot re-merge no matter how correct the protocol is.
+    let mut crash_budget = cfg.members.saturating_sub(2).min(cfg.members / 2);
+    let mut uncrashed: Vec<EndpointAddr> = members[1..].to_vec();
+    let mut events = Vec::with_capacity(cfg.events);
+    for _ in 0..cfg.events {
+        let at = SimTime::ZERO + cfg.settle + Duration::from_millis(rng.gen_range(0..horizon_ms));
+        let kind = rng.gen_range(0u32..100);
+        let action = if kind < 40 {
+            // Random two-way split; re-deal a lopsided coin until both
+            // sides are non-empty (bounded: fall back to isolating ep 1).
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for &m in &members {
+                if rng.gen_bool(0.5) {
+                    a.push(m);
+                } else {
+                    b.push(m);
+                }
+            }
+            if a.is_empty() || b.is_empty() {
+                a = vec![members[0]];
+                b = members[1..].to_vec();
+            }
+            let dur = Duration::from_millis(rng.gen_range(200..900));
+            SoakAction::Partition { sides: vec![a, b], dur }
+        } else if kind < 60 {
+            let target = members[rng.gen_range(0..members.len())];
+            let mut observers: Vec<EndpointAddr> =
+                members.iter().copied().filter(|&m| m != target && rng.gen_bool(0.6)).collect();
+            if observers.is_empty() {
+                observers = members.iter().copied().find(|&m| m != target).into_iter().collect();
+            }
+            SoakAction::Storm { observers, target }
+        } else if kind < 80 || crash_budget == 0 || uncrashed.len() <= 1 {
+            let who = members[rng.gen_range(0..members.len())];
+            let mut contact = members[rng.gen_range(0..members.len())];
+            if contact == who {
+                contact =
+                    members[(members.iter().position(|&m| m == who).unwrap() + 1) % members.len()];
+            }
+            SoakAction::Merge { who, contact }
+        } else {
+            crash_budget -= 1;
+            let victim = uncrashed.remove(rng.gen_range(0..uncrashed.len()));
+            SoakAction::Crash { ep: victim }
+        };
+        events.push(SoakEvent { at, action });
+    }
+    events.sort_by_key(|x| x.at);
+    SoakPlan { events }
+}
+
+/// Executes `plan` under `cfg`, running the safety checkers and the
+/// progress watchdog every half-quiet window and the convergence /
+/// final-delivery liveness oracles once the world should have settled.
+/// Stops at the first violating window.
+pub fn run_soak(cfg: &SoakConfig, plan: &SoakPlan, factory: StackFactory) -> SoakOutcome {
+    let mut net = NetConfig::reliable();
+    net.loss = cfg.loss;
+    let mut w = SimWorld::new(cfg.seed, net);
+    let members = cfg.member_addrs();
+    for &m in &members {
+        w.add_endpoint(factory(m));
+        w.join(m, GroupAddr::new(1));
+    }
+
+    let start = SimTime::ZERO + cfg.settle;
+    let wl = Workload {
+        kind: WorkloadKind::RoundRobin,
+        senders: members.clone(),
+        slots: cfg.casts,
+        interval: match (cfg.horizon.as_nanos() as u64).checked_div(cfg.casts) {
+            Some(per_cast) => Duration::from_nanos(per_cast.max(1)),
+            None => Duration::from_millis(1),
+        },
+        payload: 48,
+    };
+    wl.schedule(&mut w, start + Duration::from_millis(1));
+
+    let mut watchdog = ProgressWatchdog::new(cfg.quiet);
+    let mut crashed: BTreeSet<EndpointAddr> = BTreeSet::new();
+    // The liveness clock starts once the last fault has healed AND the
+    // workload has drained.
+    let mut last_disturbance = start + wl.duration();
+    watchdog.disturb(last_disturbance);
+    for ev in &plan.events {
+        watchdog.disturb(ev.at);
+        last_disturbance = last_disturbance.max(ev.at);
+        match &ev.action {
+            SoakAction::Partition { sides, dur } => {
+                let heal = ev.at + *dur;
+                watchdog.disturb(heal);
+                last_disturbance = last_disturbance.max(heal);
+                w.fault_at(
+                    ev.at,
+                    FaultRule::Partition { sides: sides.clone(), start: ev.at, end: Some(heal) },
+                );
+            }
+            SoakAction::Crash { ep } => {
+                crashed.insert(*ep);
+                w.crash_at(ev.at, *ep);
+            }
+            SoakAction::Storm { observers, target } => {
+                w.fault_at(
+                    ev.at,
+                    FaultRule::SuspicionStorm { observers: observers.clone(), target: *target },
+                );
+            }
+            SoakAction::Merge { who, contact } => {
+                w.down_at(ev.at, *who, Down::Merge { contact: *contact });
+            }
+        }
+    }
+
+    let deadline = last_disturbance + cfg.quiet;
+    let end = deadline + cfg.quiet;
+    let correct: Vec<EndpointAddr> =
+        members.iter().copied().filter(|m| !crashed.contains(m)).collect();
+
+    let step = (cfg.quiet.as_nanos() as u64 / 2).max(1_000_000);
+    let mut t = SimTime::ZERO;
+    let mut windows = 0u64;
+    let finish = |w: &SimWorld, violations: Vec<Violation>, windows: u64, t: SimTime| {
+        let delivered: u64 = members.iter().map(|&m| w.delivered_casts(m).len() as u64).sum();
+        let dumps = members
+            .iter()
+            .filter_map(|&m| {
+                let s = w.stack(m)?;
+                let layers = s
+                    .dump()
+                    .into_iter()
+                    .map(|(name, state)| format!("{name}[{state}]"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                Some((m, s.pending_work(), layers))
+            })
+            .collect();
+        SoakOutcome {
+            violations,
+            correct: correct.clone(),
+            delivered,
+            windows,
+            end: t,
+            transcript: transcript(w, &members),
+            dumps,
+        }
+    };
+    while t < end {
+        t = SimTime::from_nanos((t.as_nanos() + step).min(end.as_nanos()));
+        w.run_until(t);
+        windows += 1;
+        for &m in &members {
+            if crashed.contains(&m) {
+                continue;
+            }
+            if let Some(s) = w.stack(m) {
+                watchdog.observe(t, m, s.pending_work());
+            }
+        }
+        let logs: Vec<DeliveryLog> =
+            members.iter().map(|&m| DeliveryLog::from_upcalls(m, w.upcalls(m))).collect();
+        let mut vs = check_virtual_synchrony(&logs);
+        vs.extend(check_fifo(&logs, Workload::parse));
+        if cfg.check_total {
+            vs.extend(check_total_order(&logs));
+        }
+        vs.extend(watchdog.violations());
+        if !vs.is_empty() {
+            let tagged = vs.into_iter().map(|v| Violation(format!("[t={t}] {v}"))).collect();
+            return finish(&w, tagged, windows, t);
+        }
+    }
+
+    // Post-heal liveness: everyone correct converges on one final view of
+    // exactly the correct set, and agrees on the final epoch's deliveries.
+    let logs: Vec<DeliveryLog> =
+        members.iter().map(|&m| DeliveryLog::from_upcalls(m, w.upcalls(m))).collect();
+    let mut vs = check_view_convergence(&logs, &correct, last_disturbance, cfg.quiet);
+    vs.extend(check_final_view_delivery(&logs, &correct));
+    let tagged = vs.into_iter().map(|v| Violation(format!("[t={t}] {v}"))).collect();
+    finish(&w, tagged, windows, t)
+}
+
+/// Renders every member's timed view installations and deliveries into a
+/// canonical text transcript — two runs are byte-identical iff this is.
+pub fn transcript(w: &SimWorld, members: &[EndpointAddr]) -> String {
+    let mut out = String::new();
+    for &m in members {
+        let log = DeliveryLog::from_upcalls(m, w.upcalls(m));
+        let _ = writeln!(out, "ep {m}");
+        let views = log.views_timed();
+        let casts = log.casts_timed();
+        let (mut i, mut j) = (0, 0);
+        while i < views.len() || j < casts.len() {
+            let take_view = j >= casts.len() || (i < views.len() && views[i].0 <= casts[j].0);
+            if take_view {
+                let (at, v) = views[i];
+                let _ = writeln!(out, "  view@{at} {v}");
+                i += 1;
+            } else {
+                let (at, src, key) = casts[j];
+                match Workload::parse(key) {
+                    Some((s, q)) => {
+                        let _ = writeln!(out, "  cast@{at} from {src} ({s}:{q})");
+                    }
+                    None => {
+                        let _ = writeln!(out, "  cast@{at} from {src} ({}B)", key.len());
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Classic delta debugging over an item list: removes complements at
+/// increasing granularity while `fails` keeps returning `true`.  Returns
+/// the smallest failing sublist found — at worst the input itself.  The
+/// caller's predicate owns any replay budget (return `false` when
+/// exhausted and the current best survives).
+///
+/// This is the same reduction `horus-check` applies to schedule choice
+/// lists; the soak runner applies it to fault-plan events.
+pub fn ddmin<T: Clone>(items: &[T], mut fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut best = items.to_vec();
+    let mut n = 2usize;
+    while best.len() >= 2 {
+        let chunk = best.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < best.len() {
+            let end = (start + chunk).min(best.len());
+            let mut candidate = Vec::with_capacity(best.len() - (end - start));
+            candidate.extend_from_slice(&best[..start]);
+            candidate.extend_from_slice(&best[end..]);
+            if fails(&candidate) {
+                best = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk == 1 {
+                break;
+            }
+            n = (n * 2).min(best.len());
+        }
+    }
+    best
+}
+
+/// Minimizes a violating plan with [`ddmin`]: keeps removing events while
+/// the run still violates *some* oracle.  `budget` caps replay count.
+pub fn minimize_plan(
+    cfg: &SoakConfig,
+    plan: &SoakPlan,
+    factory: StackFactory,
+    budget: usize,
+) -> SoakPlan {
+    let mut left = budget;
+    let events = ddmin(&plan.events, |subset| {
+        if left == 0 {
+            return false;
+        }
+        left -= 1;
+        let candidate = SoakPlan { events: subset.to_vec() };
+        !run_soak(cfg, &candidate, factory).violations.is_empty()
+    });
+    SoakPlan { events }
+}
+
+// ---------------------------------------------------------------------------
+// (seed, plan) artifacts
+// ---------------------------------------------------------------------------
+
+const ARTIFACT_HEADER: &str = "# horus-soak plan v1";
+
+fn fmt_members(eps: &[EndpointAddr]) -> String {
+    eps.iter().map(|e| e.raw().to_string()).collect::<Vec<_>>().join(",")
+}
+
+/// Serializes `(cfg, plan)` plus an optional verdict into the replayable
+/// line-oriented artifact format.  Verdict lines are comments: parsing
+/// ignores them, so `serialize → parse → serialize` is byte-stable.
+pub fn serialize_artifact(cfg: &SoakConfig, plan: &SoakPlan, violations: &[Violation]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{ARTIFACT_HEADER}");
+    let _ = writeln!(out, "seed: {}", cfg.seed);
+    let _ = writeln!(out, "members: {}", cfg.members);
+    let _ = writeln!(out, "stack: {}", cfg.stack);
+    let _ = writeln!(out, "events: {}", cfg.events);
+    let _ = writeln!(out, "horizon_us: {}", cfg.horizon.as_micros());
+    let _ = writeln!(out, "quiet_us: {}", cfg.quiet.as_micros());
+    let _ = writeln!(out, "settle_us: {}", cfg.settle.as_micros());
+    let _ = writeln!(out, "loss: {}", cfg.loss);
+    let _ = writeln!(out, "casts: {}", cfg.casts);
+    let _ = writeln!(out, "check_total: {}", cfg.check_total);
+    for ev in &plan.events {
+        let at = ev.at.as_micros();
+        match &ev.action {
+            SoakAction::Partition { sides, dur } => {
+                let sides = sides.iter().map(|s| fmt_members(s)).collect::<Vec<_>>().join("|");
+                let _ = writeln!(out, "event: {at} partition {sides} {}", dur.as_micros());
+            }
+            SoakAction::Crash { ep } => {
+                let _ = writeln!(out, "event: {at} crash {}", ep.raw());
+            }
+            SoakAction::Storm { observers, target } => {
+                let _ =
+                    writeln!(out, "event: {at} storm {}>{}", fmt_members(observers), target.raw());
+            }
+            SoakAction::Merge { who, contact } => {
+                let _ = writeln!(out, "event: {at} merge {}>{}", who.raw(), contact.raw());
+            }
+        }
+    }
+    for v in violations {
+        let _ = writeln!(out, "# verdict: {v}");
+    }
+    out
+}
+
+fn parse_members(s: &str) -> Result<Vec<EndpointAddr>, String> {
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<u64>()
+                .map(EndpointAddr::new)
+                .map_err(|_| format!("bad endpoint id {p:?}"))
+        })
+        .collect()
+}
+
+fn parse_event(rest: &str) -> Result<SoakEvent, String> {
+    let mut it = rest.split_whitespace();
+    let at = it
+        .next()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(SimTime::from_micros)
+        .ok_or_else(|| format!("bad event time in {rest:?}"))?;
+    let kind = it.next().ok_or_else(|| format!("missing event kind in {rest:?}"))?;
+    let action = match kind {
+        "partition" => {
+            let sides_s = it.next().ok_or("partition: missing sides")?;
+            let dur = it
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .map(Duration::from_micros)
+                .ok_or("partition: bad duration")?;
+            let sides = sides_s.split('|').map(parse_members).collect::<Result<Vec<_>, _>>()?;
+            SoakAction::Partition { sides, dur }
+        }
+        "crash" => {
+            let ep = it
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .map(EndpointAddr::new)
+                .ok_or("crash: bad endpoint")?;
+            SoakAction::Crash { ep }
+        }
+        "storm" => {
+            let spec = it.next().ok_or("storm: missing spec")?;
+            let (obs, target) = spec.split_once('>').ok_or("storm: expected obs>target")?;
+            SoakAction::Storm {
+                observers: parse_members(obs)?,
+                target: target
+                    .parse::<u64>()
+                    .map(EndpointAddr::new)
+                    .map_err(|_| format!("storm: bad target {target:?}"))?,
+            }
+        }
+        "merge" => {
+            let spec = it.next().ok_or("merge: missing spec")?;
+            let (who, contact) = spec.split_once('>').ok_or("merge: expected who>contact")?;
+            SoakAction::Merge {
+                who: who
+                    .parse::<u64>()
+                    .map(EndpointAddr::new)
+                    .map_err(|_| format!("merge: bad who {who:?}"))?,
+                contact: contact
+                    .parse::<u64>()
+                    .map(EndpointAddr::new)
+                    .map_err(|_| format!("merge: bad contact {contact:?}"))?,
+            }
+        }
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    if it.next().is_some() {
+        return Err(format!("trailing tokens in event {rest:?}"));
+    }
+    Ok(SoakEvent { at, action })
+}
+
+/// Parses an artifact produced by [`serialize_artifact`].
+pub fn parse_artifact(text: &str) -> Result<(SoakConfig, SoakPlan), String> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(l) if l.trim() == ARTIFACT_HEADER => {}
+        other => return Err(format!("bad header {other:?}, expected {ARTIFACT_HEADER:?}")),
+    }
+    let mut cfg = SoakConfig::default();
+    let mut events = Vec::new();
+    for (no, raw) in lines.enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(':')
+            .map(|(k, v)| (k.trim(), v.trim()))
+            .ok_or_else(|| format!("line {}: expected `key: value`, got {line:?}", no + 2))?;
+        let bad = |what: &str| format!("line {}: bad {what} {value:?}", no + 2);
+        match key {
+            "seed" => cfg.seed = value.parse().map_err(|_| bad("seed"))?,
+            "members" => cfg.members = value.parse().map_err(|_| bad("members"))?,
+            "stack" => cfg.stack = value.to_string(),
+            "events" => cfg.events = value.parse().map_err(|_| bad("events"))?,
+            "horizon_us" => {
+                cfg.horizon = Duration::from_micros(value.parse().map_err(|_| bad("horizon_us"))?)
+            }
+            "quiet_us" => {
+                cfg.quiet = Duration::from_micros(value.parse().map_err(|_| bad("quiet_us"))?)
+            }
+            "settle_us" => {
+                cfg.settle = Duration::from_micros(value.parse().map_err(|_| bad("settle_us"))?)
+            }
+            "loss" => cfg.loss = value.parse().map_err(|_| bad("loss"))?,
+            "casts" => cfg.casts = value.parse().map_err(|_| bad("casts"))?,
+            "check_total" => cfg.check_total = value.parse().map_err(|_| bad("check_total"))?,
+            "event" => {
+                events.push(parse_event(value).map_err(|e| format!("line {}: {e}", no + 2))?)
+            }
+            other => return Err(format!("line {}: unknown key {other:?}", no + 2)),
+        }
+    }
+    Ok((cfg, SoakPlan { events }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(n: u64) -> EndpointAddr {
+        EndpointAddr::new(n)
+    }
+
+    #[test]
+    fn ddmin_isolates_the_failing_pair() {
+        let items: Vec<u32> = (1..=20).collect();
+        let mut replays = 0;
+        let min = ddmin(&items, |c| {
+            replays += 1;
+            c.contains(&7) && c.contains(&13)
+        });
+        assert_eq!(min, vec![7, 13]);
+        assert!(replays < 200, "ddmin used {replays} replays");
+    }
+
+    #[test]
+    fn ddmin_keeps_unshrinkable_input() {
+        let items = vec![1, 2];
+        assert_eq!(ddmin(&items, |c| c.len() == 2), vec![1, 2]);
+    }
+
+    #[test]
+    fn gen_plan_is_deterministic_in_the_seed() {
+        let cfg = SoakConfig::default();
+        assert_eq!(gen_plan(&cfg), gen_plan(&cfg));
+        let other = SoakConfig { seed: cfg.seed + 1, ..cfg.clone() };
+        assert_ne!(gen_plan(&cfg), gen_plan(&other));
+    }
+
+    #[test]
+    fn gen_plan_keeps_two_members_alive_and_sides_disjoint() {
+        for seed in 0..50 {
+            let cfg = SoakConfig { seed, events: 12, ..SoakConfig::default() };
+            let plan = gen_plan(&cfg);
+            assert_eq!(plan.events.len(), 12);
+            let crashes =
+                plan.events.iter().filter(|e| matches!(e.action, SoakAction::Crash { .. })).count()
+                    as u64;
+            assert!(crashes <= cfg.members - 2, "seed {seed}: {crashes} crashes");
+            for ev in &plan.events {
+                assert!(ev.at >= SimTime::ZERO + cfg.settle);
+                if let SoakAction::Partition { sides, .. } = &ev.action {
+                    assert_eq!(sides.len(), 2);
+                    assert!(!sides[0].is_empty() && !sides[1].is_empty());
+                    assert!(sides[0].iter().all(|m| !sides[1].contains(m)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrips_byte_identically() {
+        let cfg = SoakConfig { seed: 42, loss: 0.0375, ..SoakConfig::default() };
+        let plan = SoakPlan {
+            events: vec![
+                SoakEvent {
+                    at: SimTime::from_millis(3200),
+                    action: SoakAction::Partition {
+                        sides: vec![vec![ep(1), ep(2)], vec![ep(3), ep(4)]],
+                        dur: Duration::from_millis(450),
+                    },
+                },
+                SoakEvent {
+                    at: SimTime::from_millis(4000),
+                    action: SoakAction::Crash { ep: ep(3) },
+                },
+                SoakEvent {
+                    at: SimTime::from_millis(4100),
+                    action: SoakAction::Storm { observers: vec![ep(1), ep(2)], target: ep(4) },
+                },
+                SoakEvent {
+                    at: SimTime::from_millis(5000),
+                    action: SoakAction::Merge { who: ep(4), contact: ep(1) },
+                },
+            ],
+        };
+        let text = serialize_artifact(&cfg, &plan, &[Violation("stalled".into())]);
+        let (cfg2, plan2) = parse_artifact(&text).unwrap();
+        assert_eq!(cfg, cfg2);
+        assert_eq!(plan, plan2);
+        // Verdict comments are dropped; the replayable core is byte-stable.
+        let again = serialize_artifact(&cfg2, &plan2, &[]);
+        assert!(text.starts_with(&again));
+    }
+
+    #[test]
+    fn artifact_rejects_garbage() {
+        assert!(parse_artifact("nonsense").is_err());
+        let ok = serialize_artifact(&SoakConfig::default(), &SoakPlan::default(), &[]);
+        assert!(parse_artifact(&(ok.clone() + "wat: 1\n")).is_err());
+        assert!(parse_artifact(&(ok + "event: 5 reboot 1\n")).is_err());
+    }
+}

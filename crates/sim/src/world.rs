@@ -517,6 +517,23 @@ impl SimWorld {
             }
             Ev::Fault { rule } => {
                 self.traces.push((self.time, format!("fault installed: {rule:?}")));
+                if let FaultRule::SuspicionStorm { ref observers, target } = rule {
+                    // The network cannot evaluate a suspicion storm — it is
+                    // executed here, as one scripted suspicion per observer,
+                    // and the injections are credited to the rule's hit
+                    // counter so chaos tests can assert the storm fired.
+                    let observers = observers.clone();
+                    let idx = self.net.add_fault(rule);
+                    let mut fired = 0;
+                    for observer in observers {
+                        if self.endpoints.get(&observer).is_some_and(|s| s.alive) {
+                            self.dispatch(Ev::Suspect { observer, target });
+                            fired += 1;
+                        }
+                    }
+                    self.net.fault_plan_mut().record_hits(idx, fired);
+                    return;
+                }
                 self.net.add_fault(rule);
             }
         }

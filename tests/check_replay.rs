@@ -65,24 +65,32 @@ fn fifo_counterexample_is_a_real_violation() {
 #[test]
 fn wedge_reconstruction_stays_wedged_and_clean() {
     // The view-merge wedge neighborhood: a false suspicion against the
-    // coordinator wedges the group into {a} / {b, c}.  No invariant is
-    // violated — the members agree within their components — and this
-    // fixture pins both the verdict and the wedged shape.
+    // coordinator wedges the group into {a} / {b, c}.  The suspicion is no
+    // longer scripted — the fixture carries a `max_suspects: 1` budget and
+    // its first choice (index 5: past the three fire options, into the
+    // suspect block at ordered pair (ep:2, ep:1)) injects it.  No invariant
+    // is violated — the members agree within their components — and this
+    // fixture pins both the budget semantics and the verdict.
     let schedule = fixture("wedge_clean.check");
     assert_eq!(schedule.verdict, "clean");
+    assert_eq!(schedule.to_config().max_suspects, 1, "fixture must carry the suspect budget");
     assert_eq!(replay(&schedule), "clean");
 
+    // The wedged *shape* is reconstructed here with the same suspicion the
+    // explorer injects, placed calendar-style just after the merge nudge.
+    use horus_core::prelude::EndpointAddr;
     let scenario = Scenario::by_name("wedge").unwrap();
     let mut w = scenario.build();
+    let base = horus_core::prelude::SimTime::ZERO + scenario.settle;
+    w.suspect_at(
+        base + std::time::Duration::from_millis(2),
+        EndpointAddr::new(2),
+        EndpointAddr::new(1),
+    );
     let mut cal = horus_sim::CalendarScheduler;
     w.run_scheduled(&mut cal, std::time::Duration::ZERO, scenario.deadline());
     let views: Vec<usize> = (1..=3)
-        .map(|i| {
-            w.installed_views(horus_core::prelude::EndpointAddr::new(i))
-                .last()
-                .map(|v| v.len())
-                .unwrap_or(0)
-        })
+        .map(|i| w.installed_views(EndpointAddr::new(i)).last().map(|v| v.len()).unwrap_or(0))
         .collect();
     assert_eq!(views, vec![1, 2, 2], "the false suspicion must wedge the group into 1+2");
 }

@@ -1,0 +1,83 @@
+//! Replayable soak-artifact corpus.
+//!
+//! Every `tests/fixtures/*.soak` file is a `(seed, plan)` pair the chaos
+//! soak once minimized: the full campaign takes minutes of randomized
+//! exploration, but the artifact replays its verdict in one deterministic
+//! run.  Two kinds live here:
+//!
+//! * **regression pins** — plans that once wedged or diverged the group and
+//!   must stay clean after the protocol fix;
+//! * **planted-bug witnesses** — plans over a deliberately broken stack
+//!   (NAK retransmission off) that the liveness monitors must keep
+//!   indicting, proving the oracles have teeth.
+
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus::sim::soak::{parse_artifact, run_soak, SoakConfig, SoakPlan};
+
+fn fixture(name: &str) -> (SoakConfig, SoakPlan) {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse_artifact(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn replay(cfg: &SoakConfig, plan: &SoakPlan) -> horus::sim::soak::SoakOutcome {
+    let stack = cfg.stack.clone();
+    let factory =
+        |ep: EndpointAddr| build_stack(ep, &stack, StackConfig::default()).expect("stack builds");
+    run_soak(cfg, plan, &factory)
+}
+
+#[test]
+fn planted_nak_bug_is_still_indicted() {
+    // One suspicion storm against a stack whose NAK layer never
+    // retransmits: the excluded member can rejoin but its recovery traffic
+    // is lossy with no repair, so the group never reconverges.  The
+    // view-convergence liveness monitor must keep catching this — if it
+    // goes quiet, the oracles lost their teeth, not the protocol its bug.
+    let (cfg, plan) = fixture("soak_planted_nak.soak");
+    assert!(cfg.stack.contains("retransmit=false"), "fixture must carry the planted bug");
+    let outcome = replay(&cfg, &plan);
+    assert!(!outcome.violations.is_empty(), "planted bug must replay to a violation");
+    assert!(
+        outcome.violations.iter().any(|v| v.to_string().contains("liveness")),
+        "the indictment must come from a liveness monitor, got {:?}",
+        outcome.violations.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn former_wedge_plan_replays_clean() {
+    // The minimized (partition, crash) pair that once drove the flush
+    // protocol into a restart-grant livelock.  The hardened protocol must
+    // drain it: any violation here is a regression in the merge/flush
+    // recovery path.
+    let (cfg, plan) = fixture("soak_wedge_regression.soak");
+    let outcome = replay(&cfg, &plan);
+    assert!(
+        outcome.violations.is_empty(),
+        "regression pin went red: {:?}",
+        outcome.violations.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+    assert!(outcome.delivered > 0, "the replay must actually deliver traffic");
+}
+
+#[test]
+fn soak_replay_is_byte_identical_across_repetition() {
+    // The artifact contract: a (seed, plan) pair is the whole truth.  Two
+    // independent replays must agree on every view, every cast, every
+    // timestamp — byte-for-byte — or minimized artifacts stop being
+    // evidence.
+    for name in ["soak_planted_nak.soak", "soak_wedge_regression.soak"] {
+        let (cfg, plan) = fixture(name);
+        let first = replay(&cfg, &plan);
+        let second = replay(&cfg, &plan);
+        assert_eq!(first.transcript, second.transcript, "{name}: transcript drift");
+        assert_eq!(
+            first.violations.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            second.violations.iter().map(ToString::to_string).collect::<Vec<_>>(),
+            "{name}: verdict drift"
+        );
+        assert_eq!(first.delivered, second.delivered, "{name}: delivery-count drift");
+    }
+}
