@@ -27,18 +27,32 @@
 //!   fingerprint seen before prunes the subtree (the continuation from an
 //!   identical state was, or will be, explored elsewhere).
 //!
-//! The *reduction* skips commuting reorderings: two ready events aimed at
-//! different endpoints touch disjoint stacks, so only orderings among events
-//! sharing the next event's target are branched.  This is aggressive — it
-//! also skips reorderings that would matter via messages created in
-//! between — which is why `--no-reduction` exists and E24 measures the
-//! difference.
+//! The *reduction* is happens-before dynamic partial-order reduction with
+//! **sleep sets** (Godefroid): when a branch point's options are explored,
+//! each later sibling inherits the earlier siblings' fire events as
+//! *sleeping* — events whose firing is postponed in that subtree because
+//! every ordering that fires them first is explored from the earlier
+//! sibling.  A sleeping event wakes as soon as a *dependent* event fires:
+//! dependence is sharing a target endpoint, involving a crash, differing in
+//! effective firing time (order then shifts downstream emission times), or
+//! being causally ordered by the vector clocks the simulator threads
+//! through event creation ([`SimWorld::causally_ordered`]).  Runs whose
+//! every option is asleep halt — the reduction's savings.  Unlike the
+//! endpoint-class heuristic this replaces, sleep sets *never narrow the
+//! option list* (enumeration and committed fixtures see the identical,
+//! unfiltered options) and never skip a reachable state: the differential
+//! suite holds the DPOR visited-fingerprint set equal to `--no-reduction`'s
+//! on every registry scenario, at a fraction of the runs (E27 vs E24).
+//! Visited-state pruning cooperates via sleep-aware entries: a state is
+//! pruned only when it was previously reached with a sleep set no larger
+//! than the current one (re-visits store the intersection), which is what
+//! keeps caching sound under sleep sets.
 
 use crate::scenario::{Oracle, Scenario};
-use horus_core::prelude::{EndpointAddr, Up};
+use horus_core::prelude::{EndpointAddr, SimTime, Up};
 use horus_sim::sched::{RunOutcome, Scheduler, Step};
-use horus_sim::{ReadyEvent, SimWorld};
-use std::collections::HashSet;
+use horus_sim::{EventId, ReadyEvent, ReadyKind, SimWorld};
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -64,13 +78,146 @@ impl Hasher for FpHasher {
 /// The visited-fingerprint set: one bit of truth per distinct world state.
 pub type FpSet = HashSet<u64, BuildHasherDefault<FpHasher>>;
 
+/// The sleep-aware visited map: per distinct world fingerprint, the
+/// smallest sleep set any visit arrived with (canonicalized; see
+/// [`Visited::check_insert`]).
+///
+/// Plain fingerprint caching is unsound under sleep sets: a state first
+/// reached with events asleep explored *fewer* continuations than a later
+/// visit with a smaller sleep set would, so pruning that later visit loses
+/// states.  The classical repair (Godefroid, state-space caching): prune a
+/// revisit only when a previous visit's sleep set was a **subset** of the
+/// current one; otherwise re-explore and store the intersection.  With the
+/// reduction off every sleep set is empty, every subset test passes, and
+/// this degenerates to exactly the plain [`FpSet`] behaviour.
+#[derive(Default)]
+pub struct Visited {
+    #[allow(clippy::type_complexity)]
+    map: HashMap<u64, Box<[(u64, u64)]>, BuildHasherDefault<FpHasher>>,
+}
+
+impl Visited {
+    /// Distinct fingerprints recorded.
+    pub fn len(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    /// True when no fingerprint has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The recorded fingerprints (for differential coverage comparisons).
+    pub fn fingerprints(&self) -> impl Iterator<Item = u64> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Records a visit to `fp` under canonical sleep key `key`.  Returns
+    /// `false` when the visit is redundant (prune): some earlier visit
+    /// covered at least every continuation this one would explore.
+    fn check_insert(&mut self, fp: u64, key: &[(u64, u64)]) -> bool {
+        match self.map.entry(fp) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(key.into());
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let stored = e.get();
+                if stored.iter().all(|s| key.contains(s)) {
+                    return false; // stored ⊆ current: already covered.
+                }
+                // Re-explore; remember the intersection so future visits
+                // prune only against what *both* explorations covered.
+                let both: Vec<(u64, u64)> =
+                    stored.iter().copied().filter(|s| key.contains(s)).collect();
+                e.insert(both.into_boxed_slice());
+                true
+            }
+        }
+    }
+}
+
+/// One sleeping event: a pending calendar entry whose firing is postponed
+/// in this subtree because every schedule firing it *first* is explored
+/// from an earlier sibling of some ancestor branch point.
+///
+/// Only *reducible* events sleep — events dispatching into exactly one
+/// endpoint ([`ReadyKind::target`] is `Some`) and not crashes.  World-global
+/// events (partition/heal/fault) and crashes commute with nothing, so they
+/// are never postponed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SleepEntry {
+    /// Calendar id — stable within a run lineage (snapshots clone the
+    /// calendar; fresh replays re-create identical insertion sequences).
+    id: EventId,
+    /// The endpoint the event dispatches into.
+    target: EndpointAddr,
+    /// Scheduled firing time (effective time is `max(now, at)`).
+    at: SimTime,
+    /// Run-independent payload digest, used in the canonical visited key so
+    /// converging runs agree on what is asleep.
+    digest: u64,
+}
+
+/// Builds a sleep entry for `Fire(i)` of `ready[i]`, if the event is
+/// reducible.
+fn sleep_entry(world: &SimWorld, ev: &ReadyEvent) -> Option<SleepEntry> {
+    if matches!(ev.kind, ReadyKind::Crash { .. }) {
+        return None;
+    }
+    let target = ev.kind.target()?;
+    Some(SleepEntry {
+        id: ev.id,
+        target,
+        at: ev.at,
+        digest: world.pending_digest(ev.id).unwrap_or(0),
+    })
+}
+
+/// The happens-before independence check: a sleeping event stays asleep
+/// across the firing of `f` only when the two orders provably commute —
+/// distinct endpoint targets (disjoint stacks), neither a crash, identical
+/// effective firing times (otherwise order shifts `now`, and with it every
+/// downstream emission time), and no causal order between their creation
+/// contexts (the vector clocks refine the static target test: an event
+/// created *by* another is never an exchangeable race).
+fn independent(world: &SimWorld, now: SimTime, e: &SleepEntry, f: &ReadyEvent) -> bool {
+    if matches!(f.kind, ReadyKind::Crash { .. }) {
+        return false;
+    }
+    let Some(ft) = f.kind.target() else { return false };
+    if e.target == ft {
+        return false;
+    }
+    if e.at.max(now) != f.at.max(now) {
+        return false;
+    }
+    !world.causally_ordered(e.id, f.id)
+}
+
+/// Canonicalizes a sleep set for the visited map: sorted
+/// `(effective-delay, payload-digest)` pairs.  Calendar ids are
+/// run-*dependent* (insertion sequence), absolute times depend on the path
+/// length — the delay relative to `now` plus the payload digest is what two
+/// converging runs agree on.
+fn sleep_key(now: SimTime, sleep: &[SleepEntry]) -> Vec<(u64, u64)> {
+    let mut key: Vec<(u64, u64)> =
+        sleep.iter().map(|e| ((e.at.max(now) - now).as_nanos() as u64, e.digest)).collect();
+    key.sort_unstable();
+    key
+}
+
 /// Bounds and knobs for one exploration.
 #[derive(Debug, Clone)]
 pub struct CheckConfig {
     /// Concurrency window: ready events within this much of the earliest
     /// pending event may be reordered.  Zero means exact ties only.
     pub window: Duration,
-    /// Skip reorderings of deliveries to different endpoints.
+    /// Happens-before dynamic partial-order reduction via sleep sets: skip
+    /// sibling runs whose reordering provably commutes with an
+    /// already-explored one.  Never narrows the option list (replayed
+    /// fixtures see identical enumeration) and never loses a state — the
+    /// differential suite holds the visited set equal to reduction-off.
     pub reduction: bool,
     /// Branch points per run that offer alternatives.
     pub max_depth: usize,
@@ -114,6 +261,14 @@ pub struct CheckConfig {
     /// test holds them equal); only `steps` — events actually executed —
     /// shrinks, which is the point.
     pub snapshot_resume: bool,
+    /// Share layer state copy-on-write between a branch-point world and its
+    /// parked sibling snapshots ([`SimWorld::snapshot`]); off pays a full
+    /// deep clone per sibling ([`SimWorld::snapshot_deep`]) — the honest
+    /// pre-CoW baseline the E27 `cow_off` benchmark arm measures against.
+    /// Either way the snapshot is behaviourally exact, so coverage and
+    /// verdicts are unaffected; only clone work (and with it the feasible
+    /// depth) changes.
+    pub cow_snapshots: bool,
 }
 
 impl Default for CheckConfig {
@@ -130,6 +285,7 @@ impl Default for CheckConfig {
             max_runs: 20_000,
             incremental_fp: true,
             snapshot_resume: true,
+            cow_snapshots: true,
         }
     }
 }
@@ -138,7 +294,9 @@ impl Default for CheckConfig {
 /// diverges.
 enum Job {
     /// Build the scenario world and replay this choice prefix from scratch.
-    Fresh(Vec<u16>),
+    /// The sleep set (events earlier siblings of the final branch point
+    /// already cover) activates when the last prefix choice is consumed.
+    Fresh(Vec<u16>, Vec<SleepEntry>),
     /// Resume from a snapshot taken at the diverging branch point.
     Resume(Box<ResumeJob>),
 }
@@ -162,6 +320,10 @@ struct ResumeJob {
     crashes_left: u32,
     /// Suspicion budget remaining at the branch point.
     suspects_left: u32,
+    /// Sleep set to activate when the sibling choice is consumed: the
+    /// parent's sleeping events plus the fire events of the awake siblings
+    /// explored before this one.
+    sleep: Vec<SleepEntry>,
 }
 
 /// A violation the explorer found, with the schedule that reaches it.
@@ -230,8 +392,18 @@ struct ControlledScheduler<'a> {
     crashes_left: u32,
     suspects_left: u32,
     rec: RunRecord,
-    /// Shared visited-fingerprint set; `None` disables pruning (replay).
-    visited: Option<&'a mut FpSet>,
+    /// Sleeping events: postponed in this subtree because an earlier
+    /// sibling of an ancestor branch point explores every schedule that
+    /// fires them first.  Woken (removed) by any dependent step.  Always
+    /// empty with the reduction off, and during committed-schedule replay.
+    sleep: Vec<SleepEntry>,
+    /// Sleep set handed to this job by its spawner; installs into `sleep`
+    /// at the moment the final prefix choice is consumed — i.e. exactly at
+    /// the branch point the job diverges from its parent, whether the run
+    /// resumed there from a snapshot or replayed its way back.
+    armed_sleep: Vec<SleepEntry>,
+    /// Shared visited-fingerprint map; `None` disables pruning (replay).
+    visited: Option<&'a mut Visited>,
     /// DFS frontier to push untaken siblings onto as branch points are
     /// encountered; `None` disables expansion (replay).
     spawn: Option<&'a mut Vec<Job>>,
@@ -249,19 +421,19 @@ impl<'a> ControlledScheduler<'a> {
     /// Fills `opts` with the deterministic option list for the ready set.
     /// Taken out of `self` (callers `mem::take` the buffer) so the borrow
     /// of the option list stays disjoint from the scheduler's other fields.
+    /// The list is *never* filtered by the reduction: sleep sets postpone
+    /// whole sibling runs instead of hiding options, so enumeration — and
+    /// with it every committed fixture's choice indices — is identical with
+    /// the reduction on or off.
     fn fill_options(&self, world: &SimWorld, ready: &[ReadyEvent], opts: &mut Vec<Step>) {
         opts.clear();
-        let class = if self.cfg.reduction { Some(ready[0].kind.target()) } else { None };
-        let in_class = |ev: &ReadyEvent| class.as_ref().is_none_or(|c| ev.kind.target() == *c);
-        opts.extend(
-            ready.iter().enumerate().filter(|(_, ev)| in_class(ev)).map(|(i, _)| Step::Fire(i)),
-        );
+        opts.extend((0..ready.len()).map(Step::Fire));
         if self.drops_left > 0 {
             opts.extend(
                 ready
                     .iter()
                     .enumerate()
-                    .filter(|(_, ev)| in_class(ev) && ev.kind.droppable())
+                    .filter(|(_, ev)| ev.kind.droppable())
                     .map(|(i, _)| Step::Drop(i)),
             );
         }
@@ -293,6 +465,40 @@ impl<'a> ControlledScheduler<'a> {
                         .map(|target| Step::Suspect { observer, target }),
                 );
             }
+        }
+    }
+
+    /// Whether an option is asleep: a `Fire` of a currently-sleeping event.
+    /// Drops, crashes and suspicions never sleep (they are induced faults,
+    /// not reorderable deliveries — postponing them saves nothing and the
+    /// independence theory does not cover them).
+    fn is_asleep(&self, ready: &[ReadyEvent], step: Step) -> bool {
+        match step {
+            Step::Fire(i) => self.sleep.iter().any(|e| e.id == ready[i].id),
+            _ => false,
+        }
+    }
+
+    /// Applies the wake rules for the step about to execute: a fire wakes
+    /// every sleeping event dependent on it, a drop retires the dropped
+    /// event's entry (it can never fire now), and induced crashes or
+    /// suspicions — which commute with nothing — wake everything.
+    fn wake_for(&mut self, world: &SimWorld, ready: &[ReadyEvent], step: Step) {
+        if self.sleep.is_empty() {
+            return;
+        }
+        match step {
+            Step::Fire(i) => {
+                let f = ready[i];
+                let now = world.now();
+                self.sleep.retain(|e| independent(world, now, e, &f));
+            }
+            Step::Drop(i) => {
+                let id = ready[i].id;
+                self.sleep.retain(|e| e.id != id);
+            }
+            Step::Crash(_) | Step::Suspect { .. } => self.sleep.clear(),
+            Step::Halt => {}
         }
     }
 
@@ -374,7 +580,7 @@ impl Scheduler for ControlledScheduler<'_> {
         let beyond_prefix = self.cursor >= self.choices.len();
         if beyond_prefix {
             if let Some(visited) = self.visited.as_deref_mut() {
-                if visited.len() as u64 >= self.cfg.max_states {
+                if visited.len() >= self.cfg.max_states {
                     self.state_budget_hit = true;
                     return Step::Halt;
                 }
@@ -383,7 +589,8 @@ impl Scheduler for ControlledScheduler<'_> {
                 } else {
                     world.fingerprint_fresh()
                 };
-                if !visited.insert(fp) {
+                let key = sleep_key(world.now(), &self.sleep);
+                if !visited.check_insert(fp, &key) {
                     self.rec.pruned = true;
                     return Step::Halt;
                 }
@@ -395,26 +602,76 @@ impl Scheduler for ControlledScheduler<'_> {
         if opts.len() <= 1 {
             self.rec.steps += 1;
             let step = opts.first().copied().unwrap_or(Step::Fire(0));
+            self.wake_for(world, ready, step);
             self.opts_buf = opts;
             return step;
         }
 
         // A real branch point.
         let expandable = self.rec.branch_options.len() < self.cfg.max_depth;
+        if !expandable {
+            // Past the depth bound the run is deterministic and spawns
+            // nothing, so sleeping buys nothing — and clearing keeps the
+            // deep continuation (choice, visited keys) identical to
+            // reduction-off, which the differential set-equality relies on.
+            self.sleep.clear();
+        }
+
+        // The taken option: the prefix dictates it during replay; beyond
+        // the prefix the run takes the first *awake* option — under DPOR an
+        // asleep option's orderings are exactly what an earlier sibling
+        // explores, so taking one here would re-explore a covered subtree.
+        let choice = if self.cursor < self.choices.len() {
+            let c = self.choices[self.cursor];
+            usize::from(c).min(opts.len() - 1)
+        } else {
+            match opts.iter().position(|&s| !self.is_asleep(ready, s)) {
+                Some(first_awake) => first_awake,
+                None => {
+                    // Every option is covered by an earlier sibling: this
+                    // whole continuation is redundant — the reduction's
+                    // savings, booked as a prune.
+                    self.rec.pruned = true;
+                    self.opts_buf = opts;
+                    return Step::Halt;
+                }
+            }
+        };
 
         // Expansion happens *here*, while the branch point's world exists:
-        // each untaken sibling becomes a DFS node, preferably a snapshot of
-        // this world (so the sibling run resumes in place) and otherwise a
-        // full replay prefix.  Only beyond the replayed prefix — the
-        // resumed branch point's own siblings were pushed by the run that
-        // discovered it.  Past the prefix the taken choice is always 0, so
-        // the untaken siblings are exactly options `1..`.
+        // each untaken *awake* sibling becomes a DFS node, preferably a
+        // snapshot of this world (so the sibling run resumes in place) and
+        // otherwise a full replay prefix.  Only beyond the replayed prefix
+        // — the resumed branch point's own siblings were pushed by the run
+        // that discovered it.  Each sibling inherits the current sleep set
+        // plus the fire events of its awake left siblings (the taken option
+        // included): those orderings are explored to its left, so in its
+        // subtree they stay postponed until a dependent step wakes them.
+        // Asleep options spawn nothing — that is the run reduction.
         if expandable && beyond_prefix {
+            let asleep: Vec<bool> = opts.iter().map(|&s| self.is_asleep(ready, s)).collect();
             if let Some(spawn) = self.spawn.as_deref_mut() {
-                for alt in 1..opts.len() as u16 {
+                let mut acc = self.sleep.clone();
+                if self.cfg.reduction {
+                    if let Step::Fire(i) = opts[choice] {
+                        acc.extend(sleep_entry(world, &ready[i]));
+                    }
+                }
+                for alt in (choice + 1)..opts.len() {
+                    if asleep[alt] {
+                        continue;
+                    }
                     let mut choices = self.rec.taken.clone();
-                    choices.push(alt);
-                    let snap = if self.cfg.snapshot_resume { world.snapshot() } else { None };
+                    choices.push(alt as u16);
+                    let snap = if self.cfg.snapshot_resume {
+                        if self.cfg.cow_snapshots {
+                            world.snapshot()
+                        } else {
+                            world.snapshot_deep()
+                        }
+                    } else {
+                        None
+                    };
                     spawn.push(match snap {
                         Some(w) => Job::Resume(Box::new(ResumeJob {
                             world: w,
@@ -423,25 +680,33 @@ impl Scheduler for ControlledScheduler<'_> {
                             drops_left: self.drops_left,
                             crashes_left: self.crashes_left,
                             suspects_left: self.suspects_left,
+                            sleep: acc.clone(),
                         })),
-                        None => Job::Fresh(choices),
+                        None => Job::Fresh(choices, acc.clone()),
                     });
+                    if self.cfg.reduction {
+                        if let Step::Fire(i) = opts[alt] {
+                            acc.extend(sleep_entry(world, &ready[i]));
+                        }
+                    }
                 }
             }
         }
 
-        let choice = if self.cursor < self.choices.len() {
-            let c = self.choices[self.cursor];
-            usize::from(c).min(opts.len() - 1)
-        } else {
-            0
-        };
+        // Consuming the final prefix choice is the moment this job diverges
+        // from its parent: its armed sleep set activates now, *before* the
+        // wake rules run for the diverging step itself — the step's own
+        // dependencies do the filtering the spawner deferred.
+        if self.cursor + 1 == self.choices.len() {
+            self.sleep = std::mem::take(&mut self.armed_sleep);
+        }
         self.cursor += 1;
         self.rec.taken.push(choice as u16);
         if expandable {
             self.rec.branch_options.push(opts.len() as u16);
         }
         let step = opts[choice];
+        self.wake_for(world, ready, step);
         self.opts_buf = opts;
         match step {
             Step::Drop(_) => self.drops_left -= 1,
@@ -462,40 +727,51 @@ fn run_job(
     scenario: &Scenario,
     cfg: &CheckConfig,
     job: Job,
-    visited: Option<&mut FpSet>,
+    visited: Option<&mut Visited>,
     spawn: Option<&mut Vec<Job>>,
 ) -> RunRecord {
-    let (mut world, choices, taken, branch_base, cursor, drops_left, crashes_left, suspects_left) =
-        match job {
-            Job::Fresh(prefix) => (
-                scenario.build(),
-                prefix,
-                Vec::new(),
-                Vec::new(),
-                0,
-                cfg.max_drops,
-                cfg.max_crashes,
-                cfg.max_suspects,
-            ),
-            Job::Resume(r) => {
-                // The resumed run starts at its branch point with the path
-                // up to (but not including) the sibling choice already
-                // "taken"; the first `next_step` consumes that last choice
-                // exactly as a stateless replay's final prefix step would.
-                let cursor = r.choices.len() - 1;
-                let taken = r.choices[..cursor].to_vec();
-                (
-                    r.world,
-                    r.choices,
-                    taken,
-                    r.branch_base,
-                    cursor,
-                    r.drops_left,
-                    r.crashes_left,
-                    r.suspects_left,
-                )
-            }
-        };
+    let (
+        mut world,
+        choices,
+        taken,
+        branch_base,
+        cursor,
+        drops_left,
+        crashes_left,
+        suspects_left,
+        armed_sleep,
+    ) = match job {
+        Job::Fresh(prefix, sleep) => (
+            scenario.build(),
+            prefix,
+            Vec::new(),
+            Vec::new(),
+            0,
+            cfg.max_drops,
+            cfg.max_crashes,
+            cfg.max_suspects,
+            sleep,
+        ),
+        Job::Resume(r) => {
+            // The resumed run starts at its branch point with the path
+            // up to (but not including) the sibling choice already
+            // "taken"; the first `next_step` consumes that last choice
+            // exactly as a stateless replay's final prefix step would.
+            let cursor = r.choices.len() - 1;
+            let taken = r.choices[..cursor].to_vec();
+            (
+                r.world,
+                r.choices,
+                taken,
+                r.branch_base,
+                cursor,
+                r.drops_left,
+                r.crashes_left,
+                r.suspects_left,
+                r.sleep,
+            )
+        }
+    };
     let mut ctl = ControlledScheduler {
         cfg,
         oracles: scenario.oracles,
@@ -512,6 +788,8 @@ fn run_job(
             violation: None,
             pruned: false,
         },
+        sleep: Vec::new(),
+        armed_sleep,
         visited,
         spawn,
         state_budget_hit: false,
@@ -574,9 +852,9 @@ pub fn run_one(
     scenario: &Scenario,
     choices: &[u16],
     cfg: &CheckConfig,
-    visited: Option<&mut FpSet>,
+    visited: Option<&mut Visited>,
 ) -> RunRecord {
-    run_job(scenario, cfg, Job::Fresh(choices.to_vec()), visited, None)
+    run_job(scenario, cfg, Job::Fresh(choices.to_vec(), Vec::new()), visited, None)
 }
 
 /// Replays a choice list with pruning disabled (the verdict-stable path used
@@ -589,6 +867,20 @@ pub fn replay_choices(scenario: &Scenario, choices: &[u16], cfg: &CheckConfig) -
 /// first violation (callers shrink it), or when the frontier drains
 /// (`exhausted`), or when a budget runs out.
 pub fn explore(scenario: &Scenario, cfg: &CheckConfig) -> CheckReport {
+    let mut visited = Visited::default();
+    explore_with(scenario, cfg, &mut visited)
+}
+
+/// [`explore`] that also hands back the visited-fingerprint set — the raw
+/// material of the DPOR differential suite, which holds the reduced
+/// exploration's coverage equal to `--no-reduction`'s state for state.
+pub fn explore_collect(scenario: &Scenario, cfg: &CheckConfig) -> (CheckReport, FpSet) {
+    let mut visited = Visited::default();
+    let report = explore_with(scenario, cfg, &mut visited);
+    (report, visited.fingerprints().collect())
+}
+
+fn explore_with(scenario: &Scenario, cfg: &CheckConfig, visited: &mut Visited) -> CheckReport {
     let mut report = CheckReport {
         scenario: scenario.name,
         runs: 0,
@@ -599,23 +891,22 @@ pub fn explore(scenario: &Scenario, cfg: &CheckConfig) -> CheckReport {
         exhausted: false,
         violation: None,
     };
-    let mut visited = FpSet::default();
-    let mut frontier: Vec<Job> = vec![Job::Fresh(Vec::new())];
+    let mut frontier: Vec<Job> = vec![Job::Fresh(Vec::new(), Vec::new())];
     while let Some(job) = frontier.pop() {
-        if report.runs >= cfg.max_runs || visited.len() as u64 >= cfg.max_states {
+        if report.runs >= cfg.max_runs || visited.len() >= cfg.max_states {
             return report;
         }
         // Untaken siblings of every expandable branch point past the node's
         // prefix are pushed onto `frontier` *during* the run, while each
         // branch point's world is live and can be snapshotted.
-        let rec = run_job(scenario, cfg, job, Some(&mut visited), Some(&mut frontier));
+        let rec = run_job(scenario, cfg, job, Some(&mut *visited), Some(&mut frontier));
         report.runs += 1;
         report.steps += rec.steps;
         report.branch_points += rec.branch_options.len() as u64;
         if rec.pruned {
             report.pruned += 1;
         }
-        report.states = visited.len() as u64;
+        report.states = visited.len();
         if let Some(v) = rec.violation {
             report.violation = Some(v);
             return report;
@@ -658,7 +949,7 @@ fn explore_task(
         exhausted: false,
         violation: None,
     };
-    let mut visited = FpSet::default();
+    let mut visited = Visited::default();
     let mut frontier: Vec<Job> = vec![seed];
     while let Some(job) = frontier.pop() {
         if shared_runs.load(Ordering::Relaxed) >= cfg.max_runs
@@ -666,7 +957,7 @@ fn explore_task(
         {
             return out;
         }
-        let states_before = visited.len() as u64;
+        let states_before = visited.len();
         let rec = run_job(scenario, cfg, job, Some(&mut visited), Some(&mut frontier));
         out.runs += 1;
         out.steps += rec.steps;
@@ -674,9 +965,9 @@ fn explore_task(
         if rec.pruned {
             out.pruned += 1;
         }
-        out.states = visited.len() as u64;
+        out.states = visited.len();
         shared_runs.fetch_add(1, Ordering::Relaxed);
-        shared_states.fetch_add(visited.len() as u64 - states_before, Ordering::Relaxed);
+        shared_states.fetch_add(visited.len() - states_before, Ordering::Relaxed);
         if let Some(v) = rec.violation {
             out.violation = Some(v);
             return out;
@@ -721,15 +1012,20 @@ pub fn explore_parallel(scenario: &Scenario, cfg: &CheckConfig, workers: usize) 
     // Root run: seeds the task list (one job per untaken sibling of its
     // branch points, snapshots included), and catches calendar-order
     // violations before any thread spawns.
-    let mut root_visited = FpSet::default();
+    let mut root_visited = Visited::default();
     let mut tasks: Vec<Job> = Vec::new();
-    let root =
-        run_job(scenario, cfg, Job::Fresh(Vec::new()), Some(&mut root_visited), Some(&mut tasks));
+    let root = run_job(
+        scenario,
+        cfg,
+        Job::Fresh(Vec::new(), Vec::new()),
+        Some(&mut root_visited),
+        Some(&mut tasks),
+    );
     report.runs = 1;
     report.steps = root.steps;
     report.branch_points = root.branch_options.len() as u64;
     report.pruned = u64::from(root.pruned);
-    report.states = root_visited.len() as u64;
+    report.states = root_visited.len();
     shared_runs.store(1, Ordering::Relaxed);
     shared_states.store(report.states, Ordering::Relaxed);
     if let Some(v) = root.violation {

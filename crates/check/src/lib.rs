@@ -19,10 +19,13 @@
 //!   flush/merge story, concurrent casts under an unordered stack, a merge
 //!   interrupted by a false suspicion) with the invariant oracles each must
 //!   satisfy.
-//! * [`explore`] — the depth-first schedule explorer: replay-based
-//!   (stateless) search over choice prefixes, visited-state pruning on
-//!   [`horus_sim::SimWorld::fingerprint`], and a commutativity reduction
-//!   that skips reorderings of deliveries to different endpoints.
+//! * [`explore`] — the depth-first schedule explorer: snapshot-resume (or
+//!   stateless replay) search over choice prefixes, sleep-aware
+//!   visited-state pruning on [`horus_sim::SimWorld::fingerprint`], and
+//!   happens-before dynamic partial-order reduction via sleep sets — runs
+//!   that merely reorder provably commuting deliveries are explored once,
+//!   without losing a single reachable state (the differential suite holds
+//!   the visited set equal to `--no-reduction`'s).
 //! * [`schedule`] — the serialized schedule format: scenario + bounds +
 //!   choice list, replayable byte-identically with `horus-check replay`.
 //! * [`shrink`] — delta-debugging (`ddmin`) of violating choice lists down
@@ -37,7 +40,8 @@ pub mod schedule;
 pub mod shrink;
 
 pub use explore::{
-    explore, explore_parallel, replay_choices, CheckConfig, CheckReport, FoundViolation, RunRecord,
+    explore, explore_collect, explore_parallel, replay_choices, CheckConfig, CheckReport,
+    FoundViolation, FpSet, RunRecord,
 };
 pub use scenario::{Oracle, Scenario};
 pub use schedule::Schedule;

@@ -206,6 +206,34 @@ fn script_token3(w: &mut SimWorld, base: SimTime) {
     w.cast_bytes_at(base + Duration::from_millis(2), ep(3), &b"3:1"[..]);
 }
 
+fn script_mergerace(w: &mut SimWorld, base: SimTime) {
+    // The MERGE discovery race: two members of an established trio issue
+    // *crossed* merge requests at the same instant — b nominates c as its
+    // contact while c nominates b.  Each side's MERGE layer sees a request
+    // naming itself the contact of a group it believes it already
+    // coordinates with, so whichever discovery message fires first decides
+    // who yields.  Every interleaving (including the symmetric tie the
+    // calendar never produces on its own) must leave view agreement intact;
+    // the endpoint-class heuristic this PR retires skipped exactly these
+    // cross-endpoint orderings.
+    let (_a, b, c) = (ep(1), ep(2), ep(3));
+    w.down_at(base + Duration::from_millis(1), b, Down::Merge { contact: c });
+    w.down_at(base + Duration::from_millis(1), c, Down::Merge { contact: b });
+}
+
+fn script_token4(w: &mut SimWorld, base: SimTime) {
+    // Double token loss: three ordered casts in flight across a 4-member
+    // TOTAL ring, explored with `--max-crashes 2` — the explorer may
+    // fail-stop the token holder, watch the membership change regenerate
+    // the token, and then fail-stop the *new* holder.  Two survivors must
+    // still agree on views and on one delivery order for the common casts.
+    // Depths this scenario needs are only reachable because parked branch
+    // siblings are CoW snapshots, not deep clones.
+    w.cast_bytes_at(base + Duration::from_millis(1), ep(2), &b"2:1"[..]);
+    w.cast_bytes_at(base + Duration::from_millis(2), ep(3), &b"3:1"[..]);
+    w.cast_bytes_at(base + Duration::from_millis(3), ep(4), &b"4:1"[..]);
+}
+
 static SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "flush3",
@@ -266,6 +294,26 @@ static SCENARIOS: &[Scenario] = &[
         script: script_wedge,
         horizon: Duration::from_millis(2500),
         oracles: &[Oracle::VirtualSynchrony],
+    },
+    Scenario {
+        name: "mergerace",
+        summary: "MERGE discovery race: crossed b->c and c->b merge requests at one instant",
+        stack: VSYNC,
+        members: 3,
+        settle: Duration::from_millis(400),
+        script: script_mergerace,
+        horizon: Duration::from_millis(2500),
+        oracles: &[Oracle::VirtualSynchrony],
+    },
+    Scenario {
+        name: "token4",
+        summary: "double token loss: crash budget 2 races three casts on the 4-member ring",
+        stack: CANONICAL,
+        members: 4,
+        settle: Duration::from_millis(400),
+        script: script_token4,
+        horizon: Duration::from_millis(2500),
+        oracles: &[Oracle::VirtualSynchrony, Oracle::TotalOrder],
     },
 ];
 

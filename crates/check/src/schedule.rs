@@ -36,7 +36,9 @@ pub struct Schedule {
     pub scenario: String,
     /// Concurrency window in microseconds.
     pub window_us: u64,
-    /// Whether the commutativity reduction shaped option lists.
+    /// Whether the sleep-set DPOR was on when the schedule was found.
+    /// Provenance only: the reduction never filters option lists (choice
+    /// indices are stable either way) and replay never prunes.
     pub reduction: bool,
     /// Branch-point expansion depth the run was found under.
     pub max_depth: usize,

@@ -152,9 +152,12 @@ impl<'a> LayerCtx<'a> {
 
 /// A protocol layer: the abstract data type of the paper's §1.
 ///
-/// Implementations must be `Send` so stacks can run under the threaded
-/// executor.  The default method bodies make a new layer a pure pass-through;
-/// override only the events the protocol participates in.
+/// Implementations must be `Send + Sync` so stacks can run under the
+/// threaded executor and so snapshotted layer state can be shared
+/// copy-on-write between explorer workers (layers hold no interior
+/// mutability: all mutation flows through `&mut self` dispatch).  The
+/// default method bodies make a new layer a pure pass-through; override only
+/// the events the protocol participates in.
 ///
 /// ```
 /// use horus_core::prelude::*;
@@ -172,7 +175,7 @@ impl<'a> LayerCtx<'a> {
 ///     fn dump(&self) -> String { format!("down={}", self.down) }
 /// }
 /// ```
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// The layer's name, e.g. `"NAK"`. Used in stack descriptions, dumps,
     /// and the stack fingerprint.
     fn name(&self) -> &'static str;
@@ -257,6 +260,19 @@ pub trait Layer: Send {
     /// `Some(Box::new(self.clone()))`.
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         None
+    }
+
+    /// Whether [`Layer::clone_box`] returns `Some` — i.e. whether this
+    /// layer's state can be duplicated for snapshotting.
+    ///
+    /// Copy-on-write snapshots ([`crate::stack::Stack::clone_cow`]) need to
+    /// know *up front* that every layer can be materialized later without
+    /// paying for a probe clone, so implementations that override
+    /// `clone_box` must override this to `true` as well.  The two must
+    /// agree: a layer that advertises snapshot support but returns `None`
+    /// from `clone_box` panics at the first post-snapshot mutation.
+    fn supports_snapshot(&self) -> bool {
+        false
     }
 }
 

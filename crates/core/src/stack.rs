@@ -32,6 +32,7 @@ use rand::SeedableRng;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Configuration of a stack's runtime behaviour.
@@ -291,7 +292,7 @@ impl StackBuilder {
         let n = self.layers.len();
         Ok(Stack {
             local: self.local,
-            layers: self.layers,
+            layers: self.layers.into_iter().map(LayerCell::new).collect(),
             layout,
             fingerprint,
             config: self.config,
@@ -345,11 +346,83 @@ enum Item {
     Timer(u64),
 }
 
+/// Process-global count of layer states duplicated through
+/// [`Layer::clone_box`] — by deep stack clones ([`Stack::try_clone`]) and by
+/// copy-on-write materializations (first mutation of a shared layer after
+/// [`Stack::clone_cow`]).  The model checker's benchmarks read this as the
+/// "bytes cloned" proxy when comparing snapshot strategies.
+static LAYER_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Total layer-state duplications since process start (or the last
+/// [`reset_layer_clones`]).
+pub fn layer_clones() -> u64 {
+    LAYER_CLONES.load(Ordering::Relaxed)
+}
+
+/// Resets the [`layer_clones`] counter to zero.  Benchmark harnesses call
+/// this between arms; the counter is process-global, so concurrent stacks in
+/// the same process all contribute.
+pub fn reset_layer_clones() {
+    LAYER_CLONES.store(0, Ordering::Relaxed);
+}
+
+/// One layer's state behind a copy-on-write cell.
+///
+/// A freshly built stack owns each layer exclusively (`Arc` strong count 1)
+/// and mutates it in place.  [`Stack::clone_cow`] shares the `Arc`s instead
+/// of cloning layer state; the first dispatch into a shared layer — on
+/// either side — materializes a private copy via [`Layer::clone_box`].
+/// Layers a parked exploration sibling never touches are therefore never
+/// cloned, which is what makes world snapshots O(touched) instead of
+/// O(world).
+struct LayerCell(Arc<Box<dyn Layer>>);
+
+impl LayerCell {
+    fn new(layer: Box<dyn Layer>) -> Self {
+        LayerCell(Arc::new(layer))
+    }
+
+    /// Read access; never clones.
+    fn get(&self) -> &dyn Layer {
+        &**self.0
+    }
+
+    /// Write access; materializes a private copy first if the cell is
+    /// shared with a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a shared layer breaks the
+    /// [`Layer::supports_snapshot`]/[`Layer::clone_box`] agreement: sharing
+    /// only happens after `supports_snapshot()` returned `true`, so
+    /// `clone_box()` returning `None` here is a layer implementation bug.
+    fn make_mut(&mut self) -> &mut dyn Layer {
+        if Arc::get_mut(&mut self.0).is_none() {
+            let copy = self.0.clone_box().unwrap_or_else(|| {
+                panic!(
+                    "layer {} advertises snapshot support but clone_box returned None",
+                    self.0.name()
+                )
+            });
+            LAYER_CLONES.fetch_add(1, Ordering::Relaxed);
+            self.0 = Arc::new(copy);
+        }
+        &mut **Arc::get_mut(&mut self.0).expect("uniquely owned after materialization")
+    }
+
+    /// Shares the cell (no state copied) if the layer can be materialized
+    /// later.
+    fn share(&self) -> Option<LayerCell> {
+        self.get().supports_snapshot().then(|| LayerCell(Arc::clone(&self.0)))
+    }
+}
+
 /// A composed protocol stack for one endpoint: the Horus "endpoint object"
 /// together with its layers and the per-stack event scheduler.
 pub struct Stack {
     local: EndpointAddr,
-    layers: Vec<Box<dyn Layer>>,
+    /// Per-layer copy-on-write cells; see [`LayerCell`].
+    layers: Vec<LayerCell>,
     layout: Arc<HeaderLayout>,
     fingerprint: u16,
     config: StackConfig,
@@ -427,8 +500,31 @@ impl Stack {
     pub fn try_clone(&self) -> Option<Stack> {
         let mut layers = Vec::with_capacity(self.layers.len());
         for l in &self.layers {
-            layers.push(l.clone_box()?);
+            layers.push(LayerCell::new(l.get().clone_box()?));
+            LAYER_CLONES.fetch_add(1, Ordering::Relaxed);
         }
+        self.clone_rest(layers)
+    }
+
+    /// Copy-on-write counterpart of [`Stack::try_clone`]: shares every
+    /// layer's state with the original instead of duplicating it, deferring
+    /// each layer's clone to the first dispatch into it — on either stack.
+    ///
+    /// Behaviourally indistinguishable from a deep clone (the checker's
+    /// fingerprint `debug_assert` polices this); the difference is purely
+    /// when (and whether) layer state gets copied.  Returns `None` when any
+    /// layer opts out of snapshotting ([`Layer::supports_snapshot`]).
+    pub fn clone_cow(&self) -> Option<Stack> {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for l in &self.layers {
+            layers.push(l.share()?);
+        }
+        self.clone_rest(layers)
+    }
+
+    /// The non-layer half of stack duplication, shared by the deep and CoW
+    /// paths.
+    fn clone_rest(&self, layers: Vec<LayerCell>) -> Option<Stack> {
         Some(Stack {
             local: self.local,
             layers,
@@ -454,7 +550,7 @@ impl Stack {
 
     /// Layer names, top first.
     pub fn layer_names(&self) -> Vec<&'static str> {
-        self.layers.iter().map(|l| l.name()).collect()
+        self.layers.iter().map(|l| l.get().name()).collect()
     }
 
     /// Creates an application message against this stack's layout.
@@ -477,7 +573,7 @@ impl Stack {
 
     /// The `focus` downcall of Table 1: a state report from the named layer.
     pub fn focus(&self, name: &str) -> Option<String> {
-        self.layers.iter().find(|l| l.name() == name).map(|l| l.dump())
+        self.layers.iter().find(|l| l.get().name() == name).map(|l| l.get().dump())
     }
 
     /// Typed `focus`: borrow a layer's concrete type (layers opt in through
@@ -485,21 +581,21 @@ impl Stack {
     pub fn focus_as<T: 'static>(&self, name: &str) -> Option<&T> {
         self.layers
             .iter()
-            .find(|l| l.name() == name)
-            .and_then(|l| l.as_any())
+            .find(|l| l.get().name() == name)
+            .and_then(|l| l.get().as_any())
             .and_then(|a| a.downcast_ref::<T>())
     }
 
     /// The `dump` downcall: every layer's state report, top first.
     pub fn dump(&self) -> Vec<(&'static str, String)> {
-        self.layers.iter().map(|l| (l.name(), l.dump())).collect()
+        self.layers.iter().map(|l| (l.get().name(), l.get().dump())).collect()
     }
 
     /// Total [`Layer::pending_work`] across the stack: how much state still
     /// obliges some layer to act.  `0` means the stack is fully drained —
     /// the condition liveness monitors demand once the network is quiet.
     pub fn pending_work(&self) -> u64 {
-        self.layers.iter().map(|l| l.pending_work()).sum()
+        self.layers.iter().map(|l| l.get().pending_work()).sum()
     }
 
     /// Feeds this stack's protocol state into a model-checking digest: the
@@ -572,8 +668,8 @@ impl Stack {
 
     fn layer_digest_fresh(&self, i: usize) -> u64 {
         let mut ld = crate::digest::StateDigest::new();
-        ld.write_str(self.layers[i].name());
-        self.layers[i].digest_state(&mut ld);
+        ld.write_str(self.layers[i].get().name());
+        self.layers[i].get().digest_state(&mut ld);
         ld.finish()
     }
 
@@ -594,7 +690,7 @@ impl Stack {
                 emitted: &mut emitted,
                 stats: &mut self.stats,
             };
-            self.layers[i].on_init(&mut ctx);
+            self.layers[i].make_mut().on_init(&mut ctx);
             self.absorb(i, &mut emitted, &mut effects);
             self.emit_buf = emitted;
             self.drain(&mut effects);
@@ -653,6 +749,7 @@ impl Stack {
                 // The dump downcall is answered by the runtime on behalf of
                 // every layer, so even passive layers appear.
                 for l in &self.layers {
+                    let l = l.get();
                     effects.push(Effect::Deliver(Up::DumpInfo { layer: l.name(), info: l.dump() }));
                 }
                 return;
@@ -718,7 +815,7 @@ impl Stack {
         if !self.config.skip_passive {
             return (i < self.layers.len()).then_some(i);
         }
-        (i..self.layers.len()).find(|&j| !self.layers[j].is_passive())
+        (i..self.layers.len()).find(|&j| !self.layers[j].get().is_passive())
     }
 
     /// Index of the first non-skipped layer at or above `i` (toward the
@@ -727,7 +824,7 @@ impl Stack {
         if !self.config.skip_passive {
             return Some(i);
         }
-        (0..=i).rev().find(|&j| !self.layers[j].is_passive())
+        (0..=i).rev().find(|&j| !self.layers[j].get().is_passive())
     }
 
     fn drain(&mut self, effects: &mut Vec<Effect>) {
@@ -745,9 +842,9 @@ impl Stack {
                 stats: &mut self.stats,
             };
             match item {
-                Item::Down(ev) => self.layers[idx].on_down(ev, &mut ctx),
-                Item::Up(ev) => self.layers[idx].on_up(ev, &mut ctx),
-                Item::Timer(token) => self.layers[idx].on_timer(token, &mut ctx),
+                Item::Down(ev) => self.layers[idx].make_mut().on_down(ev, &mut ctx),
+                Item::Up(ev) => self.layers[idx].make_mut().on_up(ev, &mut ctx),
+                Item::Timer(token) => self.layers[idx].make_mut().on_timer(token, &mut ctx),
             }
             self.absorb(idx, &mut emitted, effects);
             self.emit_buf = emitted;

@@ -136,6 +136,10 @@ impl Layer for Causal {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "CAUSAL"
     }
@@ -248,6 +252,10 @@ impl Ts {
 impl Layer for Ts {
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

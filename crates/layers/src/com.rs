@@ -65,6 +65,10 @@ impl Layer for Com {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "COM"
     }

@@ -227,6 +227,10 @@ impl Layer for Fd {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "FD"
     }

@@ -1264,6 +1264,10 @@ impl Layer for Mbrship {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "MBRSHIP"
     }

@@ -295,6 +295,10 @@ impl Layer for Bms {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "BMS"
     }
@@ -495,6 +499,10 @@ impl Layer for Vss {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "VSS"
     }
@@ -670,6 +678,10 @@ impl FlushLayer {
 impl Layer for FlushLayer {
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

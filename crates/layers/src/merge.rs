@@ -55,6 +55,10 @@ impl Layer for Merge {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "MERGE"
     }

@@ -549,6 +549,10 @@ impl Layer for Nak {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "NAK"
     }

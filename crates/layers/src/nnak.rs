@@ -100,6 +100,10 @@ impl Layer for Nnak {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "NNAK"
     }

@@ -258,6 +258,10 @@ impl Layer for Pack {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "PACK"
     }

@@ -121,6 +121,10 @@ impl Layer for Pinwheel {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "PINWHEEL"
     }

@@ -142,6 +142,10 @@ impl Layer for NakRef {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "NAK_REF"
     }
@@ -431,6 +435,10 @@ impl TotalRef {
 impl Layer for TotalRef {
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -57,6 +57,10 @@ impl Layer for Safe {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "SAFE"
     }

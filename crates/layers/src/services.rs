@@ -100,6 +100,10 @@ impl Layer for Rpc {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "RPC"
     }
@@ -282,6 +286,10 @@ impl Default for ClockSync {
 impl Layer for ClockSync {
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -563,6 +571,10 @@ impl Layer for Secure {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "SECURE"
     }
@@ -698,6 +710,10 @@ impl Mux {
 impl Layer for Mux {
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

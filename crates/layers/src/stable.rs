@@ -128,6 +128,10 @@ impl Layer for Stable {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "STABLE"
     }

@@ -295,6 +295,10 @@ impl Layer for Total {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "TOTAL"
     }

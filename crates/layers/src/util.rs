@@ -34,6 +34,10 @@ impl Layer for Nop {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "NOP"
     }
@@ -50,6 +54,10 @@ pub struct NopOpaque;
 impl Layer for NopOpaque {
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -83,6 +91,10 @@ pub struct Chksum {
 impl Layer for Chksum {
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -168,6 +180,10 @@ impl Layer for Sign {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "SIGN"
     }
@@ -243,6 +259,10 @@ impl Encrypt {
 impl Layer for Encrypt {
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -335,6 +355,10 @@ impl Layer for Compress {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "COMPRESS"
     }
@@ -422,6 +446,10 @@ impl Layer for Flow {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "FLOW"
     }
@@ -499,6 +527,10 @@ impl Layer for Prio {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "PRIO"
     }
@@ -572,6 +604,10 @@ impl Layer for Trace {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "TRACE"
     }
@@ -624,6 +660,10 @@ impl Acct {
 impl Layer for Acct {
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -681,6 +721,10 @@ impl Layer for Logger {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "LOGGER"
     }
@@ -729,6 +773,10 @@ impl Layer for DropEvery {
         Some(Box::new(self.clone()))
     }
 
+    fn supports_snapshot(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "DROP"
     }
@@ -773,6 +821,10 @@ pub struct Seqno {
 impl Layer for Seqno {
     fn clone_box(&self) -> Option<Box<dyn Layer>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn supports_snapshot(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -12,7 +12,7 @@ use bytes::Bytes;
 use horus_core::digest::StateDigest;
 use horus_core::prelude::*;
 use horus_net::{FaultRule, FixedScheduler, NetConfig, NetScheduler, RandomScheduler, SimNetwork};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -52,6 +52,12 @@ enum Ev {
 struct Pending {
     ev: Ev,
     digest: u64,
+    /// Vector clock of the dispatch that scheduled this entry (empty for
+    /// scripted/root schedules, and always empty when pending tracking is
+    /// off).  This is the happens-before side of the explorer's DPOR: two
+    /// pending events whose creation clocks are strictly ordered are never
+    /// treated as an exchangeable race.
+    clock: VClock,
 }
 
 /// Identifies one pending calendar entry: `(scheduled time, insertion
@@ -147,10 +153,39 @@ struct Slot {
     /// world fingerprint distinguishes states whose stacks converged but
     /// whose observable histories diverged.
     log_digest: StateDigest,
-    /// Cached endpoint contribution to [`SimWorld::fingerprint`], cleared
-    /// whenever an event dispatches into this endpoint (stack input, crash)
-    /// — so untouched endpoints cost one `Cell` read per branch point.
-    digest: Cell<Option<u64>>,
+    /// Cached endpoint contribution to [`SimWorld::fingerprint`].  Valid —
+    /// and summed into [`SimWorld::slots_sum`] — exactly when `dirty` is
+    /// false.
+    digest: Cell<u64>,
+    /// Set (and the endpoint queued on [`SimWorld::dirty_eps`]) whenever an
+    /// event dispatches into this endpoint (stack input, crash), so a
+    /// fingerprint only re-digests the slots actually touched since the
+    /// last one — no per-slot scan.
+    dirty: Cell<bool>,
+}
+
+/// A vector clock: sorted `(endpoint raw address, counter)` pairs; absent
+/// components are zero.  Groups are small, so a sorted vec beats a map.
+type VClock = Vec<(u64, u64)>;
+
+/// Componentwise `join` (pointwise max) of `b` into `a`.
+fn vc_join(a: &mut VClock, b: &[(u64, u64)]) {
+    for &(r, n) in b {
+        match a.binary_search_by_key(&r, |&(ar, _)| ar) {
+            Ok(i) => a[i].1 = a[i].1.max(n),
+            Err(i) => a.insert(i, (r, n)),
+        }
+    }
+}
+
+/// Strict happens-before on clocks: `a ≤ b` componentwise and `a ≠ b`.
+fn vc_lt(a: &[(u64, u64)], b: &[(u64, u64)]) -> bool {
+    let le = |x: &[(u64, u64)], y: &[(u64, u64)]| {
+        x.iter().all(|&(r, n)| {
+            n <= y.binary_search_by_key(&r, |&(yr, _)| yr).map(|i| y[i].1).unwrap_or(0)
+        })
+    };
+    le(a, b) && !le(b, a)
 }
 
 /// The discrete-event world: endpoints, network, calendar, virtual clock.
@@ -190,6 +225,22 @@ pub struct SimWorld {
     endpoints: BTreeMap<EndpointAddr, Slot>,
     sched: Box<dyn NetScheduler + Send>,
     traces: Vec<(SimTime, String)>,
+    /// The dirty *queue*: endpoints dispatched into since the last
+    /// fingerprint, each queued at most once (policed by [`Slot::dirty`]).
+    /// [`SimWorld::fingerprint`] drains this instead of scanning every slot.
+    dirty_eps: RefCell<Vec<EndpointAddr>>,
+    /// Wrapping sum of [`Slot::digest`] over *clean* slots.  Touching a slot
+    /// subtracts its stale contribution; the fingerprint adds the fresh one
+    /// back while draining the queue, keeping the sum exact without a walk.
+    slots_sum: Cell<u64>,
+    /// Per-endpoint vector clocks (maintained only when `track_pending`):
+    /// joined with the fired event's creation clock and bumped at every
+    /// dispatch, then stamped onto whatever the dispatch schedules.
+    clocks: BTreeMap<EndpointAddr, VClock>,
+    /// The clock new calendar entries are stamped with: the dispatching
+    /// endpoint's clock during a dispatch, empty (root) for scripted
+    /// schedules.
+    ctx_clock: VClock,
     /// When set, per-entry payload digests are computed at insertion and the
     /// pending-set sums below are maintained at every insert/remove, making
     /// the pending part of [`SimWorld::fingerprint`] O(1).  Enabled by
@@ -238,6 +289,10 @@ impl SimWorld {
             endpoints: BTreeMap::new(),
             sched,
             traces: Vec::new(),
+            dirty_eps: RefCell::new(Vec::new()),
+            slots_sum: Cell::new(0),
+            clocks: BTreeMap::new(),
+            ctx_clock: Vec::new(),
             track_pending: false,
             pending_s1: 0,
             pending_s2: 0,
@@ -293,9 +348,13 @@ impl SimWorld {
                 upcalls: Vec::new(),
                 alive: true,
                 log_digest: StateDigest::new(),
-                digest: Cell::new(None),
+                digest: Cell::new(0),
+                dirty: Cell::new(true),
             },
         );
+        // A new slot starts dirty (contributing nothing to the clean-slot
+        // sum) and queued, so the next fingerprint digests it.
+        self.dirty_eps.borrow_mut().push(ep);
         self.apply_effects(ep, effects);
         ep
     }
@@ -368,11 +427,12 @@ impl SimWorld {
         debug_assert!(at >= self.time, "cannot schedule into the past");
         self.seq += 1;
         let digest = if self.track_pending { ev_digest(&ev) } else { 0 };
+        let clock = if self.track_pending { self.ctx_clock.clone() } else { Vec::new() };
         if self.track_pending {
             self.pending_s1 = self.pending_s1.wrapping_add(digest);
             self.pending_s2 = self.pending_s2.wrapping_add(digest.wrapping_mul(at.as_nanos()));
         }
-        self.calendar.insert((at, self.seq), Pending { ev, digest });
+        self.calendar.insert((at, self.seq), Pending { ev, digest, clock });
     }
 
     /// Reverses the [`SimWorld::schedule`] bookkeeping for a removed entry.
@@ -408,7 +468,9 @@ impl SimWorld {
             let ((at, _), p) = self.calendar.pop_first().expect("peeked entry");
             self.untrack_pending(at, &p);
             self.time = at;
+            self.begin_causal(Self::ready_kind(&p.ev).target(), p.clock);
             self.dispatch(p.ev);
+            self.ctx_clock.clear();
             processed += 1;
             self.steps += 1;
             if self.steps >= self.step_limit {
@@ -456,6 +518,22 @@ impl SimWorld {
         self.run_until(self.time + d)
     }
 
+    /// Marks a slot dirty ahead of a mutation: pulls its stale contribution
+    /// out of the clean-slot sum and queues the endpoint for re-digest at
+    /// the next fingerprint.  Idempotent between fingerprints.
+    fn touch(
+        dirty_eps: &RefCell<Vec<EndpointAddr>>,
+        slots_sum: &Cell<u64>,
+        ep: EndpointAddr,
+        slot: &Slot,
+    ) {
+        if !slot.dirty.get() {
+            slot.dirty.set(true);
+            slots_sum.set(slots_sum.get().wrapping_sub(slot.digest.get()));
+            dirty_eps.borrow_mut().push(ep);
+        }
+    }
+
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Net { to, from, cast, wire } => {
@@ -463,7 +541,7 @@ impl SimWorld {
                 if !slot.alive {
                     return;
                 }
-                slot.digest.set(None);
+                Self::touch(&self.dirty_eps, &self.slots_sum, to, slot);
                 slot.stack.set_now(self.time);
                 let fx = slot.stack.handle(StackInput::FromNet { from, cast, wire });
                 self.apply_effects(to, fx);
@@ -473,7 +551,7 @@ impl SimWorld {
                 if !slot.alive {
                     return;
                 }
-                slot.digest.set(None);
+                Self::touch(&self.dirty_eps, &self.slots_sum, ep, slot);
                 let fx = slot.stack.handle(StackInput::Timer { layer, token, now: self.time });
                 self.apply_effects(ep, fx);
             }
@@ -482,14 +560,14 @@ impl SimWorld {
                 if !slot.alive {
                     return;
                 }
-                slot.digest.set(None);
+                Self::touch(&self.dirty_eps, &self.slots_sum, ep, slot);
                 slot.stack.set_now(self.time);
                 let fx = slot.stack.handle(StackInput::FromApp(down));
                 self.apply_effects(ep, fx);
             }
             Ev::Crash { ep } => {
                 if let Some(slot) = self.endpoints.get_mut(&ep) {
-                    slot.digest.set(None);
+                    Self::touch(&self.dirty_eps, &self.slots_sum, ep, slot);
                     slot.alive = false;
                     self.net.leave(ep);
                     self.traces.push((self.time, format!("{ep} crashed")));
@@ -509,7 +587,7 @@ impl SimWorld {
                 if !slot.alive {
                     return;
                 }
-                slot.digest.set(None);
+                Self::touch(&self.dirty_eps, &self.slots_sum, observer, slot);
                 slot.stack.set_now(self.time);
                 let fx = slot.stack.handle(StackInput::FromApp(Down::Suspect { member: target }));
                 self.apply_effects(observer, fx);
@@ -732,7 +810,9 @@ impl SimWorld {
         };
         self.untrack_pending(id.0, &p);
         self.time = self.time.max(id.0);
+        self.begin_causal(Self::ready_kind(&p.ev).target(), p.clock);
         self.dispatch(p.ev);
+        self.ctx_clock.clear();
         self.steps += 1;
         if self.steps >= self.step_limit {
             panic!("{}", self.storm_report());
@@ -762,38 +842,108 @@ impl SimWorld {
     /// Crashes `ep` at the current instant (explorer-injected fail-stop, the
     /// same transition a scripted [`SimWorld::crash_at`] performs).
     pub fn inject_crash(&mut self, ep: EndpointAddr) {
+        self.begin_causal(Some(ep), Vec::new());
         self.dispatch(Ev::Crash { ep });
+        self.ctx_clock.clear();
     }
 
     /// Tells `observer`'s stack to suspect `target` at the current instant
     /// (explorer-injected, possibly inaccurate, failure suspicion).
     pub fn inject_suspect(&mut self, observer: EndpointAddr, target: EndpointAddr) {
+        self.begin_causal(Some(observer), Vec::new());
         self.dispatch(Ev::Suspect { observer, target });
+        self.ctx_clock.clear();
+    }
+
+    /// Enters a dispatch's causal context: joins the fired event's creation
+    /// clock into the target endpoint's clock, bumps the target's own
+    /// component, and makes the result the clock every entry scheduled by
+    /// the dispatch is stamped with.  No-op when pending tracking is off.
+    fn begin_causal(&mut self, target: Option<EndpointAddr>, ev_clock: VClock) {
+        if !self.track_pending {
+            return;
+        }
+        match target {
+            Some(ep) => {
+                let c = self.clocks.entry(ep).or_default();
+                vc_join(c, &ev_clock);
+                let raw = ep.raw();
+                match c.binary_search_by_key(&raw, |&(r, _)| r) {
+                    Ok(i) => c[i].1 += 1,
+                    Err(i) => c.insert(i, (raw, 1)),
+                }
+                self.ctx_clock = c.clone();
+            }
+            // World-global events (partition, heal, fault rules) have no
+            // endpoint clock to bump; their consequences inherit the fired
+            // event's own creation clock.
+            None => self.ctx_clock = ev_clock,
+        }
+    }
+
+    /// Whether the creation contexts of two pending calendar entries are
+    /// strictly ordered by happens-before (either direction).  The DPOR in
+    /// `horus-check` refuses to treat causally ordered events as an
+    /// exchangeable race.  Returns `false` for unknown ids and for worlds
+    /// without pending tracking (no clocks maintained).
+    pub fn causally_ordered(&self, a: EventId, b: EventId) -> bool {
+        let (Some(pa), Some(pb)) = (self.calendar.get(&a), self.calendar.get(&b)) else {
+            return false;
+        };
+        vc_lt(&pa.clock, &pb.clock) || vc_lt(&pb.clock, &pa.clock)
+    }
+
+    /// The time-independent payload digest of a pending entry (tracked
+    /// worlds compute these at insertion).  The explorer uses this as a
+    /// run-independent event identity: insertion sequence numbers differ
+    /// between converging runs, payload digests do not.
+    pub fn pending_digest(&self, id: EventId) -> Option<u64> {
+        self.calendar.get(&id).map(|p| if p.digest != 0 { p.digest } else { ev_digest(&p.ev) })
     }
 
     /// Duplicates the entire world — clock, calendar, network, endpoint
     /// stacks, logs, pending-digest sums — if every stack layer and the net
-    /// scheduler support snapshotting (`Layer::clone_box` /
+    /// scheduler support snapshotting (`Layer::supports_snapshot` /
     /// `NetScheduler::clone_box`).
     ///
-    /// The clone is behaviourally exact: firing the same schedule against
-    /// the original and the snapshot produces identical effects, upcalls,
-    /// and fingerprints.  The model checker leans on this to resume
-    /// exploration from a branch point instead of re-executing the settle
-    /// phase and the choice prefix; anything less than an exact clone
-    /// corrupts the search, which is why unsupported layers make this
+    /// Layer state is shared **copy-on-write** with the original
+    /// ([`Stack::clone_cow`]): nothing per-layer is copied here, and a layer
+    /// is duplicated only when a later dispatch — on either world — first
+    /// mutates it.  Snapshots therefore cost O(touched), not O(world),
+    /// which is what lets the model checker park a sibling per untaken
+    /// branch at depths a deep clone per branch point would forbid.  Use
+    /// [`SimWorld::snapshot_deep`] to pay the full copy up front instead.
+    ///
+    /// Either way the clone is behaviourally exact: firing the same
+    /// schedule against the original and the snapshot produces identical
+    /// effects, upcalls, and fingerprints.  The model checker leans on this
+    /// to resume exploration from a branch point instead of re-executing
+    /// the settle phase and the choice prefix; anything less than an exact
+    /// clone corrupts the search, which is why unsupported layers make this
     /// return `None` rather than best-effort copying.
     pub fn snapshot(&self) -> Option<SimWorld> {
+        self.snapshot_impl(true)
+    }
+
+    /// [`SimWorld::snapshot`] with every layer deep-cloned up front (the
+    /// pre-CoW behaviour).  Kept as the honest baseline for the checker's
+    /// `cow_off` benchmark arm.
+    pub fn snapshot_deep(&self) -> Option<SimWorld> {
+        self.snapshot_impl(false)
+    }
+
+    fn snapshot_impl(&self, cow: bool) -> Option<SimWorld> {
         let mut endpoints = BTreeMap::new();
         for (ep, slot) in &self.endpoints {
             endpoints.insert(
                 *ep,
                 Slot {
-                    stack: slot.stack.try_clone()?,
+                    stack: if cow { slot.stack.clone_cow()? } else { slot.stack.try_clone()? },
                     upcalls: slot.upcalls.clone(),
                     alive: slot.alive,
                     log_digest: slot.log_digest.clone(),
                     digest: slot.digest.clone(),
+                    dirty: slot.dirty.clone(),
                 },
             );
         }
@@ -807,6 +957,10 @@ impl SimWorld {
             endpoints,
             sched: self.sched.clone_box()?,
             traces: self.traces.clone(),
+            dirty_eps: RefCell::new(self.dirty_eps.borrow().clone()),
+            slots_sum: self.slots_sum.clone(),
+            clocks: self.clocks.clone(),
+            ctx_clock: self.ctx_clock.clone(),
             track_pending: self.track_pending,
             pending_s1: self.pending_s1,
             pending_s2: self.pending_s2,
@@ -825,9 +979,8 @@ impl SimWorld {
     /// phantom violations.
     pub fn fingerprint(&self) -> u64 {
         let mut d = StateDigest::new();
-        for (ep, slot) in &self.endpoints {
-            d.write_u64(Self::slot_digest_cached(*ep, slot));
-        }
+        d.write_u64(self.endpoints.len() as u64);
+        d.write_u64(self.slots_sum_cached());
         self.net.digest_cached_into(&mut d);
         let (n, s1, s2) = if self.track_pending {
             (self.calendar.len() as u64, self.pending_s1, self.pending_s2)
@@ -838,6 +991,26 @@ impl SimWorld {
         d.finish()
     }
 
+    /// Drains the dirty queue — re-digesting only the slots touched since
+    /// the last fingerprint — and returns the up-to-date clean-slot sum.
+    /// Slot digests combine as a wrapping sum (order-independent; each
+    /// digest already covers the endpoint address), which is what lets the
+    /// warm path skip even the one-`Cell`-read-per-slot scan the previous
+    /// scheme paid.
+    fn slots_sum_cached(&self) -> u64 {
+        let mut sum = self.slots_sum.get();
+        let mut dirty = self.dirty_eps.borrow_mut();
+        for ep in dirty.drain(..) {
+            let slot = &self.endpoints[&ep];
+            let v = Self::slot_digest(ep, slot, slot.stack.state_digest_cached());
+            slot.digest.set(v);
+            slot.dirty.set(false);
+            sum = sum.wrapping_add(v);
+        }
+        self.slots_sum.set(sum);
+        sum
+    }
+
     /// [`SimWorld::fingerprint`] with every cache bypassed: stacks, network
     /// and calendar are all re-digested from scratch.  Bit-identical to the
     /// cached path by construction — the differential tests call both at
@@ -845,36 +1018,25 @@ impl SimWorld {
     /// incremental-off benchmark arm uses it as the honest baseline.
     pub fn fingerprint_fresh(&self) -> u64 {
         let mut d = StateDigest::new();
+        d.write_u64(self.endpoints.len() as u64);
+        let mut sum: u64 = 0;
         for (ep, slot) in &self.endpoints {
-            d.write_u64(Self::slot_digest_fresh(*ep, slot));
+            sum = sum.wrapping_add(Self::slot_digest(*ep, slot, slot.stack.state_digest()));
         }
+        d.write_u64(sum);
         self.net.digest_into(&mut d);
         let (n, s1, s2) = self.pending_sums_fresh();
         Self::write_pending_combine(&mut d, self.time, n, s1, s2);
         d.finish()
     }
 
-    fn slot_digest_fresh(ep: EndpointAddr, slot: &Slot) -> u64 {
+    fn slot_digest(ep: EndpointAddr, slot: &Slot, stack_digest: u64) -> u64 {
         let mut e = StateDigest::new();
         e.write_u64(ep.raw());
         e.write_u64(slot.alive as u64);
         e.write_u64(slot.log_digest.finish());
-        e.write_u64(slot.stack.state_digest());
+        e.write_u64(stack_digest);
         e.finish()
-    }
-
-    fn slot_digest_cached(ep: EndpointAddr, slot: &Slot) -> u64 {
-        if let Some(v) = slot.digest.get() {
-            return v;
-        }
-        let mut e = StateDigest::new();
-        e.write_u64(ep.raw());
-        e.write_u64(slot.alive as u64);
-        e.write_u64(slot.log_digest.finish());
-        e.write_u64(slot.stack.state_digest_cached());
-        let v = e.finish();
-        slot.digest.set(Some(v));
-        v
     }
 
     /// Pending events enter the fingerprint as an order-independent combine

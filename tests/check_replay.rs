@@ -67,14 +67,29 @@ fn wedge_reconstruction_stays_wedged_and_clean() {
     // The view-merge wedge neighborhood: a false suspicion against the
     // coordinator wedges the group into {a} / {b, c}.  The suspicion is no
     // longer scripted — the fixture carries a `max_suspects: 1` budget and
-    // its first choice (index 5: past the three fire options, into the
-    // suspect block at ordered pair (ep:2, ep:1)) injects it.  No invariant
-    // is violated — the members agree within their components — and this
-    // fixture pins both the budget semantics and the verdict.
+    // its first choice (index 11: past the nine unfiltered fire options,
+    // into the suspect block at ordered pair (ep:2, ep:1)) injects it.  No
+    // invariant is violated — the members agree within their components —
+    // and this fixture pins both the budget semantics and the verdict.
     let schedule = fixture("wedge_clean.check");
     assert_eq!(schedule.verdict, "clean");
     assert_eq!(schedule.to_config().max_suspects, 1, "fixture must carry the suspect budget");
     assert_eq!(replay(&schedule), "clean");
+
+    // Pin the option layout the choice index depends on: 9 fires + 6
+    // ordered suspect pairs at the first branch point.  An enumeration
+    // change that silently moves the suspect block would otherwise keep
+    // replaying clean while injecting nothing.
+    {
+        let scenario = Scenario::by_name("wedge").unwrap();
+        let rec = replay_choices(scenario, &schedule.choices, &schedule.to_config());
+        assert_eq!(rec.branch_options.first(), Some(&15), "wedge first-branch option count moved");
+        assert_eq!(
+            rec.taken.first(),
+            Some(&11),
+            "fixture choice must land on suspect (ep:2, ep:1)"
+        );
+    }
 
     // The wedged *shape* is reconstructed here with the same suspicion the
     // explorer injects, placed calendar-style just after the merge nudge.
