@@ -50,11 +50,13 @@
 
 use crate::scenario::{Oracle, Scenario};
 use horus_core::prelude::{EndpointAddr, SimTime, Up};
+use horus_core::trace::TraceSink;
 use horus_sim::sched::{RunOutcome, Scheduler, Step};
 use horus_sim::{EventId, ReadyEvent, ReadyKind, SimWorld};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Pass-through hasher for the visited set: its keys are world fingerprints,
@@ -205,6 +207,59 @@ fn sleep_key(now: SimTime, sleep: &[SleepEntry]) -> Vec<(u64, u64)> {
         sleep.iter().map(|e| ((e.at.max(now) - now).as_nanos() as u64, e.digest)).collect();
     key.sort_unstable();
     key
+}
+
+/// The deterministic option list for a ready set — the *one* enumeration
+/// everything downstream agrees on: the explorer's branch points, committed
+/// fixtures' choice indices, and the trace→schedule bridge (which must map
+/// observed events back to the indices a replay would consume).  Order is
+/// load-bearing: fires first (index == ready position), then drops, then
+/// crashes, then ordered suspicion pairs, each block present only while its
+/// budget lasts so zero budgets leave earlier indices untouched.
+pub(crate) fn enumerate_options(
+    members: u64,
+    world: &SimWorld,
+    ready: &[ReadyEvent],
+    drops_left: u32,
+    crashes_left: u32,
+    suspects_left: u32,
+    opts: &mut Vec<Step>,
+) {
+    opts.clear();
+    opts.extend((0..ready.len()).map(Step::Fire));
+    if drops_left > 0 {
+        opts.extend(
+            ready
+                .iter()
+                .enumerate()
+                .filter(|(_, ev)| ev.kind.droppable())
+                .map(|(i, _)| Step::Drop(i)),
+        );
+    }
+    // Crash choice points (appended last so legacy indices survive a
+    // zero budget): with budget left, any still-alive member may
+    // fail-stop *here*, before anything in the ready set fires.
+    if crashes_left > 0 {
+        opts.extend(
+            (1..=members).map(EndpointAddr::new).filter(|&m| world.is_alive(m)).map(Step::Crash),
+        );
+    }
+    // Suspicion choice points (after the crash range, same index-
+    // stability contract): any alive member may be told — truthfully
+    // or not — to suspect any other alive member *here*.
+    if suspects_left > 0 {
+        let alive: Vec<EndpointAddr> =
+            (1..=members).map(EndpointAddr::new).filter(|&m| world.is_alive(m)).collect();
+        for &observer in &alive {
+            opts.extend(
+                alive
+                    .iter()
+                    .copied()
+                    .filter(|&target| target != observer)
+                    .map(|target| Step::Suspect { observer, target }),
+            );
+        }
+    }
 }
 
 /// Bounds and knobs for one exploration.
@@ -426,46 +481,15 @@ impl<'a> ControlledScheduler<'a> {
     /// with it every committed fixture's choice indices — is identical with
     /// the reduction on or off.
     fn fill_options(&self, world: &SimWorld, ready: &[ReadyEvent], opts: &mut Vec<Step>) {
-        opts.clear();
-        opts.extend((0..ready.len()).map(Step::Fire));
-        if self.drops_left > 0 {
-            opts.extend(
-                ready
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, ev)| ev.kind.droppable())
-                    .map(|(i, _)| Step::Drop(i)),
-            );
-        }
-        // Crash choice points (appended last so legacy indices survive a
-        // zero budget): with budget left, any still-alive member may
-        // fail-stop *here*, before anything in the ready set fires.
-        if self.crashes_left > 0 {
-            opts.extend(
-                (1..=self.scenario.members)
-                    .map(EndpointAddr::new)
-                    .filter(|&m| world.is_alive(m))
-                    .map(Step::Crash),
-            );
-        }
-        // Suspicion choice points (after the crash range, same index-
-        // stability contract): any alive member may be told — truthfully
-        // or not — to suspect any other alive member *here*.
-        if self.suspects_left > 0 {
-            let alive: Vec<EndpointAddr> = (1..=self.scenario.members)
-                .map(EndpointAddr::new)
-                .filter(|&m| world.is_alive(m))
-                .collect();
-            for &observer in &alive {
-                opts.extend(
-                    alive
-                        .iter()
-                        .copied()
-                        .filter(|&target| target != observer)
-                        .map(|target| Step::Suspect { observer, target }),
-                );
-            }
-        }
+        enumerate_options(
+            self.scenario.members,
+            world,
+            ready,
+            self.drops_left,
+            self.crashes_left,
+            self.suspects_left,
+            opts,
+        );
     }
 
     /// Whether an option is asleep: a `Fire` of a currently-sleeping event.
@@ -730,6 +754,17 @@ fn run_job(
     visited: Option<&mut Visited>,
     spawn: Option<&mut Vec<Job>>,
 ) -> RunRecord {
+    run_job_inner(scenario, cfg, job, visited, spawn, None)
+}
+
+fn run_job_inner(
+    scenario: &Scenario,
+    cfg: &CheckConfig,
+    job: Job,
+    visited: Option<&mut Visited>,
+    spawn: Option<&mut Vec<Job>>,
+    tracer: Option<Arc<dyn TraceSink>>,
+) -> RunRecord {
     let (
         mut world,
         choices,
@@ -772,6 +807,12 @@ fn run_job(
             )
         }
     };
+    // Tracing starts *here* — after `Scenario::build` ran the settle phase —
+    // so a captured trace holds exactly the explored window, which is what
+    // the trace→schedule bridge maps back onto choice indices.
+    if let Some(t) = tracer {
+        world.set_tracer(t);
+    }
     let mut ctl = ControlledScheduler {
         cfg,
         oracles: scenario.oracles,
@@ -861,6 +902,20 @@ pub fn run_one(
 /// by `horus-check replay` and the committed fixtures).
 pub fn replay_choices(scenario: &Scenario, choices: &[u16], cfg: &CheckConfig) -> RunRecord {
     run_one(scenario, choices, cfg, None)
+}
+
+/// [`replay_choices`] with a trace sink installed for the explored window:
+/// the settle phase runs silent, then every calendar fire, induced fault,
+/// and stack-internal hop of the replayed run is recorded.  The captured
+/// trace carries the calendar sequence numbers the trace→schedule bridge
+/// matches on, so `replay → trace → bridge → replay` round-trips.
+pub fn replay_choices_traced(
+    scenario: &Scenario,
+    choices: &[u16],
+    cfg: &CheckConfig,
+    tracer: Arc<dyn TraceSink>,
+) -> RunRecord {
+    run_job_inner(scenario, cfg, Job::Fresh(choices.to_vec(), Vec::new()), None, None, Some(tracer))
 }
 
 /// Explores the scenario's bounded schedule space depth-first.  Stops at the

@@ -30,18 +30,24 @@
 //!   choice list, replayable byte-identically with `horus-check replay`.
 //! * [`shrink`] — delta-debugging (`ddmin`) of violating choice lists down
 //!   to minimal counterexamples.
+//! * [`bridge`] — the trace→schedule bridge: a causal trace captured by
+//!   `horus-trace` collectors re-enacted into a replayable schedule, so an
+//!   interleaving *observed* anywhere the simulator runs (a traced replay,
+//!   a soak-minimized fault plan) becomes a committable fixture.
 //!
 //! A found violation is therefore not a flaky failure but a *file*: commit
 //! it under `tests/fixtures/` and it replays forever.
 
+pub mod bridge;
 pub mod explore;
 pub mod scenario;
 pub mod schedule;
 pub mod shrink;
 
+pub use bridge::{schedule_from_trace, trace_meta};
 pub use explore::{
-    explore, explore_collect, explore_parallel, replay_choices, CheckConfig, CheckReport,
-    FoundViolation, FpSet, RunRecord,
+    explore, explore_collect, explore_parallel, replay_choices, replay_choices_traced, CheckConfig,
+    CheckReport, FoundViolation, FpSet, RunRecord,
 };
 pub use scenario::{Oracle, Scenario};
 pub use schedule::Schedule;

@@ -7,17 +7,26 @@
 //!                     [--states N] [--runs N] [--window-us N] [--workers N]
 //!                     [--no-reduction] [--fresh-fp] [--no-snapshot] [--no-cow]
 //!                     [--out FILE]
-//! horus-check replay <schedule-file>
+//! horus-check replay <schedule-file> [--trace FILE]
+//! horus-check bridge <trace-file> [--out FILE]
 //! ```
 //!
 //! `explore` exits 0 when the bounded space is clean, 3 when a violation was
 //! found (after shrinking and printing/writing the schedule).  `replay` exits
 //! 0 when the re-executed verdict matches the one recorded in the file, 2 on
-//! a mismatch.
+//! a mismatch; `--trace` additionally captures the replay as a causal trace
+//! file (inspect with `horus-trace`, convert back with `bridge`).  `bridge`
+//! re-enacts a captured trace into a replayable schedule.
 
 use horus_check::schedule::verdict_line;
-use horus_check::{explore, explore_parallel, replay_choices, CheckConfig, Scenario, Schedule};
+use horus_check::{
+    explore, explore_parallel, replay_choices, replay_choices_traced, schedule_from_trace,
+    trace_meta, CheckConfig, Scenario, Schedule,
+};
+use horus_core::trace::TraceSink;
+use horus_trace::{parse_trace, serialize_trace, TraceBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
@@ -26,7 +35,8 @@ fn usage() -> ExitCode {
          [--drops N] [--max-crashes N] [--max-suspects N] [--wedge-oracle] [--states N] \
          [--runs N] [--window-us N] [--workers N] \
          [--no-reduction] [--fresh-fp] [--no-snapshot] [--no-cow] [--out FILE]\n  \
-         horus-check replay <schedule-file>"
+         horus-check replay <schedule-file> [--trace FILE]\n  \
+         horus-check bridge <trace-file> [--out FILE]"
     );
     ExitCode::from(1)
 }
@@ -42,6 +52,7 @@ fn main() -> ExitCode {
         }
         Some("explore") => cmd_explore(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("bridge") => cmd_bridge(&args[1..]),
         _ => usage(),
     }
 }
@@ -159,6 +170,20 @@ fn cmd_explore(args: &[String]) -> ExitCode {
 
 fn cmd_replay(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else { return usage() };
+    let mut trace_out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--trace" => match it.next() {
+                Some(v) => trace_out = Some(v.clone()),
+                None => return usage(),
+            },
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -178,7 +203,25 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         return ExitCode::from(1);
     };
     let cfg = schedule.to_config();
-    let rec = replay_choices(scenario, &schedule.choices, &cfg);
+    let rec = match &trace_out {
+        Some(out) => {
+            let buf = Arc::new(TraceBuf::new());
+            let rec = replay_choices_traced(
+                scenario,
+                &schedule.choices,
+                &cfg,
+                buf.clone() as Arc<dyn TraceSink>,
+            );
+            let trace = serialize_trace(&trace_meta(scenario, &cfg), &buf.take());
+            if let Err(e) = std::fs::write(out, &trace) {
+                eprintln!("cannot write {out}: {e}");
+                return ExitCode::from(1);
+            }
+            println!("trace written to {out}");
+            rec
+        }
+        None => replay_choices(scenario, &schedule.choices, &cfg),
+    };
     let verdict = verdict_line(&rec);
     println!("replayed {} with {} choices: {verdict}", schedule.scenario, schedule.choices.len());
     if verdict == schedule.verdict {
@@ -188,4 +231,62 @@ fn cmd_replay(args: &[String]) -> ExitCode {
         eprintln!("VERDICT DRIFT\n  recorded: {}\n  replayed: {verdict}", schedule.verdict);
         ExitCode::from(2)
     }
+}
+
+fn cmd_bridge(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { return usage() };
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return usage(),
+            },
+            other => {
+                eprintln!("unknown flag {other:?}");
+                return usage();
+            }
+        }
+    }
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let trace = match parse_trace(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let schedule = match schedule_from_trace(&trace) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bridge {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!(
+        "bridged {} ({} records) into {} choices: {}",
+        path,
+        trace.records.len(),
+        schedule.choices.len(),
+        schedule.verdict
+    );
+    let text = schedule.serialize();
+    match out {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &text) {
+                eprintln!("cannot write {p}: {e}");
+                return ExitCode::from(1);
+            }
+            println!("schedule written to {p}");
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
 }

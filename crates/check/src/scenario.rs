@@ -21,6 +21,14 @@ pub const CANONICAL: &str = "TOTAL:MBRSHIP:FRAG:NAK:COM(promiscuous=true)";
 pub const VSYNC: &str = "MBRSHIP:FRAG:NAK:COM(promiscuous=true)";
 /// Bare best-effort multicast: no reliability, no ordering, no membership.
 pub const BARE: &str = "COM(promiscuous=true)";
+/// Eager stability gossip (§9) over the virtual-synchrony base.
+pub const STABLE_STACK: &str = "STABLE:MBRSHIP:FRAG:NAK:COM(promiscuous=true)";
+/// Rotating-slot stability (§10) over the same base.
+pub const PINWHEEL_STACK: &str = "PINWHEEL:MBRSHIP:FRAG:NAK:COM(promiscuous=true)";
+/// The chaos-soak liveness stack (MERGE-driven healing plus FD), the shape
+/// the `soakwedge` scenario re-enacts from its committed fault plan.
+pub const SOAK_STACK: &str =
+    "MERGE(contacts=1,period=50):MBRSHIP:FD:FRAG:NAK:COM(promiscuous=true)";
 
 /// An end-to-end property oracle, applied to the delivery logs of the
 /// still-alive members.
@@ -234,6 +242,48 @@ fn script_token4(w: &mut SimWorld, base: SimTime) {
     w.cast_bytes_at(base + Duration::from_millis(3), ep(4), &b"4:1"[..]);
 }
 
+fn script_stability(w: &mut SimWorld, base: SimTime) {
+    // Stability under reordering: two casts from different senders race the
+    // STABLE layer's acknowledgement-row gossip.  Every interleaving of
+    // data against rows must leave view agreement and same-view delivery
+    // intact — a row that outruns its data, or data that outruns the row
+    // acknowledging it, must never confuse the membership underneath.
+    w.cast_bytes_at(base + Duration::from_millis(1), ep(1), &b"1:1"[..]);
+    w.cast_bytes_at(base + Duration::from_millis(1), ep(3), &b"3:1"[..]);
+}
+
+fn script_soakwedge(w: &mut SimWorld, base: SimTime) {
+    // The soak-minimized wedge plan, re-enacted as a checking scenario: the
+    // committed `.soak` fixture's (partition, crash) pair — once a
+    // restart-grant livelock, now the regression pin for that fix — is
+    // scheduled verbatim (offsets preserved, anchored 1ms past settle).
+    // The checker then owns every interleaving of the healing merge
+    // traffic the soak only ever sampled; the same plan also drives the
+    // trace→schedule bridge round-trip in the E28 suite.
+    let text = include_str!("../../../tests/fixtures/soak_wedge_regression.soak");
+    let (_, plan) = horus_sim::soak::parse_artifact(text).expect("committed soak fixture parses");
+    let t0 = plan.events.first().map(|e| e.at).unwrap_or(SimTime::ZERO);
+    for event in &plan.events {
+        let at = base + Duration::from_millis(1) + (event.at - t0);
+        match &event.action {
+            horus_sim::SoakAction::Partition { sides, dur } => {
+                let regions: Vec<&[EndpointAddr]> = sides.iter().map(Vec::as_slice).collect();
+                w.partition_at(at, &regions);
+                w.heal_at(at + *dur);
+            }
+            horus_sim::SoakAction::Crash { ep } => w.crash_at(at, *ep),
+            horus_sim::SoakAction::Storm { observers, target } => {
+                for &observer in observers {
+                    w.suspect_at(at, observer, *target);
+                }
+            }
+            horus_sim::SoakAction::Merge { who, contact } => {
+                w.down_at(at, *who, Down::Merge { contact: *contact });
+            }
+        }
+    }
+}
+
 static SCENARIOS: &[Scenario] = &[
     Scenario {
         name: "flush3",
@@ -314,6 +364,36 @@ static SCENARIOS: &[Scenario] = &[
         script: script_token4,
         horizon: Duration::from_millis(2500),
         oracles: &[Oracle::VirtualSynchrony, Oracle::TotalOrder],
+    },
+    Scenario {
+        name: "stable3",
+        summary: "stability under reordering: STABLE row gossip races two data casts",
+        stack: STABLE_STACK,
+        members: 3,
+        settle: Duration::from_millis(400),
+        script: script_stability,
+        horizon: Duration::from_millis(500),
+        oracles: &[Oracle::VirtualSynchrony],
+    },
+    Scenario {
+        name: "pinwheel3",
+        summary: "stability under reordering: PINWHEEL slot rotations race two data casts",
+        stack: PINWHEEL_STACK,
+        members: 3,
+        settle: Duration::from_millis(400),
+        script: script_stability,
+        horizon: Duration::from_millis(500),
+        oracles: &[Oracle::VirtualSynchrony],
+    },
+    Scenario {
+        name: "soakwedge",
+        summary: "the committed soak wedge plan (partition+crash) under systematic schedules",
+        stack: SOAK_STACK,
+        members: 4,
+        settle: Duration::from_millis(400),
+        script: script_soakwedge,
+        horizon: Duration::from_millis(2500),
+        oracles: &[Oracle::VirtualSynchrony],
     },
 ];
 

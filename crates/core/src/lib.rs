@@ -59,6 +59,7 @@ pub mod layer;
 pub mod message;
 pub mod stack;
 pub mod time;
+pub mod trace;
 pub mod view;
 pub mod wire;
 
@@ -69,8 +70,9 @@ pub use event::{Down, Effect, MergeId, MsgId, StabilityMatrix, StackInput, Up};
 pub use frame::WireFrame;
 pub use layer::{Layer, LayerCtx};
 pub use message::{FieldSpec, HeaderLayout, HeaderMode, Message};
-pub use stack::{EffectSink, Stack, StackBuilder, StackConfig, StackStats};
+pub use stack::{EffectSink, LayerTraffic, Stack, StackBuilder, StackConfig, StackStats};
 pub use time::SimTime;
+pub use trace::{DropReason, NullSink, TraceEvent, TraceKind, TraceSink};
 pub use view::{View, ViewId};
 
 /// Convenient glob-import surface for applications and layer authors.
@@ -81,7 +83,10 @@ pub mod prelude {
     pub use crate::frame::WireFrame;
     pub use crate::layer::{Layer, LayerCtx};
     pub use crate::message::{FieldSpec, HeaderLayout, HeaderMode, Message};
-    pub use crate::stack::{EffectSink, Stack, StackBuilder, StackConfig, StackStats};
+    pub use crate::stack::{
+        EffectSink, LayerTraffic, Stack, StackBuilder, StackConfig, StackStats,
+    };
     pub use crate::time::SimTime;
+    pub use crate::trace::{DropReason, NullSink, TraceEvent, TraceKind, TraceSink};
     pub use crate::view::{View, ViewId};
 }

@@ -19,12 +19,14 @@
 //!   problem 3).
 
 use crate::addr::{EndpointAddr, GroupAddr};
+use crate::digest::StateDigest;
 use crate::error::HorusError;
 use crate::event::{Down, Effect, StackInput, Up};
 use crate::frame::{FrameChecksum, WireFrame, ENVELOPE_BYTES};
 use crate::layer::{Emit, Layer, LayerCtx};
 use crate::message::{HeaderLayout, HeaderMode, Message};
 use crate::time::SimTime;
+use crate::trace::{DropReason, TraceEvent, TraceKind, TraceSink};
 use crate::view::View;
 use bytes::Bytes;
 use rand::rngs::StdRng;
@@ -95,6 +97,28 @@ pub struct StackStats {
     /// to grow during an input's processing.  Zero in steady state: the
     /// buffers warm up and every further event dispatches allocation-free.
     pub dispatch_buf_grows: u64,
+    /// Per-layer crossing counters, indexed top-first like the stack's
+    /// layers (sized at build; empty only for a default value that was
+    /// never attached to a stack).  Together with the trace timestamps
+    /// these are the per-layer occupancy/latency decomposition of §10.
+    pub per_layer: Vec<LayerTraffic>,
+    /// High-water mark of the intra-stack scratch queue (events queued
+    /// between layers during one input's processing) — the stack's
+    /// occupancy measure.  Merged by maximum, not sum.
+    pub scratch_peak: u64,
+}
+
+/// Per-layer dispatch counters: how many items of each direction a layer
+/// handled.  The trace's layer-crossing events carry the same information
+/// with timestamps; these are the always-on aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LayerTraffic {
+    /// Downward items dispatched into the layer.
+    pub downs: u64,
+    /// Upward items dispatched into the layer.
+    pub ups: u64,
+    /// Timer items dispatched into the layer.
+    pub timers: u64,
 }
 
 impl StackStats {
@@ -118,6 +142,8 @@ impl StackStats {
             batched_inputs,
             batches,
             dispatch_buf_grows,
+            per_layer,
+            scratch_peak,
         } = other;
         self.msgs_sent += msgs_sent;
         self.msgs_received += msgs_received;
@@ -135,6 +161,15 @@ impl StackStats {
         self.batched_inputs += batched_inputs;
         self.batches += batches;
         self.dispatch_buf_grows += dispatch_buf_grows;
+        if self.per_layer.len() < per_layer.len() {
+            self.per_layer.resize(per_layer.len(), LayerTraffic::default());
+        }
+        for (mine, theirs) in self.per_layer.iter_mut().zip(per_layer) {
+            mine.downs += theirs.downs;
+            mine.ups += theirs.ups;
+            mine.timers += theirs.timers;
+        }
+        self.scratch_peak = self.scratch_peak.max(*scratch_peak);
     }
 }
 
@@ -300,7 +335,10 @@ impl StackBuilder {
             rng: StdRng::seed_from_u64(seed),
             group: None,
             view: None,
-            stats: StackStats::default(),
+            stats: StackStats {
+                per_layer: vec![LayerTraffic::default(); n],
+                ..StackStats::default()
+            },
             destroyed: false,
             scratch: VecDeque::with_capacity(n * 2),
             emit_buf: Vec::with_capacity(4),
@@ -308,6 +346,8 @@ impl StackBuilder {
             layer_dirty: (0..n).map(|_| Cell::new(true)).collect(),
             view_digest: Cell::new(0),
             view_dirty: Cell::new(true),
+            tracer: None,
+            traced: false,
         })
     }
 }
@@ -450,6 +490,16 @@ pub struct Stack {
     /// stack's digest path), refreshed only when a view installs.
     view_digest: Cell<u64>,
     view_dirty: Cell<bool>,
+    /// Structured-event hook ([`crate::trace`]).  `None` — the default —
+    /// costs one branch per event site; executors mirror the installed sink
+    /// for the events only they can see (frame arrival, timer firing).
+    tracer: Option<Arc<dyn TraceSink>>,
+    /// Cached [`TraceSink::interested`] answer — the one flag every event
+    /// site branches on, so a sink that will never record (a [`NullSink`])
+    /// skips event construction exactly like no sink at all.
+    ///
+    /// [`NullSink`]: crate::trace::NullSink
+    traced: bool,
 }
 
 impl Stack {
@@ -486,6 +536,46 @@ impl Stack {
     /// Whether `destroy` has completed; a destroyed stack ignores inputs.
     pub fn is_destroyed(&self) -> bool {
         self.destroyed
+    }
+
+    /// Installs a trace sink; every subsequent dispatch reports its layer
+    /// crossings, frame traffic, timer arms, and deliveries through it.
+    /// The sink's [`TraceSink::interested`] answer is cached here: an
+    /// uninterested sink leaves dispatch on the untraced path.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn TraceSink>) {
+        self.traced = tracer.interested();
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes the trace sink, returning dispatch to the untraced path.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+        self.traced = false;
+    }
+
+    /// The installed trace sink, if it wants events.  Executors clone this
+    /// to report the events only they observe (frame arrival, timer
+    /// firing) into the same collector; an uninterested sink reads as
+    /// `None` so executors skip their event sites too.
+    pub fn tracer(&self) -> Option<&Arc<dyn TraceSink>> {
+        if self.traced {
+            self.tracer.as_ref()
+        } else {
+            None
+        }
+    }
+
+    /// Records one trace event, stamped with the stack's own clock.  One
+    /// branch when disabled; kind construction happens at the call site,
+    /// so call this only with cheap (copy/`&'static str`) payloads outside
+    /// a `traced`-checked block.
+    #[inline]
+    fn trace(&self, kind: TraceKind) {
+        if self.traced {
+            if let Some(t) = &self.tracer {
+                t.record(TraceEvent { at: self.now, ep: self.local, kind });
+            }
+        }
     }
 
     /// Duplicates the stack's full runtime state, if every layer supports
@@ -545,6 +635,8 @@ impl Stack {
             layer_dirty: self.layer_dirty.clone(),
             view_digest: self.view_digest.clone(),
             view_dirty: self.view_dirty.clone(),
+            tracer: self.tracer.clone(),
+            traced: self.traced,
         })
     }
 
@@ -781,11 +873,14 @@ impl Stack {
                         }
                     }
                     Err(e) => {
-                        if matches!(e, FrameError::Fingerprint) {
+                        let reason = if matches!(e, FrameError::Fingerprint) {
                             self.stats.fingerprint_drops += 1;
+                            DropReason::Fingerprint
                         } else {
                             self.stats.decode_drops += 1;
-                        }
+                            DropReason::Decode
+                        };
+                        self.trace(TraceKind::FrameDrop { digest: 0, seq: 0, reason });
                         effects.push(Effect::Trace(format!(
                             "{}: dropped wire message from {from}: {e}",
                             self.local
@@ -831,6 +926,24 @@ impl Stack {
         while let Some((idx, item)) = self.scratch.pop_front() {
             self.stats.dispatches += 1;
             self.layer_dirty[idx].set(true);
+            // Occupancy: the popped item plus whatever is still queued.
+            self.stats.scratch_peak = self.stats.scratch_peak.max(self.scratch.len() as u64 + 1);
+            {
+                let traffic = &mut self.stats.per_layer[idx];
+                match &item {
+                    Item::Down(_) => traffic.downs += 1,
+                    Item::Up(_) => traffic.ups += 1,
+                    Item::Timer(_) => traffic.timers += 1,
+                }
+            }
+            if self.traced {
+                let layer = self.layers[idx].get().name();
+                self.trace(match &item {
+                    Item::Down(_) => TraceKind::LayerDown { layer },
+                    Item::Up(_) => TraceKind::LayerUp { layer },
+                    Item::Timer(token) => TraceKind::LayerTimer { layer, token: *token },
+                });
+            }
             let mut emitted = std::mem::take(&mut self.emit_buf);
             let mut ctx = LayerCtx {
                 layer: idx,
@@ -885,9 +998,19 @@ impl Stack {
                     }
                 }
                 Emit::Timer { token, delay } => {
+                    self.trace(TraceKind::TimerArm {
+                        layer: idx,
+                        token,
+                        delay_us: delay.as_micros() as u64,
+                    });
                     effects.push(Effect::SetTimer { layer: idx, token, delay });
                 }
-                Emit::Trace(t) => effects.push(Effect::Trace(t)),
+                Emit::Trace(t) => {
+                    if self.traced {
+                        self.trace(TraceKind::Note(t.clone()));
+                    }
+                    effects.push(Effect::Trace(t));
+                }
             }
         }
     }
@@ -901,6 +1024,7 @@ impl Stack {
                 self.stats.msgs_sent += 1;
                 self.stats.bytes_sent += wire.len() as u64;
                 self.stats.header_bytes_sent += msg.header_wire_len() as u64;
+                self.trace(TraceKind::FrameSend { cast: true, bytes: wire.len() });
                 effects.push(Effect::NetCast { wire });
             }
             Down::Send { dests, msg } => {
@@ -908,6 +1032,7 @@ impl Stack {
                 self.stats.msgs_sent += 1;
                 self.stats.bytes_sent += wire.len() as u64;
                 self.stats.header_bytes_sent += msg.header_wire_len() as u64;
+                self.trace(TraceKind::FrameSend { cast: false, bytes: wire.len() });
                 effects.push(Effect::NetSend { dests, wire });
             }
             Down::Join { group } => effects.push(Effect::NetJoin { group }),
@@ -933,6 +1058,24 @@ impl Stack {
         if let Up::View(v) = &ev {
             self.view = Some(v.clone());
             self.view_dirty.set(true);
+            if self.traced {
+                self.trace(TraceKind::ViewInstall { view: v.to_string() });
+            }
+        }
+        if self.traced {
+            // Delivery identity: `(src, content digest)` is executor- and
+            // timestamp-independent, so cross-executor determinism checks
+            // compare it directly.
+            let (src, digest) = match &ev {
+                Up::Cast { src, msg } | Up::Send { src, msg } => {
+                    let mut d = StateDigest::new();
+                    d.write_u64(src.raw());
+                    d.write_bytes(msg.body());
+                    (src.raw(), d.finish())
+                }
+                _ => (0, 0),
+            };
+            self.trace(TraceKind::Deliver { kind: ev.kind(), src, digest });
         }
         effects.push(Effect::Deliver(ev));
     }

@@ -1,0 +1,320 @@
+//! The tracing hook: a cheap, structured record of everything a stack does.
+//!
+//! [`TraceSink`] is the single seam through which the whole runtime —
+//! [`Stack`](crate::stack::Stack) dispatch in this crate, the simulated and
+//! loopback transports in `horus-net`, and all three executors in
+//! `horus-sim` — reports structured events: layer crossings, frame
+//! send/deliver/drop, timer arm/fire, view installs, crashes, suspicions.
+//! Sink implementations live in `horus-trace` (a lock-free ring for the
+//! real-time executors, an ordered vector-clock-stamped log for the
+//! virtual-time world); this module defines only the trait and the event
+//! vocabulary so every crate below `horus-trace` can *emit* without
+//! depending on any collector.
+//!
+//! The cost contract: with no sink installed the hooks compile to one
+//! `Option` branch per event site — no allocation, no formatting, no
+//! atomic.  Event payloads are built from values already at hand
+//! (`&'static str` layer names, copy-size integers); anything that would
+//! cost an allocation (view strings, payload digests) is computed *inside*
+//! the `Some` arm only.
+
+use crate::addr::EndpointAddr;
+use crate::time::SimTime;
+use std::fmt;
+
+/// One `(actor, count)` component of a vector clock, as threaded through
+/// the deterministic simulator's per-event causality tracking.
+pub type ClockEntry = (u64, u64);
+
+/// A consumer of trace events.
+///
+/// `record` must be cheap and non-blocking from the caller's point of view
+/// (the hot paths call it with locks held); sinks that need ordering or
+/// aggregation buffer internally.  `Debug` is a supertrait so structures
+/// that carry a sink (`SimNetwork`, `Stack`) keep their derived `Debug`.
+pub trait TraceSink: Send + Sync + fmt::Debug {
+    /// Records one event.
+    fn record(&self, ev: TraceEvent);
+
+    /// Announces the vector clock of the causal context the *next* records
+    /// belong to.  Only the virtual-time simulator calls this (it is where
+    /// the per-event clocks live); sinks that don't stamp clocks — the
+    /// real-time rings — keep the default no-op.
+    fn set_clock(&self, _clock: &[ClockEntry]) {}
+
+    /// Whether this sink will ever keep a record.  [`Stack::set_tracer`]
+    /// caches the answer and a `false` routes dispatch down the untraced
+    /// path — no event construction, no digesting, no virtual call — so a
+    /// [`NullSink`] costs the same as no sink at all.
+    ///
+    /// [`Stack::set_tracer`]: crate::stack::Stack::set_tracer
+    fn interested(&self) -> bool {
+        true
+    }
+}
+
+/// A structured trace event: where, when, what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event time: virtual time under the simulator, executor-epoch elapsed
+    /// time under the threaded/sharded executors.
+    pub at: SimTime,
+    /// The endpoint the event concerns (`ep:0` for world-global events —
+    /// partitions, heals, fault rules).
+    pub ep: EndpointAddr,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Why a frame was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Decode failure (malformed header, truncation).
+    Decode,
+    /// Stack-layout fingerprint mismatch.
+    Fingerprint,
+    /// Induced by a controlled scheduler (`SimWorld::drop_pending`).
+    Induced,
+    /// Network physics: the loss dice.
+    Loss,
+    /// Network physics: a partition (region or fault-rule cut).
+    Partition,
+    /// Network physics: frame over the configured MTU.
+    Mtu,
+    /// Transport: the receiver was never registered, or its channel closed.
+    Unroutable,
+}
+
+impl DropReason {
+    /// Stable lower-case name used by the trace file format.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::Decode => "decode",
+            DropReason::Fingerprint => "fingerprint",
+            DropReason::Induced => "induced",
+            DropReason::Loss => "loss",
+            DropReason::Partition => "partition",
+            DropReason::Mtu => "mtu",
+            DropReason::Unroutable => "unroutable",
+        }
+    }
+}
+
+/// The event vocabulary.
+///
+/// Calendar-fire kinds (`FrameDeliver`, `TimerFire`, `AppDown`, `Crash`,
+/// `Suspect`, `Partition`, `Heal`, `Fault`) carry the pending event's
+/// run-independent payload `digest` and its calendar sequence number `seq`
+/// when recorded by the virtual-time simulator — the identity the
+/// trace→schedule bridge matches ready-set options against.  The real-time
+/// executors record the same kinds with `digest`/`seq` zero (they have no
+/// calendar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A layer handled a downward item.
+    LayerDown {
+        /// The layer's registry name.
+        layer: &'static str,
+    },
+    /// A layer handled an upward item.
+    LayerUp {
+        /// The layer's registry name.
+        layer: &'static str,
+    },
+    /// A layer handled its own timer.
+    LayerTimer {
+        /// The layer's registry name.
+        layer: &'static str,
+        /// The layer-chosen timer token.
+        token: u64,
+    },
+    /// A frame left the bottom of a stack toward the network.
+    FrameSend {
+        /// Multicast (`true`) or point-to-point.
+        cast: bool,
+        /// Encoded wire length.
+        bytes: usize,
+    },
+    /// A frame arrived at a stack from the network.
+    FrameDeliver {
+        /// Transport-level sender.
+        from: EndpointAddr,
+        /// Multicast (`true`) or point-to-point.
+        cast: bool,
+        /// Encoded wire length.
+        bytes: usize,
+        /// Pending-event payload digest (simulator only; 0 otherwise).
+        digest: u64,
+        /// Calendar sequence number (simulator only; 0 otherwise).
+        seq: u64,
+    },
+    /// A frame was dropped (physics, decode, or induced).
+    FrameDrop {
+        /// Pending-event payload digest when known (0 otherwise).
+        digest: u64,
+        /// Calendar sequence number when known (0 otherwise).
+        seq: u64,
+        /// Why.
+        reason: DropReason,
+    },
+    /// A layer armed a timer.
+    TimerArm {
+        /// Index of the arming layer within its stack.
+        layer: usize,
+        /// The layer-chosen timer token.
+        token: u64,
+        /// Delay until it fires, in microseconds.
+        delay_us: u64,
+    },
+    /// A timer fired into a stack.
+    TimerFire {
+        /// Index of the owning layer within its stack.
+        layer: usize,
+        /// The layer-chosen timer token.
+        token: u64,
+        /// Pending-event payload digest (simulator only; 0 otherwise).
+        digest: u64,
+        /// Calendar sequence number (simulator only; 0 otherwise).
+        seq: u64,
+    },
+    /// A scripted application downcall fired into a stack.
+    AppDown {
+        /// The downcall's kind name (`Down::kind`).
+        kind: &'static str,
+        /// Pending-event payload digest (simulator only; 0 otherwise).
+        digest: u64,
+        /// Calendar sequence number (simulator only; 0 otherwise).
+        seq: u64,
+    },
+    /// A stack delivered an upcall to the application.
+    Deliver {
+        /// The upcall's kind name (`Up::kind`).
+        kind: &'static str,
+        /// Sender for `CAST`/`SEND` upcalls (0 otherwise).
+        src: u64,
+        /// Content digest for `CAST`/`SEND` upcalls (0 otherwise) — the
+        /// executor-independent delivery identity the cross-executor
+        /// determinism projection compares.
+        digest: u64,
+    },
+    /// A stack installed a view.
+    ViewInstall {
+        /// The view, rendered (`group[vN@coord m1 m2 ...]`).
+        view: String,
+    },
+    /// A scripted crash fired from the calendar.
+    Crash {
+        /// Pending-event payload digest (0 outside the simulator).
+        digest: u64,
+        /// Calendar sequence number (0 outside the simulator).
+        seq: u64,
+    },
+    /// A scripted suspicion fired from the calendar.
+    Suspect {
+        /// The endpoint being suspected.
+        target: EndpointAddr,
+        /// Pending-event payload digest (0 outside the simulator).
+        digest: u64,
+        /// Calendar sequence number (0 outside the simulator).
+        seq: u64,
+    },
+    /// A scheduler-injected crash (`Step::Crash`), outside the calendar.
+    InjectCrash,
+    /// A scheduler-injected suspicion (`Step::Suspect`).
+    InjectSuspect {
+        /// The endpoint being told.
+        observer: EndpointAddr,
+        /// The endpoint it will suspect.
+        target: EndpointAddr,
+    },
+    /// A scripted partition fired (world-global; `ep` is `ep:0`).
+    Partition {
+        /// Pending-event payload digest.
+        digest: u64,
+        /// Calendar sequence number.
+        seq: u64,
+    },
+    /// A scripted heal fired (world-global).
+    Heal {
+        /// Pending-event payload digest.
+        digest: u64,
+        /// Calendar sequence number.
+        seq: u64,
+    },
+    /// A fault-plan rule installation fired (world-global).
+    Fault {
+        /// Pending-event payload digest.
+        digest: u64,
+        /// Calendar sequence number.
+        seq: u64,
+    },
+    /// A free-text layer trace (`Emit::Trace` / `Effect::Trace`).
+    Note(String),
+}
+
+impl TraceKind {
+    /// Stable kind name used by the trace file format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::LayerDown { .. } => "layer-down",
+            TraceKind::LayerUp { .. } => "layer-up",
+            TraceKind::LayerTimer { .. } => "layer-timer",
+            TraceKind::FrameSend { .. } => "frame-send",
+            TraceKind::FrameDeliver { .. } => "frame-deliver",
+            TraceKind::FrameDrop { .. } => "frame-drop",
+            TraceKind::TimerArm { .. } => "timer-arm",
+            TraceKind::TimerFire { .. } => "timer-fire",
+            TraceKind::AppDown { .. } => "app-down",
+            TraceKind::Deliver { .. } => "deliver",
+            TraceKind::ViewInstall { .. } => "view-install",
+            TraceKind::Crash { .. } => "crash",
+            TraceKind::Suspect { .. } => "suspect",
+            TraceKind::InjectCrash => "inject-crash",
+            TraceKind::InjectSuspect { .. } => "inject-suspect",
+            TraceKind::Partition { .. } => "partition",
+            TraceKind::Heal { .. } => "heal",
+            TraceKind::Fault { .. } => "fault",
+            TraceKind::Note(_) => "note",
+        }
+    }
+}
+
+/// A sink that discards everything.  It declares itself un-[`interested`],
+/// so installing it is indistinguishable from installing no sink: the
+/// stack caches the answer and never constructs an event — which is what
+/// the disabled-overhead gate in `trace_smoke` measures.
+///
+/// [`interested`]: TraceSink::interested
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _ev: TraceEvent) {}
+
+    fn interested(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TraceKind::LayerDown { layer: "COM" }.name(), "layer-down");
+        assert_eq!(TraceKind::Note("x".into()).name(), "note");
+        assert_eq!(DropReason::Fingerprint.name(), "fingerprint");
+    }
+
+    #[test]
+    fn null_sink_is_a_trace_sink() {
+        let s: &dyn TraceSink = &NullSink;
+        s.record(TraceEvent {
+            at: SimTime::ZERO,
+            ep: EndpointAddr::new(1),
+            kind: TraceKind::InjectCrash,
+        });
+        s.set_clock(&[(1, 2)]);
+    }
+}

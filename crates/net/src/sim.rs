@@ -18,7 +18,9 @@ use bytes::Bytes;
 use horus_core::addr::{EndpointAddr, GroupAddr};
 use horus_core::frame::WireFrame;
 use horus_core::time::SimTime;
+use horus_core::trace::{DropReason, TraceEvent, TraceKind, TraceSink};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tunable physics of the simulated network.
@@ -141,6 +143,10 @@ pub struct SimNetwork {
     /// advance on the frame hot path, where a digest would be invalidated
     /// far more often than it is read.
     membership_digest: std::cell::Cell<Option<u64>>,
+    /// Trace hook for physics drops (loss, partitions, MTU).  `None` (the
+    /// default) costs one branch per drop; successful deliveries are traced
+    /// at the receiving stack, not here.
+    tracer: Option<Arc<dyn TraceSink>>,
 }
 
 impl SimNetwork {
@@ -154,6 +160,27 @@ impl SimNetwork {
             faults: FaultPlan::new(),
             stats: NetStats::default(),
             membership_digest: std::cell::Cell::new(None),
+            tracer: None,
+        }
+    }
+
+    /// Installs a trace sink that observes physics drops.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn TraceSink>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes the trace sink.
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
+    fn trace_drop(&self, at: SimTime, ep: EndpointAddr, reason: DropReason) {
+        if let Some(t) = &self.tracer {
+            t.record(TraceEvent {
+                at,
+                ep,
+                kind: TraceKind::FrameDrop { digest: 0, seq: 0, reason },
+            });
         }
     }
 
@@ -331,6 +358,7 @@ impl SimNetwork {
         self.stats.frames_sent += 1;
         if wire.len() > self.config.mtu {
             self.stats.dropped_mtu += 1;
+            self.trace_drop(now, from, DropReason::Mtu);
             return Vec::new();
         }
         self.stats.bytes_sent += wire.len() as u64;
@@ -355,29 +383,35 @@ impl SimNetwork {
             }
             if !self.connected(from, to) {
                 self.stats.dropped_partition += 1;
+                self.trace_drop(now, to, DropReason::Partition);
                 continue;
             }
             match self.faults.drop_verdict(from, to, now, sched) {
                 Some(FaultDrop::Cut) => {
                     self.stats.dropped_cut += 1;
+                    self.trace_drop(now, to, DropReason::Partition);
                     continue;
                 }
                 Some(FaultDrop::Burst) => {
                     self.stats.dropped_burst += 1;
+                    self.trace_drop(now, to, DropReason::Partition);
                     continue;
                 }
                 Some(FaultDrop::Directed) => {
                     self.stats.dropped_directed += 1;
+                    self.trace_drop(now, to, DropReason::Partition);
                     continue;
                 }
                 Some(FaultDrop::Partition) => {
                     self.stats.dropped_fault_partition += 1;
+                    self.trace_drop(now, to, DropReason::Partition);
                     continue;
                 }
                 None => {}
             }
             if sched.chance(ChanceKind::Loss, self.config.loss) {
                 self.stats.dropped_loss += 1;
+                self.trace_drop(now, to, DropReason::Loss);
                 continue;
             }
             let copies = if self.config.duplicate > 0.0

@@ -21,10 +21,13 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use horus_core::addr::{EndpointAddr, GroupAddr};
 use horus_core::frame::WireFrame;
+use horus_core::time::SimTime;
+use horus_core::trace::{DropReason, TraceEvent, TraceKind, TraceSink};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A frame as delivered by the loopback transport.
 #[derive(Debug, Clone)]
@@ -161,10 +164,21 @@ impl LoopbackStats {
 /// assert_eq!(&rx_b.recv().unwrap().wire.to_bytes()[..], b"hello");
 /// assert_eq!(&rx_a.recv().unwrap().wire.to_bytes()[..], b"hello"); // loopback to self
 /// ```
+/// The installed trace sink plus the wall-clock epoch its timestamps are
+/// relative to (the loopback has no virtual clock).
+struct LoopbackTracer {
+    sink: Arc<dyn TraceSink>,
+    epoch: Instant,
+}
+
 #[derive(Clone, Default)]
 pub struct LoopbackNet {
     inner: Arc<Mutex<Registry>>,
     stats: Arc<LoopbackStats>,
+    /// Observes only the transport's drop classes (unroutable/closed) — the
+    /// success path is traced at the stacks, keeping this entirely off the
+    /// delivery hot path.
+    tracer: Arc<Mutex<Option<LoopbackTracer>>>,
 }
 
 impl std::fmt::Debug for LoopbackNet {
@@ -182,6 +196,30 @@ impl LoopbackNet {
     /// Transport counters (frames cast/sent, deliveries, drops).
     pub fn stats(&self) -> LoopbackStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// Installs a trace sink observing this transport's drop classes.
+    /// Timestamps are elapsed time since installation.
+    pub fn set_tracer(&self, sink: Arc<dyn TraceSink>) {
+        *self.tracer.lock() = Some(LoopbackTracer { sink, epoch: Instant::now() });
+    }
+
+    /// Removes the trace sink.
+    pub fn clear_tracer(&self) {
+        *self.tracer.lock() = None;
+    }
+
+    /// Records an unroutable-frame drop against `ep` (the destination when
+    /// known, the sender for closed-channel drops observed mid-fan-out).
+    fn trace_drop(&self, ep: EndpointAddr) {
+        let guard = self.tracer.lock();
+        if let Some(t) = guard.as_ref() {
+            t.sink.record(TraceEvent {
+                at: SimTime::from_nanos(t.epoch.elapsed().as_nanos() as u64),
+                ep,
+                kind: TraceKind::FrameDrop { digest: 0, seq: 0, reason: DropReason::Unroutable },
+            });
+        }
     }
 
     /// Registers an endpoint, returning the channel its frames arrive on.
@@ -248,6 +286,7 @@ impl LoopbackNet {
                 Some(sink) => sinks.push(Arc::clone(sink)),
                 None => {
                     self.stats.dropped_unregistered.fetch_add(1, Ordering::Relaxed);
+                    self.trace_drop(*to);
                 }
             }
         }
@@ -273,6 +312,7 @@ impl LoopbackNet {
                     queued += 1;
                 } else {
                     self.stats.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                    self.trace_drop(from);
                 }
             }
         }
@@ -304,9 +344,12 @@ impl LoopbackNet {
                 burst.extend(batch.iter().map(|w| Frame { from, cast: true, wire: w.clone() }));
                 let delivered = sink.deliver_many(&mut burst);
                 queued += delivered;
-                self.stats
-                    .dropped_closed
-                    .fetch_add((batch.len() - delivered) as u64, Ordering::Relaxed);
+                if delivered < batch.len() {
+                    self.stats
+                        .dropped_closed
+                        .fetch_add((batch.len() - delivered) as u64, Ordering::Relaxed);
+                    self.trace_drop(from);
+                }
                 burst.clear();
             }
         }
@@ -329,6 +372,7 @@ impl LoopbackNet {
                     Some(sink) => targets.push(Arc::clone(sink)),
                     None => {
                         self.stats.dropped_unregistered.fetch_add(1, Ordering::Relaxed);
+                        self.trace_drop(*to);
                     }
                 }
             }
@@ -346,6 +390,7 @@ impl LoopbackNet {
                 queued += 1;
             } else {
                 self.stats.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                self.trace_drop(from);
             }
         }
         self.stats.deliveries.fetch_add(queued as u64, Ordering::Relaxed);

@@ -153,6 +153,11 @@ struct Worker {
     /// registry snapshot.
     pending_casts: Vec<WireFrame>,
     pending_from: Option<EndpointAddr>,
+    /// Mirror of the owned stacks' trace sink (cached at adoption so the
+    /// frame hot path never does a per-event map lookup): the worker
+    /// records frame/timer *arrivals*; dispatch internals are recorded by
+    /// the stacks themselves.
+    tracer: Option<Arc<dyn TraceSink>>,
 }
 
 /// How long an idle worker sleeps when it has neither inputs nor timers.
@@ -206,10 +211,29 @@ impl Worker {
         let mut run_ep: Option<EndpointAddr> = None;
         for input in burst.drain(..) {
             let (ep, stack_input) = match input {
-                ShardIn::Frame { to, frame } => (
-                    to,
-                    StackInput::FromNet { from: frame.from, cast: frame.cast, wire: frame.wire },
-                ),
+                ShardIn::Frame { to, frame } => {
+                    if let Some(t) = &self.tracer {
+                        t.record(TraceEvent {
+                            at: now,
+                            ep: to,
+                            kind: TraceKind::FrameDeliver {
+                                from: frame.from,
+                                cast: frame.cast,
+                                bytes: frame.wire.len(),
+                                digest: 0,
+                                seq: 0,
+                            },
+                        });
+                    }
+                    (
+                        to,
+                        StackInput::FromNet {
+                            from: frame.from,
+                            cast: frame.cast,
+                            wire: frame.wire,
+                        },
+                    )
+                }
                 ShardIn::App { ep, down } => (ep, StackInput::FromApp(down)),
                 ShardIn::AddStack { stack, log } => {
                     self.flush_run(run_ep.take(), &mut run, now);
@@ -262,6 +286,9 @@ impl Worker {
 
     fn adopt(&mut self, mut stack: Stack, log: Arc<EpLog>) {
         let ep = stack.local_addr();
+        if let Some(t) = stack.tracer() {
+            self.tracer = Some(t.clone());
+        }
         stack.set_now(self.now());
         let fx = stack.init();
         self.stacks.insert(ep, Owned { stack, log });
@@ -281,6 +308,18 @@ impl Worker {
         while self.timers.peek().is_some_and(|t| t.due <= Instant::now()) {
             let Some(t) = self.timers.pop() else { break };
             let now = self.now();
+            if let Some(sink) = &self.tracer {
+                sink.record(TraceEvent {
+                    at: now,
+                    ep: t.ep,
+                    kind: TraceKind::TimerFire {
+                        layer: t.layer,
+                        token: t.token,
+                        digest: 0,
+                        seq: 0,
+                    },
+                });
+            }
             self.dispatch(t.ep, StackInput::Timer { layer: t.layer, token: t.token, now }, now);
         }
         self.flush_casts();
@@ -430,6 +469,7 @@ impl ShardExecutor {
                 run: Vec::with_capacity(config.batch_max.max(1)),
                 pending_casts: Vec::with_capacity(config.batch_max.max(1)),
                 pending_from: None,
+                tracer: None,
             };
             txs.push(tx);
             workers.push(

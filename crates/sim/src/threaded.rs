@@ -74,6 +74,10 @@ struct Shared {
     timers: Mutex<BinaryHeap<TimerEntry>>,
     net: LoopbackNet,
     epoch: Instant,
+    /// Mirror of the stack's sink, readable without the stack lock: the
+    /// executor records frame/timer *arrivals* (the calendar-fire analogue);
+    /// everything inside the dispatch is recorded by the stack itself.
+    tracer: Option<Arc<dyn TraceSink>>,
 }
 
 impl Shared {
@@ -120,6 +124,7 @@ impl ThreadedEndpoint {
     /// Spawns an endpoint running `stack` under `model` on `net`.
     pub fn spawn(stack: Stack, net: LoopbackNet, model: DispatchModel) -> Self {
         let addr = stack.local_addr();
+        let tracer = stack.tracer().cloned();
         let rx_frames = net.register(addr);
         let (input_tx, input_rx) = unbounded::<In>();
         let shared = Arc::new(Shared {
@@ -128,6 +133,7 @@ impl ThreadedEndpoint {
             timers: Mutex::new(BinaryHeap::new()),
             net,
             epoch: Instant::now(),
+            tracer,
         });
 
         // Init layers (arms initial timers).
@@ -206,9 +212,29 @@ impl ThreadedEndpoint {
                     let stack_input = match input {
                         In::Stop => break,
                         In::Frame(f) => {
+                            if let Some(t) = &shared.tracer {
+                                t.record(TraceEvent {
+                                    at: shared.now(),
+                                    ep: addr,
+                                    kind: TraceKind::FrameDeliver {
+                                        from: f.from,
+                                        cast: f.cast,
+                                        bytes: f.wire.len(),
+                                        digest: 0,
+                                        seq: 0,
+                                    },
+                                });
+                            }
                             StackInput::FromNet { from: f.from, cast: f.cast, wire: f.wire }
                         }
                         In::Timer { layer, token } => {
+                            if let Some(t) = &shared.tracer {
+                                t.record(TraceEvent {
+                                    at: shared.now(),
+                                    ep: addr,
+                                    kind: TraceKind::TimerFire { layer, token, digest: 0, seq: 0 },
+                                });
+                            }
                             StackInput::Timer { layer, token, now: shared.now() }
                         }
                         In::App(down) => StackInput::FromApp(down),

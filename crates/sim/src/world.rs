@@ -14,6 +14,7 @@ use horus_core::prelude::*;
 use horus_net::{FaultRule, FixedScheduler, NetConfig, NetScheduler, RandomScheduler, SimNetwork};
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Safety valve: a single `run_until` may not process more events than this
@@ -255,6 +256,11 @@ pub struct SimWorld {
     /// relative-to-now combine the fingerprint needs is just
     /// `S2 - now·S1` — no walk required when the clock advances.
     pending_s2: u64,
+    /// Trace sink observing every fired calendar event (with its payload
+    /// digest, sequence number and — under pending tracking — vector
+    /// clock), plus everything the stacks and network report.  `None` by
+    /// default: one branch per fire.
+    tracer: Option<Arc<dyn TraceSink>>,
 }
 
 impl SimWorld {
@@ -296,7 +302,64 @@ impl SimWorld {
             track_pending: false,
             pending_s1: 0,
             pending_s2: 0,
+            tracer: None,
         }
+    }
+
+    /// Installs a trace sink into the world, its network, and every current
+    /// and future endpoint stack.  Virtual-time worlds stamp each fired
+    /// event with its causal vector clock (when pending tracking is on), so
+    /// the resulting trace is causally ordered, not just time-ordered.
+    pub fn set_tracer(&mut self, tracer: Arc<dyn TraceSink>) {
+        self.net.set_tracer(tracer.clone());
+        for slot in self.endpoints.values_mut() {
+            slot.stack.set_tracer(tracer.clone());
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// Removes the trace sink everywhere.
+    pub fn clear_tracer(&mut self) {
+        self.net.clear_tracer();
+        for slot in self.endpoints.values_mut() {
+            slot.stack.clear_tracer();
+        }
+        self.tracer = None;
+    }
+
+    /// Records the firing of one calendar entry: the event's kind-specific
+    /// record carrying its run-independent payload digest and calendar
+    /// sequence number — the identity the trace→schedule bridge matches
+    /// ready-set options against.  World-global events are recorded against
+    /// the `ep:0` sentinel.
+    fn trace_fire(&self, seq: u64, digest: u64, ev: &Ev) {
+        let Some(t) = &self.tracer else { return };
+        let digest = if digest != 0 { digest } else { ev_digest(ev) };
+        let (ep, kind) = match ev {
+            Ev::Net { to, from, cast, wire } => (
+                *to,
+                TraceKind::FrameDeliver {
+                    from: *from,
+                    cast: *cast,
+                    bytes: wire.len(),
+                    digest,
+                    seq,
+                },
+            ),
+            Ev::Timer { ep, layer, token } => {
+                (*ep, TraceKind::TimerFire { layer: *layer, token: *token, digest, seq })
+            }
+            Ev::App { ep, down } => (*ep, TraceKind::AppDown { kind: down.kind(), digest, seq }),
+            Ev::Crash { ep } => (*ep, TraceKind::Crash { digest, seq }),
+            Ev::Suspect { observer, target } => {
+                (*observer, TraceKind::Suspect { target: *target, digest, seq })
+            }
+            Ev::Partition { .. } => (EndpointAddr::NULL, TraceKind::Partition { digest, seq }),
+            Ev::Heal => (EndpointAddr::NULL, TraceKind::Heal { digest, seq }),
+            Ev::Fault { .. } => (EndpointAddr::NULL, TraceKind::Fault { digest, seq }),
+        };
+        t.set_clock(&self.ctx_clock);
+        t.record(TraceEvent { at: self.time, ep, kind });
     }
 
     /// Turns incremental pending-set digesting on or off.  Entries already
@@ -340,6 +403,9 @@ impl SimWorld {
         let ep = stack.local_addr();
         assert!(!self.endpoints.contains_key(&ep), "endpoint {ep} already exists in this world");
         stack.set_now(self.time);
+        if let Some(t) = &self.tracer {
+            stack.set_tracer(t.clone());
+        }
         let effects = stack.init();
         self.endpoints.insert(
             ep,
@@ -465,11 +531,15 @@ impl SimWorld {
             if at > deadline {
                 break;
             }
-            let ((at, _), p) = self.calendar.pop_first().expect("peeked entry");
+            let ((at, seq), p) = self.calendar.pop_first().expect("peeked entry");
             self.untrack_pending(at, &p);
             self.time = at;
-            self.begin_causal(Self::ready_kind(&p.ev).target(), p.clock);
-            self.dispatch(p.ev);
+            let Pending { ev, digest, clock } = p;
+            self.begin_causal(Self::ready_kind(&ev).target(), clock);
+            if self.tracer.is_some() {
+                self.trace_fire(seq, digest, &ev);
+            }
+            self.dispatch(ev);
             self.ctx_clock.clear();
             processed += 1;
             self.steps += 1;
@@ -810,8 +880,12 @@ impl SimWorld {
         };
         self.untrack_pending(id.0, &p);
         self.time = self.time.max(id.0);
-        self.begin_causal(Self::ready_kind(&p.ev).target(), p.clock);
-        self.dispatch(p.ev);
+        let Pending { ev, digest, clock } = p;
+        self.begin_causal(Self::ready_kind(&ev).target(), clock);
+        if self.tracer.is_some() {
+            self.trace_fire(id.1, digest, &ev);
+        }
+        self.dispatch(ev);
         self.ctx_clock.clear();
         self.steps += 1;
         if self.steps >= self.step_limit {
@@ -833,6 +907,18 @@ impl SimWorld {
             let p = self.calendar.remove(&id).expect("checked entry");
             self.untrack_pending(id.0, &p);
             self.net.stats_mut().dropped_induced += 1;
+            if let Some(t) = &self.tracer {
+                let to = match &p.ev {
+                    Ev::Net { to, .. } => *to,
+                    _ => unreachable!("droppable entries are remote net deliveries"),
+                };
+                let digest = if p.digest != 0 { p.digest } else { ev_digest(&p.ev) };
+                t.record(TraceEvent {
+                    at: self.time,
+                    ep: to,
+                    kind: TraceKind::FrameDrop { digest, seq: id.1, reason: DropReason::Induced },
+                });
+            }
             true
         } else {
             false
@@ -843,6 +929,10 @@ impl SimWorld {
     /// same transition a scripted [`SimWorld::crash_at`] performs).
     pub fn inject_crash(&mut self, ep: EndpointAddr) {
         self.begin_causal(Some(ep), Vec::new());
+        if let Some(t) = &self.tracer {
+            t.set_clock(&self.ctx_clock);
+            t.record(TraceEvent { at: self.time, ep, kind: TraceKind::InjectCrash });
+        }
         self.dispatch(Ev::Crash { ep });
         self.ctx_clock.clear();
     }
@@ -851,6 +941,14 @@ impl SimWorld {
     /// (explorer-injected, possibly inaccurate, failure suspicion).
     pub fn inject_suspect(&mut self, observer: EndpointAddr, target: EndpointAddr) {
         self.begin_causal(Some(observer), Vec::new());
+        if let Some(t) = &self.tracer {
+            t.set_clock(&self.ctx_clock);
+            t.record(TraceEvent {
+                at: self.time,
+                ep: observer,
+                kind: TraceKind::InjectSuspect { observer, target },
+            });
+        }
         self.dispatch(Ev::Suspect { observer, target });
         self.ctx_clock.clear();
     }
@@ -964,6 +1062,7 @@ impl SimWorld {
             track_pending: self.track_pending,
             pending_s1: self.pending_s1,
             pending_s2: self.pending_s2,
+            tracer: self.tracer.clone(),
         })
     }
 

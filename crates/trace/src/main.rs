@@ -1,0 +1,183 @@
+//! `horus-trace` — inspect trace files produced by the Horus executors.
+//!
+//! ```text
+//! horus-trace dump <file> [--chrome] [--ep N] [--kind NAME]
+//! horus-trace stats <file>
+//! horus-trace diff <a> <b>
+//! ```
+//!
+//! `dump` prints records (optionally filtered, or as Chrome-trace JSON for
+//! `about:tracing` / Perfetto).  `stats` summarizes a trace.  `diff`
+//! compares the canonical delivery projections of two traces — exit 0 when
+//! they agree, 2 when they drift (timestamps and scheduling noise are
+//! deliberately ignored; see `delivery_projection`).
+
+use horus_trace::{chrome_trace, delivery_projection, kind_counts, parse_trace, ParsedTrace};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: horus-trace dump <file> [--chrome] [--ep N] [--kind NAME]");
+    eprintln!("       horus-trace stats <file>");
+    eprintln!("       horus-trace diff <a> <b>");
+    ExitCode::from(1)
+}
+
+fn load(path: &str) -> Result<ParsedTrace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { return usage() };
+    match cmd.as_str() {
+        "dump" => cmd_dump(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "diff" => cmd_diff(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_dump(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut chrome = false;
+    let mut ep_filter = None;
+    let mut kind_filter = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--chrome" => chrome = true,
+            "--ep" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => ep_filter = Some(v),
+                None => return usage(),
+            },
+            "--kind" => match it.next() {
+                Some(v) => kind_filter = Some(v.clone()),
+                None => return usage(),
+            },
+            _ if file.is_none() => file = Some(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let mut trace = match load(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    trace.records.retain(|r| {
+        ep_filter.is_none_or(|ep| r.ep == ep) && kind_filter.as_deref().is_none_or(|k| r.kind == k)
+    });
+    // File order is already dispatch order under virtual time; the ring
+    // collectors may interleave shards, so present by timestamp.
+    trace.records.sort_by_key(|r| r.at_ns);
+    if chrome {
+        print!("{}", chrome_trace(&trace.records));
+        return ExitCode::SUCCESS;
+    }
+    for (k, v) in &trace.meta {
+        println!("meta {k}: {v}");
+    }
+    for r in &trace.records {
+        let vc = if r.clock.is_empty() {
+            "-".to_string()
+        } else {
+            r.clock.iter().map(|(a, c)| format!("{a}:{c}")).collect::<Vec<_>>().join(",")
+        };
+        let fields = r
+            .fields
+            .keys()
+            .map(|k| format!("{k}={}", r.text_field(k).unwrap_or_default()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("{:>12}ns ep:{} vc={} {} {}", r.at_ns, r.ep, vc, r.kind, fields);
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_stats(args: &[String]) -> ExitCode {
+    let [file] = args else { return usage() };
+    let trace = match load(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    for (k, v) in &trace.meta {
+        println!("meta {k}: {v}");
+    }
+    let n = trace.records.len();
+    println!("records: {n}");
+    if n > 0 {
+        let lo = trace.records.iter().map(|r| r.at_ns).min().unwrap();
+        let hi = trace.records.iter().map(|r| r.at_ns).max().unwrap();
+        println!("span: {lo}ns .. {hi}ns ({}us)", (hi - lo) / 1000);
+    }
+    println!("by kind:");
+    for (kind, count) in kind_counts(&trace.records) {
+        println!("  {kind:<16} {count}");
+    }
+    let mut by_ep: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in &trace.records {
+        *by_ep.entry(r.ep).or_insert(0) += 1;
+    }
+    println!("by endpoint:");
+    for (ep, count) in by_ep {
+        println!("  ep:{ep:<14} {count}");
+    }
+    let proj = delivery_projection(&trace.records);
+    if !proj.is_empty() {
+        println!("delivery streams:");
+        for ((rx, tx), digests) in proj {
+            println!("  ep:{tx} -> ep:{rx}  {} casts", digests.len());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(args: &[String]) -> ExitCode {
+    let [a_path, b_path] = args else { return usage() };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let (pa, pb) = (delivery_projection(&a.records), delivery_projection(&b.records));
+    let mut drift = false;
+    for key in pa.keys().chain(pb.keys()) {
+        let (va, vb) = (pa.get(key), pb.get(key));
+        if va != vb {
+            drift = true;
+            println!(
+                "stream ep:{} -> ep:{} differs: {} vs {} casts",
+                key.1,
+                key.0,
+                va.map_or(0, Vec::len),
+                vb.map_or(0, Vec::len)
+            );
+        }
+    }
+    let (ka, kb) = (kind_counts(&a.records), kind_counts(&b.records));
+    if ka != kb {
+        println!("kind counts differ:");
+        for kind in ka.keys().chain(kb.keys()) {
+            let (ca, cb) = (ka.get(kind).copied().unwrap_or(0), kb.get(kind).copied().unwrap_or(0));
+            if ca != cb {
+                println!("  {kind:<16} {ca} vs {cb}");
+            }
+        }
+    }
+    if drift {
+        println!("traces DIVERGE");
+        ExitCode::from(2)
+    } else {
+        println!("delivery projections match ({} streams)", pa.len());
+        ExitCode::SUCCESS
+    }
+}

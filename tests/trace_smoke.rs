@@ -1,0 +1,150 @@
+//! Tracing overhead smoke benchmark — the headline numbers for the
+//! observability subsystem, recorded in `BENCH_trace.json` (style of
+//! `BENCH_dispatch.json`).
+//!
+//! Two claims, measured over real threads on the loopback transport with
+//! 64-byte casts through `NAK:COM` under the sharded batched executor:
+//!
+//! 1. **Disabled tracing is free**: a stack with a `NullSink` tracer
+//!    installed moves the flood at ≥ 97% of an untraced stack's rate.
+//!    Every event site branches on one cached flag, and `set_tracer`
+//!    caches the sink's `interested()` answer — `false` for `NullSink` —
+//!    so neither arm constructs a single event.
+//! 2. **Enabled tracing is cheap enough to leave on**: the lock-free
+//!    `TraceRing` arm records every layer crossing, frame send and
+//!    delivery of the flood and still completes; its events/sec and the
+//!    rate ratio against the untraced arm are recorded in the JSON (no
+//!    assertion — ring cost is workload-dependent; the number is the
+//!    deliverable).
+//!
+//! Ignored by default: it is a timing test and only means anything in
+//! release mode.  Run with
+//! `cargo test --release --test trace_smoke -- --ignored`.
+
+use horus::layers::registry::build_stack;
+use horus::prelude::*;
+use horus_core::trace::{NullSink, TraceSink};
+use horus_net::LoopbackNet;
+use horus_sim::shard::{ShardConfig, ShardExecutor};
+use horus_trace::TraceRing;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn ep(i: u64) -> EndpointAddr {
+    EndpointAddr::new(i)
+}
+
+const BODY: usize = 64;
+const FLOOD: usize = 15_000;
+
+/// Shard count matched to the hardware, as in `dispatch_smoke`.
+fn hw_shards() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(2)
+}
+
+/// Floods a 2-member `NAK:COM` group through the sharded batched executor
+/// with `tracer` installed on both stacks (or none); returns msgs/sec.
+fn flood(tracer: Option<Arc<dyn TraceSink>>) -> f64 {
+    let cfg = ShardConfig::with_shards(hw_shards()).batch_max(64).record_upcalls(false);
+    let mut ex = ShardExecutor::new(LoopbackNet::new(), cfg);
+    let g = GroupAddr::new(1);
+    for i in 1..=2 {
+        let mut s = build_stack(ep(i), "NAK:COM", StackConfig::default()).unwrap();
+        if let Some(t) = &tracer {
+            s.set_tracer(t.clone());
+        }
+        ex.add_stack(s);
+        ex.down(ep(i), Down::Join { group: g });
+    }
+    std::thread::sleep(Duration::from_millis(10));
+    let start = Instant::now();
+    for k in 0..FLOOD {
+        ex.cast_bytes(ep(1), vec![(k % 251) as u8; BODY]);
+    }
+    let ok = ex.wait_until(Duration::from_secs(60), |ex| ex.cast_count(ep(2)) >= FLOOD);
+    let rate = FLOOD as f64 / start.elapsed().as_secs_f64();
+    assert!(ok, "receiver saw {}/{FLOOD}", ex.cast_count(ep(2)));
+    ex.stop();
+    rate
+}
+
+/// One flood with a fresh ring; returns (msgs/sec, records the ring absorbed).
+fn flood_ring() -> (f64, usize) {
+    let ring = Arc::new(TraceRing::with_capacity(1 << 17));
+    let rate = flood(Some(ring.clone()));
+    (rate, ring.drain().len() + ring.dropped() as usize)
+}
+
+#[test]
+#[ignore = "timing smoke: run in release mode with -- --ignored"]
+fn trace_smoke() {
+    // Warm-up, then best-of-5 per arm with the arms *interleaved*: the
+    // gate compares two arms that should be identical, so what must not
+    // leak into the ratio is scheduler drift between measurement blocks.
+    let _ = flood(None);
+    let _ = flood_ring();
+    let mut off_rate = f64::MIN;
+    let mut null_rate = f64::MIN;
+    let (mut ring_rate, mut ring_records) = (f64::MIN, 0);
+    for _ in 0..5 {
+        off_rate = off_rate.max(flood(None));
+        null_rate = null_rate.max(flood(Some(Arc::new(NullSink))));
+        let (r, n) = flood_ring();
+        if r > ring_rate {
+            (ring_rate, ring_records) = (r, n);
+        }
+    }
+    // Escalate under noise: the two gated arms run identical code when the
+    // hook is free, so their peaks converge given enough trials — extra
+    // rounds absorb a lucky scheduler tail on one arm, while a real >3%
+    // hook cost keeps the null arm permanently short.
+    for _ in 0..5 {
+        if null_rate >= 0.97 * off_rate {
+            break;
+        }
+        off_rate = off_rate.max(flood(None));
+        null_rate = null_rate.max(flood(Some(Arc::new(NullSink))));
+    }
+    // Records per second while the flood was in flight: the flood moved at
+    // `ring_rate` msgs/sec and generated `ring_records / FLOOD` records each.
+    let events_per_sec = ring_records as f64 * ring_rate / FLOOD as f64;
+
+    let disabled_ratio = null_rate / off_rate;
+    let enabled_ratio = ring_rate / off_rate;
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"trace_smoke\",\n",
+            "  \"payload_bytes\": {},\n",
+            "  \"msgs\": {},\n",
+            "  \"untraced\": {{ \"msgs_per_sec\": {:.0} }},\n",
+            "  \"null_sink\": {{ \"msgs_per_sec\": {:.0}, \"ratio_vs_untraced\": {:.3} }},\n",
+            "  \"trace_ring\": {{ \"msgs_per_sec\": {:.0}, \"ratio_vs_untraced\": {:.3}, ",
+            "\"records_per_flood\": {}, \"events_per_sec\": {:.0} }},\n",
+            "  \"note\": \"null_sink ratio >= 0.97 is the disabled-overhead gate; the ring \
+             arm is recorded, not gated — its cost scales with records per message\"\n",
+            "}}\n"
+        ),
+        BODY,
+        FLOOD,
+        off_rate,
+        null_rate,
+        disabled_ratio,
+        ring_rate,
+        enabled_ratio,
+        ring_records,
+        events_per_sec,
+    );
+    std::fs::write(concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_trace.json"), &json).unwrap();
+    println!("{json}");
+
+    assert!(
+        disabled_ratio >= 0.97,
+        "disabled-tracing overhead gate: NullSink arm ran at {:.1}% of untraced ({:.0} vs {:.0} msgs/sec)",
+        disabled_ratio * 100.0,
+        null_rate,
+        off_rate,
+    );
+    assert!(ring_records > 0, "the ring arm must actually capture events");
+}
