@@ -1,0 +1,89 @@
+//! E29 — trace serialization throughput: v1 text vs v2 binary.
+//!
+//! `horus-trace` captures are written on the soak/replay hot path and
+//! parsed back by every offline tool, so both directions matter.  This
+//! bench encodes and decodes the same synthetic capture — a realistic mix
+//! of layer crossings, frames, timers, and deliveries, with the skewed
+//! small-delta timestamps real runs produce — through both formats, and
+//! prints the bytes-per-record ratio to stderr (the size claim
+//! `tests/trace_smoke.rs` gates at >= 3x).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use horus_core::trace::TraceKind;
+use horus_core::{EndpointAddr, SimTime};
+use horus_trace::{parse_trace, parse_trace_v2, serialize_trace, serialize_trace_v2, TraceRecord};
+
+const RECORDS: usize = 4096;
+
+/// A deterministic capture shaped like a traced replay: mostly layer
+/// crossings and frames, occasional timers, views, and notes.
+fn synth_trace(n: usize) -> Vec<TraceRecord> {
+    let mut at: u64 = 0;
+    (0..n as u64)
+        .map(|i| {
+            // Skewed deltas: mostly sub-microsecond, every 64th a long gap.
+            at += if i % 64 == 0 { 1_000_000 } else { 300 + (i % 7) * 130 };
+            let digest = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let kind = match i % 9 {
+                0 => TraceKind::LayerDown { layer: "NAK" },
+                1 => TraceKind::LayerUp { layer: "COM" },
+                2 => TraceKind::FrameSend { cast: true, bytes: 64 + (i as usize % 1400) },
+                3 => TraceKind::FrameDeliver {
+                    from: EndpointAddr::new(1 + (i + 1) % 3),
+                    cast: true,
+                    bytes: 64 + (i as usize % 1400),
+                    digest,
+                    seq: i / 9,
+                },
+                4 => TraceKind::LayerUp { layer: "FRAG" },
+                5 => TraceKind::Deliver { kind: "CAST", src: 1 + i % 3, digest },
+                6 => TraceKind::TimerArm { layer: (i % 37) as usize, token: i, delay_us: 500 },
+                7 => {
+                    TraceKind::TimerFire { layer: (i % 37) as usize, token: i, digest, seq: i / 9 }
+                }
+                _ => TraceKind::Note(format!("round {}", i / 9)),
+            };
+            TraceRecord {
+                at: SimTime::from_nanos(at),
+                ep: EndpointAddr::new(1 + i % 3),
+                clock: vec![(1 + i % 3, i / 3)],
+                kind,
+            }
+        })
+        .collect()
+}
+
+fn bench_trace_format(c: &mut Criterion) {
+    let meta =
+        vec![("scenario".to_string(), "bench".to_string()), ("seed".to_string(), "7".to_string())];
+    let records = synth_trace(RECORDS);
+    let v1 = serialize_trace(&meta, &records);
+    let v2 = serialize_trace_v2(&meta, &records);
+    assert_eq!(
+        parse_trace(&v1).unwrap(),
+        parse_trace_v2(&v2).unwrap(),
+        "formats must agree before we time them"
+    );
+    eprintln!(
+        "trace_format: {} records, v1 {:.1} B/rec, v2 {:.1} B/rec, ratio {:.2}x",
+        RECORDS,
+        v1.len() as f64 / RECORDS as f64,
+        v2.len() as f64 / RECORDS as f64,
+        v1.len() as f64 / v2.len() as f64
+    );
+
+    let mut g = c.benchmark_group("trace_format");
+    g.throughput(Throughput::Elements(RECORDS as u64));
+    g.bench_function(BenchmarkId::new("encode", "v1"), |b| {
+        b.iter(|| serialize_trace(&meta, &records))
+    });
+    g.bench_function(BenchmarkId::new("encode", "v2"), |b| {
+        b.iter(|| serialize_trace_v2(&meta, &records))
+    });
+    g.bench_function(BenchmarkId::new("decode", "v1"), |b| b.iter(|| parse_trace(&v1).unwrap()));
+    g.bench_function(BenchmarkId::new("decode", "v2"), |b| b.iter(|| parse_trace_v2(&v2).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_format);
+criterion_main!(benches);

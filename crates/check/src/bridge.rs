@@ -185,16 +185,18 @@ pub fn config_from_meta(trace: &ParsedTrace) -> Result<CheckConfig, String> {
 }
 
 /// The `meta` lines `horus-check replay --trace` stamps into a captured
-/// trace — everything [`schedule_from_trace`] needs to re-enact it.
+/// trace — everything [`schedule_from_trace`] needs to re-enact it.  Keys
+/// come out sorted, matching how a parsed trace re-serializes, so a
+/// capture survives a v1→v2→v1 `convert` loop byte-identically.
 pub fn trace_meta(scenario: &Scenario, cfg: &CheckConfig) -> Vec<(String, String)> {
     [
-        ("scenario", scenario.name.to_string()),
-        ("window_us", (cfg.window.as_micros() as u64).to_string()),
-        ("reduction", if cfg.reduction { "on" } else { "off" }.to_string()),
+        ("max_crashes", cfg.max_crashes.to_string()),
         ("max_depth", cfg.max_depth.to_string()),
         ("max_drops", cfg.max_drops.to_string()),
-        ("max_crashes", cfg.max_crashes.to_string()),
         ("max_suspects", cfg.max_suspects.to_string()),
+        ("reduction", if cfg.reduction { "on" } else { "off" }.to_string()),
+        ("scenario", scenario.name.to_string()),
+        ("window_us", (cfg.window.as_micros() as u64).to_string()),
     ]
     .into_iter()
     .map(|(k, v)| (k.to_string(), v))
@@ -215,6 +217,25 @@ pub fn trace_meta(scenario: &Scenario, cfg: &CheckConfig) -> Vec<(String, String
 /// describes a run the scenario/config cannot re-enact (drift between the
 /// trace and the code, or a trace from a different world).
 pub fn schedule_from_trace(trace: &ParsedTrace) -> Result<Schedule, String> {
+    // A sampled or kind-filtered capture is missing calendar fires the
+    // re-enactment must match one for one — refuse up front with the real
+    // reason instead of failing mid-re-enactment with a drift error.
+    if let Some(every) =
+        trace.meta.get(horus_trace::META_SAMPLE_EVERY).and_then(|v| v.parse::<u64>().ok())
+    {
+        if every > 1 {
+            return Err(format!(
+                "trace was sampled 1-in-{every}; the bridge needs every record — \
+                 recapture without --sample"
+            ));
+        }
+    }
+    if let Some(kinds) = trace.meta.get(horus_trace::META_KINDS) {
+        return Err(format!(
+            "trace was captured with --kinds {kinds}; the bridge needs every record — \
+             recapture without --kinds"
+        ));
+    }
     let name = trace.meta.get("scenario").ok_or("trace meta lacks \"scenario\"")?;
     let scenario = Scenario::by_name(name)
         .ok_or_else(|| format!("trace references unknown scenario {name:?}"))?;

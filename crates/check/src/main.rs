@@ -7,7 +7,8 @@
 //!                     [--states N] [--runs N] [--window-us N] [--workers N]
 //!                     [--no-reduction] [--fresh-fp] [--no-snapshot] [--no-cow]
 //!                     [--out FILE]
-//! horus-check replay <schedule-file> [--trace FILE]
+//! horus-check replay <schedule-file> [--trace FILE] [--format v1|v2]
+//!                    [--sample N] [--kinds a,b,...]
 //! horus-check bridge <trace-file> [--out FILE]
 //! ```
 //!
@@ -15,16 +16,23 @@
 //! found (after shrinking and printing/writing the schedule).  `replay` exits
 //! 0 when the re-executed verdict matches the one recorded in the file, 2 on
 //! a mismatch; `--trace` additionally captures the replay as a causal trace
-//! file (inspect with `horus-trace`, convert back with `bridge`).  `bridge`
-//! re-enacts a captured trace into a replayable schedule.
+//! file (inspect with `horus-trace`, convert back with `bridge`) — `--format
+//! v2` writes the binary format, `--sample N` keeps 1-in-N records, and
+//! `--kinds` restricts the capture to a comma-separated kind list (the
+//! thinning flags are stamped into the meta; sampled traces cannot be
+//! bridged).  `bridge` re-enacts a captured trace (either format) into a
+//! replayable schedule.
 
 use horus_check::schedule::verdict_line;
 use horus_check::{
     explore, explore_parallel, replay_choices, replay_choices_traced, schedule_from_trace,
     trace_meta, CheckConfig, Scenario, Schedule,
 };
-use horus_core::trace::TraceSink;
-use horus_trace::{parse_trace, serialize_trace, TraceBuf};
+use horus_core::trace::{FilterSink, KindMask, SamplingSink, TraceSink};
+use horus_trace::{
+    parse_trace_any, serialize_trace, serialize_trace_v2, TraceBuf, META_KINDS, META_SAMPLED_OUT,
+    META_SAMPLE_EVERY,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -35,7 +43,8 @@ fn usage() -> ExitCode {
          [--drops N] [--max-crashes N] [--max-suspects N] [--wedge-oracle] [--states N] \
          [--runs N] [--window-us N] [--workers N] \
          [--no-reduction] [--fresh-fp] [--no-snapshot] [--no-cow] [--out FILE]\n  \
-         horus-check replay <schedule-file> [--trace FILE]\n  \
+         horus-check replay <schedule-file> [--trace FILE] [--format v1|v2] [--sample N] \
+         [--kinds a,b,...]\n  \
          horus-check bridge <trace-file> [--out FILE]"
     );
     ExitCode::from(1)
@@ -171,11 +180,27 @@ fn cmd_explore(args: &[String]) -> ExitCode {
 fn cmd_replay(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else { return usage() };
     let mut trace_out: Option<String> = None;
+    let mut format_v2 = false;
+    let mut sample: u64 = 1;
+    let mut kinds: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--trace" => match it.next() {
                 Some(v) => trace_out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("v1") => format_v2 = false,
+                Some("v2") => format_v2 = true,
+                _ => return usage(),
+            },
+            "--sample" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => sample = n,
+                _ => return usage(),
+            },
+            "--kinds" => match it.next() {
+                Some(v) => kinds = Some(v.clone()),
                 None => return usage(),
             },
             other => {
@@ -206,18 +231,49 @@ fn cmd_replay(args: &[String]) -> ExitCode {
     let rec = match &trace_out {
         Some(out) => {
             let buf = Arc::new(TraceBuf::new());
-            let rec = replay_choices_traced(
-                scenario,
-                &schedule.choices,
-                &cfg,
-                buf.clone() as Arc<dyn TraceSink>,
-            );
-            let trace = serialize_trace(&trace_meta(scenario, &cfg), &buf.take());
-            if let Err(e) = std::fs::write(out, &trace) {
+            // Wrap inside-out: the filter sees every record and the
+            // sampler thins what the filter admits, so `--sample N` means
+            // 1-in-N of the records the capture would otherwise keep.
+            let mut sink: Arc<dyn TraceSink> = buf.clone();
+            if let Some(spec) = &kinds {
+                match KindMask::from_names(spec.split(',')) {
+                    Ok(m) => sink = Arc::new(FilterSink::new(sink, m)),
+                    Err(e) => {
+                        eprintln!("--kinds: {e}");
+                        return usage();
+                    }
+                }
+            }
+            let sampler = (sample > 1).then(|| {
+                let s = Arc::new(SamplingSink::new(sink.clone(), sample));
+                sink = s.clone() as Arc<dyn TraceSink>;
+                s
+            });
+            let rec = replay_choices_traced(scenario, &schedule.choices, &cfg, sink);
+            let mut meta = trace_meta(scenario, &cfg);
+            if let Some(spec) = &kinds {
+                meta.push((META_KINDS.to_string(), spec.clone()));
+            }
+            if let Some(s) = &sampler {
+                meta.push((META_SAMPLE_EVERY.to_string(), s.every().to_string()));
+                meta.push((META_SAMPLED_OUT.to_string(), s.sampled_out().to_string()));
+            }
+            let records = buf.take();
+            let bytes = if format_v2 {
+                serialize_trace_v2(&meta, &records)
+            } else {
+                serialize_trace(&meta, &records).into_bytes()
+            };
+            if let Err(e) = std::fs::write(out, &bytes) {
                 eprintln!("cannot write {out}: {e}");
                 return ExitCode::from(1);
             }
-            println!("trace written to {out}");
+            println!(
+                "trace written to {out} ({} records, {} bytes, {})",
+                records.len(),
+                bytes.len(),
+                if format_v2 { "v2" } else { "v1" }
+            );
             rec
         }
         None => replay_choices(scenario, &schedule.choices, &cfg),
@@ -249,14 +305,14 @@ fn cmd_bridge(args: &[String]) -> ExitCode {
             }
         }
     }
-    let text = match std::fs::read_to_string(path) {
+    let bytes = match std::fs::read(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
             return ExitCode::from(1);
         }
     };
-    let trace = match parse_trace(&text) {
+    let trace = match parse_trace_any(&bytes) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("cannot parse {path}: {e}");

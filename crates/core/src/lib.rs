@@ -72,7 +72,9 @@ pub use layer::{Layer, LayerCtx};
 pub use message::{FieldSpec, HeaderLayout, HeaderMode, Message};
 pub use stack::{EffectSink, LayerTraffic, Stack, StackBuilder, StackConfig, StackStats};
 pub use time::SimTime;
-pub use trace::{DropReason, NullSink, TraceEvent, TraceKind, TraceSink};
+pub use trace::{
+    DropReason, FilterSink, KindMask, NullSink, SamplingSink, TraceEvent, TraceKind, TraceSink,
+};
 pub use view::{View, ViewId};
 
 /// Convenient glob-import surface for applications and layer authors.
@@ -87,6 +89,8 @@ pub mod prelude {
         EffectSink, LayerTraffic, Stack, StackBuilder, StackConfig, StackStats,
     };
     pub use crate::time::SimTime;
-    pub use crate::trace::{DropReason, NullSink, TraceEvent, TraceKind, TraceSink};
+    pub use crate::trace::{
+        DropReason, FilterSink, KindMask, NullSink, SamplingSink, TraceEvent, TraceKind, TraceSink,
+    };
     pub use crate::view::{View, ViewId};
 }

@@ -578,6 +578,21 @@ impl Stack {
         }
     }
 
+    /// [`trace`](Self::trace) for event payloads that are expensive to
+    /// build (digests, rendered strings): the construction closure runs
+    /// only after the sink [`admit`](TraceSink::admit)s the event, so a
+    /// sampling sink skips the build cost of the records it discards.
+    #[inline]
+    fn trace_lazy(&self, kind: impl FnOnce() -> TraceKind) {
+        if self.traced {
+            if let Some(t) = &self.tracer {
+                if t.admit() {
+                    t.record(TraceEvent { at: self.now, ep: self.local, kind: kind() });
+                }
+            }
+        }
+    }
+
     /// Duplicates the stack's full runtime state, if every layer supports
     /// snapshotting ([`Layer::clone_box`]).
     ///
@@ -1006,9 +1021,7 @@ impl Stack {
                     effects.push(Effect::SetTimer { layer: idx, token, delay });
                 }
                 Emit::Trace(t) => {
-                    if self.traced {
-                        self.trace(TraceKind::Note(t.clone()));
-                    }
+                    self.trace_lazy(|| TraceKind::Note(t.clone()));
                     effects.push(Effect::Trace(t));
                 }
             }
@@ -1058,14 +1071,12 @@ impl Stack {
         if let Up::View(v) = &ev {
             self.view = Some(v.clone());
             self.view_dirty.set(true);
-            if self.traced {
-                self.trace(TraceKind::ViewInstall { view: v.to_string() });
-            }
+            self.trace_lazy(|| TraceKind::ViewInstall { view: v.to_string() });
         }
-        if self.traced {
-            // Delivery identity: `(src, content digest)` is executor- and
-            // timestamp-independent, so cross-executor determinism checks
-            // compare it directly.
+        // Delivery identity: `(src, content digest)` is executor- and
+        // timestamp-independent, so cross-executor determinism checks
+        // compare it directly.
+        self.trace_lazy(|| {
             let (src, digest) = match &ev {
                 Up::Cast { src, msg } | Up::Send { src, msg } => {
                     let mut d = StateDigest::new();
@@ -1075,8 +1086,8 @@ impl Stack {
                 }
                 _ => (0, 0),
             };
-            self.trace(TraceKind::Deliver { kind: ev.kind(), src, digest });
-        }
+            TraceKind::Deliver { kind: ev.kind(), src, digest }
+        });
         effects.push(Effect::Deliver(ev));
     }
 

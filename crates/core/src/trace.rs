@@ -21,6 +21,8 @@
 use crate::addr::EndpointAddr;
 use crate::time::SimTime;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One `(actor, count)` component of a vector clock, as threaded through
 /// the deterministic simulator's per-event causality tracking.
@@ -49,6 +51,20 @@ pub trait TraceSink: Send + Sync + fmt::Debug {
     ///
     /// [`Stack::set_tracer`]: crate::stack::Stack::set_tracer
     fn interested(&self) -> bool {
+        true
+    }
+
+    /// Cheap per-event pre-flight: producers with an *expensive* event to
+    /// build (state digests, rendered views) call this first and skip
+    /// construction — and the `record` call — on `false`.
+    ///
+    /// The protocol is optional per event: a producer may call `record`
+    /// directly (cheap events do), and a sink must stay correct under any
+    /// mix of the two.  [`SamplingSink`] implements this by advancing its
+    /// record counter either here (when it answers `false`) or in `record`
+    /// (for kept or un-pre-flighted events), so each event is counted
+    /// exactly once; pass-through wrappers forward to their inner sink.
+    fn admit(&self) -> bool {
         true
     }
 }
@@ -277,6 +293,104 @@ impl TraceKind {
             TraceKind::Note(_) => "note",
         }
     }
+
+    /// Stable small-integer id for this kind: the bit position in a
+    /// [`KindMask`] and the record tag of the v2 binary trace format in
+    /// `horus-trace`.  Appending new kinds is fine; renumbering existing
+    /// ones would break committed v2 traces.
+    pub fn id(&self) -> u8 {
+        match self {
+            TraceKind::LayerDown { .. } => 0,
+            TraceKind::LayerUp { .. } => 1,
+            TraceKind::LayerTimer { .. } => 2,
+            TraceKind::FrameSend { .. } => 3,
+            TraceKind::FrameDeliver { .. } => 4,
+            TraceKind::FrameDrop { .. } => 5,
+            TraceKind::TimerArm { .. } => 6,
+            TraceKind::TimerFire { .. } => 7,
+            TraceKind::AppDown { .. } => 8,
+            TraceKind::Deliver { .. } => 9,
+            TraceKind::ViewInstall { .. } => 10,
+            TraceKind::Crash { .. } => 11,
+            TraceKind::Suspect { .. } => 12,
+            TraceKind::InjectCrash => 13,
+            TraceKind::InjectSuspect { .. } => 14,
+            TraceKind::Partition { .. } => 15,
+            TraceKind::Heal { .. } => 16,
+            TraceKind::Fault { .. } => 17,
+            TraceKind::Note(_) => 18,
+        }
+    }
+}
+
+/// Every kind name, indexed by [`TraceKind::id`].
+pub const KIND_NAMES: [&str; 19] = [
+    "layer-down",
+    "layer-up",
+    "layer-timer",
+    "frame-send",
+    "frame-deliver",
+    "frame-drop",
+    "timer-arm",
+    "timer-fire",
+    "app-down",
+    "deliver",
+    "view-install",
+    "crash",
+    "suspect",
+    "inject-crash",
+    "inject-suspect",
+    "partition",
+    "heal",
+    "fault",
+    "note",
+];
+
+/// The [`TraceKind::id`] for a kind name, when it is one of the vocabulary.
+pub fn kind_id_by_name(name: &str) -> Option<u8> {
+    KIND_NAMES.iter().position(|&n| n == name).map(|i| i as u8)
+}
+
+/// A set of [`TraceKind`]s as a bitset over [`TraceKind::id`] — the filter
+/// a [`FilterSink`] applies at the hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KindMask(u32);
+
+impl KindMask {
+    /// Every kind.
+    pub const ALL: KindMask = KindMask((1 << KIND_NAMES.len()) - 1);
+    /// No kind.
+    pub const NONE: KindMask = KindMask(0);
+
+    /// Builds a mask from kind names (as in the file format / CLI).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name when one is not in the vocabulary.
+    pub fn from_names<'a>(names: impl IntoIterator<Item = &'a str>) -> Result<KindMask, String> {
+        let mut mask = KindMask::NONE;
+        for name in names {
+            let id = kind_id_by_name(name).ok_or_else(|| format!("unknown kind {name:?}"))?;
+            mask.0 |= 1 << id;
+        }
+        Ok(mask)
+    }
+
+    /// This mask plus one kind.
+    #[must_use]
+    pub fn with(self, kind: &TraceKind) -> KindMask {
+        KindMask(self.0 | 1 << kind.id())
+    }
+
+    /// Whether `kind` is in the mask.
+    pub fn contains(self, kind: &TraceKind) -> bool {
+        self.0 & (1 << kind.id()) != 0
+    }
+
+    /// Whether the mask admits nothing.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
 }
 
 /// A sink that discards everything.  It declares itself un-[`interested`],
@@ -293,6 +407,138 @@ impl TraceSink for NullSink {
 
     fn interested(&self) -> bool {
         false
+    }
+}
+
+/// A sink wrapper that keeps 1-in-`every` records and discards the rest —
+/// the knob that lets a multi-hour chaos soak stay traced: the hook still
+/// fires on every event, but only the sampled records pay the inner sink's
+/// cost (ring CAS, clock clone, allocation).
+///
+/// Sampling is by global record count, not per kind or per endpoint, so a
+/// sampled trace is an unbiased 1/N thinning of the full stream.  The
+/// records that were *not* kept are counted ([`sampled_out`]) so file
+/// writers can report the thinning factor honestly — a sampled trace must
+/// never masquerade as a complete one (the trace→schedule bridge refuses
+/// them).
+///
+/// [`sampled_out`]: SamplingSink::sampled_out
+#[derive(Debug)]
+pub struct SamplingSink {
+    inner: Arc<dyn TraceSink>,
+    every: u64,
+    seen: AtomicU64,
+}
+
+impl SamplingSink {
+    /// Wraps `inner`, keeping one record in `every` (clamped to ≥ 1).
+    pub fn new(inner: Arc<dyn TraceSink>, every: u64) -> Self {
+        SamplingSink { inner, every: every.max(1), seen: AtomicU64::new(0) }
+    }
+
+    /// The sampling rate `N` of this 1-in-N sink.
+    pub fn every(&self) -> u64 {
+        self.every
+    }
+
+    /// Records seen so far (kept + sampled out).
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Relaxed)
+    }
+
+    /// Records forwarded to the inner sink so far.
+    pub fn kept(&self) -> u64 {
+        self.seen().div_ceil(self.every)
+    }
+
+    /// Records discarded by sampling so far.
+    pub fn sampled_out(&self) -> u64 {
+        self.seen() - self.kept()
+    }
+}
+
+impl TraceSink for SamplingSink {
+    fn record(&self, ev: TraceEvent) {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(self.every) {
+            self.inner.record(ev);
+        }
+    }
+
+    // Clocks are causal context, not records: forward them all so the
+    // records that *are* kept carry the right clock.
+    fn set_clock(&self, clock: &[ClockEntry]) {
+        self.inner.set_clock(clock);
+    }
+
+    fn interested(&self) -> bool {
+        self.inner.interested()
+    }
+
+    // Counter discipline: a to-be-kept event is NOT counted here — the
+    // producer's follow-up `record` advances the counter and forwards.  A
+    // to-be-dropped event is counted here and `record` never runs for it.
+    // Either way each event advances `seen` exactly once, so the protocol
+    // composes with producers that skip `admit` entirely.  (A concurrent
+    // interleaving between `admit` and `record` can shift which slot an
+    // event lands on; sampling is statistical, counts stay exact.)
+    fn admit(&self) -> bool {
+        loop {
+            let n = self.seen.load(Ordering::Relaxed);
+            if n.is_multiple_of(self.every) {
+                return true;
+            }
+            if self
+                .seen
+                .compare_exchange_weak(n, n + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return false;
+            }
+        }
+    }
+}
+
+/// A sink wrapper that forwards only the kinds in a [`KindMask`] — e.g.
+/// layer crossings and timers for latency work, without paying for the
+/// frame-level firehose.
+#[derive(Debug)]
+pub struct FilterSink {
+    inner: Arc<dyn TraceSink>,
+    mask: KindMask,
+}
+
+impl FilterSink {
+    /// Wraps `inner`, forwarding only kinds in `mask`.
+    pub fn new(inner: Arc<dyn TraceSink>, mask: KindMask) -> Self {
+        FilterSink { inner, mask }
+    }
+
+    /// The mask this sink applies.
+    pub fn mask(&self) -> KindMask {
+        self.mask
+    }
+}
+
+impl TraceSink for FilterSink {
+    fn record(&self, ev: TraceEvent) {
+        if self.mask.contains(&ev.kind) {
+            self.inner.record(ev);
+        }
+    }
+
+    fn set_clock(&self, clock: &[ClockEntry]) {
+        self.inner.set_clock(clock);
+    }
+
+    fn interested(&self) -> bool {
+        !self.mask.is_empty() && self.inner.interested()
+    }
+
+    // The kind is unknown before construction, so the filter itself cannot
+    // pre-flight; forward so an inner sampler still can.
+    fn admit(&self) -> bool {
+        self.inner.admit()
     }
 }
 
@@ -316,5 +562,136 @@ mod tests {
             kind: TraceKind::InjectCrash,
         });
         s.set_clock(&[(1, 2)]);
+    }
+
+    #[test]
+    fn kind_ids_and_names_agree() {
+        // Every name maps back to the id that indexes it.
+        for (i, name) in KIND_NAMES.iter().enumerate() {
+            assert_eq!(kind_id_by_name(name), Some(i as u8), "{name}");
+        }
+        assert_eq!(kind_id_by_name("no-such-kind"), None);
+        // Spot-check id() against the table through name().
+        let samples = [
+            TraceKind::LayerDown { layer: "COM" },
+            TraceKind::FrameSend { cast: true, bytes: 1 },
+            TraceKind::InjectCrash,
+            TraceKind::Note("x".into()),
+        ];
+        for k in &samples {
+            assert_eq!(KIND_NAMES[k.id() as usize], k.name());
+        }
+    }
+
+    /// A counting sink for the wrapper tests.
+    #[derive(Debug, Default)]
+    struct Counter {
+        records: AtomicU64,
+        clocks: AtomicU64,
+    }
+
+    impl TraceSink for Counter {
+        fn record(&self, _ev: TraceEvent) {
+            self.records.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn set_clock(&self, _clock: &[ClockEntry]) {
+            self.clocks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn ev(kind: TraceKind) -> TraceEvent {
+        TraceEvent { at: SimTime::ZERO, ep: EndpointAddr::new(1), kind }
+    }
+
+    #[test]
+    fn sampling_sink_keeps_one_in_n() {
+        let inner = Arc::new(Counter::default());
+        let s = SamplingSink::new(inner.clone(), 4);
+        for _ in 0..10 {
+            s.record(ev(TraceKind::InjectCrash));
+        }
+        s.set_clock(&[(1, 1)]);
+        // Records 0, 4, 8 kept: ceil(10/4) = 3.
+        assert_eq!(inner.records.load(Ordering::Relaxed), 3);
+        assert_eq!(inner.clocks.load(Ordering::Relaxed), 1);
+        assert_eq!((s.seen(), s.kept(), s.sampled_out()), (10, 3, 7));
+        assert!(s.interested());
+    }
+
+    #[test]
+    fn sampling_sink_admit_protocol_counts_each_event_once() {
+        let inner = Arc::new(Counter::default());
+        let s = SamplingSink::new(inner.clone(), 4);
+        let mut admitted = 0;
+        for _ in 0..12 {
+            // Full pre-flight protocol: construct + record only on admit.
+            if s.admit() {
+                admitted += 1;
+                s.record(ev(TraceKind::InjectCrash));
+            }
+        }
+        // Identical outcome to the record-only path: slots 0, 4, 8.
+        assert_eq!(admitted, 3);
+        assert_eq!(inner.records.load(Ordering::Relaxed), 3);
+        assert_eq!((s.seen(), s.kept(), s.sampled_out()), (12, 3, 9));
+
+        // A mixed producer (some events pre-flighted, some not) still
+        // advances the counter exactly once per event.
+        let inner = Arc::new(Counter::default());
+        let s = SamplingSink::new(inner.clone(), 2);
+        for i in 0..10 {
+            if i % 3 == 0 {
+                s.record(ev(TraceKind::InjectCrash));
+            } else if s.admit() {
+                s.record(ev(TraceKind::InjectCrash));
+            }
+        }
+        assert_eq!(s.seen(), 10);
+        assert_eq!(inner.records.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn filter_sink_forwards_admit_to_the_sampler() {
+        let inner = Arc::new(Counter::default());
+        let sampler = Arc::new(SamplingSink::new(inner, 3));
+        let f = FilterSink::new(sampler.clone(), KindMask::ALL);
+        let mut kept = 0;
+        for _ in 0..9 {
+            if f.admit() {
+                f.record(ev(TraceKind::InjectCrash));
+                kept += 1;
+            }
+        }
+        assert_eq!(kept, 3);
+        assert_eq!(sampler.seen(), 9);
+    }
+
+    #[test]
+    fn sampling_sink_clamps_every_to_one() {
+        let inner = Arc::new(Counter::default());
+        let s = SamplingSink::new(inner.clone(), 0);
+        assert_eq!(s.every(), 1);
+        for _ in 0..5 {
+            s.record(ev(TraceKind::InjectCrash));
+        }
+        assert_eq!(inner.records.load(Ordering::Relaxed), 5);
+        assert_eq!(s.sampled_out(), 0);
+    }
+
+    #[test]
+    fn filter_sink_applies_the_mask() {
+        let inner = Arc::new(Counter::default());
+        let mask = KindMask::from_names(["layer-down", "note"]).unwrap();
+        let s = FilterSink::new(inner.clone(), mask);
+        s.record(ev(TraceKind::LayerDown { layer: "COM" }));
+        s.record(ev(TraceKind::InjectCrash));
+        s.record(ev(TraceKind::Note("x".into())));
+        assert_eq!(inner.records.load(Ordering::Relaxed), 2);
+        assert!(s.interested());
+        assert!(!FilterSink::new(inner, KindMask::NONE).interested());
+        assert!(KindMask::ALL.contains(&TraceKind::InjectCrash));
+        assert!(KindMask::from_names(["bogus"]).is_err());
+        assert!(KindMask::NONE.with(&TraceKind::InjectCrash).contains(&TraceKind::InjectCrash));
     }
 }

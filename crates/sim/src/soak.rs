@@ -29,6 +29,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 use horus_core::prelude::*;
@@ -106,7 +107,17 @@ pub struct SoakConfig {
     pub casts: u64,
     /// Also run the total-order checker (stack must include TOTAL).
     pub check_total: bool,
+    /// When a trace sink is attached ([`run_soak_traced`]), keep 1 record
+    /// in `trace_sample` (1 = keep everything).  Purely observational —
+    /// the run's transcript is byte-identical traced or not — but recorded
+    /// in artifacts so a replay reproduces the same capture.
+    pub trace_sample: u64,
 }
+
+/// The default 1-in-N sampling rate for traced soaks: cheap enough to
+/// leave on for a whole campaign (see `BENCH_trace.json`'s
+/// `sampling_sink` arm) while keeping long-soak traces tractable.
+pub const DEFAULT_TRACE_SAMPLE: u64 = 64;
 
 impl Default for SoakConfig {
     fn default() -> Self {
@@ -121,6 +132,7 @@ impl Default for SoakConfig {
             loss: 0.02,
             casts: 40,
             check_total: false,
+            trace_sample: DEFAULT_TRACE_SAMPLE,
         }
     }
 }
@@ -153,6 +165,10 @@ pub struct SoakOutcome {
     /// [`Stack::pending_work`]) — the first place to look when the
     /// watchdog reports a wedge.
     pub dumps: Vec<(EndpointAddr, u64, String)>,
+    /// Trace records forwarded to the attached sink (0 when untraced).
+    pub trace_kept: u64,
+    /// Trace records discarded by 1-in-N sampling (0 when untraced).
+    pub trace_sampled_out: u64,
 }
 
 /// Derives the random fault plan for `cfg` — deterministic in
@@ -221,6 +237,20 @@ pub fn gen_plan(cfg: &SoakConfig) -> SoakPlan {
 /// final-delivery liveness oracles once the world should have settled.
 /// Stops at the first violating window.
 pub fn run_soak(cfg: &SoakConfig, plan: &SoakPlan, factory: StackFactory) -> SoakOutcome {
+    run_soak_traced(cfg, plan, factory, None)
+}
+
+/// [`run_soak`] with an optional trace sink attached to the world.  The
+/// sink is wrapped in a 1-in-`cfg.trace_sample` [`SamplingSink`] so long
+/// campaigns stay tractable; kept/discarded counts land in the outcome.
+/// Tracing is observational only — the transcript is byte-identical with
+/// or without a sink (`soak_replay` pins this).
+pub fn run_soak_traced(
+    cfg: &SoakConfig,
+    plan: &SoakPlan,
+    factory: StackFactory,
+    sink: Option<Arc<dyn TraceSink>>,
+) -> SoakOutcome {
     let mut net = NetConfig::reliable();
     net.loss = cfg.loss;
     let mut w = SimWorld::new(cfg.seed, net);
@@ -228,6 +258,10 @@ pub fn run_soak(cfg: &SoakConfig, plan: &SoakPlan, factory: StackFactory) -> Soa
     for &m in &members {
         w.add_endpoint(factory(m));
         w.join(m, GroupAddr::new(1));
+    }
+    let sampler = sink.map(|s| Arc::new(SamplingSink::new(s, cfg.trace_sample)));
+    if let Some(s) = &sampler {
+        w.set_tracer(s.clone());
     }
 
     let start = SimTime::ZERO + cfg.settle;
@@ -309,6 +343,8 @@ pub fn run_soak(cfg: &SoakConfig, plan: &SoakPlan, factory: StackFactory) -> Soa
             end: t,
             transcript: transcript(w, &members),
             dumps,
+            trace_kept: sampler.as_ref().map_or(0, |s| s.kept()),
+            trace_sampled_out: sampler.as_ref().map_or(0, |s| s.sampled_out()),
         }
     };
     while t < end {
@@ -452,6 +488,18 @@ fn fmt_members(eps: &[EndpointAddr]) -> String {
 /// line-oriented artifact format.  Verdict lines are comments: parsing
 /// ignores them, so `serialize → parse → serialize` is byte-stable.
 pub fn serialize_artifact(cfg: &SoakConfig, plan: &SoakPlan, violations: &[Violation]) -> String {
+    serialize_artifact_traced(cfg, plan, violations, None)
+}
+
+/// [`serialize_artifact`] with an optional `(kept, sampled_out)` trace
+/// capture report.  The report is a comment — parsing ignores it — so a
+/// traced capture replays byte-identically to an untraced one.
+pub fn serialize_artifact_traced(
+    cfg: &SoakConfig,
+    plan: &SoakPlan,
+    violations: &[Violation],
+    trace: Option<(u64, u64)>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{ARTIFACT_HEADER}");
     let _ = writeln!(out, "seed: {}", cfg.seed);
@@ -464,6 +512,11 @@ pub fn serialize_artifact(cfg: &SoakConfig, plan: &SoakPlan, violations: &[Viola
     let _ = writeln!(out, "loss: {}", cfg.loss);
     let _ = writeln!(out, "casts: {}", cfg.casts);
     let _ = writeln!(out, "check_total: {}", cfg.check_total);
+    // Written only when non-default so artifacts from before the knob
+    // existed stay byte-stable through a parse → serialize round trip.
+    if cfg.trace_sample != DEFAULT_TRACE_SAMPLE {
+        let _ = writeln!(out, "trace_sample: {}", cfg.trace_sample);
+    }
     for ev in &plan.events {
         let at = ev.at.as_micros();
         match &ev.action {
@@ -482,6 +535,13 @@ pub fn serialize_artifact(cfg: &SoakConfig, plan: &SoakPlan, violations: &[Viola
                 let _ = writeln!(out, "event: {at} merge {}>{}", who.raw(), contact.raw());
             }
         }
+    }
+    if let Some((kept, sampled_out)) = trace {
+        let _ = writeln!(
+            out,
+            "# trace: kept={kept} sampled_out={sampled_out} (1-in-{})",
+            cfg.trace_sample.max(1)
+        );
     }
     for v in violations {
         let _ = writeln!(out, "# verdict: {v}");
@@ -596,6 +656,7 @@ pub fn parse_artifact(text: &str) -> Result<(SoakConfig, SoakPlan), String> {
             "loss" => cfg.loss = value.parse().map_err(|_| bad("loss"))?,
             "casts" => cfg.casts = value.parse().map_err(|_| bad("casts"))?,
             "check_total" => cfg.check_total = value.parse().map_err(|_| bad("check_total"))?,
+            "trace_sample" => cfg.trace_sample = value.parse().map_err(|_| bad("trace_sample"))?,
             "event" => {
                 events.push(parse_event(value).map_err(|e| format!("line {}: {e}", no + 2))?)
             }
@@ -693,6 +754,22 @@ mod tests {
         // Verdict comments are dropped; the replayable core is byte-stable.
         let again = serialize_artifact(&cfg2, &plan2, &[]);
         assert!(text.starts_with(&again));
+    }
+
+    #[test]
+    fn artifact_records_non_default_sampling_and_trace_report() {
+        let cfg = SoakConfig { trace_sample: 8, ..SoakConfig::default() };
+        let text = serialize_artifact_traced(&cfg, &SoakPlan::default(), &[], Some((120, 840)));
+        assert!(text.contains("trace_sample: 8\n"));
+        assert!(text.contains("# trace: kept=120 sampled_out=840 (1-in-8)\n"));
+        let (cfg2, _) = parse_artifact(&text).unwrap();
+        assert_eq!(cfg2.trace_sample, 8);
+        // Default sampling stays implicit so pre-existing artifacts
+        // round-trip byte-identically.
+        let plain = serialize_artifact(&SoakConfig::default(), &SoakPlan::default(), &[]);
+        assert!(!plain.contains("trace_sample"));
+        let (cfg3, _) = parse_artifact(&plain).unwrap();
+        assert_eq!(cfg3.trace_sample, DEFAULT_TRACE_SAMPLE);
     }
 
     #[test]

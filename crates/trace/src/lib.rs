@@ -31,8 +31,31 @@ use std::fmt;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+pub mod metrics;
+pub mod v2;
+
+pub use metrics::{latency_stats, Histogram, LatencyStats, MetricsSink};
+pub use v2::{parse_trace_any, parse_trace_v2, serialize_trace_v2, trace_to_v2, TRACE_HEADER_V2};
+
 /// The file-format header line.
 pub const TRACE_HEADER: &str = "# horus-trace v1";
+
+/// Meta key: records a collector dropped because its ring overflowed —
+/// nonzero means the trace has holes and `horus-trace stats` warns.
+pub const META_DROPPED: &str = "dropped_records";
+
+/// Meta key: the `N` of a 1-in-N [`SamplingSink`] capture (absent or `1` =
+/// complete trace).  The trace→schedule bridge refuses traces with `N > 1`.
+///
+/// [`SamplingSink`]: horus_core::trace::SamplingSink
+pub const META_SAMPLE_EVERY: &str = "sample_every";
+
+/// Meta key: records deliberately discarded by sampling (reported, not
+/// warned — the operator asked for the thinning).
+pub const META_SAMPLED_OUT: &str = "sampled_out";
+
+/// Meta key: the kind-name list a `FilterSink` capture admitted.
+pub const META_KINDS: &str = "kinds";
 
 /// One collected event: a [`TraceEvent`] plus the vector clock it was
 /// recorded under (empty when the recording executor keeps no clocks).
@@ -273,43 +296,51 @@ impl TraceSink for TraceRing {
 // ---------------------------------------------------------------------------
 
 /// Percent-escapes a free-text value for the single-line format.
-fn escape(s: &str) -> String {
+///
+/// `%` is escaped because it is the escape character and space because it
+/// is the field separator; beyond those, *every* whitespace and control
+/// character is escaped byte-wise (each UTF-8 byte as `%XX` uppercase hex)
+/// — the parser trims line ends, so a value ending in a tab or a Unicode
+/// line separator would otherwise not round-trip.
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
+    let mut utf8 = [0u8; 4];
     for c in s.chars() {
-        match c {
-            '%' => out.push_str("%25"),
-            ' ' => out.push_str("%20"),
-            '\n' => out.push_str("%0A"),
-            '\r' => out.push_str("%0D"),
-            _ => out.push(c),
+        if c == '%' || c.is_whitespace() || c.is_control() {
+            for b in c.encode_utf8(&mut utf8).as_bytes() {
+                out.push_str(&format!("%{b:02X}"));
+            }
+        } else {
+            out.push(c);
         }
     }
     out
 }
 
-fn unescape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+/// Reverses [`escape`]: decodes any `%XX` hex pair at the byte level (a
+/// `%` not followed by two hex digits passes through verbatim, matching
+/// what `escape` can emit).
+pub(crate) fn unescape(s: &str) -> String {
     let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
+    let hex = |b: u8| (b as char).to_digit(16).map(|d| d as u8);
     while i < bytes.len() {
         if bytes[i] == b'%' && i + 2 < bytes.len() {
-            match &bytes[i + 1..i + 3] {
-                b"25" => out.push('%'),
-                b"20" => out.push(' '),
-                b"0A" => out.push('\n'),
-                b"0D" => out.push('\r'),
-                other => {
-                    out.push('%');
-                    out.push_str(std::str::from_utf8(other).unwrap_or(""));
-                }
+            if let (Some(hi), Some(lo)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                out.push(hi << 4 | lo);
+                i += 3;
+                continue;
             }
-            i += 3;
-        } else {
-            out.push(bytes[i] as char);
-            i += 1;
         }
+        out.push(bytes[i]);
+        i += 1;
     }
-    out
+    // Escaping is byte-wise over valid UTF-8 and only ASCII is introduced,
+    // so decoding what `escape` produced is valid UTF-8 again; arbitrary
+    // hand-written input could still smuggle bad bytes — replace, don't
+    // panic.
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// The kind-specific `key=value` fields of one record, in a stable order.
@@ -440,7 +471,7 @@ impl ParsedRecord {
 }
 
 /// A parsed trace file: metadata plus records in file order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ParsedTrace {
     /// The `meta key: value` lines.
     pub meta: BTreeMap<String, String>,
@@ -499,6 +530,95 @@ fn parse_record_line(line: &str) -> Result<ParsedRecord, String> {
         clock,
         kind: kind.to_string(),
         fields,
+    })
+}
+
+/// The parsed (`key=value`) view of one collected record — the same view
+/// `serialize_trace` + `parse_trace` would produce, without the text trip.
+/// Both file formats serialize from this view, which is what makes the
+/// v1↔v2 round trip lossless by construction.
+pub fn parsed_from_record(rec: &TraceRecord) -> ParsedRecord {
+    ParsedRecord {
+        at_ns: rec.at.as_nanos(),
+        ep: rec.ep.raw(),
+        clock: rec.clock.clone(),
+        kind: rec.kind.name().to_string(),
+        fields: kind_fields(&rec.kind).into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    }
+}
+
+/// Renders one parsed record as its v1 line (no trailing newline).
+///
+/// Fields come out in the canonical per-kind order when the kind is in the
+/// vocabulary (sorted otherwise), so a record that came from
+/// [`parse_trace`] re-renders byte-identically — the property the
+/// `convert` CLI's v1→v2→v1 loop leans on.
+pub fn parsed_line(rec: &ParsedRecord) -> String {
+    let vc = if rec.clock.is_empty() {
+        "-".to_string()
+    } else {
+        rec.clock.iter().map(|(r, c)| format!("{r}:{c}")).collect::<Vec<_>>().join(",")
+    };
+    let mut line = format!("t={} ep={} vc={} {}", rec.at_ns, rec.ep, vc, rec.kind);
+    let canonical: Vec<&str> = match v2::schema_keys(&rec.kind) {
+        Some(keys)
+            if keys.len() == rec.fields.len()
+                && keys.iter().all(|k| rec.fields.contains_key(*k)) =>
+        {
+            keys
+        }
+        _ => rec.fields.keys().map(String::as_str).collect(),
+    };
+    for k in canonical {
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(&rec.fields[k]);
+    }
+    line
+}
+
+/// Serializes a parsed trace back to v1 text (meta in key order).
+pub fn serialize_parsed(trace: &ParsedTrace) -> String {
+    let mut out = String::new();
+    out.push_str(TRACE_HEADER);
+    out.push('\n');
+    for (k, v) in &trace.meta {
+        out.push_str(&format!("meta {k}: {v}\n"));
+    }
+    for rec in &trace.records {
+        out.push_str(&parsed_line(rec));
+        out.push('\n');
+    }
+    out
+}
+
+/// Where two record streams first differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the first record present in one stream but not equal in
+    /// (or absent from) the other.
+    pub index: usize,
+    /// Kind at `index` on the left (`None` = left ended first).
+    pub left: Option<String>,
+    /// Kind at `index` on the right (`None` = right ended first).
+    pub right: Option<String>,
+}
+
+/// The first index at which two record streams diverge, with the kinds on
+/// each side — `None` when they are identical.  This is record-level
+/// (timestamps included), so it is strictly stricter than the delivery
+/// projection `diff` judges by; the CLI prints it as the debugging pointer
+/// when traces disagree.
+pub fn first_divergence(a: &[ParsedRecord], b: &[ParsedRecord]) -> Option<Divergence> {
+    let index = a.iter().zip(b).position(|(ra, rb)| ra != rb).unwrap_or(a.len().min(b.len()));
+    if index == a.len() && index == b.len() {
+        return None;
+    }
+    Some(Divergence {
+        index,
+        left: a.get(index).map(|r| r.kind.clone()),
+        right: b.get(index).map(|r| r.kind.clone()),
     })
 }
 

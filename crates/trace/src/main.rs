@@ -2,30 +2,42 @@
 //!
 //! ```text
 //! horus-trace dump <file> [--chrome] [--ep N] [--kind NAME]
-//! horus-trace stats <file>
+//! horus-trace stats <file> [--latency]
 //! horus-trace diff <a> <b>
+//! horus-trace export <file> [--prometheus]
+//! horus-trace convert <file> --format v1|v2 [--out FILE]
 //! ```
 //!
+//! Every subcommand auto-detects the file format (v1 text or v2 binary).
 //! `dump` prints records (optionally filtered, or as Chrome-trace JSON for
-//! `about:tracing` / Perfetto).  `stats` summarizes a trace.  `diff`
-//! compares the canonical delivery projections of two traces — exit 0 when
-//! they agree, 2 when they drift (timestamps and scheduling noise are
-//! deliberately ignored; see `delivery_projection`).
+//! `about:tracing` / Perfetto).  `stats` summarizes a trace; `--latency`
+//! adds the per-(endpoint, layer) dwell and timer-latency histograms.
+//! `diff` compares the canonical delivery projections of two traces — exit
+//! 0 when they agree, 2 when they drift (timestamps and scheduling noise
+//! are deliberately ignored; see `delivery_projection`) — and points at
+//! the first diverging record for debugging.  `export` renders a
+//! Prometheus-style text exposition; `convert` rewrites between formats.
 
-use horus_trace::{chrome_trace, delivery_projection, kind_counts, parse_trace, ParsedTrace};
+use horus_trace::{
+    chrome_trace, delivery_projection, first_divergence, kind_counts, latency_stats,
+    metrics::prometheus_text, parse_trace_any, parsed_line, serialize_parsed, trace_to_v2,
+    Histogram, LatencyStats, ParsedTrace, META_DROPPED, META_SAMPLED_OUT, META_SAMPLE_EVERY,
+};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!("usage: horus-trace dump <file> [--chrome] [--ep N] [--kind NAME]");
-    eprintln!("       horus-trace stats <file>");
+    eprintln!("       horus-trace stats <file> [--latency]");
     eprintln!("       horus-trace diff <a> <b>");
+    eprintln!("       horus-trace export <file> [--prometheus]");
+    eprintln!("       horus-trace convert <file> --format v1|v2 [--out FILE]");
     ExitCode::from(1)
 }
 
 fn load(path: &str) -> Result<ParsedTrace, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    parse_trace(&text).map_err(|e| format!("{path}: {e}"))
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_trace_any(&bytes).map_err(|e| format!("{path}: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -35,6 +47,8 @@ fn main() -> ExitCode {
         "dump" => cmd_dump(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "diff" => cmd_diff(&args[1..]),
+        "export" => cmd_export(&args[1..]),
+        "convert" => cmd_convert(&args[1..]),
         _ => usage(),
     }
 }
@@ -98,9 +112,69 @@ fn cmd_dump(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Capture-health lines shared by `stats` and `export`: sampling is
+/// reported (the operator asked for it), ring overflow is *warned* — those
+/// records are holes nobody chose.
+fn report_capture_health(trace: &ParsedTrace) {
+    if let Some(every) = trace.meta.get(META_SAMPLE_EVERY).and_then(|v| v.parse::<u64>().ok()) {
+        if every > 1 {
+            let out = trace.meta.get(META_SAMPLED_OUT).map(String::as_str).unwrap_or("?");
+            println!("sampling: 1-in-{every} ({out} records sampled out at capture)");
+        }
+    }
+    match trace.meta.get(META_DROPPED).and_then(|v| v.parse::<u64>().ok()) {
+        Some(0) | None => {}
+        Some(d) => {
+            println!("dropped: {d}");
+            eprintln!(
+                "warning: collector dropped {d} records (ring overflow) — \
+                 this trace has holes; resize the ring or sample harder"
+            );
+        }
+    }
+}
+
+fn print_histogram_table(title: &str, map: &BTreeMap<(u64, String), Histogram>) {
+    if map.is_empty() {
+        return;
+    }
+    println!("{title}:");
+    println!(
+        "  {:<6} {:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "ep", "layer", "count", "p50", "p90", "p99", "max"
+    );
+    let row = |ep: &str, layer: &str, h: &Histogram| {
+        println!(
+            "  {:<6} {:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            ep,
+            layer,
+            h.count(),
+            h.quantile(50, 100),
+            h.quantile(90, 100),
+            h.quantile(99, 100),
+            h.max()
+        );
+    };
+    for ((ep, layer), h) in map {
+        row(&ep.to_string(), layer, h);
+    }
+    for (layer, h) in LatencyStats::aggregate(map) {
+        row("all", &layer, &h);
+    }
+}
+
 fn cmd_stats(args: &[String]) -> ExitCode {
-    let [file] = args else { return usage() };
-    let trace = match load(file) {
+    let mut file = None;
+    let mut latency = false;
+    for a in args {
+        match a.as_str() {
+            "--latency" => latency = true,
+            _ if file.is_none() => file = Some(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let trace = match load(&file) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: {e}");
@@ -112,6 +186,7 @@ fn cmd_stats(args: &[String]) -> ExitCode {
     }
     let n = trace.records.len();
     println!("records: {n}");
+    report_capture_health(&trace);
     if n > 0 {
         let lo = trace.records.iter().map(|r| r.at_ns).min().unwrap();
         let hi = trace.records.iter().map(|r| r.at_ns).max().unwrap();
@@ -134,6 +209,15 @@ fn cmd_stats(args: &[String]) -> ExitCode {
         println!("delivery streams:");
         for ((rx, tx), digests) in proj {
             println!("  ep:{tx} -> ep:{rx}  {} casts", digests.len());
+        }
+    }
+    if latency {
+        let stats = latency_stats(&trace.records);
+        if stats.is_empty() {
+            println!("latency: no layer crossings in this trace");
+        } else {
+            print_histogram_table("latency: layer dwell (ns)", &stats.dwell);
+            print_histogram_table("latency: timer arm->fire (ns)", &stats.timer);
         }
     }
     ExitCode::SUCCESS
@@ -173,6 +257,23 @@ fn cmd_diff(args: &[String]) -> ExitCode {
             }
         }
     }
+    // The debugging pointer: where, record for record, do the streams
+    // first disagree?  Stricter than the projection (timestamps count), so
+    // it can be Some even when the verdict below is "match".
+    if let Some(d) = first_divergence(&a.records, &b.records) {
+        println!(
+            "records first diverge at index {} ({} vs {}):",
+            d.index,
+            d.left.as_deref().unwrap_or("end-of-trace"),
+            d.right.as_deref().unwrap_or("end-of-trace"),
+        );
+        for (name, trace) in [("a", &a), ("b", &b)] {
+            match trace.records.get(d.index) {
+                Some(r) => println!("  {name}: {}", parsed_line(r)),
+                None => println!("  {name}: <ended after {} records>", trace.records.len()),
+            }
+        }
+    }
     if drift {
         println!("traces DIVERGE");
         ExitCode::from(2)
@@ -180,4 +281,78 @@ fn cmd_diff(args: &[String]) -> ExitCode {
         println!("delivery projections match ({} streams)", pa.len());
         ExitCode::SUCCESS
     }
+}
+
+fn cmd_export(args: &[String]) -> ExitCode {
+    let mut file = None;
+    for a in args {
+        match a.as_str() {
+            // The only exposition today; accepted explicitly so scripts
+            // can say what they mean.
+            "--prometheus" => {}
+            _ if file.is_none() => file = Some(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else { return usage() };
+    let trace = match load(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let latency = latency_stats(&trace.records);
+    let kinds: BTreeMap<String, u64> = kind_counts(&trace.records);
+    print!("{}", prometheus_text(&latency, &kinds, &trace.meta));
+    ExitCode::SUCCESS
+}
+
+fn cmd_convert(args: &[String]) -> ExitCode {
+    let mut file = None;
+    let mut format = None;
+    let mut out_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some(f @ ("v1" | "v2")) => format = Some(f.to_string()),
+                _ => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(p.clone()),
+                None => return usage(),
+            },
+            _ if file.is_none() => file = Some(a.clone()),
+            _ => return usage(),
+        }
+    }
+    let (Some(file), Some(format)) = (file, format) else { return usage() };
+    let trace = match load(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let bytes = match format.as_str() {
+        "v1" => serialize_parsed(&trace).into_bytes(),
+        _ => trace_to_v2(&trace),
+    };
+    match out_path {
+        Some(p) => {
+            if let Err(e) = std::fs::write(&p, &bytes) {
+                eprintln!("error: {p}: {e}");
+                return ExitCode::from(1);
+            }
+            eprintln!("wrote {} bytes ({format}) to {p}", bytes.len());
+        }
+        None => {
+            use std::io::Write as _;
+            if std::io::stdout().write_all(&bytes).is_err() {
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

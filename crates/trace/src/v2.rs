@@ -1,0 +1,509 @@
+//! Binary trace format **v2**: the same records as the v1 text format at
+//! roughly a quarter of the bytes.
+//!
+//! Layout after the `# horus-trace v2` header line:
+//!
+//! ```text
+//! varint meta_count, then per pair:  str key, str value
+//! varint record_count, then per record:
+//!   varint body_len                  (length prefix; skippable)
+//!   body:
+//!     u8     tag                     (TraceKind::id, or 0xFF = generic)
+//!     varint zigzag(at_ns ⊖ prev)    (wrapping timestamp delta vs previous)
+//!     varint ep
+//!     varint clock_len, then per entry: varint actor, varint count
+//!     fields:
+//!       tag < 0xFF: per the kind's schema, in canonical order —
+//!         U64    -> varint
+//!         Digest -> 8-byte little-endian u64
+//!         Str    -> str              (stored escaped, as in v1)
+//!       tag == 0xFF: str kind, varint n, then n × (str key, str value)
+//! ```
+//!
+//! `varint` is LEB128 (7 bits per byte, high bit = continue), little-endian
+//! like everything else here.  `str` is interned: a back-reference
+//! `varint(index)` for a string the file already carried, or `varint(0)`
+//! followed by `varint(len)` + raw UTF-8 bytes for a first occurrence —
+//! layer names and kind-name strings appear thousands of times per trace
+//! and collapse to one byte each.  Digests get fixed 8-byte slots because
+//! they are hashes: uniformly distributed, so varints would *cost* bytes.
+//!
+//! Both formats serialize the same [`ParsedRecord`] view and the generic
+//! tag covers records whose fields don't match their kind's schema (e.g. a
+//! hand-edited file), so the v1↔v2 round trip is lossless by construction
+//! — the cross-format proptests in `tests/trace_format.rs` hold it there.
+
+use crate::{parse_trace, parsed_from_record, ParsedRecord, ParsedTrace, TraceRecord};
+use horus_core::trace::{kind_id_by_name, KIND_NAMES};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// The v2 header line (without the newline that terminates it).
+pub const TRACE_HEADER_V2: &str = "# horus-trace v2";
+
+/// The record tag for the generic (schema-less) encoding.
+const GENERIC_TAG: u8 = 0xFF;
+
+/// Field encodings.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum FType {
+    /// Canonical-decimal u64, varint-encoded.
+    U64,
+    /// A content digest: fixed 8-byte little-endian (hash-uniform values
+    /// make varints counterproductive).
+    Digest,
+    /// Escaped text, interned.
+    Str,
+}
+
+/// Per-kind field schemas, indexed by [`TraceKind::id`]; the tuple order is
+/// the wire order and matches `kind_fields`' canonical v1 order.
+///
+/// [`TraceKind::id`]: horus_core::trace::TraceKind::id
+const SCHEMAS: [&[(&str, FType)]; 19] = [
+    &[("layer", FType::Str)],
+    &[("layer", FType::Str)],
+    &[("layer", FType::Str), ("token", FType::U64)],
+    &[("cast", FType::U64), ("bytes", FType::U64)],
+    &[
+        ("from", FType::U64),
+        ("cast", FType::U64),
+        ("bytes", FType::U64),
+        ("digest", FType::Digest),
+        ("seq", FType::U64),
+    ],
+    &[("digest", FType::Digest), ("seq", FType::U64), ("reason", FType::Str)],
+    &[("layer", FType::U64), ("token", FType::U64), ("delay_us", FType::U64)],
+    &[("layer", FType::U64), ("token", FType::U64), ("digest", FType::Digest), ("seq", FType::U64)],
+    &[("kind", FType::Str), ("digest", FType::Digest), ("seq", FType::U64)],
+    &[("kind", FType::Str), ("src", FType::U64), ("digest", FType::Digest)],
+    &[("view", FType::Str)],
+    &[("digest", FType::Digest), ("seq", FType::U64)],
+    &[("target", FType::U64), ("digest", FType::Digest), ("seq", FType::U64)],
+    &[],
+    &[("observer", FType::U64), ("target", FType::U64)],
+    &[("digest", FType::Digest), ("seq", FType::U64)],
+    &[("digest", FType::Digest), ("seq", FType::U64)],
+    &[("digest", FType::Digest), ("seq", FType::U64)],
+    &[("text", FType::Str)],
+];
+
+/// The canonical field order for a kind name, when it is in the vocabulary
+/// (v1 rendering and the v2 schema agree on it).
+pub(crate) fn schema_keys(kind: &str) -> Option<Vec<&'static str>> {
+    let id = kind_id_by_name(kind)?;
+    Some(SCHEMAS[id as usize].iter().map(|(k, _)| *k).collect())
+}
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Whether `s` is the canonical decimal rendering of a u64 — the condition
+/// under which a numeric wire encoding round-trips the exact string.
+fn canonical_u64(s: &str) -> Option<u64> {
+    let v: u64 = s.parse().ok()?;
+    // Canonical decimals have no leading zeros / signs / whitespace; the
+    // cheap complete check is to render back.
+    (v.to_string() == s).then_some(v)
+}
+
+/// A bounds-checked reader over the binary body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    strings: Vec<String>,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0, strings: Vec::new() }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn byte(&mut self) -> Result<u8, String> {
+        let b = *self.buf.get(self.pos).ok_or("truncated record body")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        let end = end.ok_or("truncated byte run")?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64, String> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.byte()?;
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err("varint overruns 64 bits".into())
+    }
+
+    fn fixed_u64(&mut self) -> Result<u64, String> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let r = self.varint()?;
+        if r == 0 {
+            let len = self.varint()? as usize;
+            let s = std::str::from_utf8(self.bytes(len)?)
+                .map_err(|_| "interned string is not UTF-8")?
+                .to_string();
+            self.strings.push(s.clone());
+            Ok(s)
+        } else {
+            self.strings
+                .get(r as usize - 1)
+                .cloned()
+                .ok_or_else(|| format!("string back-reference {r} out of range"))
+        }
+    }
+}
+
+/// The string-interning writer side.
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<String, u64>,
+}
+
+impl Interner {
+    fn put_str(&mut self, out: &mut Vec<u8>, s: &str) {
+        if let Some(&id) = self.ids.get(s) {
+            put_varint(out, id);
+        } else {
+            put_varint(out, 0);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+            self.ids.insert(s.to_string(), self.ids.len() as u64 + 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Picks the wire encoding for one record: its schema tag when the fields
+/// are exactly the kind's schema with canonical numerics, generic otherwise.
+fn record_tag(rec: &ParsedRecord) -> u8 {
+    let Some(id) = kind_id_by_name(&rec.kind) else { return GENERIC_TAG };
+    let schema = SCHEMAS[id as usize];
+    if schema.len() != rec.fields.len() {
+        return GENERIC_TAG;
+    }
+    for &(key, ty) in schema {
+        match (rec.fields.get(key), ty) {
+            (Some(v), FType::U64 | FType::Digest) if canonical_u64(v).is_some() => {}
+            (Some(_), FType::Str) => {}
+            _ => return GENERIC_TAG,
+        }
+    }
+    id
+}
+
+fn encode_record(out: &mut Vec<u8>, intern: &mut Interner, rec: &ParsedRecord, prev_ns: u64) {
+    let mut body = Vec::with_capacity(32);
+    let tag = record_tag(rec);
+    body.push(tag);
+    // Wrapping difference: lossless for ANY pair of u64 timestamps (the
+    // zigzag varint stays short for the small forward/backward steps real
+    // traces take), and the decoder's wrapping add inverts it exactly.
+    put_varint(&mut body, zigzag(rec.at_ns.wrapping_sub(prev_ns) as i64));
+    put_varint(&mut body, rec.ep);
+    put_varint(&mut body, rec.clock.len() as u64);
+    for &(actor, count) in &rec.clock {
+        put_varint(&mut body, actor);
+        put_varint(&mut body, count);
+    }
+    if tag == GENERIC_TAG {
+        intern.put_str(&mut body, &rec.kind);
+        put_varint(&mut body, rec.fields.len() as u64);
+        for (k, v) in &rec.fields {
+            intern.put_str(&mut body, k);
+            intern.put_str(&mut body, v);
+        }
+    } else {
+        for &(key, ty) in SCHEMAS[tag as usize] {
+            let v = &rec.fields[key];
+            match ty {
+                FType::U64 => put_varint(&mut body, canonical_u64(v).unwrap()),
+                FType::Digest => body.extend_from_slice(&canonical_u64(v).unwrap().to_le_bytes()),
+                FType::Str => intern.put_str(&mut body, v),
+            }
+        }
+    }
+    put_varint(out, body.len() as u64);
+    out.extend_from_slice(&body);
+}
+
+fn encode<'a>(
+    meta: impl IntoIterator<Item = (&'a str, &'a str)>,
+    records: impl IntoIterator<Item = ParsedRecord>,
+) -> Vec<u8> {
+    let records: Vec<ParsedRecord> = records.into_iter().collect();
+    let mut out = Vec::with_capacity(64 + records.len() * 16);
+    out.extend_from_slice(TRACE_HEADER_V2.as_bytes());
+    out.push(b'\n');
+    let mut intern = Interner::default();
+    let meta: Vec<_> = meta.into_iter().collect();
+    put_varint(&mut out, meta.len() as u64);
+    for (k, v) in meta {
+        intern.put_str(&mut out, k);
+        intern.put_str(&mut out, v);
+    }
+    put_varint(&mut out, records.len() as u64);
+    let mut prev_ns = 0;
+    for rec in &records {
+        encode_record(&mut out, &mut intern, rec, prev_ns);
+        prev_ns = rec.at_ns;
+    }
+    out
+}
+
+/// Serializes collected records as a v2 binary trace (the counterpart of
+/// [`serialize_trace`]; meta pairs keep the given order).
+///
+/// [`serialize_trace`]: crate::serialize_trace
+pub fn serialize_trace_v2(meta: &[(String, String)], records: &[TraceRecord]) -> Vec<u8> {
+    encode(
+        meta.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+        records.iter().map(parsed_from_record),
+    )
+}
+
+/// Re-encodes a parsed trace (either format) as v2 bytes.
+pub fn trace_to_v2(trace: &ParsedTrace) -> Vec<u8> {
+    encode(trace.meta.iter().map(|(k, v)| (k.as_str(), v.as_str())), trace.records.iter().cloned())
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Parses a v2 binary trace.
+///
+/// # Errors
+///
+/// On a missing header or any truncated/malformed structure — with enough
+/// context to say what was being read.
+pub fn parse_trace_v2(bytes: &[u8]) -> Result<ParsedTrace, String> {
+    let header_len = TRACE_HEADER_V2.len() + 1;
+    if bytes.len() < header_len || &bytes[..header_len - 1] != TRACE_HEADER_V2.as_bytes() {
+        return Err("bad v2 trace header".into());
+    }
+    let mut r = Reader::new(&bytes[header_len..]);
+    let mut out = ParsedTrace::default();
+    let meta_count = r.varint().map_err(|e| format!("meta count: {e}"))?;
+    for i in 0..meta_count {
+        let k = r.str().map_err(|e| format!("meta {i} key: {e}"))?;
+        let v = r.str().map_err(|e| format!("meta {i} value: {e}"))?;
+        out.meta.insert(k, v);
+    }
+    let record_count = r.varint().map_err(|e| format!("record count: {e}"))?;
+    let mut prev_ns = 0u64;
+    for i in 0..record_count {
+        let rec = decode_record(&mut r, prev_ns).map_err(|e| format!("record {i}: {e}"))?;
+        prev_ns = rec.at_ns;
+        out.records.push(rec);
+    }
+    if !r.done() {
+        return Err(format!("{} trailing bytes after the last record", r.buf.len() - r.pos));
+    }
+    Ok(out)
+}
+
+fn decode_record(r: &mut Reader<'_>, prev_ns: u64) -> Result<ParsedRecord, String> {
+    let body_len = r.varint()? as usize;
+    let body_end = r.pos.checked_add(body_len).filter(|&e| e <= r.buf.len());
+    let body_end = body_end.ok_or("record length prefix overruns the file")?;
+    let tag = r.byte()?;
+    let at_ns = prev_ns.wrapping_add(unzigzag(r.varint()?) as u64);
+    let ep = r.varint()?;
+    let clock_len = r.varint()? as usize;
+    let mut clock = Vec::with_capacity(clock_len.min(64));
+    for _ in 0..clock_len {
+        clock.push((r.varint()?, r.varint()?));
+    }
+    let (kind, fields) = if tag == GENERIC_TAG {
+        let kind = r.str()?;
+        let n = r.varint()?;
+        let mut fields = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.str()?;
+            let v = r.str()?;
+            fields.insert(k, v);
+        }
+        (kind, fields)
+    } else {
+        let schema =
+            SCHEMAS.get(tag as usize).ok_or_else(|| format!("unknown record tag {tag}"))?;
+        let mut fields = BTreeMap::new();
+        for &(key, ty) in *schema {
+            let v = match ty {
+                FType::U64 => r.varint()?.to_string(),
+                FType::Digest => r.fixed_u64()?.to_string(),
+                FType::Str => r.str()?,
+            };
+            fields.insert(key.to_string(), v);
+        }
+        (KIND_NAMES[tag as usize].to_string(), fields)
+    };
+    if r.pos != body_end {
+        return Err("record body length mismatch".into());
+    }
+    Ok(ParsedRecord { at_ns, ep, clock, kind, fields })
+}
+
+/// Parses a trace in either format, auto-detected by header — the one
+/// entry point the CLI and the trace→schedule bridge load through.
+pub fn parse_trace_any(bytes: &[u8]) -> Result<ParsedTrace, String> {
+    if bytes.starts_with(TRACE_HEADER_V2.as_bytes()) {
+        parse_trace_v2(bytes)
+    } else {
+        let text =
+            std::str::from_utf8(bytes).map_err(|_| "not a v2 trace, and not UTF-8 text either")?;
+        parse_trace(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize_trace;
+    use horus_core::addr::EndpointAddr;
+    use horus_core::time::SimTime;
+    use horus_core::trace::TraceKind;
+
+    fn rec(at_ns: u64, ep: u64, kind: TraceKind) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::from_nanos(at_ns),
+            ep: EndpointAddr::new(ep),
+            clock: vec![(1, 2), (2, 1)],
+            kind,
+        }
+    }
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            rec(1000, 1, TraceKind::LayerDown { layer: "NAK" }),
+            rec(
+                1500,
+                2,
+                TraceKind::FrameDeliver {
+                    from: EndpointAddr::new(1),
+                    cast: true,
+                    bytes: 64,
+                    digest: u64::MAX - 7,
+                    seq: 17,
+                },
+            ),
+            rec(900, 2, TraceKind::ViewInstall { view: "g:1[v2@ep:1 ep:1 ep:2]".into() }),
+            rec(2000, 1, TraceKind::Note("hello world\n100%\té".into())),
+            rec(2000, 1, TraceKind::InjectCrash),
+        ]
+    }
+
+    #[test]
+    fn v2_roundtrip_and_cross_format_equality() {
+        let meta = vec![("scenario".to_string(), "wedge".to_string())];
+        let records = sample_records();
+        let v2 = serialize_trace_v2(&meta, &records);
+        let from_v2 = parse_trace_v2(&v2).unwrap();
+        let from_v1 = parse_trace(&serialize_trace(&meta, &records)).unwrap();
+        assert_eq!(from_v2, from_v1, "both formats must parse to the same view");
+        // Auto-detection sees both.
+        assert_eq!(parse_trace_any(&v2).unwrap(), from_v2);
+        assert_eq!(parse_trace_any(serialize_trace(&meta, &records).as_bytes()).unwrap(), from_v1);
+        // Re-encoding the parsed form is stable.
+        assert_eq!(trace_to_v2(&from_v2), v2);
+    }
+
+    #[test]
+    fn generic_tag_covers_off_schema_records() {
+        let mut t = ParsedTrace::default();
+        t.records.push(ParsedRecord {
+            at_ns: 5,
+            ep: 1,
+            clock: vec![],
+            kind: "custom-kind".to_string(),
+            fields: [("a".to_string(), "007".to_string()), ("b".to_string(), "x%20y".to_string())]
+                .into(),
+        });
+        // A vocabulary kind with non-canonical numerics must also fall back.
+        t.records.push(ParsedRecord {
+            at_ns: 6,
+            ep: 1,
+            clock: vec![],
+            kind: "crash".to_string(),
+            fields: [
+                ("digest".to_string(), "01".to_string()),
+                ("seq".to_string(), "2".to_string()),
+            ]
+            .into(),
+        });
+        assert_eq!(parse_trace_v2(&trace_to_v2(&t)).unwrap(), t);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let v2 = serialize_trace_v2(&[], &sample_records());
+        for cut in [TRACE_HEADER_V2.len() + 1, v2.len() / 2, v2.len() - 1] {
+            assert!(parse_trace_v2(&v2[..cut]).is_err(), "cut at {cut} must fail");
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = v2.clone();
+        padded.push(0);
+        assert!(parse_trace_v2(&padded).is_err());
+    }
+
+    #[test]
+    fn v2_is_substantially_smaller_than_v1() {
+        // Synthetic but shaped like a real ring capture: layer crossings
+        // dominate, timestamps grow, names repeat.
+        let mut records = Vec::new();
+        for i in 0..1000u64 {
+            records.push(rec(i * 1300, 1 + i % 3, TraceKind::LayerDown { layer: "NAK" }));
+            records.push(rec(
+                i * 1300 + 400,
+                1 + i % 3,
+                TraceKind::FrameSend { cast: true, bytes: 64 },
+            ));
+        }
+        let v1 = serialize_trace(&[], &records).len();
+        let v2 = serialize_trace_v2(&[], &records).len();
+        assert!(v1 as f64 / v2 as f64 >= 3.0, "v2 must be ≥3× smaller: v1={v1}B v2={v2}B");
+    }
+}

@@ -14,6 +14,7 @@
 //! cargo run --example soak -- --stack "MERGE(contacts=1,period=50):MBRSHIP:FRAG:NAK(retransmit=false):COM(promiscuous=true)" --expect-violation
 //! cargo run --example soak -- --replay plan.soak
 //! cargo run --example soak -- --out minimized.soak
+//! cargo run --example soak -- --replay plan.soak --trace run.trace --trace-sample 16
 //! ```
 //!
 //! Exit status: 0 when the campaign matches expectations (clean by
@@ -22,9 +23,42 @@
 use horus::layers::registry::build_stack;
 use horus::prelude::*;
 use horus::sim::soak::{
-    gen_plan, minimize_plan, parse_artifact, run_soak, serialize_artifact, SoakConfig,
+    gen_plan, minimize_plan, parse_artifact, run_soak, run_soak_traced, serialize_artifact_traced,
+    SoakConfig, SoakOutcome, SoakPlan,
 };
+use horus::trace::{serialize_trace, TraceBuf, META_SAMPLED_OUT, META_SAMPLE_EVERY};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Runs one soak, optionally capturing a sampled trace to `path`.
+fn run_with_capture(
+    cfg: &SoakConfig,
+    plan: &SoakPlan,
+    factory: &dyn Fn(EndpointAddr) -> Stack,
+    capture: Option<&str>,
+) -> SoakOutcome {
+    let Some(path) = capture else {
+        return run_soak(cfg, plan, factory);
+    };
+    let buf = Arc::new(TraceBuf::new());
+    let outcome = run_soak_traced(cfg, plan, factory, Some(buf.clone()));
+    let meta = vec![
+        (META_SAMPLE_EVERY.to_string(), cfg.trace_sample.max(1).to_string()),
+        (META_SAMPLED_OUT.to_string(), outcome.trace_sampled_out.to_string()),
+        ("scenario".to_string(), "soak".to_string()),
+        ("seed".to_string(), cfg.seed.to_string()),
+        ("stack".to_string(), cfg.stack.clone()),
+    ];
+    let text = serialize_trace(&meta, &buf.take());
+    std::fs::write(path, &text).expect("write trace");
+    println!(
+        "  trace: kept={} sampled_out={} (1-in-{}) -> {path}",
+        outcome.trace_kept,
+        outcome.trace_sampled_out,
+        cfg.trace_sample.max(1)
+    );
+    outcome
+}
 
 fn main() -> ExitCode {
     let mut cfg = SoakConfig::default();
@@ -34,6 +68,8 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut replay: Option<String> = None;
     let mut show_transcript = false;
+    let mut trace: Option<String> = None;
+    let mut trace_sample: Option<u64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -73,6 +109,14 @@ fn main() -> ExitCode {
                 replay = Some(need(i));
                 i += 1;
             }
+            "--trace" => {
+                trace = Some(need(i));
+                i += 1;
+            }
+            "--trace-sample" => {
+                trace_sample = Some(need(i).parse().expect("--trace-sample N"));
+                i += 1;
+            }
             "--expect-violation" => expect_violation = true,
             "--transcript" => show_transcript = true,
             other => {
@@ -85,12 +129,15 @@ fn main() -> ExitCode {
 
     if let Some(path) = replay {
         let text = std::fs::read_to_string(&path).expect("read artifact");
-        let (cfg, plan) = parse_artifact(&text).expect("parse artifact");
+        let (mut cfg, plan) = parse_artifact(&text).expect("parse artifact");
+        if let Some(n) = trace_sample {
+            cfg.trace_sample = n;
+        }
         let stack = cfg.stack.clone();
         let factory = |ep: EndpointAddr| {
             build_stack(ep, &stack, StackConfig::default()).expect("stack builds")
         };
-        let outcome = run_soak(&cfg, &plan, &factory);
+        let outcome = run_with_capture(&cfg, &plan, &factory, trace.as_deref());
         println!(
             "replay {path}: seed {} events {} -> {} violation(s), {} deliveries",
             cfg.seed,
@@ -114,6 +161,9 @@ fn main() -> ExitCode {
         return ExitCode::from(u8::from(bad));
     }
 
+    if let Some(n) = trace_sample {
+        cfg.trace_sample = n;
+    }
     let stack = cfg.stack.clone();
     let factory =
         |ep: EndpointAddr| build_stack(ep, &stack, StackConfig::default()).expect("stack builds");
@@ -121,7 +171,8 @@ fn main() -> ExitCode {
     for s in 0..seeds {
         let cfg = SoakConfig { seed: seed_base + s, ..cfg.clone() };
         let plan = gen_plan(&cfg);
-        let outcome = run_soak(&cfg, &plan, &factory);
+        let capture = trace.as_ref().map(|t| format!("{t}.seed{}", cfg.seed));
+        let outcome = run_with_capture(&cfg, &plan, &factory, capture.as_deref());
         if outcome.violations.is_empty() {
             println!(
                 "seed {:>4}: clean  ({} events, {} windows, {} deliveries)",
@@ -138,14 +189,16 @@ fn main() -> ExitCode {
             cfg.seed, outcome.windows, outcome.violations[0]
         );
         let min = minimize_plan(&cfg, &plan, &factory, 200);
-        let verdict = run_soak(&cfg, &min, &factory);
+        let min_capture = capture.as_ref().map(|c| format!("{c}.min"));
+        let verdict = run_with_capture(&cfg, &min, &factory, min_capture.as_deref());
         println!(
             "  minimized {} -> {} event(s); first oracle: {}",
             plan.events.len(),
             min.events.len(),
             verdict.violations.first().map(|v| v.to_string()).unwrap_or_default()
         );
-        let artifact = serialize_artifact(&cfg, &min, &verdict.violations);
+        let counts = trace.as_ref().map(|_| (verdict.trace_kept, verdict.trace_sampled_out));
+        let artifact = serialize_artifact_traced(&cfg, &min, &verdict.violations, counts);
         match &out {
             Some(path) => {
                 std::fs::write(path, &artifact).expect("write artifact");

@@ -52,6 +52,7 @@ pub use horus_layers as layers;
 pub use horus_net as net;
 pub use horus_props as props;
 pub use horus_sim as sim;
+pub use horus_trace as trace;
 
 pub mod socket;
 

@@ -13,7 +13,9 @@
 
 use horus::layers::registry::build_stack;
 use horus::prelude::*;
-use horus::sim::soak::{parse_artifact, run_soak, SoakConfig, SoakPlan};
+use horus::sim::soak::{parse_artifact, run_soak, run_soak_traced, SoakConfig, SoakPlan};
+use horus::trace::TraceBuf;
+use std::sync::Arc;
 
 fn fixture(name: &str) -> (SoakConfig, SoakPlan) {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -80,4 +82,41 @@ fn soak_replay_is_byte_identical_across_repetition() {
         );
         assert_eq!(first.delivered, second.delivered, "{name}: delivery-count drift");
     }
+}
+
+#[test]
+fn attaching_a_sampling_trace_does_not_perturb_the_replay() {
+    // Observation must be free: a soak replayed with a 1-in-N sampling
+    // sink attached has to reproduce the untraced transcript and verdict
+    // byte for byte, while the sampler's counters account for every event
+    // it saw — kept plus sampled-out, nothing double-counted.
+    let (mut cfg, plan) = fixture("soak_wedge_regression.soak");
+    cfg.trace_sample = 4;
+    let stack = cfg.stack.clone();
+    let factory =
+        |ep: EndpointAddr| build_stack(ep, &stack, StackConfig::default()).expect("stack builds");
+    let untraced = run_soak(&cfg, &plan, &factory);
+    let buf = Arc::new(TraceBuf::new());
+    let traced = run_soak_traced(&cfg, &plan, &factory, Some(buf.clone()));
+    assert_eq!(untraced.transcript, traced.transcript, "tracing perturbed the replay");
+    assert_eq!(untraced.delivered, traced.delivered, "tracing perturbed delivery");
+    let records = buf.take();
+    assert_eq!(
+        records.len() as u64,
+        traced.trace_kept,
+        "buffer must hold exactly the kept records"
+    );
+    assert!(traced.trace_kept > 0, "a wedge replay must record something at 1-in-4");
+    assert!(traced.trace_sampled_out > 0, "at 1-in-4 most events must be sampled out");
+    // Untraced runs report zero counters — the fields mean "what the
+    // sampler saw", not "what would have been seen".
+    assert_eq!((untraced.trace_kept, untraced.trace_sampled_out), (0, 0));
+    // And the sampled capture replays deterministically too.
+    let buf2 = Arc::new(TraceBuf::new());
+    let again = run_soak_traced(&cfg, &plan, &factory, Some(buf2.clone()));
+    assert_eq!(
+        (again.trace_kept, again.trace_sampled_out),
+        (traced.trace_kept, traced.trace_sampled_out),
+        "sampling counters must be deterministic"
+    );
 }

@@ -1,6 +1,6 @@
 //! Determinism contracts of the tracing subsystem.
 //!
-//! Three claims, each an end-to-end loop:
+//! Five claims, each an end-to-end loop:
 //!
 //! 1. **Worker-count independence**: the counterexample `explore_parallel`
 //!    reports is the same for `--workers 1` and `--workers 4`, and its
@@ -15,6 +15,14 @@
 //!    fault plan, replayed as the `soakwedge` scenario with tracing on,
 //!    bridges back into exactly the committed `.check` fixture and the
 //!    same verdict.
+//! 4. **Latency stats are format- and run-independent**: the per-layer
+//!    histograms computed from the v1 text and from its v2 binary
+//!    re-encoding are equal, and the rendered quantile table is
+//!    byte-identical across repeated traced replays.
+//! 5. **Live equals offline**: a [`MetricsSink`] installed as the tracer
+//!    of a replay snapshots to exactly the histograms the offline
+//!    [`latency_stats`] pass extracts from a captured trace of the same
+//!    replay.
 
 use horus::layers::registry::build_stack;
 use horus::prelude::*;
@@ -27,7 +35,10 @@ use horus_core::trace::TraceSink;
 use horus_net::LoopbackNet;
 use horus_sim::shard::{ShardConfig, ShardExecutor};
 use horus_sim::threaded::{DispatchModel, ThreadedEndpoint};
-use horus_trace::{delivery_projection, parse_trace, serialize_trace, TraceBuf, TraceRing};
+use horus_trace::{
+    delivery_projection, kind_counts, latency_stats, parse_trace, parse_trace_v2, serialize_trace,
+    trace_to_v2, LatencyStats, MetricsSink, TraceBuf, TraceRing,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -147,6 +158,68 @@ fn threaded_and_sharded_executors_project_identically() {
     for ((rx, tx), digests) in &threaded {
         assert_eq!(digests.len(), CASTS, "stream ep:{tx} -> ep:{rx} lost casts");
     }
+}
+
+/// Renders the stats the way `horus-trace stats --latency` does — one
+/// `count p50 p90 p99 max` row per `(endpoint, layer)`. Integer-only, so
+/// equal histograms render to equal bytes.
+fn latency_table(stats: &LatencyStats) -> String {
+    let mut out = String::new();
+    for (title, map) in [("dwell", &stats.dwell), ("timer", &stats.timer)] {
+        for ((ep, layer), h) in map {
+            out.push_str(&format!(
+                "{title} ep:{ep} {layer} {} {} {} {} {}\n",
+                h.count(),
+                h.quantile(50, 100),
+                h.quantile(90, 100),
+                h.quantile(99, 100),
+                h.max()
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn latency_stats_agree_across_formats_and_runs() {
+    // The `stats --latency` acceptance loop: the same capture must yield
+    // the same histograms whether it is read as v1 text or as its v2
+    // binary re-encoding, and re-capturing must reproduce the table.
+    let scenario = Scenario::by_name("flush3").unwrap();
+    let cfg = CheckConfig::default();
+    let text = traced_replay_text(scenario, &[], &cfg);
+    let v1 = parse_trace(&text).unwrap();
+    let from_v1 = latency_stats(&v1.records);
+    assert!(!from_v1.dwell.is_empty(), "a flush3 replay must cross layers");
+    let v2 = parse_trace_v2(&trace_to_v2(&v1)).unwrap();
+    assert_eq!(latency_stats(&v2.records), from_v1, "v1 and v2 must agree on latency");
+    let table = latency_table(&from_v1);
+    assert!(table.lines().count() >= 2, "per-layer rows must be non-empty");
+    for _ in 0..2 {
+        let rerun = parse_trace(&traced_replay_text(scenario, &[], &cfg)).unwrap();
+        assert_eq!(
+            latency_table(&latency_stats(&rerun.records)),
+            table,
+            "latency table must be byte-identical across runs"
+        );
+    }
+}
+
+#[test]
+fn metrics_sink_matches_the_offline_pass() {
+    // The live collector's contract: installing a MetricsSink during a
+    // replay yields exactly what parsing a captured trace of the same
+    // replay and running `latency_stats` over it yields.
+    let scenario = Scenario::by_name("flush3").unwrap();
+    let cfg = CheckConfig::default();
+    let live = Arc::new(MetricsSink::new());
+    let _ = replay_choices_traced(scenario, &[], &cfg, live.clone() as Arc<dyn TraceSink>);
+    let snap = live.snapshot();
+    let offline = parse_trace(&traced_replay_text(scenario, &[], &cfg)).unwrap();
+    assert_eq!(snap.records as usize, offline.records.len(), "record counts must agree");
+    assert_eq!(snap.kinds, kind_counts(&offline.records), "kind counts must agree");
+    assert_eq!(snap.latency, latency_stats(&offline.records), "histograms must agree");
+    assert!(!snap.latency.is_empty(), "the comparison must not be vacuous");
 }
 
 #[test]

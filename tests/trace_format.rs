@@ -1,0 +1,248 @@
+//! Property tests over the trace file formats: v1 text escaping survives
+//! arbitrary payload bytes, the v2 binary format round-trips losslessly,
+//! and both formats agree record-for-record on the same capture (the
+//! invariant `horus-trace convert` and the CLI's auto-detection lean on).
+//! Plus the latency `Histogram`'s accuracy contract: quantiles are exact
+//! to the bucket, i.e. within 25% of the true rank statistic.
+
+use horus_core::trace::{DropReason, TraceKind, KIND_NAMES};
+use horus_core::{EndpointAddr, SimTime};
+use horus_trace::{
+    first_divergence, parse_trace, parse_trace_any, parse_trace_v2, parsed_from_record,
+    serialize_parsed, serialize_trace, serialize_trace_v2, trace_to_v2, Histogram, ParsedTrace,
+    TraceRecord,
+};
+use proptest::prelude::*;
+use proptest::strategy::Func;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// Layer / kind names must be `&'static str`: draw from pools.
+const LAYERS: &[&str] = &["COM", "NAK", "FRAG", "FD", "MBRSHIP", "MERGE", "TOTAL"];
+const UP_KINDS: &[&str] = &["CAST", "SEND", "VIEW", "BLOCK"];
+const DROPS: &[DropReason] = &[
+    DropReason::Decode,
+    DropReason::Fingerprint,
+    DropReason::Induced,
+    DropReason::Loss,
+    DropReason::Partition,
+    DropReason::Mtu,
+    DropReason::Unroutable,
+];
+
+/// Characters chosen to stress the v1 escaper: field/record separators,
+/// the escape char itself, ASCII + Unicode whitespace (`line.trim()` bait),
+/// control bytes, and multi-byte UTF-8.
+const NASTY_CHARS: &[char] = &[
+    ' ', '=', '%', '\t', '\n', '\r', '\u{0}', '\u{1b}', '\u{7f}', '\u{a0}', '\u{2028}', 'é', '日',
+    '🦀', 'a', 'Z', '0', ':', ',', '#',
+];
+
+fn arb_text(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0..24);
+    (0..len).map(|_| NASTY_CHARS[rng.gen_range(0..NASTY_CHARS.len())]).collect()
+}
+
+fn arb_ep(rng: &mut StdRng) -> EndpointAddr {
+    // `ep:0` (world-global) is spelled NULL, not `new(0)`.
+    match rng.gen_range(0..999u64) {
+        0 => EndpointAddr::NULL,
+        n => EndpointAddr::new(n),
+    }
+}
+
+fn arb_kind(rng: &mut StdRng) -> TraceKind {
+    let layer = LAYERS[rng.gen_range(0..LAYERS.len())];
+    let ep = arb_ep(rng);
+    // Mix canonical small values with full-range u64s.
+    let n = |rng: &mut StdRng| -> u64 {
+        if rng.gen_bool(0.5) {
+            rng.gen_range(0..100)
+        } else {
+            rng.next_u64()
+        }
+    };
+    match rng.gen_range(0..KIND_NAMES.len()) {
+        0 => TraceKind::LayerDown { layer },
+        1 => TraceKind::LayerUp { layer },
+        2 => TraceKind::LayerTimer { layer, token: n(rng) },
+        3 => TraceKind::FrameSend { cast: rng.next_u64() & 1 == 1, bytes: rng.gen_range(0..65536) },
+        4 => TraceKind::FrameDeliver {
+            from: ep,
+            cast: rng.next_u64() & 1 == 1,
+            bytes: rng.gen_range(0..65536),
+            digest: n(rng),
+            seq: n(rng),
+        },
+        5 => TraceKind::FrameDrop {
+            digest: n(rng),
+            seq: n(rng),
+            reason: DROPS[rng.gen_range(0..DROPS.len())],
+        },
+        6 => TraceKind::TimerArm { layer: rng.gen_range(0..40), token: n(rng), delay_us: n(rng) },
+        7 => TraceKind::TimerFire {
+            layer: rng.gen_range(0..40),
+            token: n(rng),
+            digest: n(rng),
+            seq: n(rng),
+        },
+        8 => TraceKind::AppDown {
+            kind: UP_KINDS[rng.gen_range(0..UP_KINDS.len())],
+            digest: n(rng),
+            seq: n(rng),
+        },
+        9 => TraceKind::Deliver {
+            kind: UP_KINDS[rng.gen_range(0..UP_KINDS.len())],
+            src: n(rng),
+            digest: n(rng),
+        },
+        10 => TraceKind::ViewInstall { view: arb_text(rng) },
+        11 => TraceKind::Crash { digest: n(rng), seq: n(rng) },
+        12 => TraceKind::Suspect { target: ep, digest: n(rng), seq: n(rng) },
+        13 => TraceKind::InjectCrash,
+        14 => TraceKind::InjectSuspect { observer: ep, target: arb_ep(rng) },
+        15 => TraceKind::Partition { digest: n(rng), seq: n(rng) },
+        16 => TraceKind::Heal { digest: n(rng), seq: n(rng) },
+        17 => TraceKind::Fault { digest: n(rng), seq: n(rng) },
+        _ => TraceKind::Note(arb_text(rng)),
+    }
+}
+
+fn arb_record(rng: &mut StdRng) -> TraceRecord {
+    let clock_len = rng.gen_range(0..4);
+    TraceRecord {
+        at: SimTime::from_nanos(if rng.gen_bool(0.8) {
+            rng.gen_range(0..10_000_000_000)
+        } else {
+            rng.next_u64()
+        }),
+        ep: arb_ep(rng),
+        clock: (0..clock_len).map(|_| (rng.gen_range(1..9u64), rng.gen_range(0..999u64))).collect(),
+        kind: arb_kind(rng),
+    }
+}
+
+fn arb_trace(rng: &mut StdRng) -> Vec<TraceRecord> {
+    let len = rng.gen_range(0..40);
+    (0..len).map(|_| arb_record(rng)).collect()
+}
+
+fn arb_meta(rng: &mut StdRng) -> Vec<(String, String)> {
+    let keys = ["scenario", "seed", "window_us", "reduction"];
+    let len = rng.gen_range(0..keys.len());
+    (0..len).map(|i| (keys[i].to_string(), rng.gen_range(0..1000u64).to_string())).collect()
+}
+
+/// The parsed view both formats serialize from.
+fn parsed(meta: &[(String, String)], records: &[TraceRecord]) -> ParsedTrace {
+    ParsedTrace {
+        meta: meta.iter().cloned().collect(),
+        records: records.iter().map(parsed_from_record).collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// v1 text: arbitrary payload strings (separators, `%`, Unicode
+    /// whitespace, control bytes, multi-byte UTF-8) survive escape →
+    /// line-parse → unescape unchanged.
+    #[test]
+    fn v1_escaping_roundtrips_arbitrary_payloads(text in Func(arb_text)) {
+        let note = TraceRecord {
+            at: SimTime::from_nanos(7),
+            ep: EndpointAddr::new(1),
+            clock: vec![],
+            kind: TraceKind::Note(text.clone()),
+        };
+        let view = TraceRecord {
+            at: SimTime::from_nanos(8),
+            ep: EndpointAddr::new(2),
+            clock: vec![(1, 2)],
+            kind: TraceKind::ViewInstall { view: text.clone() },
+        };
+        let parsed = parse_trace(&serialize_trace(&[], &[note, view])).unwrap();
+        prop_assert_eq!(parsed.records.len(), 2);
+        prop_assert_eq!(parsed.records[0].text_field("text").unwrap(), text.clone());
+        prop_assert_eq!(parsed.records[1].text_field("view").unwrap(), text);
+    }
+
+    /// v1 text: whole arbitrary traces parse back to exactly the view the
+    /// records project to, and re-serialize byte-identically.
+    #[test]
+    fn v1_parses_to_the_record_view(records in Func(arb_trace), meta in Func(arb_meta)) {
+        let text = serialize_trace(&meta, &records);
+        let p = parse_trace(&text).unwrap();
+        prop_assert_eq!(&p, &parsed(&meta, &records));
+        prop_assert_eq!(serialize_parsed(&p), text);
+    }
+
+    /// v2 binary: encodes the same view v1 does, losslessly, and the
+    /// header auto-detection routes both formats to the same parse.
+    #[test]
+    fn v2_roundtrips_and_matches_v1(records in Func(arb_trace), meta in Func(arb_meta)) {
+        let expect = parsed(&meta, &records);
+        let bytes = serialize_trace_v2(&meta, &records);
+        prop_assert_eq!(&parse_trace_v2(&bytes).unwrap(), &expect);
+        prop_assert_eq!(&parse_trace_any(&bytes).unwrap(), &expect);
+        let text = serialize_trace(&meta, &records);
+        prop_assert_eq!(&parse_trace_any(text.as_bytes()).unwrap(), &expect);
+        // Re-encoding the parsed view is the `convert` loop: still lossless.
+        prop_assert_eq!(&parse_trace_v2(&trace_to_v2(&expect)).unwrap(), &expect);
+        prop_assert!(first_divergence(
+            &parse_trace_v2(&bytes).unwrap().records,
+            &parse_trace(&text).unwrap().records,
+        ).is_none());
+    }
+
+    /// Histogram quantiles report the floor of the bucket holding the true
+    /// rank statistic: never above it, never more than 25% below.
+    #[test]
+    fn histogram_quantiles_bound_the_exact_rank(
+        vals in proptest::collection::vec(Func(|rng: &mut StdRng| -> u64 {
+            if rng.gen_bool(0.5) { rng.gen_range(0..1000) } else { rng.next_u64() }
+        }), 1..200),
+        num in 0u64..=4,
+    ) {
+        let den = 4u64;
+        let mut h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let rank = ((vals.len() as u64 * num).div_ceil(den)).max(1) as usize;
+        let exact = sorted[rank - 1];
+        let q = h.quantile(num, den);
+        prop_assert!(q <= exact, "quantile {} above exact {}", q, exact);
+        prop_assert!(
+            u128::from(exact) <= u128::from(q) + u128::from(q / 4) + 1,
+            "quantile {} more than 25% below exact {}", q, exact
+        );
+    }
+
+    /// Merging histograms is the same as observing the concatenation, and
+    /// observation order never matters.
+    #[test]
+    fn histogram_merge_equals_concatenation(
+        a in proptest::collection::vec(any::<u64>(), 0..60),
+        b in proptest::collection::vec(any::<u64>(), 0..60),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hall = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hall.record(v);
+        }
+        for &v in b.iter().rev() {
+            hb.record(v);
+        }
+        for &v in &b {
+            hall.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(&ha, &hall);
+        prop_assert_eq!(ha.count(), (a.len() + b.len()) as u64);
+    }
+}
